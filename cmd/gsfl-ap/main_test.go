@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}
+
+func TestRunTimesOutWithoutClients(t *testing.T) {
+	err := run([]string{
+		"-addr", "127.0.0.1:0",
+		"-clients", "2", "-groups", "1", "-rounds", "1",
+		"-wait", "100ms",
+	})
+	if err == nil {
+		t.Fatal("expected timeout error with no clients")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestScaleFor(t *testing.T) {
+	for _, name := range []string{"test", "medium", "paper"} {
+		spec, rounds, evalEvery, target, err := scaleFor(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if spec.Clients <= 0 || rounds <= 0 || evalEvery <= 0 || target <= 0 {
+			t.Fatalf("%s: nonsense scale %+v %d %d %v", name, spec, rounds, evalEvery, target)
+		}
+	}
+	if _, _, _, _, err := scaleFor("bogus"); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Each experiment at test scale with very few rounds; verify the CSV
+	// artifacts appear.
+	cases := map[string][]string{
+		"table3":   {"table3.csv"},
+		"table2":   {"table2.csv"},
+		"fig2b":    {"fig2b.csv"},
+		"resalloc": {"ablation_resalloc.csv"},
+		"pipeline": {"ablation_pipeline.csv"},
+		"quant":    {"ablation_quant.csv"},
+		"dropout":  {"ablation_dropout.csv"},
+	}
+	for exp, files := range cases {
+		t.Run(exp, func(t *testing.T) {
+			dir := t.TempDir()
+			err := run([]string{"-exp", exp, "-scale", "test", "-rounds", "2", "-out", dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range files {
+				if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+					t.Fatalf("missing artifact %s: %v", f, err)
+				}
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestGroupCounts(t *testing.T) {
+	got := groupCounts(6)
+	for _, m := range got {
+		if m > 6 {
+			t.Fatalf("group count %d exceeds client count", m)
+		}
+	}
+	if len(got) == 0 || got[0] != 1 {
+		t.Fatalf("groupCounts(6) = %v", got)
+	}
+}

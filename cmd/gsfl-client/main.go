@@ -1,0 +1,69 @@
+// Command gsfl-client runs one GSFL client node as a real network
+// process: it generates its private synthetic-GTSRB shard (derived from
+// its -id, so shards are disjoint across clients), dials the AP, and
+// serves training turns until the AP shuts the fleet down.
+//
+// See cmd/gsfl-ap for the matching server and a launch example.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gsfl/internal/gtsrb"
+	"gsfl/internal/model"
+	"gsfl/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gsfl-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gsfl-client", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7070", "AP address")
+		id        = fs.Int("id", 0, "client ID (must appear in the AP's groups)")
+		samples   = fs.Int("samples", 60, "private training samples")
+		imageSize = fs.Int("image-size", 8, "synthetic GTSRB image edge (must match AP)")
+		cut       = fs.Int("cut", model.GTSRBCNNDefaultCut, "cut layer index (must match AP)")
+		batch     = fs.Int("batch", 8, "mini-batch size")
+		lr        = fs.Float64("lr", 0.02, "client-side learning rate")
+		momentum  = fs.Float64("momentum", 0.9, "client-side momentum")
+		dataSeed  = fs.Int64("data-seed", 1000, "base seed; shard seed = base + id")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id < 0 {
+		return fmt.Errorf("client id %d must be non-negative", *id)
+	}
+
+	arch := model.GTSRBCNN(*imageSize, gtsrb.NumClasses)
+	gen := gtsrb.NewGenerator(gtsrb.DefaultConfig(*imageSize), *dataSeed+int64(*id))
+	train := gen.Dataset(*samples, nil)
+
+	client, err := transport.Dial(*addr, transport.ClientConfig{
+		ID:       *id,
+		Arch:     arch,
+		Cut:      *cut,
+		Train:    train,
+		Batch:    *batch,
+		LR:       *lr,
+		Momentum: *momentum,
+		Seed:     *dataSeed + 7919*int64(*id),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("client %d connected to %s with %d private samples\n", *id, *addr, train.Len())
+	if err := client.Run(); err != nil {
+		return err
+	}
+	fmt.Printf("client %d: shutdown received, exiting\n", *id)
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("expected flag error")
+	}
+}
+
+func TestRunRejectsNegativeID(t *testing.T) {
+	if err := run([]string{"-id", "-1"}); err == nil {
+		t.Fatal("expected id validation error")
+	}
+}
+
+func TestRunFailsWhenAPUnreachable(t *testing.T) {
+	err := run([]string{"-addr", "127.0.0.1:1", "-id", "0", "-samples", "5", "-image-size", "8"})
+	if err == nil {
+		t.Fatal("expected dial error")
+	}
+}

@@ -1,0 +1,133 @@
+// Command gsfl-datagen renders synthetic GTSRB samples to disk, either
+// as PNG images (for eyeballing the generator) or as a CSV of flattened
+// features (for external tooling).
+//
+// Example:
+//
+//	gsfl-datagen -per-class 3 -size 32 -format png -out samples/
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"gsfl/internal/gtsrb"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gsfl-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gsfl-datagen", flag.ContinueOnError)
+	var (
+		perClass = fs.Int("per-class", 2, "samples per class")
+		size     = fs.Int("size", 32, "image edge length in pixels")
+		format   = fs.String("format", "png", "output format: png|csv")
+		outDir   = fs.String("out", "samples", "output directory")
+		seed     = fs.Int64("seed", 1, "random seed")
+		noise    = fs.Float64("noise", 0.08, "pixel noise standard deviation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := gtsrb.DefaultConfig(*size)
+	cfg.NoiseStd = *noise
+	gen := gtsrb.NewGenerator(cfg, *seed)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+
+	switch *format {
+	case "png":
+		return writePNGs(gen, *outDir, *perClass, *size)
+	case "csv":
+		return writeCSV(gen, *outDir, *perClass, *size)
+	default:
+		return fmt.Errorf("unknown format %q (want png|csv)", *format)
+	}
+}
+
+func writePNGs(gen *gtsrb.Generator, dir string, perClass, size int) error {
+	plane := size * size
+	for c := 0; c < gtsrb.NumClasses; c++ {
+		for i := 0; i < perClass; i++ {
+			feats, label := gen.Sample(c)
+			img := image.NewRGBA(image.Rect(0, 0, size, size))
+			for y := 0; y < size; y++ {
+				for x := 0; x < size; x++ {
+					p := y*size + x
+					img.Set(x, y, color.RGBA{
+						R: uint8(feats[p] * 255),
+						G: uint8(feats[plane+p] * 255),
+						B: uint8(feats[2*plane+p] * 255),
+						A: 255,
+					})
+				}
+			}
+			name := filepath.Join(dir, fmt.Sprintf("class%02d_sample%02d_label%02d.png", c, i, label))
+			f, err := os.Create(name)
+			if err != nil {
+				return err
+			}
+			if err := png.Encode(f, img); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Printf("wrote %d PNGs to %s\n", gtsrb.NumClasses*perClass, dir)
+	return nil
+}
+
+func writeCSV(gen *gtsrb.Generator, dir string, perClass, size int) error {
+	path := filepath.Join(dir, "gtsrb_synthetic.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	header := make([]string, 1, 1+3*size*size)
+	header[0] = "label"
+	for i := 0; i < 3*size*size; i++ {
+		header = append(header, "p"+strconv.Itoa(i))
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for c := 0; c < gtsrb.NumClasses; c++ {
+		for i := 0; i < perClass; i++ {
+			feats, label := gen.Sample(c)
+			rec := make([]string, 1, 1+len(feats))
+			rec[0] = strconv.Itoa(label)
+			for _, v := range feats {
+				rec = append(rec, strconv.FormatFloat(v, 'f', 4, 64))
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d samples to %s\n", gtsrb.NumClasses*perClass, path)
+	return f.Close()
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gsfl/internal/gtsrb"
+)
+
+func TestRunPNG(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-per-class", "1", "-size", "16", "-format", "png", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != gtsrb.NumClasses {
+		t.Fatalf("wrote %d PNGs, want %d", len(entries), gtsrb.NumClasses)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"-per-class", "1", "-size", "8", "-format", "csv", "-out", dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, "gtsrb_synthetic.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty CSV")
+	}
+}
+
+func TestRunRejectsBadFormat(t *testing.T) {
+	if err := run([]string{"-format", "bogus", "-out", t.TempDir()}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunDeterministicPNGBytes(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	for _, d := range []string{d1, d2} {
+		if err := run([]string{"-per-class", "1", "-size", "8", "-out", d, "-seed", "5"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f1, err := os.ReadFile(filepath.Join(d1, "class00_sample00_label00.png"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := os.ReadFile(filepath.Join(d2, "class00_sample00_label00.png"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(f1) != string(f2) {
+		t.Fatal("same seed produced different PNGs")
+	}
+}

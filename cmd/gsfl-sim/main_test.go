@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tinyArgs(extra ...string) []string {
+	base := []string{
+		"-clients", "4", "-groups", "2", "-rounds", "2", "-eval-every", "1",
+		"-image-size", "8", "-samples", "20", "-test-per-class", "1",
+		"-batch", "4", "-steps", "1",
+	}
+	return append(base, extra...)
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"gsfl", "sl", "fl", "cl", "sfl"} {
+		if err := run(tinyArgs("-scheme", scheme)); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "curve.csv")
+	if err := run(tinyArgs("-out", out)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "scheme,round") {
+		t.Fatalf("csv content: %.40q", string(b))
+	}
+}
+
+func TestRunAllocatorsAndStrategies(t *testing.T) {
+	for _, alloc := range []string{"uniform", "propfair", "latmin"} {
+		if err := run(tinyArgs("-alloc", alloc)); err != nil {
+			t.Fatalf("alloc %s: %v", alloc, err)
+		}
+	}
+	for _, st := range []string{"roundrobin", "random", "balanced"} {
+		if err := run(tinyArgs("-strategy", st)); err != nil {
+			t.Fatalf("strategy %s: %v", st, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := map[string][]string{
+		"bad scheme":   tinyArgs("-scheme", "bogus"),
+		"bad alloc":    tinyArgs("-alloc", "bogus"),
+		"bad strategy": tinyArgs("-strategy", "bogus"),
+		"bad flag":     {"-no-such-flag"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

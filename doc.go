@@ -1,0 +1,19 @@
+// Package gsfl is a from-scratch Go reproduction of "Split Federated
+// Learning: Speed up Model Training in Resource-Limited Wireless
+// Networks" (Zhang et al., ICDCS 2023; arXiv:2305.18889).
+//
+// The implementation lives under internal/: a tensor and neural-network
+// training framework (internal/tensor, internal/nn, internal/loss,
+// internal/optim), the split-model container (internal/model), a
+// synthetic GTSRB dataset generator (internal/gtsrb), a wireless network
+// and device simulator (internal/wireless, internal/device,
+// internal/simnet), the GSFL scheme itself (internal/gsfl), the CL, SL,
+// FL, and SplitFed baselines (internal/schemes/...), and the experiment
+// harness that regenerates every figure and table from the paper
+// (internal/experiment).
+//
+// Entry points: cmd/gsfl-sim runs one scheme, cmd/gsfl-bench regenerates
+// the paper's figures and tables as CSV, cmd/gsfl-datagen renders
+// synthetic GTSRB samples. The root-level bench_test.go exposes one
+// testing.B benchmark per experiment.
+package gsfl

@@ -1,0 +1,191 @@
+// Package data defines the dataset and mini-batch loading abstractions
+// shared by every training scheme and dataset generator.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gsfl/internal/tensor"
+)
+
+// Dataset is an indexable collection of labelled samples. Sample returns
+// the flattened feature vector (the caller shapes it per the model's
+// input shape) and the class label.
+type Dataset interface {
+	// Len returns the number of samples.
+	Len() int
+	// Sample returns the features and label of sample i. The returned
+	// slice must not be mutated by the caller.
+	Sample(i int) (features []float64, label int)
+	// Classes returns the number of distinct labels.
+	Classes() int
+}
+
+// InMemory is a Dataset backed by slices; the workhorse implementation
+// that generators and Subset produce.
+type InMemory struct {
+	X      [][]float64
+	Y      []int
+	NumCls int
+}
+
+// NewInMemory validates and wraps the given samples.
+func NewInMemory(x [][]float64, y []int, classes int) *InMemory {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("data: %d feature rows vs %d labels", len(x), len(y)))
+	}
+	if classes <= 0 {
+		panic(fmt.Sprintf("data: classes must be positive, got %d", classes))
+	}
+	for i, label := range y {
+		if label < 0 || label >= classes {
+			panic(fmt.Sprintf("data: label %d at index %d outside [0,%d)", label, i, classes))
+		}
+	}
+	return &InMemory{X: x, Y: y, NumCls: classes}
+}
+
+// Len implements Dataset.
+func (d *InMemory) Len() int { return len(d.X) }
+
+// Sample implements Dataset.
+func (d *InMemory) Sample(i int) ([]float64, int) { return d.X[i], d.Y[i] }
+
+// Classes implements Dataset.
+func (d *InMemory) Classes() int { return d.NumCls }
+
+// Subset is a view of a Dataset through an index list; partitioning
+// produces one per client without copying features.
+type Subset struct {
+	Base    Dataset
+	Indices []int
+}
+
+// NewSubset wraps base restricted to the given indices.
+func NewSubset(base Dataset, indices []int) *Subset {
+	for _, ix := range indices {
+		if ix < 0 || ix >= base.Len() {
+			panic(fmt.Sprintf("data: subset index %d outside [0,%d)", ix, base.Len()))
+		}
+	}
+	return &Subset{Base: base, Indices: indices}
+}
+
+// Len implements Dataset.
+func (s *Subset) Len() int { return len(s.Indices) }
+
+// Sample implements Dataset.
+func (s *Subset) Sample(i int) ([]float64, int) { return s.Base.Sample(s.Indices[i]) }
+
+// Classes implements Dataset.
+func (s *Subset) Classes() int { return s.Base.Classes() }
+
+// Batch is one mini-batch: features stacked into a tensor of shape
+// (n, inShape...) plus the label slice.
+type Batch struct {
+	X *tensor.Tensor
+	Y []int
+}
+
+// Loader draws mini-batches from a Dataset, reshuffling each epoch.
+// It is deterministic given its RNG and single-goroutine by design; each
+// client owns its own Loader.
+type Loader struct {
+	ds      Dataset
+	batch   int
+	inShape []int
+	rng     *rand.Rand
+	order   []int
+	pos     int
+}
+
+// NewLoader constructs a Loader producing batches of the given size with
+// per-sample shape inShape. A final short batch is emitted at epoch end
+// if the dataset size is not divisible by the batch size.
+func NewLoader(ds Dataset, batch int, inShape []int, rng *rand.Rand) *Loader {
+	if batch <= 0 {
+		panic(fmt.Sprintf("data: batch size must be positive, got %d", batch))
+	}
+	if ds.Len() == 0 {
+		panic("data: empty dataset")
+	}
+	per := 1
+	for _, d := range inShape {
+		per *= d
+	}
+	if f, _ := ds.Sample(0); len(f) != per {
+		panic(fmt.Sprintf("data: sample has %d features, shape %v needs %d", len(f), inShape, per))
+	}
+	l := &Loader{ds: ds, batch: batch, inShape: inShape, rng: rng}
+	l.reshuffle()
+	return l
+}
+
+func (l *Loader) reshuffle() {
+	if l.order == nil {
+		l.order = make([]int, l.ds.Len())
+		for i := range l.order {
+			l.order[i] = i
+		}
+	}
+	l.rng.Shuffle(len(l.order), func(i, j int) { l.order[i], l.order[j] = l.order[j], l.order[i] })
+	l.pos = 0
+}
+
+// Next returns the next mini-batch, starting a new shuffled epoch when
+// the current one is exhausted.
+func (l *Loader) Next() Batch {
+	if l.pos >= len(l.order) {
+		l.reshuffle()
+	}
+	end := l.pos + l.batch
+	if end > len(l.order) {
+		end = len(l.order)
+	}
+	idx := l.order[l.pos:end]
+	l.pos = end
+
+	n := len(idx)
+	shape := append([]int{n}, l.inShape...)
+	x := tensor.New(shape...)
+	y := make([]int, n)
+	per := x.Size() / n
+	for bi, si := range idx {
+		f, label := l.ds.Sample(si)
+		copy(x.Data[bi*per:(bi+1)*per], f)
+		y[bi] = label
+	}
+	return Batch{X: x, Y: y}
+}
+
+// StepsPerEpoch returns how many batches one epoch yields.
+func (l *Loader) StepsPerEpoch() int {
+	return (l.ds.Len() + l.batch - 1) / l.batch
+}
+
+// All materializes the entire dataset as one batch, in index order.
+// Used for evaluation.
+func All(ds Dataset, inShape []int) Batch {
+	n := ds.Len()
+	shape := append([]int{n}, inShape...)
+	x := tensor.New(shape...)
+	y := make([]int, n)
+	per := x.Size() / n
+	for i := 0; i < n; i++ {
+		f, label := ds.Sample(i)
+		copy(x.Data[i*per:(i+1)*per], f)
+		y[i] = label
+	}
+	return Batch{X: x, Y: y}
+}
+
+// ClassHistogram counts samples per class.
+func ClassHistogram(ds Dataset) []int {
+	h := make([]int, ds.Classes())
+	for i := 0; i < ds.Len(); i++ {
+		_, y := ds.Sample(i)
+		h[y]++
+	}
+	return h
+}

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"testing"
+
+	"gsfl/internal/gsfl"
+	"gsfl/internal/partition"
+	"gsfl/internal/schemes"
+	"gsfl/internal/schemes/schemestest"
+	"gsfl/internal/schemes/sfl"
+	"gsfl/internal/schemes/sl"
+)
+
+// GSFL is a strict generalization of both benchmark split schemes; these
+// tests pin the degenerate cases to be *numerically identical*, which
+// catches any drift between the three implementations.
+
+// TestGSFLWithOneGroupEqualsSL: M=1 GSFL is vanilla SL plus a vacuous
+// FedAvg over a single group (the identity). Same seeds, same loader
+// streams, same optimizer structure => identical evaluations each round.
+func TestGSFLWithOneGroupEqualsSL(t *testing.T) {
+	envG := schemestest.NewEnv(5, 5, 40)
+	g, err := gsfl.New(envG, gsfl.Config{NumGroups: 1, Strategy: partition.GroupRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envS := schemestest.NewEnv(5, 5, 40)
+	s, err := sl.New(envS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		g.Round()
+		s.Round()
+		gl, ga := g.Evaluate()
+		slo, sa := s.Evaluate()
+		if gl != slo || ga != sa {
+			t.Fatalf("round %d: GSFL(M=1) diverged from SL: loss %v vs %v, acc %v vs %v",
+				r+1, gl, slo, ga, sa)
+		}
+	}
+}
+
+// TestGSFLWithSingletonGroupsEqualsSFL: M=N GSFL is SplitFed — every
+// client trains in parallel against its own server replica and both
+// halves aggregate.
+func TestGSFLWithSingletonGroupsEqualsSFL(t *testing.T) {
+	const n = 5
+	envG := schemestest.NewEnv(6, n, 40)
+	g, err := gsfl.New(envG, gsfl.Config{NumGroups: n, Strategy: partition.GroupRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	envS := schemestest.NewEnv(6, n, 40)
+	s, err := sfl.New(envS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		g.Round()
+		s.Round()
+		gl, ga := g.Evaluate()
+		sfLoss, sfAcc := s.Evaluate()
+		if gl != sfLoss || ga != sfAcc {
+			t.Fatalf("round %d: GSFL(M=N) diverged from SplitFed: loss %v vs %v, acc %v vs %v",
+				r+1, gl, sfLoss, ga, sfAcc)
+		}
+	}
+}
+
+// TestSchemesShareInitialModel: every split scheme must start from the
+// same global initialization (the paper distributes ONE model), so their
+// round-0 evaluations coincide.
+func TestSchemesShareInitialModel(t *testing.T) {
+	build := func() (schemes.Trainer, schemes.Trainer, schemes.Trainer) {
+		e1 := schemestest.NewEnv(7, 4, 30)
+		g, err := gsfl.New(e1, gsfl.Config{NumGroups: 2, Strategy: partition.GroupRoundRobin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2 := schemestest.NewEnv(7, 4, 30)
+		s, err := sl.New(e2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e3 := schemestest.NewEnv(7, 4, 30)
+		f, err := sfl.New(e3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, s, f
+	}
+	g, s, f := build()
+	gl, ga := g.Evaluate()
+	sl2, sa := s.Evaluate()
+	fl2, fa := f.Evaluate()
+	if gl != sl2 || gl != fl2 || ga != sa || ga != fa {
+		t.Fatalf("initial models differ: losses %v/%v/%v, accs %v/%v/%v",
+			gl, sl2, fl2, ga, sa, fa)
+	}
+}

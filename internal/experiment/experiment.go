@@ -1,0 +1,186 @@
+// Package experiment assembles complete simulated worlds (data + fleet +
+// channel + model) and runs the paper's experiments end to end.
+//
+// Each exported Run* function regenerates one figure or table from
+// DESIGN.md's experiment index: Fig. 2(a) accuracy-vs-rounds, Fig. 2(b)
+// accuracy-vs-latency, the convergence/latency/storage tables, and the
+// future-work ablations (cut layer, grouping, resource allocation).
+package experiment
+
+import (
+	"fmt"
+
+	"gsfl/internal/data"
+	"gsfl/internal/device"
+	"gsfl/internal/gsfl"
+	"gsfl/internal/gtsrb"
+	"gsfl/internal/metrics"
+	"gsfl/internal/model"
+	"gsfl/internal/partition"
+	"gsfl/internal/schemes"
+	"gsfl/internal/schemes/cl"
+	"gsfl/internal/schemes/fl"
+	"gsfl/internal/schemes/sfl"
+	"gsfl/internal/schemes/sl"
+	"gsfl/internal/wireless"
+)
+
+// Spec describes one experimental configuration. The zero value is not
+// usable; start from PaperSpec or TestSpec and override.
+type Spec struct {
+	// Clients (N) and Groups (M) set the population structure; the paper
+	// uses N=30, M=6.
+	Clients int
+	Groups  int
+	// Strategy assigns clients to groups.
+	Strategy partition.GroupStrategy
+	// ImageSize is the synthetic-GTSRB edge length (32 at paper scale).
+	ImageSize int
+	// TrainPerClient is each client's private sample count.
+	TrainPerClient int
+	// TestPerClass sizes the balanced held-out test set.
+	TestPerClass int
+	// Alpha is the Dirichlet non-IID concentration; 0 means IID.
+	Alpha float64
+	// Cut is the split index into model.GTSRBCNN.
+	Cut int
+	// Hyper are the shared optimization hyperparameters.
+	Hyper schemes.Hyper
+	// Alloc is the bandwidth allocation policy.
+	Alloc wireless.Allocator
+	// Device and Wireless override the hardware environment; zero values
+	// take the package defaults.
+	Device   device.Config
+	Wireless wireless.Config
+	// Seed derives all randomness.
+	Seed int64
+	// Pipelined enables communication/computation overlap in GSFL turns.
+	Pipelined bool
+	// DropoutProb injects per-round client unavailability into GSFL.
+	DropoutProb float64
+}
+
+// PaperSpec is the configuration of Section III: 30 clients, 6 groups,
+// GTSRB-scale images, mildly non-IID data.
+func PaperSpec() Spec {
+	return Spec{
+		Clients:        30,
+		Groups:         6,
+		Strategy:       partition.GroupRoundRobin,
+		ImageSize:      32,
+		TrainPerClient: 200,
+		TestPerClass:   10,
+		Alpha:          1.0,
+		Cut:            model.GTSRBCNNDefaultCut,
+		Hyper: schemes.Hyper{
+			Batch:          16,
+			StepsPerClient: 4,
+			LR:             0.02,
+			Momentum:       0.9,
+			ClipNorm:       5,
+		},
+		Alloc:    wireless.Uniform{},
+		Device:   device.DefaultConfig(30),
+		Wireless: wireless.DefaultConfig(),
+		Seed:     1,
+	}
+}
+
+// TestSpec is a minimal configuration for fast CI runs: 6 clients in 2
+// groups on 8x8 images.
+func TestSpec() Spec {
+	s := PaperSpec()
+	s.Clients = 6
+	s.Groups = 2
+	s.ImageSize = 8
+	s.TrainPerClient = 40
+	s.TestPerClass = 2
+	s.Hyper.Batch = 8
+	s.Hyper.StepsPerClient = 2
+	s.Device = device.DefaultConfig(6)
+	return s
+}
+
+// Build materializes the Spec into a schemes.Env.
+func Build(spec Spec) (*schemes.Env, error) {
+	if spec.Clients <= 0 || spec.Groups <= 0 || spec.Groups > spec.Clients {
+		return nil, fmt.Errorf("experiment: bad population N=%d M=%d", spec.Clients, spec.Groups)
+	}
+	if spec.Alloc == nil {
+		return nil, fmt.Errorf("experiment: missing allocator")
+	}
+	spec.Device.N = spec.Clients
+
+	gen := gtsrb.NewGenerator(gtsrb.DefaultConfig(spec.ImageSize), spec.Seed)
+	pool := gen.Dataset(spec.Clients*spec.TrainPerClient, nil)
+	testGen := gtsrb.NewGenerator(gtsrb.DefaultConfig(spec.ImageSize), spec.Seed+1)
+	test := testGen.Balanced(spec.TestPerClass)
+
+	fleet := device.NewFleet(spec.Device, spec.Seed+2)
+	channel := wireless.NewChannel(spec.Wireless, spec.Clients, spec.Seed+3)
+
+	env := &schemes.Env{
+		Arch:    model.GTSRBCNN(spec.ImageSize, gtsrb.NumClasses),
+		Cut:     spec.Cut,
+		Fleet:   fleet,
+		Channel: channel,
+		Alloc:   spec.Alloc,
+		Test:    test,
+		Hyper:   spec.Hyper,
+		Seed:    spec.Seed + 4,
+	}
+
+	partRng := env.Rng("partition", 0)
+	var subsets []*data.Subset
+	if spec.Alpha > 0 {
+		subsets = partition.Dirichlet(pool, spec.Clients, spec.Alpha, partRng)
+	} else {
+		subsets = partition.IID(pool, spec.Clients, partRng)
+	}
+	env.Train = make([]data.Dataset, len(subsets))
+	for i, s := range subsets {
+		env.Train[i] = s
+	}
+	if err := env.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: built invalid env: %w", err)
+	}
+	return env, nil
+}
+
+// NewTrainer instantiates the named scheme over a fresh env built from
+// spec. Recognized names: gsfl, sl, fl, cl, sfl.
+func NewTrainer(spec Spec, scheme string) (schemes.Trainer, error) {
+	env, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	switch scheme {
+	case "gsfl":
+		return gsfl.New(env, gsfl.Config{
+			NumGroups:   spec.Groups,
+			Strategy:    spec.Strategy,
+			Pipelined:   spec.Pipelined,
+			DropoutProb: spec.DropoutProb,
+		})
+	case "sl":
+		return sl.New(env)
+	case "fl":
+		return fl.New(env)
+	case "cl":
+		return cl.New(env)
+	case "sfl":
+		return sfl.New(env)
+	default:
+		return nil, fmt.Errorf("experiment: unknown scheme %q (want gsfl|sl|fl|cl|sfl)", scheme)
+	}
+}
+
+// RunScheme builds the named scheme and trains it for the given number
+// of rounds, evaluating every evalEvery rounds.
+func RunScheme(spec Spec, scheme string, rounds, evalEvery int) (*metrics.Curve, error) {
+	tr, err := NewTrainer(spec, scheme)
+	if err != nil {
+		return nil, err
+	}
+	return schemes.RunCurve(tr, rounds, evalEvery), nil
+}

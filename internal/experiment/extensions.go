@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"gsfl/internal/gsfl"
+	"gsfl/internal/schemes"
+)
+
+// PipelineResult is one row of the communication/computation-overlap
+// ablation (the "parallel design" of the paper's reference [2]).
+type PipelineResult struct {
+	Pipelined     bool
+	RoundLatency  float64
+	FinalAccuracy float64
+}
+
+// RunAblationPipelining compares GSFL with and without per-turn
+// communication/computation overlap. Training numerics are identical;
+// only the latency model changes, so the accuracy columns should match
+// and the latency column should strictly favour pipelining.
+func RunAblationPipelining(spec Spec, rounds, evalEvery int) ([]PipelineResult, error) {
+	out := make([]PipelineResult, 0, 2)
+	for _, pipelined := range []bool{false, true} {
+		env, err := Build(spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: pipelining: %w", err)
+		}
+		tr, err := gsfl.New(env, gsfl.Config{
+			NumGroups: spec.Groups,
+			Strategy:  spec.Strategy,
+			Pipelined: pipelined,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: pipelining: %w", err)
+		}
+		curve := schemes.RunCurve(tr, rounds, evalEvery)
+		last := curve.Points[len(curve.Points)-1]
+		out = append(out, PipelineResult{
+			Pipelined:     pipelined,
+			RoundLatency:  last.LatencySeconds / float64(rounds),
+			FinalAccuracy: curve.FinalAccuracy(),
+		})
+	}
+	return out, nil
+}
+
+// QuantResult is one row of the transfer-precision ablation.
+type QuantResult struct {
+	Quantized     bool
+	RoundLatency  float64
+	FinalAccuracy float64
+}
+
+// RunAblationQuantization compares full-precision (float32 wire) GSFL
+// against 8-bit quantized smashed-data/gradient transfers: 4x less
+// uplink/downlink traffic versus whatever accuracy the precision loss
+// costs.
+func RunAblationQuantization(spec Spec, rounds, evalEvery int) ([]QuantResult, error) {
+	out := make([]QuantResult, 0, 2)
+	for _, quant := range []bool{false, true} {
+		s := spec
+		s.Hyper.QuantizeTransfers = quant
+		env, err := Build(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: quantization: %w", err)
+		}
+		tr, err := gsfl.New(env, gsfl.Config{NumGroups: s.Groups, Strategy: s.Strategy})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: quantization: %w", err)
+		}
+		curve := schemes.RunCurve(tr, rounds, evalEvery)
+		last := curve.Points[len(curve.Points)-1]
+		out = append(out, QuantResult{
+			Quantized:     quant,
+			RoundLatency:  last.LatencySeconds / float64(rounds),
+			FinalAccuracy: curve.FinalAccuracy(),
+		})
+	}
+	return out, nil
+}
+
+// DropoutResult is one row of the client-dropout robustness sweep.
+type DropoutResult struct {
+	DropoutProb   float64
+	RoundLatency  float64
+	FinalAccuracy float64
+}
+
+// RunAblationDropout sweeps per-round client unavailability and reports
+// its effect on GSFL latency and accuracy — the robustness experiment a
+// deployment over flaky mobile devices needs.
+func RunAblationDropout(spec Spec, probs []float64, rounds, evalEvery int) ([]DropoutResult, error) {
+	out := make([]DropoutResult, 0, len(probs))
+	for _, p := range probs {
+		env, err := Build(spec)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: dropout %v: %w", p, err)
+		}
+		tr, err := gsfl.New(env, gsfl.Config{
+			NumGroups:   spec.Groups,
+			Strategy:    spec.Strategy,
+			DropoutProb: p,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: dropout %v: %w", p, err)
+		}
+		curve := schemes.RunCurve(tr, rounds, evalEvery)
+		last := curve.Points[len(curve.Points)-1]
+		out = append(out, DropoutResult{
+			DropoutProb:   p,
+			RoundLatency:  last.LatencySeconds / float64(rounds),
+			FinalAccuracy: curve.FinalAccuracy(),
+		})
+	}
+	return out, nil
+}
+
+// NonIIDResult is one row of the data-heterogeneity sweep.
+type NonIIDResult struct {
+	Alpha         float64
+	Scheme        string
+	FinalAccuracy float64
+	RoundsToHalf  int // rounds to 50% accuracy
+	ReachedHalf   bool
+}
+
+// RunAblationNonIID sweeps the Dirichlet concentration alpha (small =
+// highly skewed client data) for GSFL and FL. Federated averaging is
+// known to degrade sharply under non-IID data while split-sequential
+// training is more robust — the gap that drives the paper's
+// convergence-speed advantage.
+func RunAblationNonIID(spec Spec, alphas []float64, rounds, evalEvery int) ([]NonIIDResult, error) {
+	var out []NonIIDResult
+	for _, alpha := range alphas {
+		for _, scheme := range []string{"gsfl", "fl"} {
+			s := spec
+			s.Alpha = alpha
+			curve, err := RunScheme(s, scheme, rounds, evalEvery)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: non-iid alpha=%v %s: %w", alpha, scheme, err)
+			}
+			r, ok := curve.RoundsToAccuracy(0.5)
+			out = append(out, NonIIDResult{
+				Alpha:         alpha,
+				Scheme:        scheme,
+				FinalAccuracy: curve.FinalAccuracy(),
+				RoundsToHalf:  r,
+				ReachedHalf:   ok,
+			})
+		}
+	}
+	return out, nil
+}
+
+// SeedStats summarizes a scheme's final accuracy across seeds.
+type SeedStats struct {
+	Scheme   string
+	Seeds    int
+	MeanAcc  float64
+	StdAcc   float64
+	WorstAcc float64
+	BestAcc  float64
+}
+
+// RunSeedSweep reruns a scheme across k seeds and reports the spread of
+// final accuracy — the variance bar a credible reproduction publishes
+// alongside point estimates.
+func RunSeedSweep(spec Spec, scheme string, seeds, rounds, evalEvery int) (SeedStats, error) {
+	if seeds <= 0 {
+		return SeedStats{}, fmt.Errorf("experiment: seed sweep needs positive seed count, got %d", seeds)
+	}
+	accs := make([]float64, 0, seeds)
+	for k := 0; k < seeds; k++ {
+		s := spec
+		s.Seed = spec.Seed + int64(1000*k)
+		curve, err := RunScheme(s, scheme, rounds, evalEvery)
+		if err != nil {
+			return SeedStats{}, fmt.Errorf("experiment: seed sweep %s seed %d: %w", scheme, k, err)
+		}
+		accs = append(accs, curve.FinalAccuracy())
+	}
+	st := SeedStats{Scheme: scheme, Seeds: seeds, WorstAcc: accs[0], BestAcc: accs[0]}
+	sum := 0.0
+	for _, a := range accs {
+		sum += a
+		if a < st.WorstAcc {
+			st.WorstAcc = a
+		}
+		if a > st.BestAcc {
+			st.BestAcc = a
+		}
+	}
+	st.MeanAcc = sum / float64(seeds)
+	ss := 0.0
+	for _, a := range accs {
+		d := a - st.MeanAcc
+		ss += d * d
+	}
+	st.StdAcc = math.Sqrt(ss / float64(seeds))
+	return st, nil
+}

@@ -1,0 +1,308 @@
+// Package gsfl implements the paper's contribution: group-based split
+// federated learning.
+//
+// GSFL partitions N clients into M groups and trains in a
+// split-then-federated manner each round:
+//
+//  1. Model distribution — the AP sends the (aggregated) client-side
+//     model to the first client of every group; each group gets its own
+//     replica of the server-side model at the edge server.
+//  2. Model training — within a group, clients train sequentially in
+//     split-learning fashion: client-side forward, smashed-data upload,
+//     server-side forward/backward at the AP, cut-gradient download,
+//     client-side backward; after a client finishes its local steps the
+//     client-side model is relayed through the AP to the group's next
+//     client. The M groups run in parallel, sharing the wireless uplink
+//     and downlink budgets.
+//  3. Model aggregation — the AP FedAvg-aggregates the M client-side and
+//     M server-side models into new global halves.
+//
+// Latency follows the same structure: sequential stages within a group
+// add, the M groups compose via max (parallel), aggregation adds at the
+// end. Bandwidth is shared position-wise: while every group is training
+// its p-th client, those M clients split the spectrum via the env's
+// Allocator; a group with fewer clients simply stops contending after it
+// finishes (modelled by allocating over the groups still active at each
+// position).
+package gsfl
+
+import (
+	"fmt"
+
+	"gsfl/internal/agg"
+	"gsfl/internal/data"
+	"gsfl/internal/model"
+	"gsfl/internal/optim"
+	"gsfl/internal/partition"
+	"gsfl/internal/schemes"
+	"gsfl/internal/simnet"
+)
+
+// Config selects GSFL's structural parameters on top of a schemes.Env.
+type Config struct {
+	// NumGroups is M, the number of parallel groups.
+	NumGroups int
+	// Strategy chooses how clients are assigned to groups.
+	Strategy partition.GroupStrategy
+	// DropoutProb is the per-round probability that a client is
+	// unavailable (battery, mobility, deep outage). Unavailable clients
+	// are skipped; their group trains with whoever remains, and a group
+	// whose clients all drop sits the round out (it is excluded from that
+	// round's aggregation). 0 disables failure injection.
+	DropoutProb float64
+	// Pipelined enables communication/computation overlap within each
+	// client's turn (the "parallel design" of the paper's reference [2]):
+	// after a one-step warm-up the turn advances at the pace of its
+	// slowest stage instead of the sum of all stages. Training numerics
+	// are unchanged; only latency pricing differs.
+	Pipelined bool
+}
+
+// Trainer is the GSFL scheme mid-training. Create with New; drive with
+// Round/Evaluate (typically via schemes.RunCurve).
+type Trainer struct {
+	env    *schemes.Env
+	cfg    Config
+	groups [][]int
+	round  int
+
+	// globalClient/globalServer are the aggregated halves after the most
+	// recent round (the model the AP would deploy).
+	globalClient model.Snapshot
+	globalServer model.Snapshot
+
+	// replicas[g] is group g's working split model; optimizer state is
+	// kept per group across rounds.
+	replicas   []*model.SplitModel
+	clientOpts []*optim.SGD
+	serverOpts []*optim.SGD
+
+	loaders []*data.Loader
+	weights []float64 // per-group aggregation weights (sample counts)
+
+	evalModel *model.SplitModel // scratch model for evaluation
+}
+
+// New validates the environment and assembles a GSFL trainer.
+func New(env *schemes.Env, cfg Config) (*Trainer, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumGroups <= 0 || cfg.NumGroups > env.Fleet.N() {
+		return nil, fmt.Errorf("gsfl: %d groups for %d clients", cfg.NumGroups, env.Fleet.N())
+	}
+	if cfg.DropoutProb < 0 || cfg.DropoutProb >= 1 {
+		return nil, fmt.Errorf("gsfl: dropout probability %v outside [0,1)", cfg.DropoutProb)
+	}
+	groups := partition.Groups(env.Fleet.N(), cfg.NumGroups, cfg.Strategy,
+		env.Fleet.Capacities(), env.Rng("grouping", 0))
+
+	t := &Trainer{env: env, cfg: cfg, groups: groups}
+
+	// One global initialization shared by every replica, so round 0
+	// starts from a single common model (the paper's model distribution).
+	init := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
+	t.globalClient = model.TakeSnapshot(init.Client)
+	t.globalServer = model.TakeSnapshot(init.Server)
+	t.evalModel = init
+
+	t.replicas = make([]*model.SplitModel, len(groups))
+	t.clientOpts = make([]*optim.SGD, len(groups))
+	t.serverOpts = make([]*optim.SGD, len(groups))
+	for g := range groups {
+		// Fresh structure; parameters are overwritten from the global
+		// snapshots at the start of every round.
+		t.replicas[g] = env.Arch.NewSplit(env.Rng("replica", g), env.Cut)
+		t.clientOpts[g] = env.NewOptimizer()
+		t.serverOpts[g] = env.NewOptimizer()
+	}
+
+	t.loaders = make([]*data.Loader, env.Fleet.N())
+	for ci, ds := range env.Train {
+		t.loaders[ci] = data.NewLoader(ds, env.Hyper.Batch, env.Arch.InShape, env.Rng("loader", ci))
+	}
+
+	t.weights = make([]float64, len(groups))
+	for g, members := range groups {
+		for _, ci := range members {
+			t.weights[g] += float64(env.Train[ci].Len())
+		}
+	}
+	return t, nil
+}
+
+// Name implements schemes.Trainer.
+func (t *Trainer) Name() string { return "gsfl" }
+
+// Groups exposes the group assignment (read-only view for diagnostics).
+func (t *Trainer) Groups() [][]int { return t.groups }
+
+// ServerReplicaCount returns how many server-side models the edge server
+// hosts — M for GSFL, the storage quantity Table 3 compares against
+// SplitFed's N.
+func (t *Trainer) ServerReplicaCount() int { return len(t.groups) }
+
+// ServerStorageBytes returns the edge-server memory the server-side
+// replicas occupy.
+func (t *Trainer) ServerStorageBytes() int64 {
+	return int64(t.ServerReplicaCount()) * t.globalServer.WireBytes()
+}
+
+// availableGroups applies per-round client dropout, returning the
+// surviving members of each group (same outer length as t.groups; a
+// fully dropped group has an empty inner slice) plus the participant
+// weights for aggregation.
+func (t *Trainer) availableGroups() ([][]int, []float64) {
+	if t.cfg.DropoutProb == 0 {
+		return t.groups, t.weights
+	}
+	rng := t.env.Rng("dropout", t.round)
+	avail := make([][]int, len(t.groups))
+	weights := make([]float64, len(t.groups))
+	for g, members := range t.groups {
+		for _, ci := range members {
+			if rng.Float64() < t.cfg.DropoutProb {
+				continue
+			}
+			avail[g] = append(avail[g], ci)
+			weights[g] += float64(t.env.Train[ci].Len())
+		}
+	}
+	return avail, weights
+}
+
+// Round implements schemes.Trainer: one full distribute/train/aggregate
+// cycle.
+func (t *Trainer) Round() *simnet.Ledger {
+	env := t.env
+	env.Channel.AdvanceRound() // client mobility (no-op when static)
+	t.round++
+	groups, weights := t.availableGroups()
+
+	// Indices of groups with at least one available client this round.
+	var live []int
+	for g, members := range groups {
+		if len(members) > 0 {
+			live = append(live, g)
+		}
+	}
+	if len(live) == 0 {
+		// Every client dropped: the round is a no-op (the AP waits out a
+		// timeout; we price nothing and keep the previous global model).
+		return &simnet.Ledger{}
+	}
+
+	// --- Step 1: model distribution -----------------------------------
+	// Every live group replica is reset to the global halves. The first
+	// available client of each group downloads the client-side model; the
+	// downloads are concurrent and share the downlink budget.
+	groupLeds := make(map[int]*simnet.Ledger, len(live))
+	firstClients := make([]int, len(live))
+	for li, g := range live {
+		groupLeds[g] = &simnet.Ledger{}
+		firstClients[li] = groups[g][0]
+		t.globalClient.Restore(t.replicas[g].Client)
+		t.globalServer.Restore(t.replicas[g].Server)
+	}
+	distAlloc := env.Alloc.Allocate(env.Channel, firstClients, env.Channel.DownlinkHz(), false)
+	for li, g := range live {
+		bytes := t.replicas[g].ClientParamBytes()
+		groupLeds[g].Add(simnet.Relay,
+			env.Channel.TransferSeconds(firstClients[li], bytes, distAlloc[li], false))
+	}
+
+	// --- Step 2: model training within groups (parallel) --------------
+	maxLen := 0
+	for _, g := range live {
+		if len(groups[g]) > maxLen {
+			maxLen = len(groups[g])
+		}
+	}
+	for pos := 0; pos < maxLen; pos++ {
+		// Groups still training at this position contend for spectrum.
+		var activeGroups []int
+		var activeClients []int
+		for _, g := range live {
+			if pos < len(groups[g]) {
+				activeGroups = append(activeGroups, g)
+				activeClients = append(activeClients, groups[g][pos])
+			}
+		}
+		upAlloc := env.Alloc.Allocate(env.Channel, activeClients, env.Channel.UplinkHz(), true)
+		downAlloc := env.Alloc.Allocate(env.Channel, activeClients, env.Channel.DownlinkHz(), false)
+
+		for ai, g := range activeGroups {
+			ci := activeClients[ai]
+			rep := t.replicas[g]
+			for s := 0; s < env.Hyper.StepsPerClient; s++ {
+				batch := t.loaders[ci].Next()
+				schemes.SplitStep(rep, t.clientOpts[g], t.serverOpts[g], batch, env.Hyper.QuantizeTransfers)
+				if !t.cfg.Pipelined {
+					schemes.StepLatency(env, rep, ci, len(batch.Y), upAlloc[ai], downAlloc[ai], groupLeds[g])
+				}
+			}
+			if t.cfg.Pipelined {
+				schemes.TurnLatency(env, rep, ci, env.Hyper.Batch, env.Hyper.StepsPerClient,
+					upAlloc[ai], downAlloc[ai], true, groupLeds[g])
+			}
+			// Model sharing: relay to the next client in the group, or
+			// return the client model to the AP after the last client.
+			if pos+1 < len(groups[g]) {
+				next := groups[g][pos+1]
+				schemes.RelayLatency(env, rep, ci, next, upAlloc[ai], downAlloc[ai], groupLeds[g])
+			} else {
+				groupLeds[g].Add(simnet.Relay,
+					env.Channel.TransferSeconds(ci, rep.ClientParamBytes(), upAlloc[ai], true))
+			}
+		}
+	}
+
+	// --- Step 3: aggregation among groups ------------------------------
+	leds := make([]*simnet.Ledger, 0, len(live))
+	for _, g := range live {
+		leds = append(leds, groupLeds[g])
+	}
+	round := simnet.MaxOf(leds)
+
+	clientSnaps := make([]model.Snapshot, 0, len(live))
+	serverSnaps := make([]model.Snapshot, 0, len(live))
+	aggWeights := make([]float64, 0, len(live))
+	for _, g := range live {
+		clientSnaps = append(clientSnaps, model.TakeSnapshot(t.replicas[g].Client))
+		serverSnaps = append(serverSnaps, model.TakeSnapshot(t.replicas[g].Server))
+		aggWeights = append(aggWeights, weights[g])
+	}
+	t.globalClient = agg.FedAvg(clientSnaps, aggWeights)
+	t.globalServer = agg.FedAvg(serverSnaps, aggWeights)
+	schemes.AggregationLatency(t.env, len(live),
+		t.globalClient.ParamCount()+t.globalServer.ParamCount(), round)
+	return round
+}
+
+// Evaluate implements schemes.Trainer: test-set performance of the
+// aggregated global model.
+func (t *Trainer) Evaluate() (float64, float64) {
+	t.globalClient.Restore(t.evalModel.Client)
+	t.globalServer.Restore(t.evalModel.Server)
+	return schemes.Evaluate(t.evalModel, t.env.Test, t.env.Arch.InShape)
+}
+
+// GlobalSnapshots returns copies of the current aggregated halves (for
+// checkpointing or cross-scheme comparisons).
+func (t *Trainer) GlobalSnapshots() (client, server model.Snapshot) {
+	return t.globalClient.Clone(), t.globalServer.Clone()
+}
+
+// RestoreGlobal replaces the aggregated global halves, e.g. when
+// resuming training from a checkpoint written with
+// model.SaveCheckpointFile. The snapshots must match the trainer's
+// architecture and cut. Optimizer momentum is not part of a checkpoint;
+// resumed training re-warms it within a few steps.
+func (t *Trainer) RestoreGlobal(client, server model.Snapshot) {
+	// Validate structure by restoring into the eval model first (Restore
+	// panics on mismatch before any trainer state is touched).
+	client.Restore(t.evalModel.Client)
+	server.Restore(t.evalModel.Server)
+	t.globalClient = client.Clone()
+	t.globalServer = server.Clone()
+}

@@ -1,0 +1,34 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"gsfl/internal/metrics"
+)
+
+// ExampleDelayReduction computes the paper's headline statistic: the
+// fraction of wall-clock training time GSFL saves over vanilla SL at a
+// common accuracy target.
+func ExampleDelayReduction() {
+	gsfl := &metrics.Curve{Scheme: "gsfl"}
+	gsfl.Append(metrics.Point{Round: 100, LatencySeconds: 686, Accuracy: 0.90})
+	sl := &metrics.Curve{Scheme: "sl"}
+	sl.Append(metrics.Point{Round: 80, LatencySeconds: 1000, Accuracy: 0.90})
+
+	reduction, ok := metrics.DelayReduction(gsfl, sl, 0.90)
+	fmt.Printf("%.1f%% %v\n", reduction*100, ok)
+	// Output: 31.4% true
+}
+
+// ExampleSpeedupVsRounds computes the "nearly 500% improvement in
+// convergence speed" comparison against FL.
+func ExampleSpeedupVsRounds() {
+	gsfl := &metrics.Curve{Scheme: "gsfl"}
+	gsfl.Append(metrics.Point{Round: 100, Accuracy: 0.85})
+	fl := &metrics.Curve{Scheme: "fl"}
+	fl.Append(metrics.Point{Round: 500, Accuracy: 0.85})
+
+	speedup, _ := metrics.SpeedupVsRounds(gsfl, fl, 0.85)
+	fmt.Printf("%.0f%%\n", speedup*100)
+	// Output: 500%
+}

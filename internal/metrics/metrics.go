@@ -1,0 +1,267 @@
+// Package metrics tracks training curves and derives the summary
+// statistics the paper reports: accuracy-vs-round curves (Fig. 2a),
+// accuracy-vs-latency curves (Fig. 2b), and rounds/latency-to-target
+// convergence numbers (the "500% faster than FL" and "31.45% less delay
+// than SL" headlines).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one evaluation on a training curve.
+type Point struct {
+	// Round is the 1-based training round after which the evaluation ran.
+	Round int
+	// LatencySeconds is cumulative virtual training time at that round.
+	LatencySeconds float64
+	// Loss is the evaluation loss.
+	Loss float64
+	// Accuracy is the evaluation accuracy in [0,1].
+	Accuracy float64
+}
+
+// Curve is a training trajectory for one scheme.
+type Curve struct {
+	// Scheme names the producer ("gsfl", "sl", "fl", "cl", "sfl").
+	Scheme string
+	Points []Point
+}
+
+// Append adds an evaluation point; rounds must be strictly increasing.
+func (c *Curve) Append(p Point) {
+	if n := len(c.Points); n > 0 {
+		last := c.Points[n-1]
+		if p.Round <= last.Round {
+			panic(fmt.Sprintf("metrics: non-increasing round %d after %d", p.Round, last.Round))
+		}
+		if p.LatencySeconds < last.LatencySeconds {
+			panic(fmt.Sprintf("metrics: latency moved backward (%v after %v)", p.LatencySeconds, last.LatencySeconds))
+		}
+	}
+	c.Points = append(c.Points, p)
+}
+
+// FinalAccuracy returns the last point's accuracy (0 for empty curves).
+func (c *Curve) FinalAccuracy() float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	return c.Points[len(c.Points)-1].Accuracy
+}
+
+// BestAccuracy returns the maximum accuracy on the curve.
+func (c *Curve) BestAccuracy() float64 {
+	best := 0.0
+	for _, p := range c.Points {
+		if p.Accuracy > best {
+			best = p.Accuracy
+		}
+	}
+	return best
+}
+
+// RoundsToAccuracy returns the first round at which the curve reaches
+// target accuracy, or (0, false) if it never does.
+func (c *Curve) RoundsToAccuracy(target float64) (int, bool) {
+	for _, p := range c.Points {
+		if p.Accuracy >= target {
+			return p.Round, true
+		}
+	}
+	return 0, false
+}
+
+// LatencyToAccuracy returns the cumulative latency at which the curve
+// first reaches target accuracy, or (0, false) if it never does.
+func (c *Curve) LatencyToAccuracy(target float64) (float64, bool) {
+	for _, p := range c.Points {
+		if p.Accuracy >= target {
+			return p.LatencySeconds, true
+		}
+	}
+	return 0, false
+}
+
+// MovingAverage returns a copy of the curve with accuracy smoothed over a
+// trailing window — the standard presentation for noisy SGD curves.
+func (c *Curve) MovingAverage(window int) *Curve {
+	if window <= 0 {
+		panic(fmt.Sprintf("metrics: window %d must be positive", window))
+	}
+	out := &Curve{Scheme: c.Scheme, Points: make([]Point, len(c.Points))}
+	for i, p := range c.Points {
+		lo := i - window + 1
+		if lo < 0 {
+			lo = 0
+		}
+		accSum, lossSum := 0.0, 0.0
+		for _, q := range c.Points[lo : i+1] {
+			accSum += q.Accuracy
+			lossSum += q.Loss
+		}
+		n := float64(i - lo + 1)
+		p.Accuracy = accSum / n
+		p.Loss = lossSum / n
+		out.Points[i] = p
+	}
+	return out
+}
+
+// AccuracyAtLatency interpolates the curve's accuracy at time t, clamping
+// to the curve's endpoints. Used to compare schemes at a common latency
+// budget.
+func (c *Curve) AccuracyAtLatency(t float64) float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	pts := c.Points
+	if t <= pts[0].LatencySeconds {
+		return pts[0].Accuracy
+	}
+	if t >= pts[len(pts)-1].LatencySeconds {
+		return pts[len(pts)-1].Accuracy
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].LatencySeconds >= t })
+	a, b := pts[i-1], pts[i]
+	if b.LatencySeconds == a.LatencySeconds {
+		return b.Accuracy
+	}
+	frac := (t - a.LatencySeconds) / (b.LatencySeconds - a.LatencySeconds)
+	return a.Accuracy + frac*(b.Accuracy-a.Accuracy)
+}
+
+// SpeedupVsRounds returns how many times fewer rounds c needs than other
+// to reach target (e.g. 5.0 = "500% improvement in convergence speed").
+// ok is false when either curve never reaches the target.
+func SpeedupVsRounds(c, other *Curve, target float64) (speedup float64, ok bool) {
+	rc, ok1 := c.RoundsToAccuracy(target)
+	ro, ok2 := other.RoundsToAccuracy(target)
+	if !ok1 || !ok2 || rc == 0 {
+		return 0, false
+	}
+	return float64(ro) / float64(rc), true
+}
+
+// DelayReduction returns the fractional latency saving of c versus other
+// at the target accuracy (e.g. 0.3145 = "reduces the delay by 31.45%").
+func DelayReduction(c, other *Curve, target float64) (reduction float64, ok bool) {
+	lc, ok1 := c.LatencyToAccuracy(target)
+	lo, ok2 := other.LatencyToAccuracy(target)
+	if !ok1 || !ok2 || lo == 0 {
+		return 0, false
+	}
+	return (lo - lc) / lo, true
+}
+
+// ConfusionMatrix accumulates per-class prediction counts.
+type ConfusionMatrix struct {
+	classes int
+	counts  []int // row = truth, col = prediction
+}
+
+// NewConfusionMatrix creates a matrix for the given class count.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	if classes <= 0 {
+		panic(fmt.Sprintf("metrics: classes %d must be positive", classes))
+	}
+	return &ConfusionMatrix{classes: classes, counts: make([]int, classes*classes)}
+}
+
+// Observe records one (truth, prediction) pair.
+func (m *ConfusionMatrix) Observe(truth, pred int) {
+	if truth < 0 || truth >= m.classes || pred < 0 || pred >= m.classes {
+		panic(fmt.Sprintf("metrics: observation (%d,%d) outside %d classes", truth, pred, m.classes))
+	}
+	m.counts[truth*m.classes+pred]++
+}
+
+// Count returns the number of observations with the given truth and
+// prediction.
+func (m *ConfusionMatrix) Count(truth, pred int) int {
+	return m.counts[truth*m.classes+pred]
+}
+
+// Accuracy returns the global accuracy (0 when empty).
+func (m *ConfusionMatrix) Accuracy() float64 {
+	correct, total := 0, 0
+	for t := 0; t < m.classes; t++ {
+		for p := 0; p < m.classes; p++ {
+			c := m.Count(t, p)
+			total += c
+			if t == p {
+				correct += c
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// Recall returns per-class recall (NaN-free: classes with no samples get 0).
+func (m *ConfusionMatrix) Recall(class int) float64 {
+	total := 0
+	for p := 0; p < m.classes; p++ {
+		total += m.Count(class, p)
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Count(class, class)) / float64(total)
+}
+
+// MacroRecall averages recall over classes that have samples.
+func (m *ConfusionMatrix) MacroRecall() float64 {
+	sum, n := 0.0, 0
+	for c := 0; c < m.classes; c++ {
+		total := 0
+		for p := 0; p < m.classes; p++ {
+			total += m.Count(c, p)
+		}
+		if total == 0 {
+			continue
+		}
+		sum += m.Recall(c)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AUCRounds approximates the area under the accuracy-vs-rounds curve via
+// the trapezoid rule, a single-number summary of convergence speed used
+// by the ablation benches.
+func (c *Curve) AUCRounds() float64 {
+	if len(c.Points) < 2 {
+		return 0
+	}
+	area := 0.0
+	for i := 1; i < len(c.Points); i++ {
+		a, b := c.Points[i-1], c.Points[i]
+		area += (a.Accuracy + b.Accuracy) / 2 * float64(b.Round-a.Round)
+	}
+	span := float64(c.Points[len(c.Points)-1].Round - c.Points[0].Round)
+	if span == 0 {
+		return 0
+	}
+	return area / span
+}
+
+// IsFinite reports whether every numeric field of every point is finite;
+// guards trace output against NaN divergence.
+func (c *Curve) IsFinite() bool {
+	for _, p := range c.Points {
+		if math.IsNaN(p.Loss) || math.IsInf(p.Loss, 0) ||
+			math.IsNaN(p.Accuracy) || math.IsInf(p.Accuracy, 0) ||
+			math.IsNaN(p.LatencySeconds) || math.IsInf(p.LatencySeconds, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gsfl/internal/nn"
+)
+
+// GTSRBCNN returns the reference CNN for the synthetic GTSRB task: a
+// DeepThin-style lightweight architecture (the paper cites DeepThin [4]
+// as its GTSRB model family) over inSize×inSize×3 images with the given
+// number of classes.
+//
+// Layer indices, for choosing cut points (cut k means layers [0,k) run on
+// the client):
+//
+//	0 conv2d(3->8)    1 relu   2 maxpool2
+//	3 conv2d(8->16)   4 relu   5 maxpool2
+//	6 flatten         7 dense(16*(s/4)²->64)  8 relu  9 dense(64->classes)
+//
+// The paper's default configuration cuts after the first conv block
+// (cut=3): the client holds one cheap conv layer and the smashed data is
+// 8×(s/2)² per sample.
+func GTSRBCNN(inSize, classes int) Arch {
+	if inSize%4 != 0 {
+		panic(fmt.Sprintf("model: GTSRBCNN input size %d must be divisible by 4", inSize))
+	}
+	if classes <= 1 {
+		panic(fmt.Sprintf("model: GTSRBCNN needs ≥2 classes, got %d", classes))
+	}
+	flat := 16 * (inSize / 4) * (inSize / 4)
+	return Arch{
+		Name:    fmt.Sprintf("gtsrb-cnn-%d", inSize),
+		InShape: []int{3, inSize, inSize},
+		Classes: classes,
+		Build: func(rng *rand.Rand) []nn.Layer {
+			return []nn.Layer{
+				nn.NewConv2D(rng, 3, 8, 3, 1, 1),
+				nn.NewReLU(),
+				nn.NewMaxPool2D(2),
+				nn.NewConv2D(rng, 8, 16, 3, 1, 1),
+				nn.NewReLU(),
+				nn.NewMaxPool2D(2),
+				nn.NewFlatten(),
+				nn.NewDense(rng, flat, 64),
+				nn.NewReLU(),
+				nn.NewDense(rng, 64, classes),
+			}
+		},
+	}
+}
+
+// GTSRBCNNDefaultCut is the layer index after the first conv block of
+// GTSRBCNN — the paper's client/server boundary.
+const GTSRBCNNDefaultCut = 3
+
+// MLP returns a small fully connected architecture for flat feature
+// vectors; used by fast tests and the quickstart example.
+//
+// Layer indices: 0 dense(in->hidden), 1 relu, 2 dense(hidden->classes).
+func MLP(in, hidden, classes int) Arch {
+	if in <= 0 || hidden <= 0 || classes <= 1 {
+		panic(fmt.Sprintf("model: bad MLP config in=%d hidden=%d classes=%d", in, hidden, classes))
+	}
+	return Arch{
+		Name:    fmt.Sprintf("mlp-%d-%d-%d", in, hidden, classes),
+		InShape: []int{in},
+		Classes: classes,
+		Build: func(rng *rand.Rand) []nn.Layer {
+			return []nn.Layer{
+				nn.NewDense(rng, in, hidden),
+				nn.NewReLU(),
+				nn.NewDense(rng, hidden, classes),
+			}
+		},
+	}
+}
+
+// MLPDefaultCut splits the MLP after its hidden activation.
+const MLPDefaultCut = 2
+
+// DeepThinCNN is a deeper variant with batch norm and dropout, closer to
+// the full DeepThin architecture; used by the extended experiments.
+//
+// Layer indices:
+//
+//	0 conv(3->16)  1 bn  2 relu  3 maxpool2
+//	4 conv(16->32) 5 bn  6 relu  7 maxpool2
+//	8 conv(32->32) 9 relu
+//	10 flatten 11 dense(32*(s/4)²->128) 12 relu 13 dropout 14 dense(128->classes)
+func DeepThinCNN(rngSeed int64, inSize, classes int) Arch {
+	if inSize%4 != 0 {
+		panic(fmt.Sprintf("model: DeepThinCNN input size %d must be divisible by 4", inSize))
+	}
+	flat := 32 * (inSize / 4) * (inSize / 4)
+	return Arch{
+		Name:    fmt.Sprintf("deepthin-cnn-%d", inSize),
+		InShape: []int{3, inSize, inSize},
+		Classes: classes,
+		Build: func(rng *rand.Rand) []nn.Layer {
+			dropRng := rand.New(rand.NewSource(rngSeed))
+			return []nn.Layer{
+				nn.NewConv2D(rng, 3, 16, 3, 1, 1),
+				nn.NewBatchNorm(16),
+				nn.NewReLU(),
+				nn.NewMaxPool2D(2),
+				nn.NewConv2D(rng, 16, 32, 3, 1, 1),
+				nn.NewBatchNorm(32),
+				nn.NewReLU(),
+				nn.NewMaxPool2D(2),
+				nn.NewConv2D(rng, 32, 32, 3, 1, 1),
+				nn.NewReLU(),
+				nn.NewFlatten(),
+				nn.NewDense(rng, flat, 128),
+				nn.NewReLU(),
+				nn.NewDropout(dropRng, 0.3),
+				nn.NewDense(rng, 128, classes),
+			}
+		},
+	}
+}

@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"fmt"
+
+	"gsfl/internal/tensor"
+)
+
+// AvgPool2D is average pooling over NCHW inputs with a square window and
+// matching stride. Compared with MaxPool2D it produces smoother smashed
+// data, which some split-learning deployments prefer for privacy (less
+// structure leaks through the cut); the cut-layer ablations can swap it
+// in via a custom Arch.
+type AvgPool2D struct {
+	K int // window size == stride
+
+	inShape []int
+}
+
+// NewAvgPool2D constructs an average-pooling layer with window and
+// stride k.
+func NewAvgPool2D(k int) *AvgPool2D {
+	if k <= 0 {
+		panic(fmt.Sprintf("nn: AvgPool2D window must be positive, got %d", k))
+	}
+	return &AvgPool2D{K: k}
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return fmt.Sprintf("avgpool2d(%d)", p.K) }
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	mustRank(p.Name(), x, 4)
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h < p.K || w < p.K {
+		panic(fmt.Sprintf("nn: %s input %dx%d smaller than window", p.Name(), h, w))
+	}
+	outH, outW := h/p.K, w/p.K
+	y := tensor.New(n, c, outH, outW)
+	inv := 1 / float64(p.K*p.K)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					s := 0.0
+					for kh := 0; kh < p.K; kh++ {
+						rowBase := inBase + (oh*p.K+kh)*w + ow*p.K
+						for kw := 0; kw < p.K; kw++ {
+							s += x.Data[rowBase+kw]
+						}
+					}
+					y.Data[outBase+oh*outW+ow] = s * inv
+				}
+			}
+		}
+	}
+	if train {
+		p.inShape = x.Shape()
+	}
+	return y
+}
+
+// Backward implements Layer: each input in a window receives 1/K² of the
+// window's output gradient.
+func (p *AvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if p.inShape == nil {
+		panic("nn: AvgPool2D.Backward called before training-mode Forward")
+	}
+	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
+	outH, outW := h/p.K, w/p.K
+	dx := tensor.New(p.inShape...)
+	inv := 1 / float64(p.K*p.K)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					g := dy.Data[outBase+oh*outW+ow] * inv
+					for kh := 0; kh < p.K; kh++ {
+						rowBase := inBase + (oh*p.K+kh)*w + ow*p.K
+						for kw := 0; kw < p.K; kw++ {
+							dx.Data[rowBase+kw] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer (none).
+func (p *AvgPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (none).
+func (p *AvgPool2D) Grads() []*tensor.Tensor { return nil }
+
+// OutShape implements Layer.
+func (p *AvgPool2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[1] < p.K || in[2] < p.K {
+		panic(fmt.Sprintf("nn: %s cannot follow per-sample shape %v", p.Name(), in))
+	}
+	return []int{in[0], in[1] / p.K, in[2] / p.K}
+}
+
+// FwdFLOPs implements Layer: one add per window element plus the scale.
+func (p *AvgPool2D) FwdFLOPs(in []int) int64 {
+	out := p.OutShape(in)
+	return int64(prod(out)) * (int64(p.K)*int64(p.K) + 1)
+}

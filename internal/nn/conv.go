@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gsfl/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW inputs, implemented as im2col +
+// matrix multiply. Weights have shape (outC, inC*KH*KW); bias is (outC).
+type Conv2D struct {
+	InC, OutC int
+	KH, KW    int
+	Stride    int
+	Pad       int
+
+	w, b   *tensor.Tensor
+	dw, db *tensor.Tensor
+
+	// Cached from the training-mode forward pass.
+	x    *tensor.Tensor   // input batch (N,C,H,W)
+	cols []*tensor.Tensor // per-sample im2col matrices
+	geom tensor.ConvGeom
+}
+
+// NewConv2D constructs a Conv2D layer with He initialization. Stride and
+// padding apply symmetrically to both spatial dimensions.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2D {
+	if inC <= 0 || outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: bad Conv2D config inC=%d outC=%d k=%d stride=%d pad=%d", inC, outC, k, stride, pad))
+	}
+	fanIn := inC * k * k
+	return &Conv2D{
+		InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad,
+		w:  tensor.New(outC, fanIn).HeInit(rng, fanIn),
+		b:  tensor.New(outC),
+		dw: tensor.New(outC, fanIn),
+		db: tensor.New(outC),
+	}
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("conv2d(%d->%d,k%d,s%d,p%d)", c.InC, c.OutC, c.KH, c.Stride, c.Pad)
+}
+
+func (c *Conv2D) geomFor(x *tensor.Tensor) tensor.ConvGeom {
+	g := tensor.ConvGeom{
+		InC: c.InC, InH: x.Dim(2), InW: x.Dim(3),
+		KH: c.KH, KW: c.KW,
+		StrideH: c.Stride, StrideW: c.Stride,
+		PadH: c.Pad, PadW: c.Pad,
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	mustRank(c.Name(), x, 4)
+	if x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s got %d input channels", c.Name(), x.Dim(1)))
+	}
+	g := c.geomFor(x)
+	n, outH, outW := x.Dim(0), g.OutH(), g.OutW()
+	cols := outH * outW
+	colRows := c.InC * c.KH * c.KW
+	sampleIn := c.InC * g.InH * g.InW
+
+	y := tensor.New(n, c.OutC, outH, outW)
+	if train {
+		c.x = x
+		c.geom = g
+		c.cols = make([]*tensor.Tensor, n)
+	}
+	for i := 0; i < n; i++ {
+		col := tensor.New(colRows, cols)
+		tensor.Im2Col(col.Data, x.Data[i*sampleIn:(i+1)*sampleIn], g)
+		if train {
+			c.cols[i] = col
+		}
+		// (outC × colRows) @ (colRows × cols) -> (outC × cols)
+		out := tensor.MatMul(c.w, col)
+		base := i * c.OutC * cols
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.b.Data[oc]
+			dst := y.Data[base+oc*cols : base+(oc+1)*cols]
+			src := out.Data[oc*cols : (oc+1)*cols]
+			for j, v := range src {
+				dst[j] = v + bias
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if c.x == nil {
+		panic("nn: Conv2D.Backward called before training-mode Forward")
+	}
+	g := c.geom
+	n, outH, outW := c.x.Dim(0), g.OutH(), g.OutW()
+	cols := outH * outW
+	sampleIn := c.InC * g.InH * g.InW
+
+	dx := tensor.New(n, c.InC, g.InH, g.InW)
+	for i := 0; i < n; i++ {
+		base := i * c.OutC * cols
+		dyMat := tensor.FromSlice(dy.Data[base:base+c.OutC*cols], c.OutC, cols)
+		// dW += dy_mat @ colᵀ ; db += row sums of dy_mat.
+		c.dw.AddInPlace(tensor.MatMulTransB(dyMat, c.cols[i]))
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			for _, v := range dyMat.Row(oc) {
+				s += v
+			}
+			c.db.Data[oc] += s
+		}
+		// dcol = Wᵀ @ dy_mat, then scatter back to image space.
+		dcol := tensor.MatMulTransA(c.w, dyMat)
+		tensor.Col2Im(dx.Data[i*sampleIn:(i+1)*sampleIn], dcol.Data, g)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.w, c.b} }
+
+// Grads implements Layer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dw, c.db} }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != c.InC {
+		panic(fmt.Sprintf("nn: %s cannot follow per-sample shape %v", c.Name(), in))
+	}
+	g := tensor.ConvGeom{
+		InC: c.InC, InH: in[1], InW: in[2],
+		KH: c.KH, KW: c.KW, StrideH: c.Stride, StrideW: c.Stride,
+		PadH: c.Pad, PadW: c.Pad,
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	return []int{c.OutC, g.OutH(), g.OutW()}
+}
+
+// FwdFLOPs implements Layer: 2*K²*inC multiply-adds per output element.
+func (c *Conv2D) FwdFLOPs(in []int) int64 {
+	out := c.OutShape(in)
+	perOut := 2 * int64(c.InC) * int64(c.KH) * int64(c.KW)
+	return perOut * int64(prod(out))
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gsfl/internal/tensor"
+)
+
+// Dropout implements inverted dropout: during training each element is
+// zeroed with probability P and survivors are scaled by 1/(1-P), so
+// evaluation-mode forward passes need no rescaling.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+
+	scale []float64 // per-element multiplier used in the last forward
+}
+
+// NewDropout constructs a Dropout layer with drop probability p in [0,1).
+// The layer owns its RNG stream so concurrent models never share state.
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: Dropout probability %v outside [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%g)", d.P) }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.scale = nil
+		return x
+	}
+	keep := 1 - d.P
+	inv := 1 / keep
+	y := tensor.New(x.Shape()...)
+	scale := make([]float64, x.Size())
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			scale[i] = inv
+			y.Data[i] = v * inv
+		}
+	}
+	d.scale = scale
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if d.scale == nil {
+		// Forward ran in eval mode or with P==0: identity gradient.
+		return dy
+	}
+	dx := tensor.New(dy.Shape()...)
+	for i, s := range d.scale {
+		dx.Data[i] = dy.Data[i] * s
+	}
+	return dx
+}
+
+// Params implements Layer (none).
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (none).
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }
+
+// OutShape implements Layer (shape-preserving).
+func (d *Dropout) OutShape(in []int) []int { return append([]int(nil), in...) }
+
+// FwdFLOPs implements Layer.
+func (d *Dropout) FwdFLOPs(in []int) int64 { return int64(prod(in)) }

@@ -1,0 +1,45 @@
+package nn
+
+import (
+	"gsfl/internal/tensor"
+)
+
+// Flatten reshapes (N, ...) to (N, prod(...)), bridging convolutional and
+// dense stages. It is a pure view change; no data moves.
+type Flatten struct {
+	inShape []int // cached full input shape for Backward
+}
+
+// NewFlatten constructs a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "flatten" }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		f.inShape = x.Shape()
+	}
+	return x.Reshape(x.Dim(0), -1)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if f.inShape == nil {
+		panic("nn: Flatten.Backward called before training-mode Forward")
+	}
+	return dy.Reshape(f.inShape...)
+}
+
+// Params implements Layer (none).
+func (f *Flatten) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (none).
+func (f *Flatten) Grads() []*tensor.Tensor { return nil }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int { return []int{prod(in)} }
+
+// FwdFLOPs implements Layer (free).
+func (f *Flatten) FwdFLOPs(in []int) int64 { return 0 }

@@ -1,0 +1,108 @@
+// Package nn implements a from-scratch neural-network layer framework with
+// manual backpropagation.
+//
+// It exists because the GSFL reproduction needs, in pure Go, the exact
+// operations split learning relies on: run the forward pass of a *prefix*
+// of a model (the client side), ship the cut-layer activations ("smashed
+// data"), resume the forward pass on another machine (the server side),
+// and propagate gradients back across the same cut. Every layer therefore
+// exposes Forward/Backward explicitly rather than hiding them behind an
+// autodiff tape, and reports its parameter and activation sizes so the
+// wireless latency model (internal/wireless, internal/simnet) can price
+// each transfer in bytes and each pass in FLOPs.
+//
+// All layers are deterministic given their RNG and inputs, and none share
+// mutable state, so group replicas can train concurrently.
+package nn
+
+import (
+	"fmt"
+
+	"gsfl/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network.
+//
+// The contract mirrors classic layer-wise backprop:
+//
+//   - Forward consumes the previous activation and returns the next. When
+//     train is true the layer may cache whatever it needs for Backward and
+//     may behave stochastically (Dropout) or update running statistics
+//     (BatchNorm).
+//   - Backward consumes dL/d(output) and returns dL/d(input), accumulating
+//     dL/d(param) into Grads. It must be called after a training-mode
+//     Forward with the matching batch.
+//
+// Params and Grads return aligned slices: Grads()[i] is the gradient of
+// Params()[i]. Layers without parameters return nil for both.
+type Layer interface {
+	// Name identifies the layer type and salient hyperparameters,
+	// e.g. "dense(128->43)". Used in model summaries and traces.
+	Name() string
+	// Forward computes the layer output for a batch.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward computes the input gradient from the output gradient and
+	// accumulates parameter gradients.
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameter tensors (may be nil).
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors aligned with Params (may be nil).
+	Grads() []*tensor.Tensor
+	// OutShape maps a per-sample input shape (no batch dimension) to the
+	// per-sample output shape. It panics on incompatible shapes so that
+	// model mis-assembly fails fast at construction time.
+	OutShape(in []int) []int
+	// FwdFLOPs estimates the floating-point operations of one sample's
+	// forward pass given the per-sample input shape. The backward pass is
+	// priced at 2x forward, the standard estimate used by training-cost
+	// models.
+	FwdFLOPs(in []int) int64
+}
+
+// ZeroGrads zeroes every gradient tensor of every layer in ls.
+// Call between mini-batches; Backward accumulates.
+func ZeroGrads(ls []Layer) {
+	for _, l := range ls {
+		for _, g := range l.Grads() {
+			g.Zero()
+		}
+	}
+}
+
+// ParamCount returns the total number of scalar parameters in ls.
+func ParamCount(ls []Layer) int {
+	n := 0
+	for _, l := range ls {
+		for _, p := range l.Params() {
+			n += p.Size()
+		}
+	}
+	return n
+}
+
+// prod multiplies shape dimensions (the per-sample element count).
+func prod(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return n
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustRank(name string, x *tensor.Tensor, rank int) {
+	if x.Dims() != rank {
+		panic(fmt.Sprintf("nn: %s expects rank-%d input, got shape %v", name, rank, x.Shape()))
+	}
+}

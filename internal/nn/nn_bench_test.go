@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"gsfl/internal/tensor"
+)
+
+// Micro-benchmarks for layer forward/backward passes (simulation
+// wall-clock cost, not paper figures).
+
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	layer := NewConv2D(rng, 3, 8, 3, 1, 1)
+	x := tensor.New(16, 3, 32, 32).RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		layer.Forward(x, false)
+	}
+}
+
+func BenchmarkConv2DForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	layer := NewConv2D(rng, 3, 8, 3, 1, 1)
+	x := tensor.New(16, 3, 32, 32).RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		y := layer.Forward(x, true)
+		ZeroGrads([]Layer{layer})
+		layer.Backward(y)
+	}
+}
+
+func BenchmarkDenseForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	layer := NewDense(rng, 1024, 64)
+	x := tensor.New(16, 1024).RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		y := layer.Forward(x, true)
+		ZeroGrads([]Layer{layer})
+		layer.Backward(y)
+	}
+}
+
+func BenchmarkGTSRBNetForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewSequential(
+		NewConv2D(rng, 3, 8, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewConv2D(rng, 8, 16, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewFlatten(),
+		NewDense(rng, 16*8*8, 64),
+		NewReLU(),
+		NewDense(rng, 64, 43),
+	)
+	x := tensor.New(16, 3, 32, 32).RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}

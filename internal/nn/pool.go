@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"gsfl/internal/tensor"
+)
+
+// MaxPool2D is a max-pooling layer over NCHW inputs with a square window
+// and matching stride (the common non-overlapping configuration).
+type MaxPool2D struct {
+	K int // window size == stride
+
+	// Cached from the training-mode forward pass: for each output element,
+	// the flat input index that supplied the max (argmax routing).
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2D constructs a max-pooling layer with window and stride k.
+func NewMaxPool2D(k int) *MaxPool2D {
+	if k <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D window must be positive, got %d", k))
+	}
+	return &MaxPool2D{K: k}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool2d(%d)", p.K) }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	mustRank(p.Name(), x, 4)
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	if h < p.K || w < p.K {
+		panic(fmt.Sprintf("nn: %s input %dx%d smaller than window", p.Name(), h, w))
+	}
+	outH, outW := h/p.K, w/p.K
+	y := tensor.New(n, c, outH, outW)
+	var arg []int
+	if train {
+		arg = make([]int, y.Size())
+	}
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			inBase := (i*c + ch) * h * w
+			outBase := (i*c + ch) * outH * outW
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					best := math.Inf(-1)
+					bi := -1
+					for kh := 0; kh < p.K; kh++ {
+						rowBase := inBase + (oh*p.K+kh)*w + ow*p.K
+						for kw := 0; kw < p.K; kw++ {
+							if v := x.Data[rowBase+kw]; v > best {
+								best = v
+								bi = rowBase + kw
+							}
+						}
+					}
+					oi := outBase + oh*outW + ow
+					y.Data[oi] = best
+					if train {
+						arg[oi] = bi
+					}
+				}
+			}
+		}
+	}
+	if train {
+		p.argmax = arg
+		p.inShape = x.Shape()
+	}
+	return y
+}
+
+// Backward implements Layer: gradients route to the argmax positions.
+func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if p.argmax == nil {
+		panic("nn: MaxPool2D.Backward called before training-mode Forward")
+	}
+	dx := tensor.New(p.inShape...)
+	for oi, ii := range p.argmax {
+		dx.Data[ii] += dy.Data[oi]
+	}
+	return dx
+}
+
+// Params implements Layer (none).
+func (p *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (none).
+func (p *MaxPool2D) Grads() []*tensor.Tensor { return nil }
+
+// OutShape implements Layer.
+func (p *MaxPool2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[1] < p.K || in[2] < p.K {
+		panic(fmt.Sprintf("nn: %s cannot follow per-sample shape %v", p.Name(), in))
+	}
+	return []int{in[0], in[1] / p.K, in[2] / p.K}
+}
+
+// FwdFLOPs implements Layer: one comparison per window element.
+func (p *MaxPool2D) FwdFLOPs(in []int) int64 {
+	out := p.OutShape(in)
+	return int64(prod(out)) * int64(p.K) * int64(p.K)
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"gsfl/internal/tensor"
+)
+
+// NoDecay is an optional interface a Layer can implement to exempt some
+// or all of its parameters from L2 weight decay. The returned slice is
+// aligned with Params(); true means "do not decay". BatchNorm uses this
+// to protect its affine parameters and running statistics, which standard
+// practice never decays.
+type NoDecay interface {
+	NoDecayParams() []bool
+}
+
+// NoDecayParams implements NoDecay for BatchNorm: nothing is decayed.
+func (b *BatchNorm) NoDecayParams() []bool { return []bool{true, true, true, true} }
+
+// Sequential chains layers into a network. It is the unit both the whole
+// model and each side of a split model are built from.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential constructs a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs the full forward pass.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs the full backward pass, returning the gradient with
+// respect to the network input (the "smashed-data gradient" when this
+// Sequential is a server-side model half).
+func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// ZeroGrads zeroes all parameter gradients.
+func (s *Sequential) ZeroGrads() { ZeroGrads(s.Layers) }
+
+// Params returns all parameter tensors in layer order.
+func (s *Sequential) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns all gradient tensors aligned with Params.
+func (s *Sequential) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range s.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// DecayMask returns, aligned with Params, whether each parameter should
+// receive L2 weight decay (true = decay).
+func (s *Sequential) DecayMask() []bool {
+	var mask []bool
+	for _, l := range s.Layers {
+		n := len(l.Params())
+		if nd, ok := l.(NoDecay); ok {
+			skip := nd.NoDecayParams()
+			if len(skip) != n {
+				panic(fmt.Sprintf("nn: %s NoDecayParams length %d, want %d", l.Name(), len(skip), n))
+			}
+			for _, sk := range skip {
+				mask = append(mask, !sk)
+			}
+			continue
+		}
+		for i := 0; i < n; i++ {
+			mask = append(mask, true)
+		}
+	}
+	return mask
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (s *Sequential) ParamCount() int { return ParamCount(s.Layers) }
+
+// OutShape propagates a per-sample input shape through every layer,
+// returning the final per-sample output shape. It panics on any
+// incompatibility, which makes model construction self-checking.
+func (s *Sequential) OutShape(in []int) []int {
+	for _, l := range s.Layers {
+		in = l.OutShape(in)
+	}
+	return in
+}
+
+// ShapeAt returns the per-sample activation shape after layer k (k layers
+// applied), so ShapeAt(in, 0) == in and ShapeAt(in, len(Layers)) is the
+// output shape. This is the quantity the split-learning latency model
+// prices as "smashed data".
+func (s *Sequential) ShapeAt(in []int, k int) []int {
+	if k < 0 || k > len(s.Layers) {
+		panic(fmt.Sprintf("nn: ShapeAt index %d outside [0,%d]", k, len(s.Layers)))
+	}
+	out := append([]int(nil), in...)
+	for _, l := range s.Layers[:k] {
+		out = l.OutShape(out)
+	}
+	return out
+}
+
+// FwdFLOPs sums per-sample forward FLOPs over all layers for the given
+// per-sample input shape.
+func (s *Sequential) FwdFLOPs(in []int) int64 {
+	var total int64
+	for _, l := range s.Layers {
+		total += l.FwdFLOPs(in)
+		in = l.OutShape(in)
+	}
+	return total
+}
+
+// Summary renders a layer-by-layer description with activation shapes and
+// parameter counts, similar to Keras's model.summary().
+func (s *Sequential) Summary(in []int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-28s %-16s %10s\n", "layer", "output", "params")
+	shape := append([]int(nil), in...)
+	total := 0
+	for _, l := range s.Layers {
+		shape = l.OutShape(shape)
+		n := 0
+		for _, p := range l.Params() {
+			n += p.Size()
+		}
+		total += n
+		fmt.Fprintf(&sb, "%-28s %-16v %10d\n", l.Name(), shape, n)
+	}
+	fmt.Fprintf(&sb, "total params: %d\n", total)
+	return sb.String()
+}

@@ -1,0 +1,202 @@
+// Package optim implements the gradient-descent optimizers the training
+// schemes use to update client-side and server-side model halves.
+//
+// An Optimizer owns per-parameter state (momentum buffers, Adam moments)
+// keyed by position, so each model half gets its own optimizer instance;
+// the split schemes create one per server-side replica and one per
+// client-side model, mirroring how the paper's AP and clients update
+// their halves independently.
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"gsfl/internal/tensor"
+)
+
+// Optimizer updates parameters in place from accumulated gradients.
+type Optimizer interface {
+	// Name identifies the optimizer in traces.
+	Name() string
+	// Step applies one update. params and grads are aligned; decay is an
+	// optional mask (nil = decay everything) marking which parameters
+	// receive L2 weight decay.
+	Step(params, grads []*tensor.Tensor, decay []bool)
+}
+
+// LRSchedule maps a 0-based step index to a learning rate.
+type LRSchedule func(step int) float64
+
+// ConstLR returns a schedule that always yields lr.
+func ConstLR(lr float64) LRSchedule { return func(int) float64 { return lr } }
+
+// StepDecayLR multiplies lr by factor every interval steps.
+func StepDecayLR(lr, factor float64, interval int) LRSchedule {
+	if interval <= 0 {
+		panic(fmt.Sprintf("optim: StepDecayLR interval must be positive, got %d", interval))
+	}
+	return func(step int) float64 {
+		return lr * math.Pow(factor, float64(step/interval))
+	}
+}
+
+// CosineLR anneals from lr to floor over horizon steps, then stays at floor.
+func CosineLR(lr, floor float64, horizon int) LRSchedule {
+	if horizon <= 0 {
+		panic(fmt.Sprintf("optim: CosineLR horizon must be positive, got %d", horizon))
+	}
+	return func(step int) float64 {
+		if step >= horizon {
+			return floor
+		}
+		return floor + (lr-floor)*0.5*(1+math.Cos(math.Pi*float64(step)/float64(horizon)))
+	}
+}
+
+// SGD is stochastic gradient descent with optional momentum, L2 weight
+// decay, and gradient clipping by global norm.
+type SGD struct {
+	Schedule    LRSchedule
+	Momentum    float64
+	WeightDecay float64
+	// ClipNorm, when positive, rescales gradients so their global L2 norm
+	// never exceeds it. Stabilizes early split-training steps.
+	ClipNorm float64
+
+	step     int
+	velocity []*tensor.Tensor
+}
+
+// NewSGD constructs plain SGD with a constant learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{Schedule: ConstLR(lr)} }
+
+// NewSGDMomentum constructs SGD with momentum.
+func NewSGDMomentum(lr, momentum float64) *SGD {
+	return &SGD{Schedule: ConstLR(lr), Momentum: momentum}
+}
+
+// Name implements Optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*tensor.Tensor, decay []bool) {
+	checkAligned(params, grads, decay)
+	lr := s.Schedule(s.step)
+	s.step++
+
+	clipScale := clipFactor(grads, s.ClipNorm)
+
+	if s.Momentum != 0 && s.velocity == nil {
+		s.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.velocity[i] = tensor.New(p.Shape()...)
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		wd := s.WeightDecay
+		if decay != nil && !decay[i] {
+			wd = 0
+		}
+		if s.Momentum == 0 {
+			for j := range p.Data {
+				gj := g.Data[j]*clipScale + wd*p.Data[j]
+				p.Data[j] -= lr * gj
+			}
+			continue
+		}
+		v := s.velocity[i]
+		for j := range p.Data {
+			gj := g.Data[j]*clipScale + wd*p.Data[j]
+			v.Data[j] = s.Momentum*v.Data[j] + gj
+			p.Data[j] -= lr * v.Data[j]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer with bias correction.
+type Adam struct {
+	Schedule    LRSchedule
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	step int
+	m, v []*tensor.Tensor
+}
+
+// NewAdam constructs Adam with the canonical defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{Schedule: ConstLR(lr), Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grads []*tensor.Tensor, decay []bool) {
+	checkAligned(params, grads, decay)
+	lr := a.Schedule(a.step)
+	a.step++
+	if a.m == nil {
+		a.m = make([]*tensor.Tensor, len(params))
+		a.v = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.New(p.Shape()...)
+			a.v[i] = tensor.New(p.Shape()...)
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range params {
+		g := grads[i]
+		wd := a.WeightDecay
+		if decay != nil && !decay[i] {
+			wd = 0
+		}
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			gj := g.Data[j] + wd*p.Data[j]
+			m.Data[j] = a.Beta1*m.Data[j] + (1-a.Beta1)*gj
+			v.Data[j] = a.Beta2*v.Data[j] + (1-a.Beta2)*gj*gj
+			mhat := m.Data[j] / bc1
+			vhat := v.Data[j] / bc2
+			p.Data[j] -= lr * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// clipFactor returns the multiplier that caps the global gradient norm at
+// clip (1 when clipping is disabled or unnecessary).
+func clipFactor(grads []*tensor.Tensor, clip float64) float64 {
+	if clip <= 0 {
+		return 1
+	}
+	ss := 0.0
+	for _, g := range grads {
+		for _, v := range g.Data {
+			ss += v * v
+		}
+	}
+	norm := math.Sqrt(ss)
+	if norm <= clip {
+		return 1
+	}
+	return clip / norm
+}
+
+func checkAligned(params, grads []*tensor.Tensor, decay []bool) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("optim: %d params vs %d grads", len(params), len(grads)))
+	}
+	if decay != nil && len(decay) != len(params) {
+		panic(fmt.Sprintf("optim: %d params vs %d decay flags", len(params), len(decay)))
+	}
+	for i := range params {
+		if params[i].Size() != grads[i].Size() {
+			panic(fmt.Sprintf("optim: param %d size %d vs grad size %d", i, params[i].Size(), grads[i].Size()))
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package optim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gsfl/internal/tensor"
+)
+
+// quadratic is the convex test problem f(p) = ||p - target||²; its exact
+// gradient is 2(p-target). Every optimizer must drive p to target.
+type quadratic struct {
+	target *tensor.Tensor
+}
+
+func (q quadratic) grad(p *tensor.Tensor) *tensor.Tensor {
+	g := tensor.Sub(p, q.target)
+	return g.Scale(2)
+}
+
+func (q quadratic) value(p *tensor.Tensor) float64 {
+	d := tensor.Sub(p, q.target)
+	return tensor.Dot(d, d)
+}
+
+func runOptimizer(t *testing.T, opt Optimizer, steps int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	target := tensor.New(8).RandNormal(rng, 0, 1)
+	p := tensor.New(8).RandNormal(rng, 0, 1)
+	q := quadratic{target: target}
+	for i := 0; i < steps; i++ {
+		opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{q.grad(p)}, nil)
+	}
+	return q.value(p)
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	if v := runOptimizer(t, NewSGD(0.1), 200); v > 1e-10 {
+		t.Fatalf("SGD final value %v, want ≈0", v)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	if v := runOptimizer(t, NewSGDMomentum(0.05, 0.9), 300); v > 1e-10 {
+		t.Fatalf("SGD+momentum final value %v, want ≈0", v)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	if v := runOptimizer(t, NewAdam(0.05), 1000); v > 1e-6 {
+		t.Fatalf("Adam final value %v, want ≈0", v)
+	}
+}
+
+func TestSGDSingleStepExact(t *testing.T) {
+	p := tensor.FromSlice([]float64{1, 2}, 2)
+	g := tensor.FromSlice([]float64{0.5, -0.5}, 2)
+	NewSGD(0.1).Step([]*tensor.Tensor{p}, []*tensor.Tensor{g}, nil)
+	want := tensor.FromSlice([]float64{0.95, 2.05}, 2)
+	if !tensor.AllClose(p, want, 1e-12) {
+		t.Fatalf("p = %v, want %v", p, want)
+	}
+}
+
+func TestWeightDecayShrinksParams(t *testing.T) {
+	p := tensor.FromSlice([]float64{10}, 1)
+	g := tensor.New(1) // zero gradient: only decay acts
+	opt := NewSGD(0.1)
+	opt.WeightDecay = 0.5
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g}, nil)
+	// p -= lr * wd * p = 10 - 0.1*0.5*10 = 9.5
+	if math.Abs(p.Data[0]-9.5) > 1e-12 {
+		t.Fatalf("p = %v, want 9.5", p.Data[0])
+	}
+}
+
+func TestDecayMaskExemptsParams(t *testing.T) {
+	p1 := tensor.FromSlice([]float64{10}, 1)
+	p2 := tensor.FromSlice([]float64{10}, 1)
+	g1, g2 := tensor.New(1), tensor.New(1)
+	opt := NewSGD(0.1)
+	opt.WeightDecay = 0.5
+	opt.Step([]*tensor.Tensor{p1, p2}, []*tensor.Tensor{g1, g2}, []bool{true, false})
+	if p1.Data[0] >= 10 {
+		t.Fatal("decayed param did not shrink")
+	}
+	if p2.Data[0] != 10 {
+		t.Fatalf("exempt param changed: %v", p2.Data[0])
+	}
+}
+
+func TestClipNormCapsUpdates(t *testing.T) {
+	p := tensor.New(2)
+	g := tensor.FromSlice([]float64{300, 400}, 2) // norm 500
+	opt := NewSGD(1.0)
+	opt.ClipNorm = 5
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g}, nil)
+	// Clipped gradient has norm 5 => update norm 5 with lr 1.
+	if n := p.L2Norm(); math.Abs(n-5) > 1e-9 {
+		t.Fatalf("update norm = %v, want 5", n)
+	}
+}
+
+func TestClipNormNoEffectWhenSmall(t *testing.T) {
+	p := tensor.New(1)
+	g := tensor.FromSlice([]float64{0.1}, 1)
+	opt := NewSGD(1.0)
+	opt.ClipNorm = 5
+	opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{g}, nil)
+	if math.Abs(p.Data[0]+0.1) > 1e-12 {
+		t.Fatalf("p = %v, want -0.1 (unclipped)", p.Data[0])
+	}
+}
+
+func TestStepDecaySchedule(t *testing.T) {
+	s := StepDecayLR(1.0, 0.5, 10)
+	cases := map[int]float64{0: 1.0, 9: 1.0, 10: 0.5, 19: 0.5, 20: 0.25}
+	for step, want := range cases {
+		if got := s(step); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("schedule(%d) = %v, want %v", step, got, want)
+		}
+	}
+}
+
+func TestCosineSchedule(t *testing.T) {
+	s := CosineLR(1.0, 0.1, 100)
+	if got := s(0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("cosine(0) = %v, want 1.0", got)
+	}
+	if got := s(100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("cosine(100) = %v, want 0.1", got)
+	}
+	if got := s(1000); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("cosine(1000) = %v, want floor", got)
+	}
+	mid := s(50)
+	if mid <= 0.1 || mid >= 1.0 {
+		t.Fatalf("cosine(50) = %v, want strictly between floor and peak", mid)
+	}
+}
+
+func TestScheduleDrivenSGD(t *testing.T) {
+	opt := &SGD{Schedule: StepDecayLR(0.2, 0.5, 100)}
+	if v := runOptimizer(t, opt, 300); v > 1e-8 {
+		t.Fatalf("scheduled SGD final value %v", v)
+	}
+}
+
+func TestMisalignedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on misaligned params/grads")
+		}
+	}()
+	NewSGD(0.1).Step([]*tensor.Tensor{tensor.New(1)}, nil, nil)
+}
+
+func TestMomentumAcceleratesOnRavine(t *testing.T) {
+	// On an ill-conditioned quadratic, momentum should reach a lower value
+	// than plain SGD in the same number of steps with the same LR.
+	build := func() (*tensor.Tensor, func(*tensor.Tensor) *tensor.Tensor, func(*tensor.Tensor) float64) {
+		p := tensor.FromSlice([]float64{5, 5}, 2)
+		grad := func(p *tensor.Tensor) *tensor.Tensor {
+			return tensor.FromSlice([]float64{2 * 0.01 * p.Data[0], 2 * 1.0 * p.Data[1]}, 2)
+		}
+		val := func(p *tensor.Tensor) float64 {
+			return 0.01*p.Data[0]*p.Data[0] + p.Data[1]*p.Data[1]
+		}
+		return p, grad, val
+	}
+	run := func(opt Optimizer) float64 {
+		p, grad, val := build()
+		for i := 0; i < 100; i++ {
+			opt.Step([]*tensor.Tensor{p}, []*tensor.Tensor{grad(p)}, nil)
+		}
+		return val(p)
+	}
+	plain := run(NewSGD(0.1))
+	mom := run(NewSGDMomentum(0.1, 0.9))
+	if mom >= plain {
+		t.Fatalf("momentum (%v) should beat plain SGD (%v) on a ravine", mom, plain)
+	}
+}

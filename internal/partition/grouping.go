@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// GroupStrategy enumerates the client-grouping policies GSFL can use.
+// The paper defers grouping policy to future work; these implement the
+// obvious candidates for the grouping ablation (experiment A2).
+type GroupStrategy int
+
+const (
+	// GroupRoundRobin assigns client i to group i mod M (the default).
+	GroupRoundRobin GroupStrategy = iota
+	// GroupRandom shuffles clients, then splits into contiguous chunks.
+	GroupRandom
+	// GroupComputeBalanced greedily balances the sum of client compute
+	// capacities across groups, minimizing the slowest-group bottleneck
+	// (groups run in parallel, so the round ends when the slowest group
+	// finishes).
+	GroupComputeBalanced
+)
+
+// String implements fmt.Stringer.
+func (s GroupStrategy) String() string {
+	switch s {
+	case GroupRoundRobin:
+		return "round-robin"
+	case GroupRandom:
+		return "random"
+	case GroupComputeBalanced:
+		return "compute-balanced"
+	default:
+		return fmt.Sprintf("GroupStrategy(%d)", int(s))
+	}
+}
+
+// Groups assigns n clients (identified by index) to m groups using the
+// given strategy. capacity is required by GroupComputeBalanced (client
+// compute capability; lower = slower) and ignored otherwise. Every group
+// receives at least one client when n >= m.
+func Groups(n, m int, strategy GroupStrategy, capacity []float64, rng *rand.Rand) [][]int {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("partition: groups need positive n=%d m=%d", n, m))
+	}
+	if m > n {
+		panic(fmt.Sprintf("partition: %d groups cannot be filled by %d clients", m, n))
+	}
+	switch strategy {
+	case GroupRoundRobin:
+		out := make([][]int, m)
+		for i := 0; i < n; i++ {
+			out[i%m] = append(out[i%m], i)
+		}
+		return out
+	case GroupRandom:
+		perm := rng.Perm(n)
+		out := make([][]int, m)
+		for gi := 0; gi < m; gi++ {
+			lo := gi * n / m
+			hi := (gi + 1) * n / m
+			out[gi] = append([]int(nil), perm[lo:hi]...)
+			sort.Ints(out[gi])
+		}
+		return out
+	case GroupComputeBalanced:
+		if len(capacity) != n {
+			panic(fmt.Sprintf("partition: compute-balanced grouping needs %d capacities, got %d", n, len(capacity)))
+		}
+		return computeBalanced(n, m, capacity)
+	default:
+		panic(fmt.Sprintf("partition: unknown grouping strategy %d", strategy))
+	}
+}
+
+// computeBalanced is the LPT (longest processing time) greedy: sort
+// clients by per-step cost (1/capacity) descending and repeatedly give
+// the costliest unassigned client to the group with the smallest load,
+// subject to keeping group sizes within ±1 of n/m (a group's round time
+// grows with its client count, so sizes must stay balanced too).
+func computeBalanced(n, m int, capacity []float64) [][]int {
+	type client struct {
+		idx  int
+		cost float64 // sequential time contribution ∝ 1/capacity
+	}
+	cs := make([]client, n)
+	for i, c := range capacity {
+		if c <= 0 {
+			panic(fmt.Sprintf("partition: client %d capacity %v must be positive", i, c))
+		}
+		cs[i] = client{idx: i, cost: 1 / c}
+	}
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].cost != cs[b].cost {
+			return cs[a].cost > cs[b].cost
+		}
+		return cs[a].idx < cs[b].idx // deterministic tie-break
+	})
+	maxSize := (n + m - 1) / m
+	load := make([]float64, m)
+	out := make([][]int, m)
+	for _, c := range cs {
+		best := -1
+		for gi := 0; gi < m; gi++ {
+			if len(out[gi]) >= maxSize {
+				continue
+			}
+			if best == -1 || load[gi] < load[best] {
+				best = gi
+			}
+		}
+		out[best] = append(out[best], c.idx)
+		load[best] += c.cost
+	}
+	for gi := range out {
+		sort.Ints(out[gi])
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+// Package cl implements centralized learning, the paper's upper-bound
+// baseline: the edge server trains the full model on the pooled data of
+// all clients.
+//
+// CL has no wireless cost per round (the data is assumed resident at the
+// server; the optional one-time raw-data upload can be priced with
+// UploadCost) and the server's compute capacity makes its rounds fast —
+// it is the accuracy ceiling the distributed schemes are measured
+// against, not a deployable alternative (it violates the privacy
+// constraint that motivates FL/SL in the first place).
+package cl
+
+import (
+	"gsfl/internal/data"
+	"gsfl/internal/loss"
+	"gsfl/internal/model"
+	"gsfl/internal/optim"
+	"gsfl/internal/schemes"
+	"gsfl/internal/simnet"
+)
+
+// Trainer is the centralized baseline mid-training.
+type Trainer struct {
+	env *schemes.Env
+
+	m      *model.SplitModel // full model held server-side (cut 0)
+	opt    *optim.SGD
+	loader *data.Loader
+	// stepsPerRound matches the total update count of one GSFL/SL round
+	// so accuracy-vs-rounds curves are update-for-update comparable.
+	stepsPerRound int
+}
+
+// New validates the environment and assembles a CL trainer. The pooled
+// dataset is the concatenation of every client's data.
+func New(env *schemes.Env) (*Trainer, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	pooled := pool(env.Train)
+	t := &Trainer{
+		env:           env,
+		m:             env.Arch.NewSplit(env.Rng("init", 0), 0),
+		opt:           env.NewOptimizer(),
+		loader:        data.NewLoader(pooled, env.Hyper.Batch, env.Arch.InShape, env.Rng("loader", 0)),
+		stepsPerRound: env.Fleet.N() * env.Hyper.StepsPerClient,
+	}
+	return t, nil
+}
+
+// pool concatenates client datasets into one in-memory dataset (feature
+// slices are shared, not copied).
+func pool(parts []data.Dataset) data.Dataset {
+	var x [][]float64
+	var y []int
+	classes := parts[0].Classes()
+	for _, p := range parts {
+		for i := 0; i < p.Len(); i++ {
+			f, label := p.Sample(i)
+			x = append(x, f)
+			y = append(y, label)
+		}
+	}
+	return data.NewInMemory(x, y, classes)
+}
+
+// Name implements schemes.Trainer.
+func (t *Trainer) Name() string { return "cl" }
+
+// Round implements schemes.Trainer: N*StepsPerClient SGD steps on pooled
+// data, all on the edge server.
+func (t *Trainer) Round() *simnet.Ledger {
+	led := &simnet.Ledger{}
+	lossFn := loss.SoftmaxCrossEntropy{}
+	server := t.env.Fleet.Server
+	perSample := 3 * t.m.ServerFwdFLOPs() // cut 0: whole model is server-side
+	for s := 0; s < t.stepsPerRound; s++ {
+		batch := t.loader.Next()
+		logits := t.m.Server.Forward(batch.X, true)
+		_, dLogits := lossFn.Eval(logits, batch.Y)
+		t.m.Server.ZeroGrads()
+		t.m.Server.Backward(dLogits)
+		t.opt.Step(t.m.Server.Params(), t.m.Server.Grads(), t.m.Server.DecayMask())
+		led.Add(simnet.ServerCompute, server.ComputeSeconds(perSample*int64(len(batch.Y))))
+	}
+	return led
+}
+
+// UploadCost prices the one-time raw-data upload that centralizing the
+// training data would require: every client ships its whole dataset over
+// the shared uplink concurrently. Returned separately because the paper
+// treats CL as an accuracy reference, not a latency competitor.
+func (t *Trainer) UploadCost() *simnet.Ledger {
+	env := t.env
+	n := env.Fleet.N()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	alloc := env.Alloc.Allocate(env.Channel, all, env.Channel.UplinkHz(), true)
+	leds := make([]*simnet.Ledger, n)
+	perSample := int64(1)
+	for _, d := range env.Arch.InShape {
+		perSample *= int64(d)
+	}
+	perSample = perSample*model.WireBytesPerScalar + model.WireBytesPerScalar // +label
+	for ci := 0; ci < n; ci++ {
+		led := &simnet.Ledger{}
+		bytes := perSample * int64(env.Train[ci].Len())
+		led.Add(simnet.Uplink, env.Channel.TransferSeconds(ci, bytes, alloc[ci], true))
+		leds[ci] = led
+	}
+	return simnet.MaxOf(leds)
+}
+
+// Evaluate implements schemes.Trainer.
+func (t *Trainer) Evaluate() (float64, float64) {
+	return schemes.Evaluate(t.m, t.env.Test, t.env.Arch.InShape)
+}

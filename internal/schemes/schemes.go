@@ -1,0 +1,365 @@
+// Package schemes defines the environment and trainer contract shared by
+// every distributed-learning scheme in the reproduction: the paper's
+// GSFL (internal/gsfl) and the benchmark schemes CL, SL, FL, and SplitFed
+// (internal/schemes/{cl,sl,fl,sfl}).
+//
+// A scheme consumes an Env — the fleet, the wireless channel, the
+// per-client datasets, the architecture and cut layer, and the training
+// hyperparameters — and produces, per round, a simnet.Ledger pricing that
+// round's critical-path latency. The experiment harness turns sequences
+// of (round, ledger, evaluation) into the paper's figures.
+//
+// Trainers execute deterministically on one goroutine; parallelism in the
+// modelled system (GSFL's concurrent groups, FL's concurrent clients) is
+// expressed through ledger composition (simnet.MaxOf), not Go
+// concurrency, so every run is exactly reproducible.
+package schemes
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gsfl/internal/data"
+	"gsfl/internal/device"
+	"gsfl/internal/loss"
+	"gsfl/internal/metrics"
+	"gsfl/internal/model"
+	"gsfl/internal/optim"
+	"gsfl/internal/quantize"
+	"gsfl/internal/simnet"
+	"gsfl/internal/tensor"
+	"gsfl/internal/wireless"
+)
+
+// Hyper bundles the optimization hyperparameters shared by all schemes.
+type Hyper struct {
+	// Batch is the mini-batch size.
+	Batch int
+	// StepsPerClient is how many mini-batches each client trains per
+	// round (one "local pass" in the paper's per-epoch description).
+	StepsPerClient int
+	// LR is the SGD learning rate.
+	LR float64
+	// Momentum is the SGD momentum coefficient (0 disables).
+	Momentum float64
+	// ClipNorm caps the global gradient norm (0 disables).
+	ClipNorm float64
+	// QuantizeTransfers, when true, quantizes the smashed data and the
+	// cut-layer gradient to 8 bits for transfer (4x less traffic at a
+	// small precision cost). Both the training numerics (the receiving
+	// side sees the dequantized tensor) and the latency pricing (1 byte
+	// per scalar) honour it.
+	QuantizeTransfers bool
+	// LRDecayFactor/LRDecayEvery, when both set, multiply the learning
+	// rate by the factor every LRDecayEvery optimizer steps (per-model
+	// step counts, matching how each half trains independently). Zero
+	// values keep the rate constant.
+	LRDecayFactor float64
+	LRDecayEvery  int
+}
+
+// Validate reports configuration errors.
+func (h Hyper) Validate() error {
+	if h.Batch <= 0 {
+		return fmt.Errorf("schemes: batch %d must be positive", h.Batch)
+	}
+	if h.StepsPerClient <= 0 {
+		return fmt.Errorf("schemes: steps per client %d must be positive", h.StepsPerClient)
+	}
+	if h.LR <= 0 {
+		return fmt.Errorf("schemes: learning rate %v must be positive", h.LR)
+	}
+	if h.Momentum < 0 || h.Momentum >= 1 {
+		return fmt.Errorf("schemes: momentum %v outside [0,1)", h.Momentum)
+	}
+	if (h.LRDecayFactor != 0) != (h.LRDecayEvery != 0) {
+		return fmt.Errorf("schemes: LR decay needs both factor (%v) and interval (%d)", h.LRDecayFactor, h.LRDecayEvery)
+	}
+	if h.LRDecayFactor < 0 || h.LRDecayFactor > 1 {
+		return fmt.Errorf("schemes: LR decay factor %v outside [0,1]", h.LRDecayFactor)
+	}
+	if h.LRDecayEvery < 0 {
+		return fmt.Errorf("schemes: LR decay interval %d negative", h.LRDecayEvery)
+	}
+	return nil
+}
+
+// Env is the complete simulated world a scheme trains in.
+type Env struct {
+	// Arch and Cut define the model and its client/server boundary.
+	Arch model.Arch
+	Cut  int
+	// Fleet supplies compute capacities; Channel and Alloc supply
+	// transfer times under shared bandwidth.
+	Fleet   *device.Fleet
+	Channel *wireless.Channel
+	Alloc   wireless.Allocator
+	// Train holds each client's private dataset (len == Fleet.N()).
+	Train []data.Dataset
+	// Test is the held-out evaluation set at the AP.
+	Test data.Dataset
+	// Hyper are the optimization hyperparameters.
+	Hyper Hyper
+	// Seed derives every RNG stream in the scheme (model init, loaders).
+	Seed int64
+}
+
+// Validate reports structural errors in the environment.
+func (e *Env) Validate() error {
+	if e.Fleet == nil || e.Channel == nil || e.Alloc == nil {
+		return fmt.Errorf("schemes: env missing fleet/channel/allocator")
+	}
+	if len(e.Train) != e.Fleet.N() {
+		return fmt.Errorf("schemes: %d client datasets for %d clients", len(e.Train), e.Fleet.N())
+	}
+	if e.Channel.N() != e.Fleet.N() {
+		return fmt.Errorf("schemes: channel built for %d clients, fleet has %d", e.Channel.N(), e.Fleet.N())
+	}
+	if e.Test == nil || e.Test.Len() == 0 {
+		return fmt.Errorf("schemes: missing test set")
+	}
+	for i, d := range e.Train {
+		if d == nil || d.Len() == 0 {
+			return fmt.Errorf("schemes: client %d has no data", i)
+		}
+	}
+	return e.Hyper.Validate()
+}
+
+// NewOptimizer builds the scheme-standard SGD from the hyperparameters.
+func (e *Env) NewOptimizer() *optim.SGD {
+	opt := optim.NewSGDMomentum(e.Hyper.LR, e.Hyper.Momentum)
+	opt.ClipNorm = e.Hyper.ClipNorm
+	if e.Hyper.LRDecayEvery > 0 {
+		opt.Schedule = optim.StepDecayLR(e.Hyper.LR, e.Hyper.LRDecayFactor, e.Hyper.LRDecayEvery)
+	}
+	return opt
+}
+
+// Rng derives a deterministic RNG stream for a named purpose. Distinct
+// (purpose, k) pairs get independent streams, so adding a consumer never
+// perturbs existing ones.
+func (e *Env) Rng(purpose string, k int) *rand.Rand {
+	h := e.Seed
+	for _, c := range purpose {
+		h = h*131 + int64(c)
+	}
+	h = h*1_000_003 + int64(k)
+	return rand.New(rand.NewSource(h))
+}
+
+// Trainer is one distributed-learning scheme mid-training.
+type Trainer interface {
+	// Name is the scheme's short identifier ("gsfl", "sl", "fl", "cl",
+	// "sfl"), used as the curve label.
+	Name() string
+	// Round executes one global training round and returns its
+	// critical-path latency ledger.
+	Round() *simnet.Ledger
+	// Evaluate returns (loss, accuracy) of the scheme's current global
+	// model on the env's test set.
+	Evaluate() (float64, float64)
+}
+
+// RunCurve drives a trainer for the given number of rounds, evaluating
+// every evalEvery rounds (and always after the final round), and returns
+// the resulting training curve with cumulative latency.
+func RunCurve(tr Trainer, rounds, evalEvery int) *metrics.Curve {
+	if rounds <= 0 || evalEvery <= 0 {
+		panic(fmt.Sprintf("schemes: rounds %d and evalEvery %d must be positive", rounds, evalEvery))
+	}
+	curve := &metrics.Curve{Scheme: tr.Name()}
+	elapsed := 0.0
+	for r := 1; r <= rounds; r++ {
+		led := tr.Round()
+		elapsed += led.Total()
+		if r%evalEvery == 0 || r == rounds {
+			l, a := tr.Evaluate()
+			curve.Append(metrics.Point{Round: r, LatencySeconds: elapsed, Loss: l, Accuracy: a})
+		}
+	}
+	return curve
+}
+
+// EvalChunk bounds evaluation batch sizes so test-set forward passes
+// never allocate huge activations.
+const EvalChunk = 256
+
+// Evaluate runs the split model over the test set in chunks and returns
+// (mean loss, accuracy). It is the shared implementation behind every
+// scheme's Evaluate.
+func Evaluate(m *model.SplitModel, test data.Dataset, inShape []int) (float64, float64) {
+	n := test.Len()
+	lossFn := loss.SoftmaxCrossEntropy{}
+	totalLoss := 0.0
+	correct := 0
+	for lo := 0; lo < n; lo += EvalChunk {
+		hi := lo + EvalChunk
+		if hi > n {
+			hi = n
+		}
+		cnt := hi - lo
+		shape := append([]int{cnt}, inShape...)
+		x := tensor.New(shape...)
+		y := make([]int, cnt)
+		per := x.Size() / cnt
+		for i := lo; i < hi; i++ {
+			f, label := test.Sample(i)
+			copy(x.Data[(i-lo)*per:(i-lo+1)*per], f)
+			y[i-lo] = label
+		}
+		logits := m.Forward(x, false)
+		l, _ := lossFn.Eval(logits, y)
+		totalLoss += l * float64(cnt)
+		for i, p := range logits.ArgMaxRows() {
+			if p == y[i] {
+				correct++
+			}
+		}
+	}
+	return totalLoss / float64(n), float64(correct) / float64(n)
+}
+
+// SplitStep runs one split-learning mini-batch: client-side forward,
+// (conceptual) smashed-data upload, server-side forward + loss +
+// backward, (conceptual) gradient download, client-side backward, and
+// both optimizer steps. It returns the batch loss. Latency is priced
+// separately by the calling scheme via StepLatency, keeping numerical
+// training and time accounting decoupled.
+//
+// When quantizeTransfers is true, the smashed data and the returned
+// gradient pass through an 8-bit quantization round trip, so the
+// receiving side trains on exactly what the narrower wire would deliver.
+func SplitStep(m *model.SplitModel, clientOpt, serverOpt optim.Optimizer, batch data.Batch, quantizeTransfers bool) float64 {
+	smashed := m.Client.Forward(batch.X, true)
+	serverIn := smashed
+	if quantizeTransfers {
+		serverIn = quantize.RoundTrip(smashed)
+	}
+	logits := m.Server.Forward(serverIn, true)
+	l, dLogits := loss.SoftmaxCrossEntropy{}.Eval(logits, batch.Y)
+
+	m.Server.ZeroGrads()
+	dSmashed := m.Server.Backward(dLogits)
+	if quantizeTransfers {
+		dSmashed = quantize.RoundTrip(dSmashed)
+	}
+	m.Client.ZeroGrads()
+	m.Client.Backward(dSmashed)
+
+	serverOpt.Step(m.Server.Params(), m.Server.Grads(), m.Server.DecayMask())
+	clientOpt.Step(m.Client.Params(), m.Client.Grads(), m.Client.DecayMask())
+	return l
+}
+
+// transferWidth returns the per-scalar wire width the env's precision
+// setting implies.
+func transferWidth(e *Env) int {
+	if e.Hyper.QuantizeTransfers {
+		return quantize.WireBytesPerScalar
+	}
+	return model.WireBytesPerScalar
+}
+
+// StepLatency prices one split mini-batch for client ci under the given
+// bandwidth allocations, adding components to led. The backward pass is
+// priced at 2x forward FLOPs (the standard training-cost model), so a
+// full client step costs 3x its forward FLOPs.
+func StepLatency(e *Env, m *model.SplitModel, ci, batchN int, upHz, downHz float64, led *simnet.Ledger) {
+	client := e.Fleet.Clients[ci]
+	b := int64(batchN)
+	w := transferWidth(e)
+	led.Add(simnet.ClientCompute, client.ComputeSeconds(3*m.ClientFwdFLOPs()*b))
+	led.Add(simnet.Uplink, e.Channel.TransferSeconds(ci, m.SmashedBytesWith(batchN, w), upHz, true))
+	led.Add(simnet.ServerCompute, e.Fleet.Server.ComputeSeconds(3*m.ServerFwdFLOPs()*b))
+	led.Add(simnet.Downlink, e.Channel.TransferSeconds(ci, m.GradBytesWith(batchN, w), downHz, false))
+}
+
+// TurnLatency prices a whole client turn of `steps` mini-batches.
+// Without pipelining it is steps independent StepLatency charges. With
+// pipelining (the "parallel design" of the paper's reference [2]), the
+// four stages — client compute, uplink, server compute, downlink —
+// overlap across consecutive batches, so after a one-step warm-up the
+// turn advances at the pace of its slowest stage:
+//
+//	turn = (t_client + t_up + t_srv + t_down) + (steps-1) * max(stages)
+//
+// The warm-up charges each component once; the steady-state remainder is
+// attributed to the bottleneck component.
+func TurnLatency(e *Env, m *model.SplitModel, ci, batchN, steps int, upHz, downHz float64, pipelined bool, led *simnet.Ledger) {
+	if steps <= 0 {
+		panic(fmt.Sprintf("schemes: turn needs positive steps, got %d", steps))
+	}
+	if !pipelined {
+		for s := 0; s < steps; s++ {
+			StepLatency(e, m, ci, batchN, upHz, downHz, led)
+		}
+		return
+	}
+	client := e.Fleet.Clients[ci]
+	b := int64(batchN)
+	w := transferWidth(e)
+	stages := []struct {
+		comp simnet.Component
+		secs float64
+	}{
+		{simnet.ClientCompute, client.ComputeSeconds(3 * m.ClientFwdFLOPs() * b)},
+		{simnet.Uplink, e.Channel.TransferSeconds(ci, m.SmashedBytesWith(batchN, w), upHz, true)},
+		{simnet.ServerCompute, e.Fleet.Server.ComputeSeconds(3 * m.ServerFwdFLOPs() * b)},
+		{simnet.Downlink, e.Channel.TransferSeconds(ci, m.GradBytesWith(batchN, w), downHz, false)},
+	}
+	bottleneck := 0
+	for i, s := range stages {
+		led.Add(s.comp, s.secs) // warm-up: one full pass through the pipe
+		if s.secs > stages[bottleneck].secs {
+			bottleneck = i
+		}
+	}
+	led.Add(stages[bottleneck].comp, float64(steps-1)*stages[bottleneck].secs)
+}
+
+// RelayLatency prices handing the client-side model from client `from`
+// to client `to` through the AP: an uplink transfer then a downlink
+// transfer of the client-model parameters.
+func RelayLatency(e *Env, m *model.SplitModel, from, to int, upHz, downHz float64, led *simnet.Ledger) {
+	bytes := m.ClientParamBytes()
+	led.Add(simnet.Relay, e.Channel.TransferSeconds(from, bytes, upHz, true))
+	led.Add(simnet.Relay, e.Channel.TransferSeconds(to, bytes, downHz, false))
+}
+
+// AggregationLatency prices FedAvg at the AP over nModels models of the
+// given total parameter count: one add + one multiply per scalar per
+// model on the edge server.
+func AggregationLatency(e *Env, nModels, paramCount int, led *simnet.Ledger) {
+	flops := int64(2) * int64(nModels) * int64(paramCount)
+	led.Add(simnet.Aggregation, e.Fleet.Server.ComputeSeconds(flops))
+}
+
+// EvaluateConfusion runs the split model over the test set and returns
+// the full confusion matrix — per-class recall matters on GTSRB, where
+// rare sign classes are exactly the safety-critical ones.
+func EvaluateConfusion(m *model.SplitModel, test data.Dataset, inShape []int) *metrics.ConfusionMatrix {
+	cm := metrics.NewConfusionMatrix(test.Classes())
+	n := test.Len()
+	for lo := 0; lo < n; lo += EvalChunk {
+		hi := lo + EvalChunk
+		if hi > n {
+			hi = n
+		}
+		cnt := hi - lo
+		shape := append([]int{cnt}, inShape...)
+		x := tensor.New(shape...)
+		y := make([]int, cnt)
+		per := x.Size() / cnt
+		for i := lo; i < hi; i++ {
+			f, label := test.Sample(i)
+			copy(x.Data[(i-lo)*per:(i-lo+1)*per], f)
+			y[i-lo] = label
+		}
+		logits := m.Forward(x, false)
+		for i, p := range logits.ArgMaxRows() {
+			cm.Observe(y[i], p)
+		}
+	}
+	return cm
+}

@@ -1,0 +1,237 @@
+package schemes_test
+
+import (
+	"math"
+	"testing"
+
+	"gsfl/internal/data"
+	"gsfl/internal/schemes"
+	"gsfl/internal/schemes/schemestest"
+	"gsfl/internal/simnet"
+	"gsfl/internal/tensor"
+)
+
+func TestHyperValidate(t *testing.T) {
+	good := schemes.Hyper{Batch: 8, StepsPerClient: 2, LR: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid hyper rejected: %v", err)
+	}
+	cases := []schemes.Hyper{
+		{Batch: 0, StepsPerClient: 2, LR: 0.1},
+		{Batch: 8, StepsPerClient: 0, LR: 0.1},
+		{Batch: 8, StepsPerClient: 2, LR: 0},
+		{Batch: 8, StepsPerClient: 2, LR: 0.1, Momentum: 1},
+	}
+	for i, h := range cases {
+		if err := h.Validate(); err == nil {
+			t.Fatalf("case %d: invalid hyper accepted", i)
+		}
+	}
+}
+
+func TestEnvValidate(t *testing.T) {
+	env := schemestest.NewEnv(1, 4, 30)
+	if err := env.Validate(); err != nil {
+		t.Fatalf("fixture env invalid: %v", err)
+	}
+	broken := schemestest.NewEnv(1, 4, 30)
+	broken.Fleet = nil
+	if err := broken.Validate(); err == nil {
+		t.Fatal("nil fleet accepted")
+	}
+	broken2 := schemestest.NewEnv(1, 4, 30)
+	broken2.Train[2] = nil
+	if err := broken2.Validate(); err == nil {
+		t.Fatal("nil client dataset accepted")
+	}
+}
+
+func TestRngStreamsIndependent(t *testing.T) {
+	env := schemestest.NewEnv(1, 4, 30)
+	a1 := env.Rng("alpha", 0).Float64()
+	a2 := env.Rng("alpha", 0).Float64()
+	if a1 != a2 {
+		t.Fatal("same purpose must give the same stream")
+	}
+	b := env.Rng("beta", 0).Float64()
+	c := env.Rng("alpha", 1).Float64()
+	if a1 == b || a1 == c {
+		t.Fatal("different purposes/keys must give different streams")
+	}
+}
+
+func TestEvaluateMatchesDirectComputation(t *testing.T) {
+	env := schemestest.NewEnv(2, 4, 30)
+	m := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
+	l, a := schemes.Evaluate(m, env.Test, env.Arch.InShape)
+	if math.IsNaN(l) || a < 0 || a > 1 {
+		t.Fatalf("Evaluate returned loss=%v acc=%v", l, a)
+	}
+	// Chunked evaluation must be invariant to chunk boundaries: evaluate
+	// twice; identical results (pure function).
+	l2, a2 := schemes.Evaluate(m, env.Test, env.Arch.InShape)
+	if l != l2 || a != a2 {
+		t.Fatal("Evaluate is not deterministic")
+	}
+}
+
+func TestSplitStepReducesLoss(t *testing.T) {
+	env := schemestest.NewEnv(3, 4, 50)
+	m := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
+	cOpt, sOpt := env.NewOptimizer(), env.NewOptimizer()
+
+	// Train on a fixed batch; the loss on that batch must fall.
+	batch := data.All(env.Train[0], env.Arch.InShape)
+	first := schemes.SplitStep(m, cOpt, sOpt, batch, false)
+	var last float64
+	for i := 0; i < 30; i++ {
+		last = schemes.SplitStep(m, cOpt, sOpt, batch, false)
+	}
+	if last >= first {
+		t.Fatalf("loss did not fall on a fixed batch: %v -> %v", first, last)
+	}
+}
+
+func TestStepLatencyComponents(t *testing.T) {
+	env := schemestest.NewEnv(4, 4, 30)
+	m := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
+	led := &simnet.Ledger{}
+	schemes.StepLatency(env, m, 0, env.Hyper.Batch, 1e6, 1e6, led)
+	for _, c := range []simnet.Component{
+		simnet.ClientCompute, simnet.Uplink, simnet.ServerCompute, simnet.Downlink,
+	} {
+		if led.Get(c) <= 0 {
+			t.Fatalf("component %v not priced", c)
+		}
+	}
+	if led.Get(simnet.Relay) != 0 || led.Get(simnet.Aggregation) != 0 {
+		t.Fatal("step must not price relay/aggregation")
+	}
+}
+
+func TestRelayLatency(t *testing.T) {
+	env := schemestest.NewEnv(5, 4, 30)
+	m := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
+	led := &simnet.Ledger{}
+	schemes.RelayLatency(env, m, 0, 1, 1e6, 1e6, led)
+	if led.Get(simnet.Relay) <= 0 {
+		t.Fatal("relay must cost time")
+	}
+}
+
+func TestAggregationLatencyScales(t *testing.T) {
+	env := schemestest.NewEnv(6, 4, 30)
+	l1, l2 := &simnet.Ledger{}, &simnet.Ledger{}
+	schemes.AggregationLatency(env, 2, 1000, l1)
+	schemes.AggregationLatency(env, 4, 1000, l2)
+	if l2.Get(simnet.Aggregation) != 2*l1.Get(simnet.Aggregation) {
+		t.Fatal("aggregation time must scale with model count")
+	}
+}
+
+func TestRunCurveEvaluationCadence(t *testing.T) {
+	env := schemestest.NewEnv(7, 4, 30)
+	tr := &countingTrainer{env: env}
+	curve := schemes.RunCurve(tr, 10, 3)
+	// Evaluations at rounds 3, 6, 9 and the final round 10.
+	wantRounds := []int{3, 6, 9, 10}
+	if len(curve.Points) != len(wantRounds) {
+		t.Fatalf("got %d points, want %d", len(curve.Points), len(wantRounds))
+	}
+	for i, p := range curve.Points {
+		if p.Round != wantRounds[i] {
+			t.Fatalf("point %d at round %d, want %d", i, p.Round, wantRounds[i])
+		}
+	}
+	// Cumulative latency: each fake round adds 2s.
+	if got := curve.Points[3].LatencySeconds; got != 20 {
+		t.Fatalf("cumulative latency = %v, want 20", got)
+	}
+}
+
+func TestRunCurveValidation(t *testing.T) {
+	env := schemestest.NewEnv(8, 4, 30)
+	tr := &countingTrainer{env: env}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero rounds")
+		}
+	}()
+	schemes.RunCurve(tr, 0, 1)
+}
+
+// countingTrainer is a stub Trainer with fixed round cost.
+type countingTrainer struct {
+	env    *schemes.Env
+	rounds int
+}
+
+func (c *countingTrainer) Name() string { return "stub" }
+
+func (c *countingTrainer) Round() *simnet.Ledger {
+	c.rounds++
+	led := &simnet.Ledger{}
+	led.Add(simnet.ServerCompute, 2)
+	return led
+}
+
+func (c *countingTrainer) Evaluate() (float64, float64) {
+	return 1.0 / float64(c.rounds+1), float64(c.rounds) / 100
+}
+
+func TestEvaluateConfusionConsistentWithEvaluate(t *testing.T) {
+	env := schemestest.NewEnv(9, 4, 30)
+	m := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
+	_, acc := schemes.Evaluate(m, env.Test, env.Arch.InShape)
+	cm := schemes.EvaluateConfusion(m, env.Test, env.Arch.InShape)
+	if cm.Accuracy() != acc {
+		t.Fatalf("confusion accuracy %v != scalar accuracy %v", cm.Accuracy(), acc)
+	}
+	total := 0
+	for c := 0; c < schemestest.BlobClasses; c++ {
+		for p := 0; p < schemestest.BlobClasses; p++ {
+			total += cm.Count(c, p)
+		}
+	}
+	if total != env.Test.Len() {
+		t.Fatalf("confusion matrix covers %d samples, want %d", total, env.Test.Len())
+	}
+}
+
+func TestLRDecayValidation(t *testing.T) {
+	h := schemes.Hyper{Batch: 8, StepsPerClient: 2, LR: 0.1, LRDecayFactor: 0.5}
+	if err := h.Validate(); err == nil {
+		t.Fatal("factor without interval accepted")
+	}
+	h = schemes.Hyper{Batch: 8, StepsPerClient: 2, LR: 0.1, LRDecayFactor: 0.5, LRDecayEvery: 10}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("valid decay config rejected: %v", err)
+	}
+	h.LRDecayFactor = 1.5
+	if err := h.Validate(); err == nil {
+		t.Fatal("factor > 1 accepted")
+	}
+}
+
+func TestLRDecayScheduleApplied(t *testing.T) {
+	env := schemestest.NewEnv(30, 4, 30)
+	env.Hyper.LRDecayFactor = 0.5
+	env.Hyper.LRDecayEvery = 1
+	opt := env.NewOptimizer()
+	// Two steps on a unit gradient: first at LR, second at LR/2.
+	p := tensorOf(0)
+	g := tensorOf(1)
+	opt.Step(p, g, nil)
+	after1 := -p[0].Data[0]
+	opt.Step(p, g, nil)
+	after2 := -p[0].Data[0] - after1
+	if after2 >= after1 {
+		t.Fatalf("LR did not decay: step1 %v, step2 %v", after1, after2)
+	}
+}
+
+func tensorOf(v float64) []*tensor.Tensor {
+	t := tensor.New(1)
+	t.Data[0] = v
+	return []*tensor.Tensor{t}
+}

@@ -1,0 +1,130 @@
+// Package sfl implements SplitFed learning (SFL), the hybrid
+// federated/split scheme the paper's introduction critiques: every
+// client trains in parallel split-learning fashion against its OWN
+// server-side replica, and both halves are FedAvg-aggregated each round.
+//
+// SFL is the degenerate GSFL configuration M = N (every group has one
+// client). It maximizes parallelism but requires the edge server to host
+// N server-side models — the "prohibitive storage resources" problem
+// (Table 3) that motivates GSFL's group-based middle ground — and its N
+// concurrent uplink transfers squeeze per-client bandwidth.
+package sfl
+
+import (
+	"gsfl/internal/agg"
+	"gsfl/internal/data"
+	"gsfl/internal/model"
+	"gsfl/internal/optim"
+	"gsfl/internal/schemes"
+	"gsfl/internal/simnet"
+)
+
+// Trainer is the SplitFed scheme mid-training.
+type Trainer struct {
+	env *schemes.Env
+
+	globalClient model.Snapshot
+	globalServer model.Snapshot
+
+	replicas   []*model.SplitModel // one per client
+	clientOpts []*optim.SGD
+	serverOpts []*optim.SGD
+	loaders    []*data.Loader
+	weights    []float64
+
+	evalModel *model.SplitModel
+}
+
+// New validates the environment and assembles a SplitFed trainer.
+func New(env *schemes.Env) (*Trainer, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trainer{env: env}
+	init := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
+	t.globalClient = model.TakeSnapshot(init.Client)
+	t.globalServer = model.TakeSnapshot(init.Server)
+	t.evalModel = init
+
+	n := env.Fleet.N()
+	t.replicas = make([]*model.SplitModel, n)
+	t.clientOpts = make([]*optim.SGD, n)
+	t.serverOpts = make([]*optim.SGD, n)
+	t.loaders = make([]*data.Loader, n)
+	t.weights = make([]float64, n)
+	for ci := 0; ci < n; ci++ {
+		t.replicas[ci] = env.Arch.NewSplit(env.Rng("replica", ci), env.Cut)
+		t.clientOpts[ci] = env.NewOptimizer()
+		t.serverOpts[ci] = env.NewOptimizer()
+		t.loaders[ci] = data.NewLoader(env.Train[ci], env.Hyper.Batch, env.Arch.InShape, env.Rng("loader", ci))
+		t.weights[ci] = float64(env.Train[ci].Len())
+	}
+	return t, nil
+}
+
+// Name implements schemes.Trainer.
+func (t *Trainer) Name() string { return "sfl" }
+
+// ServerReplicaCount returns N — the storage cost GSFL reduces to M.
+func (t *Trainer) ServerReplicaCount() int { return len(t.replicas) }
+
+// ServerStorageBytes returns the edge-server memory for all replicas.
+func (t *Trainer) ServerStorageBytes() int64 {
+	return int64(t.ServerReplicaCount()) * t.globalServer.WireBytes()
+}
+
+// Round implements schemes.Trainer: all clients train concurrently
+// against their own server replicas, then both halves aggregate.
+func (t *Trainer) Round() *simnet.Ledger {
+	env := t.env
+	env.Channel.AdvanceRound() // client mobility (no-op when static)
+	n := env.Fleet.N()
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	upAlloc := env.Alloc.Allocate(env.Channel, all, env.Channel.UplinkHz(), true)
+	downAlloc := env.Alloc.Allocate(env.Channel, all, env.Channel.DownlinkHz(), false)
+
+	clientLeds := make([]*simnet.Ledger, n)
+	for ci := 0; ci < n; ci++ {
+		led := &simnet.Ledger{}
+		rep := t.replicas[ci]
+		t.globalClient.Restore(rep.Client)
+		t.globalServer.Restore(rep.Server)
+
+		// Client-side model download (model distribution).
+		led.Add(simnet.Relay,
+			env.Channel.TransferSeconds(ci, rep.ClientParamBytes(), downAlloc[ci], false))
+		for s := 0; s < env.Hyper.StepsPerClient; s++ {
+			batch := t.loaders[ci].Next()
+			schemes.SplitStep(rep, t.clientOpts[ci], t.serverOpts[ci], batch, env.Hyper.QuantizeTransfers)
+			schemes.StepLatency(env, rep, ci, len(batch.Y), upAlloc[ci], downAlloc[ci], led)
+		}
+		// Client-side model upload for aggregation.
+		led.Add(simnet.Relay,
+			env.Channel.TransferSeconds(ci, rep.ClientParamBytes(), upAlloc[ci], true))
+		clientLeds[ci] = led
+	}
+
+	round := simnet.MaxOf(clientLeds)
+
+	clientSnaps := make([]model.Snapshot, n)
+	serverSnaps := make([]model.Snapshot, n)
+	for ci := range t.replicas {
+		clientSnaps[ci] = model.TakeSnapshot(t.replicas[ci].Client)
+		serverSnaps[ci] = model.TakeSnapshot(t.replicas[ci].Server)
+	}
+	t.globalClient = agg.FedAvg(clientSnaps, t.weights)
+	t.globalServer = agg.FedAvg(serverSnaps, t.weights)
+	schemes.AggregationLatency(env, n,
+		t.globalClient.ParamCount()+t.globalServer.ParamCount(), round)
+	return round
+}
+
+// Evaluate implements schemes.Trainer.
+func (t *Trainer) Evaluate() (float64, float64) {
+	t.globalClient.Restore(t.evalModel.Client)
+	t.globalServer.Restore(t.evalModel.Server)
+	return schemes.Evaluate(t.evalModel, t.env.Test, t.env.Arch.InShape)
+}

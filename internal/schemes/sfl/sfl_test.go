@@ -1,0 +1,80 @@
+package sfl
+
+import (
+	"testing"
+
+	"gsfl/internal/schemes"
+	"gsfl/internal/schemes/schemestest"
+	"gsfl/internal/simnet"
+)
+
+func newTrainer(t *testing.T, seed int64, n int) *Trainer {
+	t.Helper()
+	tr, err := New(schemestest.NewEnv(seed, n, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSFLLearnsBlobs(t *testing.T) {
+	tr := newTrainer(t, 1, 6)
+	curve := schemes.RunCurve(tr, 15, 3)
+	if !curve.IsFinite() {
+		t.Fatal("training diverged")
+	}
+	if acc := curve.FinalAccuracy(); acc < 0.7 {
+		t.Fatalf("final accuracy %v; SplitFed failed to learn", acc)
+	}
+}
+
+func TestSFLDeterministic(t *testing.T) {
+	c1 := schemes.RunCurve(newTrainer(t, 3, 5), 4, 1)
+	c2 := schemes.RunCurve(newTrainer(t, 3, 5), 4, 1)
+	for i := range c1.Points {
+		if c1.Points[i] != c2.Points[i] {
+			t.Fatalf("point %d differs", i)
+		}
+	}
+}
+
+func TestSFLStoresOneReplicaPerClient(t *testing.T) {
+	tr := newTrainer(t, 2, 7)
+	if tr.ServerReplicaCount() != 7 {
+		t.Fatalf("replicas = %d, want 7 (one per client)", tr.ServerReplicaCount())
+	}
+	if tr.ServerStorageBytes() <= 0 {
+		t.Fatal("storage must be positive")
+	}
+}
+
+func TestSFLRoundComponents(t *testing.T) {
+	tr := newTrainer(t, 4, 4)
+	led := tr.Round()
+	for _, c := range []simnet.Component{
+		simnet.ClientCompute, simnet.Uplink, simnet.ServerCompute,
+		simnet.Downlink, simnet.Relay, simnet.Aggregation,
+	} {
+		if led.Get(c) <= 0 {
+			t.Fatalf("component %v is zero", c)
+		}
+	}
+}
+
+func TestSFLParallelismBoundsLatency(t *testing.T) {
+	// All clients train at once; like FL, latency must scale sublinearly
+	// in the fleet size.
+	small := newTrainer(t, 5, 4).Round().Total()
+	large := newTrainer(t, 5, 8).Round().Total()
+	if large >= 1.9*small {
+		t.Fatalf("SplitFed latency scaled like sequential: %v -> %v", small, large)
+	}
+}
+
+func TestSFLInvalidEnv(t *testing.T) {
+	env := schemestest.NewEnv(1, 4, 30)
+	env.Hyper.LR = -1
+	if _, err := New(env); err == nil {
+		t.Fatal("expected error for invalid env")
+	}
+}

@@ -1,0 +1,78 @@
+// Package sl implements vanilla split learning, the paper's first
+// benchmark scheme.
+//
+// One client-side model and one server-side model exist. Clients train
+// strictly sequentially: client i runs its local split steps against the
+// shared server-side model, then the client-side model is relayed
+// through the AP to client i+1. One round visits every client once.
+// Because only one client is ever active, each transfer enjoys the full
+// uplink/downlink budget — but nothing happens in parallel, which is
+// exactly the long-training-latency weakness GSFL attacks.
+package sl
+
+import (
+	"gsfl/internal/data"
+	"gsfl/internal/model"
+	"gsfl/internal/optim"
+	"gsfl/internal/schemes"
+	"gsfl/internal/simnet"
+)
+
+// Trainer is the vanilla-SL scheme mid-training.
+type Trainer struct {
+	env *schemes.Env
+
+	m         *model.SplitModel
+	clientOpt *optim.SGD
+	serverOpt *optim.SGD
+	loaders   []*data.Loader
+}
+
+// New validates the environment and assembles an SL trainer.
+func New(env *schemes.Env) (*Trainer, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Trainer{
+		env:       env,
+		m:         env.Arch.NewSplit(env.Rng("init", 0), env.Cut),
+		clientOpt: env.NewOptimizer(),
+		serverOpt: env.NewOptimizer(),
+	}
+	t.loaders = make([]*data.Loader, env.Fleet.N())
+	for ci, ds := range env.Train {
+		t.loaders[ci] = data.NewLoader(ds, env.Hyper.Batch, env.Arch.InShape, env.Rng("loader", ci))
+	}
+	return t, nil
+}
+
+// Name implements schemes.Trainer.
+func (t *Trainer) Name() string { return "sl" }
+
+// Round implements schemes.Trainer: every client trains once, in order,
+// with the client model relayed between consecutive clients.
+func (t *Trainer) Round() *simnet.Ledger {
+	env := t.env
+	env.Channel.AdvanceRound() // client mobility (no-op when static)
+	led := &simnet.Ledger{}
+	n := env.Fleet.N()
+	up := env.Channel.UplinkHz() // sole active client: full budget
+	down := env.Channel.DownlinkHz()
+	for ci := 0; ci < n; ci++ {
+		for s := 0; s < env.Hyper.StepsPerClient; s++ {
+			batch := t.loaders[ci].Next()
+			schemes.SplitStep(t.m, t.clientOpt, t.serverOpt, batch, env.Hyper.QuantizeTransfers)
+			schemes.StepLatency(env, t.m, ci, len(batch.Y), up, down, led)
+		}
+		// Hand the client model to the next client (wrapping to next
+		// round's first client), always through the AP.
+		next := (ci + 1) % n
+		schemes.RelayLatency(env, t.m, ci, next, up, down, led)
+	}
+	return led
+}
+
+// Evaluate implements schemes.Trainer.
+func (t *Trainer) Evaluate() (float64, float64) {
+	return schemes.Evaluate(t.m, t.env.Test, t.env.Arch.InShape)
+}

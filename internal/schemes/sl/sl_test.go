@@ -1,0 +1,74 @@
+package sl
+
+import (
+	"testing"
+
+	"gsfl/internal/schemes"
+	"gsfl/internal/schemes/schemestest"
+	"gsfl/internal/simnet"
+)
+
+func newTrainer(t *testing.T, seed int64, n int) *Trainer {
+	t.Helper()
+	tr, err := New(schemestest.NewEnv(seed, n, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestSLLearnsBlobs(t *testing.T) {
+	tr := newTrainer(t, 1, 6)
+	curve := schemes.RunCurve(tr, 10, 2)
+	if !curve.IsFinite() {
+		t.Fatal("training diverged")
+	}
+	if acc := curve.FinalAccuracy(); acc < 0.7 {
+		t.Fatalf("final accuracy %v; SL failed to learn", acc)
+	}
+}
+
+func TestSLDeterministic(t *testing.T) {
+	c1 := schemes.RunCurve(newTrainer(t, 3, 5), 4, 1)
+	c2 := schemes.RunCurve(newTrainer(t, 3, 5), 4, 1)
+	for i := range c1.Points {
+		if c1.Points[i] != c2.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, c1.Points[i], c2.Points[i])
+		}
+	}
+}
+
+func TestSLRoundComponents(t *testing.T) {
+	tr := newTrainer(t, 2, 4)
+	led := tr.Round()
+	for _, c := range []simnet.Component{
+		simnet.ClientCompute, simnet.Uplink, simnet.ServerCompute,
+		simnet.Downlink, simnet.Relay,
+	} {
+		if led.Get(c) <= 0 {
+			t.Fatalf("component %v is zero", c)
+		}
+	}
+	// Vanilla SL never aggregates.
+	if led.Get(simnet.Aggregation) != 0 {
+		t.Fatal("SL must not pay aggregation time")
+	}
+}
+
+func TestSLLatencyScalesWithClients(t *testing.T) {
+	// Sequential training: doubling the client count should roughly
+	// double the round latency (modulo heterogeneity noise).
+	small := newTrainer(t, 4, 4).Round().Total()
+	large := newTrainer(t, 4, 8).Round().Total()
+	if large < 1.5*small {
+		t.Fatalf("8-client round (%v) should be much longer than 4-client (%v)", large, small)
+	}
+}
+
+func TestSLInvalidEnv(t *testing.T) {
+	env := schemestest.NewEnv(1, 4, 30)
+	env.Test = nil
+	if _, err := New(env); err == nil {
+		t.Fatal("expected error for invalid env")
+	}
+}

@@ -1,0 +1,171 @@
+// Package simnet provides the deterministic virtual-clock accounting the
+// latency evaluation runs on.
+//
+// The paper's delay numbers come from summing compute and transfer times
+// along each scheme's critical path: sequential stages add, parallel
+// stages take the max. A Ledger records those contributions per
+// component (client compute, uplink, downlink, server compute, model
+// relay, aggregation), which yields both the Fig. 2(b) curves and the
+// latency-breakdown table. No real time passes; everything is replayable
+// and exact.
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Component labels one contributor to round latency.
+type Component int
+
+const (
+	// ClientCompute is client-side forward+backward time.
+	ClientCompute Component = iota
+	// Uplink is smashed-data / model upload time.
+	Uplink
+	// ServerCompute is server-side forward+backward time.
+	ServerCompute
+	// Downlink is gradient / model download time.
+	Downlink
+	// Relay is client-model hand-off between consecutive clients.
+	Relay
+	// Aggregation is FedAvg time at the AP.
+	Aggregation
+	numComponents
+)
+
+// String implements fmt.Stringer.
+func (c Component) String() string {
+	switch c {
+	case ClientCompute:
+		return "client-compute"
+	case Uplink:
+		return "uplink"
+	case ServerCompute:
+		return "server-compute"
+	case Downlink:
+		return "downlink"
+	case Relay:
+		return "relay"
+	case Aggregation:
+		return "aggregation"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// Components lists all components in display order.
+func Components() []Component {
+	out := make([]Component, numComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// Ledger accumulates virtual seconds per component. The zero value is an
+// empty ledger ready to use.
+type Ledger struct {
+	seconds [numComponents]float64
+}
+
+// Add records dt seconds against component c. Negative durations panic:
+// time never runs backward in the simulation.
+func (l *Ledger) Add(c Component, dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("simnet: negative duration %v for %v", dt, c))
+	}
+	if c < 0 || c >= numComponents {
+		panic(fmt.Sprintf("simnet: unknown component %d", int(c)))
+	}
+	l.seconds[c] += dt
+}
+
+// Get returns the accumulated seconds for component c.
+func (l *Ledger) Get(c Component) float64 {
+	if c < 0 || c >= numComponents {
+		panic(fmt.Sprintf("simnet: unknown component %d", int(c)))
+	}
+	return l.seconds[c]
+}
+
+// Total returns the sum over all components.
+func (l *Ledger) Total() float64 {
+	t := 0.0
+	for _, s := range l.seconds {
+		t += s
+	}
+	return t
+}
+
+// Merge adds every component of other into l (sequential composition).
+func (l *Ledger) Merge(other *Ledger) {
+	for i := range l.seconds {
+		l.seconds[i] += other.seconds[i]
+	}
+}
+
+// MaxOf returns a ledger representing parallel composition: the ledger
+// among ls with the largest total (the critical path). Component detail
+// of the chosen ledger is preserved so breakdowns stay meaningful.
+// It panics on an empty slice.
+func MaxOf(ls []*Ledger) *Ledger {
+	if len(ls) == 0 {
+		panic("simnet: MaxOf of zero ledgers")
+	}
+	best := ls[0]
+	for _, l := range ls[1:] {
+		if l.Total() > best.Total() {
+			best = l
+		}
+	}
+	cp := *best
+	return &cp
+}
+
+// Breakdown renders the per-component totals, largest first.
+func (l *Ledger) Breakdown() string {
+	type row struct {
+		c Component
+		s float64
+	}
+	rows := make([]row, 0, numComponents)
+	for i, s := range l.seconds {
+		rows = append(rows, row{Component(i), s})
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].s > rows[b].s })
+	var sb strings.Builder
+	for _, r := range rows {
+		if r.s == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-16s %12.4fs\n", r.c, r.s)
+	}
+	fmt.Fprintf(&sb, "%-16s %12.4fs\n", "total", l.Total())
+	return sb.String()
+}
+
+// Clock is a monotone virtual clock measured in seconds.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by dt seconds.
+func (c *Clock) Advance(dt float64) {
+	if dt < 0 {
+		panic(fmt.Sprintf("simnet: clock cannot move backward (dt=%v)", dt))
+	}
+	c.now += dt
+}
+
+// AdvanceTo moves the clock to t, which must not be in the past.
+func (c *Clock) AdvanceTo(t float64) {
+	if t < c.now {
+		panic(fmt.Sprintf("simnet: AdvanceTo(%v) before now (%v)", t, c.now))
+	}
+	c.now = t
+}

@@ -1,0 +1,125 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window.
+// Inputs are NCHW: (batch, channels, height, width).
+type ConvGeom struct {
+	InC, InH, InW    int // input channels / height / width
+	KH, KW           int // kernel height / width
+	StrideH, StrideW int // strides
+	PadH, PadW       int // symmetric zero padding
+}
+
+// OutH returns the output height for this geometry.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.PadH-g.KH)/g.StrideH + 1 }
+
+// OutW returns the output width for this geometry.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.PadW-g.KW)/g.StrideW + 1 }
+
+// Validate returns an error when the geometry cannot produce an output.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 {
+		return fmt.Errorf("tensor: conv geometry has non-positive input dims %+v", g)
+	}
+	if g.KH <= 0 || g.KW <= 0 {
+		return fmt.Errorf("tensor: conv geometry has non-positive kernel %+v", g)
+	}
+	if g.StrideH <= 0 || g.StrideW <= 0 {
+		return fmt.Errorf("tensor: conv geometry has non-positive stride %+v", g)
+	}
+	if g.PadH < 0 || g.PadW < 0 {
+		return fmt.Errorf("tensor: conv geometry has negative padding %+v", g)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("tensor: conv geometry produces empty output %+v", g)
+	}
+	return nil
+}
+
+// Im2Col unrolls one image (CHW, flat in src) into a column matrix of
+// shape (C*KH*KW) x (OutH*OutW), written into dst. This turns convolution
+// into a single MatMul, which is how Conv2D achieves acceptable CPU
+// performance. dst must have size (InC*KH*KW) * (OutH*OutW).
+func Im2Col(dst, src []float64, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := outH * outW
+	if want := g.InC * g.KH * g.KW * cols; len(dst) != want {
+		panic(fmt.Sprintf("tensor: Im2Col dst size %d, want %d", len(dst), want))
+	}
+	if want := g.InC * g.InH * g.InW; len(src) != want {
+		panic(fmt.Sprintf("tensor: Im2Col src size %d, want %d", len(src), want))
+	}
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				drow := dst[row*cols : (row+1)*cols]
+				row++
+				di := 0
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						for ow := 0; ow < outW; ow++ {
+							drow[di] = 0
+							di++
+						}
+						continue
+					}
+					rowBase := chanBase + ih*g.InW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw < 0 || iw >= g.InW {
+							drow[di] = 0
+						} else {
+							drow[di] = src[rowBase+iw]
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatter-adds a column matrix (the layout produced by Im2Col) back
+// into an image (CHW, flat in dst). dst is NOT zeroed first: overlapping
+// windows accumulate, which is exactly the gradient semantics the conv
+// backward pass needs.
+func Col2Im(dst, src []float64, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := outH * outW
+	if want := g.InC * g.KH * g.KW * cols; len(src) != want {
+		panic(fmt.Sprintf("tensor: Col2Im src size %d, want %d", len(src), want))
+	}
+	if want := g.InC * g.InH * g.InW; len(dst) != want {
+		panic(fmt.Sprintf("tensor: Col2Im dst size %d, want %d", len(dst), want))
+	}
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chanBase := c * g.InH * g.InW
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				srow := src[row*cols : (row+1)*cols]
+				row++
+				si := 0
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.StrideH - g.PadH + kh
+					if ih < 0 || ih >= g.InH {
+						si += outW
+						continue
+					}
+					rowBase := chanBase + ih*g.InW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.StrideW - g.PadW + kw
+						if iw >= 0 && iw < g.InW {
+							dst[rowBase+iw] += srow[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+}

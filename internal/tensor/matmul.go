@@ -1,0 +1,145 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a @ b for 2-D tensors.
+// a is (m×k), b is (k×n); the result is (m×n).
+//
+// The inner loops are ordered i-k-j so the innermost loop walks both the
+// output row and the b row contiguously — the standard cache-friendly
+// ikj schedule, which is 5-10x faster than the naive ijk order for the
+// matrix sizes the NN layers produce.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	out := New(m, n)
+	matMulInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// MatMulInto computes dst = a @ b, reusing dst's storage. dst must be
+// (m×n). It returns dst.
+func MatMulInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(a, b)
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	matMulInto(dst.Data, a.Data, b.Data, m, k, n)
+	return dst
+}
+
+func checkMatMul(a, b *Tensor) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D tensors, got %v and %v", a.shape, b.shape))
+	}
+	if a.shape[1] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	return a.shape[0], a.shape[1], b.shape[1]
+}
+
+func matMulInto(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for kk, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA returns aᵀ @ b where a is (k×m) and b is (k×n); the result
+// is (m×n). Used for weight gradients (xᵀ @ dy) without materializing the
+// transpose.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D tensors, got %v and %v", a.shape, b.shape))
+	}
+	if a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	out := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		arow := a.Data[kk*m : (kk+1)*m]
+		brow := b.Data[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a @ bᵀ where a is (m×k) and b is (n×k); the result
+// is (m×n). Used for input gradients (dy @ wᵀ) without materializing the
+// transpose.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB requires 2-D tensors, got %v and %v", a.shape, b.shape))
+	}
+	if a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	m, k, n := a.shape[0], a.shape[1], b.shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			drow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor as a new tensor.
+func (t *Tensor) Transpose2D() *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D on %d-D tensor", len(t.shape)))
+	}
+	r, c := t.shape[0], t.shape[1]
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j*r+i] = v
+		}
+	}
+	return out
+}
+
+// AddRowVector adds a 1-D vector v (length n) to every row of a 2-D
+// (m×n) tensor in place. Used for bias addition.
+func (t *Tensor) AddRowVector(v *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: AddRowVector on %d-D tensor", len(t.shape)))
+	}
+	n := t.shape[1]
+	if v.Size() != n {
+		panic(fmt.Sprintf("tensor: AddRowVector vector size %d, want %d", v.Size(), n))
+	}
+	for i := 0; i < t.shape[0]; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += v.Data[j]
+		}
+	}
+	return t
+}

@@ -1,0 +1,70 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks for the numerical kernels the NN framework spends its
+// time in. These guide optimization of the simulation's wall-clock cost
+// (they do not correspond to paper figures).
+
+func benchMatrices(m, k, n int) (*Tensor, *Tensor) {
+	rng := rand.New(rand.NewSource(1))
+	return New(m, k).RandNormal(rng, 0, 1), New(k, n).RandNormal(rng, 0, 1)
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	x, y := benchMatrices(64, 64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMul256(b *testing.B) {
+	x, y := benchMatrices(256, 256, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulInto64(b *testing.B) {
+	x, y := benchMatrices(64, 64, 64)
+	dst := New(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := New(128, 64).RandNormal(rng, 0, 1)
+	y := New(128, 32).RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(x, y)
+	}
+}
+
+func BenchmarkIm2Col32(b *testing.B) {
+	g := ConvGeom{InC: 8, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	src := make([]float64, 8*32*32)
+	dst := make([]float64, 8*9*32*32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Im2Col(dst, src, g)
+	}
+}
+
+func BenchmarkAddScaled(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(1<<16).RandNormal(rng, 0, 1)
+	y := New(1<<16).RandNormal(rng, 0, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x.AddScaled(0.001, y)
+	}
+}

@@ -1,0 +1,386 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"gsfl/internal/agg"
+	"gsfl/internal/data"
+	"gsfl/internal/loss"
+	"gsfl/internal/model"
+	"gsfl/internal/nn"
+	"gsfl/internal/optim"
+	"gsfl/internal/quantize"
+	"gsfl/internal/tensor"
+)
+
+// APConfig configures the access point / edge server.
+type APConfig struct {
+	// Arch and Cut define the model and split point.
+	Arch model.Arch
+	Cut  int
+	// Groups assigns registered client IDs to groups; clients within a
+	// group train sequentially, groups run concurrently.
+	Groups [][]int
+	// StepsPerClient is the number of mini-batches per client turn.
+	StepsPerClient int
+	// LR / Momentum configure the server-side optimizers (one per group).
+	LR       float64
+	Momentum float64
+	// Test is the evaluation set held at the AP.
+	Test data.Dataset
+	// Seed derives model initialization.
+	Seed int64
+	// Quantize enables 8-bit quantization of the smashed-data and
+	// gradient frames (the model halves still travel at full precision).
+	// Clients must be configured identically.
+	Quantize bool
+}
+
+// AP is the listening access point. It owns the global model halves, one
+// server-side replica per group, and the client registry.
+type AP struct {
+	cfg APConfig
+	ln  net.Listener
+
+	globalClient model.Snapshot
+	globalServer model.Snapshot
+	replicas     []*nn.Sequential // server halves, one per group
+	serverOpts   []*optim.SGD
+	evalModel    *model.SplitModel
+
+	mu      sync.Mutex
+	conns   map[int]*clientConn
+	arrived chan struct{} // signalled on each registration
+
+	// accepting goroutine lifecycle
+	acceptDone chan struct{}
+	closed     bool
+}
+
+// clientConn is one registered client's connection with its codec pair.
+// A connection is only ever used by the single group goroutine that owns
+// the client, so no locking is needed around enc/dec during a round.
+type clientConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// NewAP validates the config, builds the models, and starts listening on
+// addr (e.g. "127.0.0.1:0" for an ephemeral test port).
+func NewAP(addr string, cfg APConfig) (*AP, error) {
+	if cfg.StepsPerClient <= 0 {
+		return nil, fmt.Errorf("transport: steps per client %d must be positive", cfg.StepsPerClient)
+	}
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("transport: learning rate %v must be positive", cfg.LR)
+	}
+	if len(cfg.Groups) == 0 {
+		return nil, errors.New("transport: no groups configured")
+	}
+	seen := map[int]bool{}
+	for gi, g := range cfg.Groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("transport: group %d is empty", gi)
+		}
+		for _, ci := range g {
+			if seen[ci] {
+				return nil, fmt.Errorf("transport: client %d appears in two groups", ci)
+			}
+			seen[ci] = true
+		}
+	}
+	if cfg.Test == nil || cfg.Test.Len() == 0 {
+		return nil, errors.New("transport: missing test set")
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	init := cfg.Arch.NewSplit(rand.New(rand.NewSource(cfg.Seed)), cfg.Cut)
+	ap := &AP{
+		cfg:          cfg,
+		ln:           ln,
+		globalClient: model.TakeSnapshot(init.Client),
+		globalServer: model.TakeSnapshot(init.Server),
+		evalModel:    init,
+		conns:        make(map[int]*clientConn),
+		arrived:      make(chan struct{}, 1024),
+		acceptDone:   make(chan struct{}),
+	}
+	ap.replicas = make([]*nn.Sequential, len(cfg.Groups))
+	ap.serverOpts = make([]*optim.SGD, len(cfg.Groups))
+	for g := range cfg.Groups {
+		rep := cfg.Arch.NewSplit(rand.New(rand.NewSource(cfg.Seed+int64(g)+1)), cfg.Cut)
+		ap.replicas[g] = rep.Server
+		ap.serverOpts[g] = optim.NewSGDMomentum(cfg.LR, cfg.Momentum)
+	}
+	go ap.acceptLoop()
+	return ap, nil
+}
+
+// Addr returns the listening address clients should dial.
+func (ap *AP) Addr() string { return ap.ln.Addr().String() }
+
+// acceptLoop registers incoming clients until the listener closes.
+func (ap *AP) acceptLoop() {
+	defer close(ap.acceptDone)
+	for {
+		conn, err := ap.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go ap.register(conn)
+	}
+}
+
+// register reads the hello frame and files the connection under its
+// client ID. Bad registrations drop the connection.
+func (ap *AP) register(conn net.Conn) {
+	cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	var hello clientEnvelope
+	if err := cc.dec.Decode(&hello); err != nil || hello.Kind != kindHello {
+		conn.Close()
+		return
+	}
+	ap.mu.Lock()
+	if _, dup := ap.conns[hello.ClientID]; dup {
+		ap.mu.Unlock()
+		conn.Close()
+		return
+	}
+	ap.conns[hello.ClientID] = cc
+	ap.mu.Unlock()
+	select {
+	case ap.arrived <- struct{}{}:
+	default:
+	}
+}
+
+// WaitForClients blocks until every client named in Groups has
+// registered, or the timeout elapses.
+func (ap *AP) WaitForClients(timeout time.Duration) error {
+	deadline := time.After(timeout)
+	for {
+		if ap.allRegistered() {
+			return nil
+		}
+		select {
+		case <-ap.arrived:
+		case <-deadline:
+			return fmt.Errorf("transport: timed out waiting for clients (%d registered)", ap.clientCount())
+		}
+	}
+}
+
+func (ap *AP) allRegistered() bool {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	for _, g := range ap.cfg.Groups {
+		for _, ci := range g {
+			if _, ok := ap.conns[ci]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (ap *AP) clientCount() int {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	return len(ap.conns)
+}
+
+// Round drives one full GSFL round over the network: distribution,
+// concurrent per-group split training, and aggregation. It returns the
+// first error any group encountered (the round is then unusable and the
+// caller should Shutdown).
+func (ap *AP) Round() error {
+	type result struct {
+		group  int
+		client model.Snapshot
+		err    error
+	}
+	results := make(chan result, len(ap.cfg.Groups))
+
+	for g := range ap.cfg.Groups {
+		// Step 1: every group replica starts from the global server half.
+		ap.globalServer.Restore(ap.replicas[g])
+		go func(g int) {
+			snap, err := ap.runGroup(g)
+			results <- result{group: g, client: snap, err: err}
+		}(g)
+	}
+
+	clientSnaps := make([]model.Snapshot, 0, len(ap.cfg.Groups))
+	serverSnaps := make([]model.Snapshot, 0, len(ap.cfg.Groups))
+	weights := make([]float64, 0, len(ap.cfg.Groups))
+	var firstErr error
+	for range ap.cfg.Groups {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("transport: group %d: %w", r.group, r.err)
+			}
+			continue
+		}
+		clientSnaps = append(clientSnaps, r.client)
+		serverSnaps = append(serverSnaps, model.TakeSnapshot(ap.replicas[r.group]))
+		weights = append(weights, float64(len(ap.cfg.Groups[r.group])))
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	// Step 3: aggregation among groups.
+	ap.globalClient = agg.FedAvg(clientSnaps, weights)
+	ap.globalServer = agg.FedAvg(serverSnaps, weights)
+	return nil
+}
+
+// runGroup executes Step 2 for one group: sequential split training
+// through its clients, relaying the client model via this AP. Returns
+// the final client-side snapshot.
+func (ap *AP) runGroup(g int) (model.Snapshot, error) {
+	lossFn := loss.SoftmaxCrossEntropy{}
+	server := ap.replicas[g]
+	opt := ap.serverOpts[g]
+	modelWire := snapshotToWire(ap.globalClient)
+
+	for _, ci := range ap.cfg.Groups[g] {
+		cc := ap.connFor(ci)
+		if cc == nil {
+			return model.Snapshot{}, fmt.Errorf("client %d not registered", ci)
+		}
+		// Hand the current client model to this client and start its turn.
+		err := cc.enc.Encode(apEnvelope{
+			Kind:  kindTrain,
+			Model: modelWire,
+			Steps: ap.cfg.StepsPerClient,
+		})
+		if err != nil {
+			return model.Snapshot{}, fmt.Errorf("sending train to %d: %w", ci, err)
+		}
+		for s := 0; s < ap.cfg.StepsPerClient; s++ {
+			var msg clientEnvelope
+			if err := cc.dec.Decode(&msg); err != nil {
+				return model.Snapshot{}, fmt.Errorf("reading smashed from %d: %w", ci, err)
+			}
+			if msg.Kind != kindSmashed {
+				return model.Snapshot{}, fmt.Errorf("client %d sent %q, want smashed", ci, msg.Kind)
+			}
+			acts, err := decodeActs(&msg)
+			if err != nil {
+				return model.Snapshot{}, err
+			}
+			// Server-side forward + loss + backward, then return the cut
+			// gradient.
+			logits := server.Forward(acts, true)
+			_, dLogits := lossFn.Eval(logits, msg.Labels)
+			server.ZeroGrads()
+			dSmashed := server.Backward(dLogits)
+			opt.Step(server.Params(), server.Grads(), server.DecayMask())
+			grad := apEnvelope{Kind: kindGradient}
+			if ap.cfg.Quantize {
+				grad.QGrad = quantize.Quantize(dSmashed)
+			} else {
+				grad.Grad = toWire(dSmashed)
+			}
+			if err := cc.enc.Encode(grad); err != nil {
+				return model.Snapshot{}, fmt.Errorf("sending gradient to %d: %w", ci, err)
+			}
+		}
+		var ret clientEnvelope
+		if err := cc.dec.Decode(&ret); err != nil {
+			return model.Snapshot{}, fmt.Errorf("reading model return from %d: %w", ci, err)
+		}
+		if ret.Kind != kindReturn {
+			return model.Snapshot{}, fmt.Errorf("client %d sent %q, want return", ci, ret.Kind)
+		}
+		modelWire = ret.Model // relay to the next client (through this AP)
+	}
+	snap, err := snapshotFromWire(modelWire)
+	if err != nil {
+		return model.Snapshot{}, err
+	}
+	return snap, nil
+}
+
+func (ap *AP) connFor(ci int) *clientConn {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	return ap.conns[ci]
+}
+
+// Evaluate runs the aggregated global model over the AP's test set.
+func (ap *AP) Evaluate() (lossVal, acc float64) {
+	ap.globalClient.Restore(ap.evalModel.Client)
+	ap.globalServer.Restore(ap.evalModel.Server)
+	lossFn := loss.SoftmaxCrossEntropy{}
+	n := ap.cfg.Test.Len()
+	const chunk = 256
+	total, correct := 0.0, 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		cnt := hi - lo
+		shape := append([]int{cnt}, ap.cfg.Arch.InShape...)
+		x := tensor.New(shape...)
+		y := make([]int, cnt)
+		per := x.Size() / cnt
+		for i := lo; i < hi; i++ {
+			f, label := ap.cfg.Test.Sample(i)
+			copy(x.Data[(i-lo)*per:(i-lo+1)*per], f)
+			y[i-lo] = label
+		}
+		logits := ap.evalModel.Forward(x, false)
+		l, _ := lossFn.Eval(logits, y)
+		total += l * float64(cnt)
+		for i, p := range logits.ArgMaxRows() {
+			if p == y[i] {
+				correct++
+			}
+		}
+	}
+	return total / float64(n), float64(correct) / float64(n)
+}
+
+// Shutdown tells every client to exit, closes all connections, and stops
+// the listener. Safe to call once.
+func (ap *AP) Shutdown() error {
+	ap.mu.Lock()
+	if ap.closed {
+		ap.mu.Unlock()
+		return nil
+	}
+	ap.closed = true
+	conns := make([]*clientConn, 0, len(ap.conns))
+	for _, cc := range ap.conns {
+		conns = append(conns, cc)
+	}
+	ap.mu.Unlock()
+
+	var firstErr error
+	for _, cc := range conns {
+		if err := cc.enc.Encode(apEnvelope{Kind: kindShutdown}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := cc.conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := ap.ln.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	<-ap.acceptDone
+	return firstErr
+}

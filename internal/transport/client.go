@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+
+	"gsfl/internal/data"
+	"gsfl/internal/model"
+	"gsfl/internal/optim"
+	"gsfl/internal/quantize"
+)
+
+// ClientConfig configures one client node.
+type ClientConfig struct {
+	// ID is the client's fleet index; it must match an entry in the AP's
+	// Groups.
+	ID int
+	// Arch and Cut must match the AP's (the client builds the client-side
+	// half structure; parameters arrive over the wire).
+	Arch model.Arch
+	Cut  int
+	// Train is the client's private dataset.
+	Train data.Dataset
+	// Batch is the mini-batch size.
+	Batch int
+	// LR / Momentum configure the local client-side optimizer.
+	LR       float64
+	Momentum float64
+	// Seed derives the loader's shuffling stream.
+	Seed int64
+	// Quantize must match the AP's setting: 8-bit smashed-data frames
+	// out, 8-bit gradient frames expected back.
+	Quantize bool
+}
+
+// Client is one mobile device participating in GSFL over the network.
+type Client struct {
+	cfg    ClientConfig
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	half   *model.SplitModel
+	opt    *optim.SGD
+	loader *data.Loader
+}
+
+// Dial connects to the AP and registers. The returned Client is ready
+// for Run.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	if cfg.Train == nil || cfg.Train.Len() == 0 {
+		return nil, errors.New("transport: client has no data")
+	}
+	if cfg.Batch <= 0 {
+		return nil, fmt.Errorf("transport: batch %d must be positive", cfg.Batch)
+	}
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("transport: learning rate %v must be positive", cfg.LR)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		cfg:  cfg,
+		conn: conn,
+		enc:  gob.NewEncoder(conn),
+		dec:  gob.NewDecoder(conn),
+		// Structure only; parameters are overwritten by each TrainRequest.
+		half:   cfg.Arch.NewSplit(rand.New(rand.NewSource(cfg.Seed)), cfg.Cut),
+		opt:    optim.NewSGDMomentum(cfg.LR, cfg.Momentum),
+		loader: data.NewLoader(cfg.Train, cfg.Batch, cfg.Arch.InShape, rand.New(rand.NewSource(cfg.Seed+1))),
+	}
+	if err := c.enc.Encode(clientEnvelope{Kind: kindHello, ClientID: cfg.ID}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	return c, nil
+}
+
+// Run processes training turns until the AP sends shutdown or the
+// connection drops. It always closes the connection before returning.
+func (c *Client) Run() error {
+	defer c.conn.Close()
+	for {
+		var msg apEnvelope
+		if err := c.dec.Decode(&msg); err != nil {
+			return fmt.Errorf("transport: client %d read: %w", c.cfg.ID, err)
+		}
+		switch msg.Kind {
+		case kindShutdown:
+			return nil
+		case kindTrain:
+			if err := c.trainTurn(msg); err != nil {
+				return fmt.Errorf("transport: client %d: %w", c.cfg.ID, err)
+			}
+		default:
+			return fmt.Errorf("transport: client %d got unexpected %q", c.cfg.ID, msg.Kind)
+		}
+	}
+}
+
+// trainTurn executes one local training turn: load the relayed model,
+// run Steps split mini-batches against the AP, and return the model.
+func (c *Client) trainTurn(req apEnvelope) error {
+	snap, err := snapshotFromWire(req.Model)
+	if err != nil {
+		return err
+	}
+	snap.Restore(c.half.Client)
+
+	for s := 0; s < req.Steps; s++ {
+		batch := c.loader.Next()
+		smashed := c.half.Client.Forward(batch.X, true)
+		frame := clientEnvelope{Kind: kindSmashed, Labels: batch.Y}
+		if c.cfg.Quantize {
+			frame.QActs = quantize.Quantize(smashed)
+		} else {
+			frame.Acts = toWire(smashed)
+		}
+		if err := c.enc.Encode(frame); err != nil {
+			return fmt.Errorf("sending smashed: %w", err)
+		}
+		var resp apEnvelope
+		if err := c.dec.Decode(&resp); err != nil {
+			return fmt.Errorf("reading gradient: %w", err)
+		}
+		if resp.Kind != kindGradient {
+			return fmt.Errorf("got %q, want gradient", resp.Kind)
+		}
+		grad, err := decodeGrad(&resp)
+		if err != nil {
+			return err
+		}
+		c.half.Client.ZeroGrads()
+		c.half.Client.Backward(grad)
+		c.opt.Step(c.half.Client.Params(), c.half.Client.Grads(), c.half.Client.DecayMask())
+	}
+
+	return c.enc.Encode(clientEnvelope{
+		Kind:  kindReturn,
+		Model: snapshotToWire(model.TakeSnapshot(c.half.Client)),
+	})
+}

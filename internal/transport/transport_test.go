@@ -1,0 +1,319 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"gsfl/internal/data"
+	"gsfl/internal/model"
+	"gsfl/internal/partition"
+	"gsfl/internal/quantize"
+	"gsfl/internal/schemes/schemestest"
+	"gsfl/internal/tensor"
+)
+
+// launchWorld starts an AP plus one goroutine per client on localhost
+// and returns the AP, a shutdown func, and an error channel collecting
+// client Run results.
+func launchWorld(t *testing.T, nClients, nGroups, steps int) (*AP, func(), chan error) {
+	t.Helper()
+	arch := model.MLP(schemestest.BlobDim, 16, schemestest.BlobClasses)
+	cut := model.MLPDefaultCut
+
+	rng := rand.New(rand.NewSource(1))
+	pool := schemestest.Blobs(nClients*40, 0.6, rng)
+	parts := partition.IID(pool, nClients, rand.New(rand.NewSource(2)))
+	test := schemestest.Blobs(200, 0.6, rand.New(rand.NewSource(3)))
+
+	groups := partition.Groups(nClients, nGroups, partition.GroupRoundRobin, nil, nil)
+	ap, err := NewAP("127.0.0.1:0", APConfig{
+		Arch:           arch,
+		Cut:            cut,
+		Groups:         groups,
+		StepsPerClient: steps,
+		LR:             0.05,
+		Momentum:       0.9,
+		Test:           test,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, nClients)
+	var wg sync.WaitGroup
+	for ci := 0; ci < nClients; ci++ {
+		cl, err := Dial(ap.Addr(), ClientConfig{
+			ID:       ci,
+			Arch:     arch,
+			Cut:      cut,
+			Train:    parts[ci],
+			Batch:    8,
+			LR:       0.05,
+			Momentum: 0.9,
+			Seed:     int64(100 + ci),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- cl.Run()
+		}()
+	}
+	if err := ap.WaitForClients(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	stop := func() {
+		if err := ap.Shutdown(); err != nil {
+			t.Logf("shutdown: %v", err)
+		}
+		wg.Wait()
+		close(errs)
+	}
+	return ap, stop, errs
+}
+
+func TestNetworkGSFLTrainsEndToEnd(t *testing.T) {
+	ap, stop, errs := launchWorld(t, 6, 2, 4)
+	_, before := ap.Evaluate()
+	for r := 0; r < 10; r++ {
+		if err := ap.Round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, after := ap.Evaluate()
+	stop()
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("client error: %v", err)
+		}
+	}
+	if after < 0.7 {
+		t.Fatalf("network GSFL accuracy %v after 10 rounds (started at %v)", after, before)
+	}
+	if after <= before {
+		t.Fatalf("accuracy did not improve: %v -> %v", before, after)
+	}
+}
+
+func TestNetworkGroupsRunConcurrently(t *testing.T) {
+	// Smoke test with more groups than CPUs would still pass; here we
+	// just verify a multi-group round completes and aggregates.
+	ap, stop, errs := launchWorld(t, 8, 4, 2)
+	defer func() {
+		stop()
+		for err := range errs {
+			if err != nil {
+				t.Fatalf("client error: %v", err)
+			}
+		}
+	}()
+	if err := ap.Round(); err != nil {
+		t.Fatal(err)
+	}
+	l, a := ap.Evaluate()
+	if l <= 0 || a < 0 || a > 1 {
+		t.Fatalf("evaluate returned loss=%v acc=%v", l, a)
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	ap, stop, errs := launchWorld(t, 2, 1, 1)
+	stop()
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("client error: %v", err)
+		}
+	}
+	if err := ap.Shutdown(); err != nil {
+		t.Fatalf("second shutdown errored: %v", err)
+	}
+}
+
+func TestWaitForClientsTimeout(t *testing.T) {
+	arch := model.MLP(schemestest.BlobDim, 8, schemestest.BlobClasses)
+	test := schemestest.Blobs(20, 0.6, rand.New(rand.NewSource(1)))
+	ap, err := NewAP("127.0.0.1:0", APConfig{
+		Arch:           arch,
+		Cut:            model.MLPDefaultCut,
+		Groups:         [][]int{{0}},
+		StepsPerClient: 1,
+		LR:             0.1,
+		Test:           test,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.Shutdown()
+	if err := ap.WaitForClients(50 * time.Millisecond); err == nil {
+		t.Fatal("expected timeout with no clients")
+	}
+}
+
+func TestNewAPValidation(t *testing.T) {
+	arch := model.MLP(schemestest.BlobDim, 8, schemestest.BlobClasses)
+	test := schemestest.Blobs(20, 0.6, rand.New(rand.NewSource(1)))
+	base := APConfig{
+		Arch: arch, Cut: model.MLPDefaultCut,
+		Groups: [][]int{{0}}, StepsPerClient: 1, LR: 0.1, Test: test,
+	}
+	cases := []struct {
+		name string
+		mut  func(*APConfig)
+	}{
+		{"zero steps", func(c *APConfig) { c.StepsPerClient = 0 }},
+		{"zero lr", func(c *APConfig) { c.LR = 0 }},
+		{"no groups", func(c *APConfig) { c.Groups = nil }},
+		{"empty group", func(c *APConfig) { c.Groups = [][]int{{}} }},
+		{"duplicate client", func(c *APConfig) { c.Groups = [][]int{{0}, {0}} }},
+		{"no test", func(c *APConfig) { c.Test = nil }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			ap, err := NewAP("127.0.0.1:0", cfg)
+			if err == nil {
+				ap.Shutdown()
+				t.Fatal("expected config error")
+			}
+		})
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	arch := model.MLP(schemestest.BlobDim, 8, schemestest.BlobClasses)
+	ds := schemestest.Blobs(10, 0.6, rand.New(rand.NewSource(1)))
+	cases := []struct {
+		name string
+		cfg  ClientConfig
+	}{
+		{"no data", ClientConfig{ID: 0, Arch: arch, Cut: 2, Batch: 4, LR: 0.1}},
+		{"zero batch", ClientConfig{ID: 0, Arch: arch, Cut: 2, Train: ds, Batch: 0, LR: 0.1}},
+		{"zero lr", ClientConfig{ID: 0, Arch: arch, Cut: 2, Train: ds, Batch: 4, LR: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Dial("127.0.0.1:1", tc.cfg); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestWireTensorRoundTrip(t *testing.T) {
+	x := tensor.New(2, 3, 4).RandNormal(rand.New(rand.NewSource(5)), 0, 1)
+	w := toWire(x)
+	// Mutating the original must not affect the wire copy.
+	x.Fill(0)
+	y, err := fromWire(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Dim(2) != 4 || y.L2Norm() == 0 {
+		t.Fatal("wire round trip lost data or aliased the source")
+	}
+}
+
+func TestFromWireRejectsCorrupt(t *testing.T) {
+	if _, err := fromWire(WireTensor{Shape: []int{2, 2}, Data: []float64{1}}); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	if _, err := fromWire(WireTensor{Shape: []int{-1}, Data: nil}); err == nil {
+		t.Fatal("expected negative dimension error")
+	}
+}
+
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	arch := model.MLP(4, 3, 2)
+	m := arch.NewSplit(rand.New(rand.NewSource(1)), 2)
+	snap := model.TakeSnapshot(m.Client)
+	back, err := snapshotFromWire(snapshotToWire(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.L2Distance(back) != 0 {
+		t.Fatal("snapshot wire round trip changed parameters")
+	}
+}
+
+// Interface conformance: the network world reuses data.Dataset.
+var _ data.Dataset = (*data.InMemory)(nil)
+
+// launchQuantWorld is launchWorld with 8-bit frames enabled on both ends.
+func TestNetworkGSFLQuantizedFramesTrain(t *testing.T) {
+	arch := model.MLP(schemestest.BlobDim, 16, schemestest.BlobClasses)
+	cut := model.MLPDefaultCut
+	const nClients = 4
+
+	rng := rand.New(rand.NewSource(21))
+	pool := schemestest.Blobs(nClients*40, 0.6, rng)
+	parts := partition.IID(pool, nClients, rand.New(rand.NewSource(22)))
+	test := schemestest.Blobs(200, 0.6, rand.New(rand.NewSource(23)))
+	groups := partition.Groups(nClients, 2, partition.GroupRoundRobin, nil, nil)
+
+	ap, err := NewAP("127.0.0.1:0", APConfig{
+		Arch: arch, Cut: cut, Groups: groups,
+		StepsPerClient: 4, LR: 0.05, Momentum: 0.9,
+		Test: test, Seed: 7, Quantize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, nClients)
+	var wg sync.WaitGroup
+	for ci := 0; ci < nClients; ci++ {
+		cl, err := Dial(ap.Addr(), ClientConfig{
+			ID: ci, Arch: arch, Cut: cut, Train: parts[ci],
+			Batch: 8, LR: 0.05, Momentum: 0.9, Seed: int64(300 + ci),
+			Quantize: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- cl.Run()
+		}()
+	}
+	if err := ap.WaitForClients(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 10; r++ {
+		if err := ap.Round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, acc := ap.Evaluate()
+	if err := ap.Shutdown(); err != nil {
+		t.Logf("shutdown: %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("client error: %v", err)
+		}
+	}
+	// 8-bit transfers must still learn the toy task.
+	if acc < 0.7 {
+		t.Fatalf("quantized network GSFL accuracy %v", acc)
+	}
+}
+
+func TestDecodeActsPrefersQuantized(t *testing.T) {
+	x := tensor.New(6).RandNormal(rand.New(rand.NewSource(31)), 0, 1)
+	msg := clientEnvelope{QActs: quantize.Quantize(x)}
+	got, err := decodeActs(&msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got, x, msg.QActs.MaxError()+1e-12) {
+		t.Fatal("quantized decode outside error bound")
+	}
+}

@@ -1,0 +1,51 @@
+package wireless
+
+import (
+	"testing"
+)
+
+func TestOutageInflatesTransfers(t *testing.T) {
+	base := DefaultConfig()
+	base.FadingJitter = 0
+	base.OutageProb = 0
+	clean := NewChannel(base, 1, 42)
+
+	lossy := base
+	lossy.OutageProb = 0.5
+	flaky := NewChannel(lossy, 1, 42)
+
+	const bytes = 1 << 20
+	var cleanTotal, flakyTotal float64
+	for i := 0; i < 300; i++ {
+		cleanTotal += clean.TransferSeconds(0, bytes, 1e6, true)
+		flakyTotal += flaky.TransferSeconds(0, bytes, 1e6, true)
+	}
+	// Expected multiplier at p=0.5 is 1/(1-p) = 2.
+	ratio := flakyTotal / cleanTotal
+	if ratio < 1.5 || ratio > 2.6 {
+		t.Fatalf("outage cost ratio = %v, want ≈2", ratio)
+	}
+}
+
+func TestOutageZeroIsExactlyClean(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FadingJitter = 0
+	a := NewChannel(cfg, 1, 7)
+	b := NewChannel(cfg, 1, 7)
+	for i := 0; i < 10; i++ {
+		if a.TransferSeconds(0, 1000, 1e6, true) != b.TransferSeconds(0, 1000, 1e6, true) {
+			t.Fatal("outage-free transfers must be deterministic")
+		}
+	}
+}
+
+func TestOutageValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OutageProb = 1.0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for outage prob 1.0")
+		}
+	}()
+	NewChannel(cfg, 1, 1)
+}

@@ -1,0 +1,215 @@
+// Package wireless models the resource-limited wireless network between
+// the clients and the AP: path loss, shadowing, fast-fading jitter, and
+// Shannon-capacity link rates under a shared bandwidth budget.
+//
+// The model follows the standard cellular abstraction used by the
+// paper's delay evaluation (and by its reference [2]): client n at
+// distance d_n from the AP experiences 3GPP urban path loss, and a
+// transfer of B bytes over an allocated bandwidth W takes
+// 8B / (W log2(1 + SNR)) seconds. Uplink and downlink budgets are
+// separate, and concurrent transmissions share the budget through an
+// Allocator policy — which is exactly why GSFL's parallel groups pay a
+// per-transfer rate penalty that its parallelism must (and does)
+// overcome.
+package wireless
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config describes the radio environment.
+type Config struct {
+	// UplinkHz / DownlinkHz are the total shared bandwidth budgets.
+	UplinkHz   float64
+	DownlinkHz float64
+	// ClientTxPowerDBm is the client transmit power (uplink).
+	ClientTxPowerDBm float64
+	// APTxPowerDBm is the AP transmit power (downlink).
+	APTxPowerDBm float64
+	// NoiseDBmPerHz is the noise power spectral density.
+	NoiseDBmPerHz float64
+	// ShadowingSigmaDB is the log-normal shadowing std-dev, sampled once
+	// per client (slow fading).
+	ShadowingSigmaDB float64
+	// FadingJitter is the relative std-dev of per-transfer rate jitter
+	// (fast fading around the mean rate); 0 disables it.
+	FadingJitter float64
+	// OutageProb is the probability that a transfer attempt fails and
+	// must be retried from scratch (deep fade / collision). Each retry
+	// costs one full transfer duration; retries are independent, so the
+	// expected cost multiplier is 1/(1-p). 0 disables outages.
+	OutageProb float64
+	// MinDistanceM / MaxDistanceM bound client placement.
+	MinDistanceM float64
+	MaxDistanceM float64
+	// MobilitySigmaM is the per-round random-walk standard deviation of
+	// each client's distance from the AP (meters), reflecting at the
+	// distance bounds. Shadowing decorrelates alongside movement via an
+	// AR(1) process. 0 keeps clients static.
+	MobilitySigmaM float64
+}
+
+// DefaultConfig is a small-cell deployment: 20 MHz up / 20 MHz down,
+// 23 dBm clients, 30 dBm AP, thermal noise floor, clients 10-250 m out.
+func DefaultConfig() Config {
+	return Config{
+		UplinkHz:         20e6,
+		DownlinkHz:       20e6,
+		ClientTxPowerDBm: 23,
+		APTxPowerDBm:     30,
+		NoiseDBmPerHz:    -174,
+		ShadowingSigmaDB: 6,
+		FadingJitter:     0.1,
+		MinDistanceM:     10,
+		MaxDistanceM:     250,
+	}
+}
+
+// Channel is the instantiated radio environment for a fleet of N
+// clients. Construction samples static client positions and shadowing;
+// per-transfer fading is drawn from the channel's RNG at transfer time.
+type Channel struct {
+	cfg Config
+	// distM and shadowDB are per-client placement and slow fading.
+	distM    []float64
+	shadowDB []float64
+	rng      *rand.Rand
+}
+
+// NewChannel places n clients uniformly in the configured annulus and
+// samples their shadowing. Deterministic in seed.
+func NewChannel(cfg Config, n int, seed int64) *Channel {
+	if n <= 0 {
+		panic(fmt.Sprintf("wireless: client count %d must be positive", n))
+	}
+	if cfg.UplinkHz <= 0 || cfg.DownlinkHz <= 0 {
+		panic(fmt.Sprintf("wireless: bandwidth must be positive (up %v, down %v)", cfg.UplinkHz, cfg.DownlinkHz))
+	}
+	if cfg.MinDistanceM <= 0 || cfg.MaxDistanceM < cfg.MinDistanceM {
+		panic(fmt.Sprintf("wireless: bad distance bounds [%v, %v]", cfg.MinDistanceM, cfg.MaxDistanceM))
+	}
+	if cfg.FadingJitter < 0 || cfg.FadingJitter >= 1 {
+		panic(fmt.Sprintf("wireless: fading jitter %v outside [0,1)", cfg.FadingJitter))
+	}
+	if cfg.OutageProb < 0 || cfg.OutageProb >= 1 {
+		panic(fmt.Sprintf("wireless: outage probability %v outside [0,1)", cfg.OutageProb))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ch := &Channel{
+		cfg:      cfg,
+		distM:    make([]float64, n),
+		shadowDB: make([]float64, n),
+		rng:      rng,
+	}
+	for i := 0; i < n; i++ {
+		// Uniform over the annulus area (sqrt for radial density).
+		u := rng.Float64()
+		r2min := cfg.MinDistanceM * cfg.MinDistanceM
+		r2max := cfg.MaxDistanceM * cfg.MaxDistanceM
+		ch.distM[i] = math.Sqrt(r2min + u*(r2max-r2min))
+		ch.shadowDB[i] = rng.NormFloat64() * cfg.ShadowingSigmaDB
+	}
+	return ch
+}
+
+// N returns the number of clients the channel was built for.
+func (c *Channel) N() int { return len(c.distM) }
+
+// Distance returns client i's distance from the AP in meters.
+func (c *Channel) Distance(i int) float64 { return c.distM[i] }
+
+// pathLossDB is the 3GPP UMa-style path loss at distance d meters:
+// 128.1 + 37.6 log10(d/1000).
+func pathLossDB(dM float64) float64 {
+	return 128.1 + 37.6*math.Log10(dM/1000)
+}
+
+// snr returns the linear SNR for client i over bandwidth wHz in the
+// given direction.
+func (c *Channel) snr(i int, wHz float64, uplink bool) float64 {
+	tx := c.cfg.ClientTxPowerDBm
+	if !uplink {
+		tx = c.cfg.APTxPowerDBm
+	}
+	noiseDBm := c.cfg.NoiseDBmPerHz + 10*math.Log10(wHz)
+	rxDBm := tx - pathLossDB(c.distM[i]) - c.shadowDB[i]
+	return math.Pow(10, (rxDBm-noiseDBm)/10)
+}
+
+// MeanRate returns the Shannon rate in bits/s for client i when granted
+// wHz of bandwidth, before fast fading.
+func (c *Channel) MeanRate(i int, wHz float64, uplink bool) float64 {
+	if wHz <= 0 {
+		panic(fmt.Sprintf("wireless: allocated bandwidth %v must be positive", wHz))
+	}
+	return wHz * math.Log2(1+c.snr(i, wHz, uplink))
+}
+
+// TransferSeconds returns the time to move `bytes` for client i over an
+// allocation of wHz, applying one fast-fading draw. Deterministic given
+// the channel's RNG stream position.
+func (c *Channel) TransferSeconds(i int, bytes int64, wHz float64, uplink bool) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("wireless: negative transfer size %d", bytes))
+	}
+	if bytes == 0 {
+		return 0
+	}
+	rate := c.MeanRate(i, wHz, uplink)
+	if c.cfg.FadingJitter > 0 {
+		f := 1 + c.rng.NormFloat64()*c.cfg.FadingJitter
+		// Truncate so a fade can slow a transfer but never produce a
+		// non-positive rate.
+		if f < 0.2 {
+			f = 0.2
+		}
+		rate *= f
+	}
+	t := float64(bytes) * 8 / rate
+	if c.cfg.OutageProb > 0 {
+		// Each failed attempt costs one full transfer duration before the
+		// retry; attempts are independent Bernoulli trials.
+		attempts := 1
+		for c.rng.Float64() < c.cfg.OutageProb {
+			attempts++
+			if attempts > 100 { // safety valve against pathological configs
+				break
+			}
+		}
+		t *= float64(attempts)
+	}
+	return t
+}
+
+// UplinkHz and DownlinkHz expose the configured budgets for allocators.
+func (c *Channel) UplinkHz() float64   { return c.cfg.UplinkHz }
+func (c *Channel) DownlinkHz() float64 { return c.cfg.DownlinkHz }
+
+// AdvanceRound applies one round of client mobility: each client's
+// distance random-walks with the configured sigma (reflecting at the
+// bounds) and its shadowing decorrelates via an AR(1) update. A no-op
+// when MobilitySigmaM is 0, so static deployments pay nothing and stay
+// bit-for-bit reproducible.
+func (c *Channel) AdvanceRound() {
+	if c.cfg.MobilitySigmaM == 0 {
+		return
+	}
+	const shadowRho = 0.9
+	for i := range c.distM {
+		d := c.distM[i] + c.rng.NormFloat64()*c.cfg.MobilitySigmaM
+		// Reflect into [min, max].
+		for d < c.cfg.MinDistanceM || d > c.cfg.MaxDistanceM {
+			if d < c.cfg.MinDistanceM {
+				d = 2*c.cfg.MinDistanceM - d
+			}
+			if d > c.cfg.MaxDistanceM {
+				d = 2*c.cfg.MaxDistanceM - d
+			}
+		}
+		c.distM[i] = d
+		c.shadowDB[i] = shadowRho*c.shadowDB[i] +
+			math.Sqrt(1-shadowRho*shadowRho)*c.rng.NormFloat64()*c.cfg.ShadowingSigmaDB
+	}
+}
