@@ -12,12 +12,15 @@ package gsfl_test
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"testing"
 
 	"gsfl/internal/experiment"
 	"gsfl/internal/metrics"
+	"gsfl/internal/parallel"
 	"gsfl/internal/partition"
+	"gsfl/internal/tensor"
 )
 
 // benchScale returns the experiment spec plus round/eval counts for the
@@ -339,6 +342,82 @@ func BenchmarkSeedVariance(b *testing.B) {
 			b.ReportMetric(st.MeanAcc*100, "mean_final_acc_%")
 			b.ReportMetric(st.StdAcc*100, "std_final_acc_%")
 		}
+	}
+}
+
+// speedupWorkers are the pool widths the serial-vs-parallel benchmarks
+// sweep. workers=1 is the serial baseline; compare ns/op across sub-
+// benchmarks to read off the speedup (the acceptance bar is ≥2x at 4+
+// workers on multi-core hardware).
+var speedupWorkers = []int{1, 2, 4, 8}
+
+// BenchmarkParallelMatMul measures the tensor hot path's row-partitioned
+// matrix multiply across worker counts, on the matrix shape a GTSRB CNN
+// conv layer produces (weights 32×288, columns 288×1024).
+func BenchmarkParallelMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := tensor.New(32, 288).RandNormal(rng, 0, 1)
+	col := tensor.New(288, 1024).RandNormal(rng, 0, 1)
+	for _, workers := range speedupWorkers {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(0)
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(w, col)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelGroupRound measures one full GSFL round — the paper's
+// M groups training concurrently — across worker counts. The model
+// numerics and the simulated-latency ledger are bit-identical at every
+// width (asserted by the determinism tests); only wall-clock time drops.
+func BenchmarkParallelGroupRound(b *testing.B) {
+	spec := experiment.TestSpec()
+	spec.Clients = 8
+	spec.Groups = 4
+	spec.ImageSize = 16
+	spec.TrainPerClient = 64
+	spec.Hyper.Batch = 16
+	spec.Hyper.StepsPerClient = 2
+	spec.Device.N = spec.Clients
+	for _, workers := range speedupWorkers {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(0)
+			tr, err := experiment.NewTrainer(spec, "gsfl")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Round()
+			}
+		})
+	}
+}
+
+// BenchmarkParallelEvaluate measures test-set evaluation (forward passes
+// only — the conv layers' batched im2col and sample-partitioned matmuls)
+// across worker counts.
+func BenchmarkParallelEvaluate(b *testing.B) {
+	spec := experiment.TestSpec()
+	spec.ImageSize = 16
+	spec.TestPerClass = 4
+	for _, workers := range speedupWorkers {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(0)
+			tr, err := experiment.NewTrainer(spec, "gsfl")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Evaluate()
+			}
+		})
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"gsfl/internal/experiment"
+	"gsfl/internal/parallel"
 	"gsfl/internal/partition"
 	"gsfl/internal/trace"
 )
@@ -69,14 +70,16 @@ func scaleFor(name string) (experiment.Spec, int, int, float64, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gsfl-bench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment: fig2a|fig2b|table1|table2|table3|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|seeds|validate|all")
-		scale  = fs.String("scale", "test", "scale: test|medium|paper")
-		outDir = fs.String("out", "results", "output directory")
-		rounds = fs.Int("rounds", 0, "override training rounds (0 = scale default)")
+		exp     = fs.String("exp", "all", "experiment: fig2a|fig2b|table1|table2|table3|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|seeds|validate|all")
+		scale   = fs.String("scale", "test", "scale: test|medium|paper")
+		outDir  = fs.String("out", "results", "output directory")
+		rounds  = fs.Int("rounds", 0, "override training rounds (0 = scale default)")
+		workers = fs.Int("workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetWorkers(*workers)
 	spec, r, evalEvery, target, err := scaleFor(*scale)
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 
 	"gsfl/internal/experiment"
 	"gsfl/internal/metrics"
+	"gsfl/internal/parallel"
 	"gsfl/internal/partition"
 	"gsfl/internal/trace"
 	"gsfl/internal/wireless"
@@ -51,10 +52,12 @@ func run(args []string) error {
 		pipelined = fs.Bool("pipelined", false, "overlap communication and computation in GSFL turns")
 		quant     = fs.Bool("quant", false, "quantize smashed data and gradients to 8 bits")
 		dropout   = fs.Float64("dropout", 0, "per-round client unavailability probability (GSFL)")
+		workers   = fs.Int("workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	parallel.SetWorkers(*workers)
 
 	spec := experiment.PaperSpec()
 	spec.Clients = *clients

@@ -4,16 +4,22 @@
 //
 // The implementation lives under internal/: a tensor and neural-network
 // training framework (internal/tensor, internal/nn, internal/loss,
-// internal/optim), the split-model container (internal/model), a
-// synthetic GTSRB dataset generator (internal/gtsrb), a wireless network
-// and device simulator (internal/wireless, internal/device,
-// internal/simnet), the GSFL scheme itself (internal/gsfl), the CL, SL,
-// FL, and SplitFed baselines (internal/schemes/...), and the experiment
-// harness that regenerates every figure and table from the paper
-// (internal/experiment).
+// internal/optim) running on a shared bounded worker pool
+// (internal/parallel) with bit-identical results at any worker count,
+// the split-model container (internal/model), a synthetic GTSRB dataset
+// generator (internal/gtsrb), a wireless network and device simulator
+// (internal/wireless, internal/device, internal/simnet), the GSFL scheme
+// itself (internal/gsfl) — whose M groups really train on concurrent
+// goroutines — the CL, SL, FL, and SplitFed baselines
+// (internal/schemes/...), and the experiment harness that regenerates
+// every figure and table from the paper (internal/experiment).
 //
 // Entry points: cmd/gsfl-sim runs one scheme, cmd/gsfl-bench regenerates
 // the paper's figures and tables as CSV, cmd/gsfl-datagen renders
-// synthetic GTSRB samples. The root-level bench_test.go exposes one
-// testing.B benchmark per experiment.
+// synthetic GTSRB samples, and cmd/gsfl-ap with cmd/gsfl-client run GSFL
+// as real TCP processes. The root-level bench_test.go exposes one
+// testing.B benchmark per experiment plus serial-vs-parallel speedup
+// benchmarks. README.md covers usage; docs/ARCHITECTURE.md covers the
+// layer structure, the latency model, and the parallel execution
+// engine's determinism contract.
 package gsfl

@@ -1,0 +1,3 @@
+module gsfl
+
+go 1.24

@@ -24,6 +24,13 @@
 // Allocator; a group with fewer clients simply stops contending after it
 // finishes (modelled by allocating over the groups still active at each
 // position).
+//
+// Execution mirrors the model: the M groups really do train on
+// concurrent goroutines (internal/parallel) each round, since every group
+// owns its replica, optimizer state, and its clients' data loaders.
+// Latency pricing, which consumes the shared wireless fading RNG, stays
+// serial in group order, so both training numerics and ledgers are
+// bit-identical for any worker count.
 package gsfl
 
 import (
@@ -33,6 +40,7 @@ import (
 	"gsfl/internal/data"
 	"gsfl/internal/model"
 	"gsfl/internal/optim"
+	"gsfl/internal/parallel"
 	"gsfl/internal/partition"
 	"gsfl/internal/schemes"
 	"gsfl/internal/simnet"
@@ -231,19 +239,40 @@ func (t *Trainer) Round() *simnet.Ledger {
 		upAlloc := env.Alloc.Allocate(env.Channel, activeClients, env.Channel.UplinkHz(), true)
 		downAlloc := env.Alloc.Allocate(env.Channel, activeClients, env.Channel.DownlinkHz(), false)
 
+		// The active groups train concurrently — the paper's "M groups in
+		// parallel", executed as real goroutines. Each group touches only
+		// group-owned state (its replica, its optimizers, its clients'
+		// loaders), so worker scheduling cannot perturb training numerics.
+		batchSizes := make([][]int, len(activeGroups))
+		parallel.For(len(activeGroups), 1, func(lo, hi int) {
+			for ai := lo; ai < hi; ai++ {
+				g := activeGroups[ai]
+				ci := activeClients[ai]
+				rep := t.replicas[g]
+				sizes := make([]int, env.Hyper.StepsPerClient)
+				for s := 0; s < env.Hyper.StepsPerClient; s++ {
+					batch := t.loaders[ci].Next()
+					schemes.SplitStep(rep, t.clientOpts[g], t.serverOpts[g], batch, env.Hyper.QuantizeTransfers)
+					sizes[s] = len(batch.Y)
+				}
+				batchSizes[ai] = sizes
+			}
+		})
+
+		// Latency pricing draws fast-fading samples from the shared
+		// channel RNG, so it runs serially in group order — the exact
+		// draw sequence of a single-worker run, keeping ledgers (and
+		// therefore every latency figure) bit-identical.
 		for ai, g := range activeGroups {
 			ci := activeClients[ai]
 			rep := t.replicas[g]
-			for s := 0; s < env.Hyper.StepsPerClient; s++ {
-				batch := t.loaders[ci].Next()
-				schemes.SplitStep(rep, t.clientOpts[g], t.serverOpts[g], batch, env.Hyper.QuantizeTransfers)
-				if !t.cfg.Pipelined {
-					schemes.StepLatency(env, rep, ci, len(batch.Y), upAlloc[ai], downAlloc[ai], groupLeds[g])
-				}
-			}
 			if t.cfg.Pipelined {
 				schemes.TurnLatency(env, rep, ci, env.Hyper.Batch, env.Hyper.StepsPerClient,
 					upAlloc[ai], downAlloc[ai], true, groupLeds[g])
+			} else {
+				for _, bn := range batchSizes[ai] {
+					schemes.StepLatency(env, rep, ci, bn, upAlloc[ai], downAlloc[ai], groupLeds[g])
+				}
 			}
 			// Model sharing: relay to the next client in the group, or
 			// return the client model to the AP after the last client.

@@ -4,11 +4,21 @@ import (
 	"fmt"
 	"math/rand"
 
+	"gsfl/internal/parallel"
 	"gsfl/internal/tensor"
 )
 
 // Conv2D is a 2-D convolution over NCHW inputs, implemented as im2col +
 // matrix multiply. Weights have shape (outC, inC*KH*KW); bias is (outC).
+//
+// The forward pass unrolls the whole batch with tensor.Im2ColBatch and
+// then runs the per-sample weight matmuls with samples partitioned across
+// the parallel worker pool; each sample writes a disjoint slice of the
+// output, so results are bit-identical to the serial loop. The backward
+// pass parallelizes the per-sample column-gradient matmuls and the
+// tensor.Col2ImBatch scatter the same way, but accumulates dW and db
+// serially in sample order to keep gradient summation order — and hence
+// training numerics — exactly equal to a single-worker run.
 type Conv2D struct {
 	InC, OutC int
 	KH, KW    int
@@ -19,8 +29,8 @@ type Conv2D struct {
 	dw, db *tensor.Tensor
 
 	// Cached from the training-mode forward pass.
-	x    *tensor.Tensor   // input batch (N,C,H,W)
-	cols []*tensor.Tensor // per-sample im2col matrices
+	x    *tensor.Tensor // input batch (N,C,H,W)
+	cols *tensor.Tensor // batched im2col matrices (N, colRows, outH*outW)
 	geom tensor.ConvGeom
 }
 
@@ -68,32 +78,33 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, outH, outW := x.Dim(0), g.OutH(), g.OutW()
 	cols := outH * outW
 	colRows := c.InC * c.KH * c.KW
-	sampleIn := c.InC * g.InH * g.InW
+	colSize := g.ColSize()
+
+	colT := tensor.New(n, colRows, cols)
+	tensor.Im2ColBatch(colT.Data, x.Data, n, g)
 
 	y := tensor.New(n, c.OutC, outH, outW)
 	if train {
 		c.x = x
 		c.geom = g
-		c.cols = make([]*tensor.Tensor, n)
+		c.cols = colT
 	}
-	for i := 0; i < n; i++ {
-		col := tensor.New(colRows, cols)
-		tensor.Im2Col(col.Data, x.Data[i*sampleIn:(i+1)*sampleIn], g)
-		if train {
-			c.cols[i] = col
-		}
-		// (outC × colRows) @ (colRows × cols) -> (outC × cols)
-		out := tensor.MatMul(c.w, col)
-		base := i * c.OutC * cols
-		for oc := 0; oc < c.OutC; oc++ {
-			bias := c.b.Data[oc]
-			dst := y.Data[base+oc*cols : base+(oc+1)*cols]
-			src := out.Data[oc*cols : (oc+1)*cols]
-			for j, v := range src {
-				dst[j] = v + bias
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			col := tensor.FromSlice(colT.Data[i*colSize:(i+1)*colSize], colRows, cols)
+			// (outC × colRows) @ (colRows × cols) -> (outC × cols)
+			out := tensor.MatMul(c.w, col)
+			base := i * c.OutC * cols
+			for oc := 0; oc < c.OutC; oc++ {
+				bias := c.b.Data[oc]
+				dst := y.Data[base+oc*cols : base+(oc+1)*cols]
+				src := out.Data[oc*cols : (oc+1)*cols]
+				for j, v := range src {
+					dst[j] = v + bias
+				}
 			}
 		}
-	}
+	})
 	return y
 }
 
@@ -105,14 +116,32 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	g := c.geom
 	n, outH, outW := c.x.Dim(0), g.OutH(), g.OutW()
 	cols := outH * outW
-	sampleIn := c.InC * g.InH * g.InW
+	colRows := c.InC * c.KH * c.KW
+	colSize := g.ColSize()
 
+	// dcol_i = Wᵀ @ dy_i for every sample, then one batched scatter back
+	// to image space. Both phases write disjoint per-sample regions.
+	dcolT := tensor.New(n, colRows, cols)
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * c.OutC * cols
+			dyMat := tensor.FromSlice(dy.Data[base:base+c.OutC*cols], c.OutC, cols)
+			dcol := tensor.FromSlice(dcolT.Data[i*colSize:(i+1)*colSize], colRows, cols)
+			tensor.MatMulTransAInto(dcol, c.w, dyMat)
+		}
+	})
 	dx := tensor.New(n, c.InC, g.InH, g.InW)
+	tensor.Col2ImBatch(dx.Data, dcolT.Data, n, g)
+
+	// Weight/bias gradients accumulate serially in sample order (the
+	// per-sample matmul itself is row-parallel) so the floating-point
+	// summation order matches the serial implementation bit for bit.
 	for i := 0; i < n; i++ {
 		base := i * c.OutC * cols
 		dyMat := tensor.FromSlice(dy.Data[base:base+c.OutC*cols], c.OutC, cols)
+		colMat := tensor.FromSlice(c.cols.Data[i*colSize:(i+1)*colSize], colRows, cols)
 		// dW += dy_mat @ colᵀ ; db += row sums of dy_mat.
-		c.dw.AddInPlace(tensor.MatMulTransB(dyMat, c.cols[i]))
+		c.dw.AddInPlace(tensor.MatMulTransB(dyMat, colMat))
 		for oc := 0; oc < c.OutC; oc++ {
 			s := 0.0
 			for _, v := range dyMat.Row(oc) {
@@ -120,9 +149,6 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 			}
 			c.db.Data[oc] += s
 		}
-		// dcol = Wᵀ @ dy_mat, then scatter back to image space.
-		dcol := tensor.MatMulTransA(c.w, dyMat)
-		tensor.Col2Im(dx.Data[i*sampleIn:(i+1)*sampleIn], dcol.Data, g)
 	}
 	return dx
 }

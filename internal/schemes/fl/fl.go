@@ -16,6 +16,7 @@ import (
 	"gsfl/internal/loss"
 	"gsfl/internal/model"
 	"gsfl/internal/optim"
+	"gsfl/internal/parallel"
 	"gsfl/internal/schemes"
 	"gsfl/internal/simnet"
 )
@@ -81,29 +82,41 @@ func (t *Trainer) Round() *simnet.Ledger {
 
 	lossFn := loss.SoftmaxCrossEntropy{}
 	clientLeds := make([]*simnet.Ledger, n)
-	for ci := 0; ci < n; ci++ {
-		led := &simnet.Ledger{}
-		local := t.locals[ci]
-		t.global.Restore(local.Client)
-
-		// Download the global model, then train locally.
-		led.Add(simnet.Downlink,
-			env.Channel.TransferSeconds(ci, local.TotalParamBytes(), downAlloc[ci], false))
-		dev := env.Fleet.Clients[ci]
-		for s := 0; s < env.Hyper.StepsPerClient; s++ {
-			batch := t.loaders[ci].Next()
-			logits := local.Client.Forward(batch.X, true)
-			_, dLogits := lossFn.Eval(logits, batch.Y)
-			local.Client.ZeroGrads()
-			local.Client.Backward(dLogits)
-			t.opts[ci].Step(local.Client.Params(), local.Client.Grads(), local.Client.DecayMask())
-			led.Add(simnet.ClientCompute,
-				dev.ComputeSeconds(3*local.ClientFwdFLOPs()*int64(len(batch.Y))))
+	// Clients train concurrently — FL's defining parallelism, executed as
+	// real goroutines. Each client touches only its own local model,
+	// optimizer, and loader (t.global is read-only during the round), so
+	// scheduling cannot perturb numerics. Local compute is priced inside
+	// the loop because ComputeSeconds is a pure function; the wireless
+	// transfers draw from the shared channel RNG and are priced serially
+	// below.
+	parallel.For(n, 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			led := &simnet.Ledger{}
+			local := t.locals[ci]
+			t.global.Restore(local.Client)
+			dev := env.Fleet.Clients[ci]
+			for s := 0; s < env.Hyper.StepsPerClient; s++ {
+				batch := t.loaders[ci].Next()
+				logits := local.Client.Forward(batch.X, true)
+				_, dLogits := lossFn.Eval(logits, batch.Y)
+				local.Client.ZeroGrads()
+				local.Client.Backward(dLogits)
+				t.opts[ci].Step(local.Client.Params(), local.Client.Grads(), local.Client.DecayMask())
+				led.Add(simnet.ClientCompute,
+					dev.ComputeSeconds(3*local.ClientFwdFLOPs()*int64(len(batch.Y))))
+			}
+			clientLeds[ci] = led
 		}
-		// Upload the trained full model.
+	})
+	// Price the global-model download and trained-model upload serially
+	// in client order, consuming the channel's fading RNG in the same
+	// sequence as a single-worker run (training itself draws nothing).
+	for ci := 0; ci < n; ci++ {
+		led := clientLeds[ci]
+		led.Add(simnet.Downlink,
+			env.Channel.TransferSeconds(ci, t.locals[ci].TotalParamBytes(), downAlloc[ci], false))
 		led.Add(simnet.Uplink,
-			env.Channel.TransferSeconds(ci, local.TotalParamBytes(), upAlloc[ci], true))
-		clientLeds[ci] = led
+			env.Channel.TransferSeconds(ci, t.locals[ci].TotalParamBytes(), upAlloc[ci], true))
 	}
 
 	round := simnet.MaxOf(clientLeds)

@@ -9,10 +9,14 @@
 // round's critical-path latency. The experiment harness turns sequences
 // of (round, ledger, evaluation) into the paper's figures.
 //
-// Trainers execute deterministically on one goroutine; parallelism in the
-// modelled system (GSFL's concurrent groups, FL's concurrent clients) is
-// expressed through ledger composition (simnet.MaxOf), not Go
-// concurrency, so every run is exactly reproducible.
+// Parallelism in the modelled system (GSFL's concurrent groups, FL's and
+// SplitFed's concurrent clients) is priced through ledger composition
+// (simnet.MaxOf) and executed as real goroutines on the shared worker
+// pool (internal/parallel): independent groups/clients train
+// concurrently, while everything that consumes a shared RNG stream —
+// notably wireless fading draws — runs serially in a fixed order. Every
+// run is therefore exactly reproducible: results are bit-identical for
+// any worker count, including 1.
 package schemes
 
 import (

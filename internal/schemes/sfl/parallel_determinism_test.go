@@ -1,0 +1,35 @@
+package sfl
+
+import (
+	"testing"
+
+	"gsfl/internal/metrics"
+	"gsfl/internal/parallel"
+	"gsfl/internal/schemes"
+	"gsfl/internal/schemes/schemestest"
+)
+
+// SplitFed's clients train on concurrent goroutines; curves (including
+// the serially-priced transfer latencies) must be bit-identical to a
+// single-worker run.
+func TestSFLBitIdenticalAcrossWorkers(t *testing.T) {
+	defer parallel.SetWorkers(0)
+	run := func(workers int) *metrics.Curve {
+		parallel.SetWorkers(workers)
+		tr, err := New(schemestest.NewEnv(41, 6, 40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return schemes.RunCurve(tr, 5, 1)
+	}
+	base := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for i := range base.Points {
+			p, q := base.Points[i], got.Points[i]
+			if p.Loss != q.Loss || p.Accuracy != q.Accuracy || p.LatencySeconds != q.LatencySeconds {
+				t.Fatalf("workers=%d diverged from serial at point %d: %+v vs %+v", workers, i, q, p)
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"gsfl/internal/data"
 	"gsfl/internal/model"
 	"gsfl/internal/optim"
+	"gsfl/internal/parallel"
 	"gsfl/internal/schemes"
 	"gsfl/internal/simnet"
 )
@@ -87,24 +88,41 @@ func (t *Trainer) Round() *simnet.Ledger {
 	downAlloc := env.Alloc.Allocate(env.Channel, all, env.Channel.DownlinkHz(), false)
 
 	clientLeds := make([]*simnet.Ledger, n)
+	batchSizes := make([][]int, n)
+	// All clients train concurrently against their own server replicas —
+	// SplitFed's maximal parallelism, executed as real goroutines. Each
+	// client touches only its own replica, optimizers, and loader, so
+	// scheduling cannot perturb numerics.
+	parallel.For(n, 1, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			rep := t.replicas[ci]
+			t.globalClient.Restore(rep.Client)
+			t.globalServer.Restore(rep.Server)
+			sizes := make([]int, env.Hyper.StepsPerClient)
+			for s := 0; s < env.Hyper.StepsPerClient; s++ {
+				batch := t.loaders[ci].Next()
+				schemes.SplitStep(rep, t.clientOpts[ci], t.serverOpts[ci], batch, env.Hyper.QuantizeTransfers)
+				sizes[s] = len(batch.Y)
+			}
+			batchSizes[ci] = sizes
+			clientLeds[ci] = &simnet.Ledger{}
+		}
+	})
+	// Latency pricing draws from the shared channel RNG, so it runs
+	// serially in client order — the same draw sequence as a
+	// single-worker run, keeping ledgers bit-identical.
 	for ci := 0; ci < n; ci++ {
-		led := &simnet.Ledger{}
+		led := clientLeds[ci]
 		rep := t.replicas[ci]
-		t.globalClient.Restore(rep.Client)
-		t.globalServer.Restore(rep.Server)
-
 		// Client-side model download (model distribution).
 		led.Add(simnet.Relay,
 			env.Channel.TransferSeconds(ci, rep.ClientParamBytes(), downAlloc[ci], false))
-		for s := 0; s < env.Hyper.StepsPerClient; s++ {
-			batch := t.loaders[ci].Next()
-			schemes.SplitStep(rep, t.clientOpts[ci], t.serverOpts[ci], batch, env.Hyper.QuantizeTransfers)
-			schemes.StepLatency(env, rep, ci, len(batch.Y), upAlloc[ci], downAlloc[ci], led)
+		for _, bn := range batchSizes[ci] {
+			schemes.StepLatency(env, rep, ci, bn, upAlloc[ci], downAlloc[ci], led)
 		}
 		// Client-side model upload for aggregation.
 		led.Add(simnet.Relay,
 			env.Channel.TransferSeconds(ci, rep.ClientParamBytes(), upAlloc[ci], true))
-		clientLeds[ci] = led
 	}
 
 	round := simnet.MaxOf(clientLeds)

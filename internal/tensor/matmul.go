@@ -1,6 +1,29 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"gsfl/internal/parallel"
+)
+
+// minChunkFLOPs is the serial-work floor per parallel chunk: matrices
+// whose total work is below ~2 chunks of this size run on the calling
+// goroutine, so the layer-sized matmuls in the hot path parallelize while
+// tiny ones skip the fork-join overhead entirely.
+const minChunkFLOPs = 64 << 10
+
+// grainRows converts a per-row FLOP estimate into the minimum number of
+// output rows one parallel chunk must cover.
+func grainRows(flopsPerRow int) int {
+	if flopsPerRow <= 0 {
+		return minChunkFLOPs
+	}
+	g := minChunkFLOPs / flopsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // MatMul returns the matrix product a @ b for 2-D tensors.
 // a is (m×k), b is (k×n); the result is (m×n).
@@ -8,7 +31,10 @@ import "fmt"
 // The inner loops are ordered i-k-j so the innermost loop walks both the
 // output row and the b row contiguously — the standard cache-friendly
 // ikj schedule, which is 5-10x faster than the naive ijk order for the
-// matrix sizes the NN layers produce.
+// matrix sizes the NN layers produce. Output rows are partitioned across
+// the parallel worker pool; every row is computed by exactly one worker
+// with the serial schedule, so results are bit-identical to a
+// single-worker run.
 func MatMul(a, b *Tensor) *Tensor {
 	m, k, n := checkMatMul(a, b)
 	out := New(m, n)
@@ -39,7 +65,15 @@ func checkMatMul(a, b *Tensor) (m, k, n int) {
 }
 
 func matMulInto(dst, a, b []float64, m, k, n int) {
-	for i := 0; i < m; i++ {
+	parallel.For(m, grainRows(2*k*n), func(lo, hi int) {
+		matMulRows(dst, a, b, k, n, lo, hi)
+	})
+}
+
+// matMulRows computes output rows [lo, hi) of dst = a @ b with the
+// serial ikj schedule. Each call writes only its own rows.
+func matMulRows(dst, a, b []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := a[i*k : (i+1)*k]
 		drow := dst[i*n : (i+1)*n]
 		for kk, av := range arow {
@@ -56,7 +90,9 @@ func matMulInto(dst, a, b []float64, m, k, n int) {
 
 // MatMulTransA returns aᵀ @ b where a is (k×m) and b is (k×n); the result
 // is (m×n). Used for weight gradients (xᵀ @ dy) without materializing the
-// transpose.
+// transpose. Output rows are partitioned across workers; each output
+// element accumulates its k terms in ascending-k order on one worker, so
+// results are bit-identical to the serial schedule.
 func MatMulTransA(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D tensors, got %v and %v", a.shape, b.shape))
@@ -66,25 +102,57 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	}
 	k, m, n := a.shape[0], a.shape[1], b.shape[1]
 	out := New(m, n)
+	parallel.For(m, grainRows(2*k*n), func(lo, hi int) {
+		matMulTransARows(out.Data, a.Data, b.Data, k, m, n, lo, hi)
+	})
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ @ b, reusing dst's storage — the
+// allocation-free variant Conv2D's backward pass uses to write each
+// sample's column gradient straight into the batched buffer. dst must be
+// (m×n); it is zeroed first. It returns dst.
+func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto requires 2-D tensors, got %v and %v", a.shape, b.shape))
+	}
+	if a.shape[0] != b.shape[0] {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto outer dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	k, m, n := a.shape[0], a.shape[1], b.shape[1]
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	dst.Zero()
+	parallel.For(m, grainRows(2*k*n), func(lo, hi int) {
+		matMulTransARows(dst.Data, a.Data, b.Data, k, m, n, lo, hi)
+	})
+	return dst
+}
+
+// matMulTransARows computes output rows [lo, hi) of aᵀ @ b, keeping the
+// serial code's ascending-k accumulation order per element.
+func matMulTransARows(dst, a, b []float64, k, m, n, lo, hi int) {
 	for kk := 0; kk < k; kk++ {
-		arow := a.Data[kk*m : (kk+1)*m]
-		brow := b.Data[kk*n : (kk+1)*n]
-		for i, av := range arow {
+		arow := a[kk*m : (kk+1)*m]
+		brow := b[kk*n : (kk+1)*n]
+		for i := lo; i < hi; i++ {
+			av := arow[i]
 			if av == 0 {
 				continue
 			}
-			drow := out.Data[i*n : (i+1)*n]
+			drow := dst[i*n : (i+1)*n]
 			for j, bv := range brow {
 				drow[j] += av * bv
 			}
 		}
 	}
-	return out
 }
 
 // MatMulTransB returns a @ bᵀ where a is (m×k) and b is (n×k); the result
 // is (m×n). Used for input gradients (dy @ wᵀ) without materializing the
-// transpose.
+// transpose. Output rows are independent dot products, partitioned across
+// workers with bit-identical results.
 func MatMulTransB(a, b *Tensor) *Tensor {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB requires 2-D tensors, got %v and %v", a.shape, b.shape))
@@ -94,11 +162,19 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	}
 	m, k, n := a.shape[0], a.shape[1], b.shape[0]
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		drow := out.Data[i*n : (i+1)*n]
+	parallel.For(m, grainRows(2*k*n), func(lo, hi int) {
+		matMulTransBRows(out.Data, a.Data, b.Data, k, n, lo, hi)
+	})
+	return out
+}
+
+// matMulTransBRows computes output rows [lo, hi) of a @ bᵀ.
+func matMulTransBRows(dst, a, b []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
+			brow := b[j*k : (j+1)*k]
 			s := 0.0
 			for kk, av := range arow {
 				s += av * brow[kk]
@@ -106,7 +182,6 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 			drow[j] = s
 		}
 	}
-	return out
 }
 
 // Transpose2D returns the transpose of a 2-D tensor as a new tensor.

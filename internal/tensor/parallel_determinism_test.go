@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+
+	"gsfl/internal/parallel"
+)
+
+// The parallel kernels promise bit-identical results to the serial path
+// for any worker count (see internal/parallel's determinism contract).
+// These tests pin that promise down with exact float64 equality across
+// 1, 2, and 8 workers.
+
+var determinismWorkers = []int{1, 2, 8}
+
+// atWorkers evaluates f under each worker count and returns the results.
+func atWorkers(t *testing.T, f func() []float64) [][]float64 {
+	t.Helper()
+	out := make([][]float64, len(determinismWorkers))
+	for i, w := range determinismWorkers {
+		parallel.SetWorkers(w)
+		out[i] = f()
+	}
+	parallel.SetWorkers(0)
+	return out
+}
+
+// mustBitIdentical fails unless every result equals the workers=1 result
+// exactly (bitwise, via float64 ==; the data contains no NaNs).
+func mustBitIdentical(t *testing.T, name string, results [][]float64) {
+	t.Helper()
+	base := results[0]
+	for ri, r := range results[1:] {
+		if len(r) != len(base) {
+			t.Fatalf("%s: workers=%d result length %d, want %d",
+				name, determinismWorkers[ri+1], len(r), len(base))
+		}
+		for i := range r {
+			if r[i] != base[i] {
+				t.Fatalf("%s: workers=%d differs from serial at element %d: %g vs %g",
+					name, determinismWorkers[ri+1], i, r[i], base[i])
+			}
+		}
+	}
+}
+
+func TestMatMulBitIdenticalAcrossWorkers(t *testing.T) {
+	// Odd sizes exercise uneven chunk boundaries.
+	for _, dims := range [][3]int{{1, 1, 1}, {7, 5, 3}, {64, 64, 64}, {129, 67, 251}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		rng := rand.New(rand.NewSource(11))
+		a := New(m, k).RandNormal(rng, 0, 1)
+		b := New(k, n).RandNormal(rng, 0, 1)
+		mustBitIdentical(t, "MatMul", atWorkers(t, func() []float64 {
+			return MatMul(a, b).Data
+		}))
+	}
+}
+
+func TestMatMulTransABitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := New(130, 71).RandNormal(rng, 0, 1)
+	b := New(130, 33).RandNormal(rng, 0, 1)
+	mustBitIdentical(t, "MatMulTransA", atWorkers(t, func() []float64 {
+		return MatMulTransA(a, b).Data
+	}))
+}
+
+func TestMatMulTransBBitIdenticalAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := New(71, 130).RandNormal(rng, 0, 1)
+	b := New(33, 130).RandNormal(rng, 0, 1)
+	mustBitIdentical(t, "MatMulTransB", atWorkers(t, func() []float64 {
+		return MatMulTransB(a, b).Data
+	}))
+}
+
+func convTestGeom() ConvGeom {
+	return ConvGeom{
+		InC: 5, InH: 17, InW: 13,
+		KH: 3, KW: 3,
+		StrideH: 2, StrideW: 1,
+		PadH: 1, PadW: 2,
+	}
+}
+
+func TestIm2ColBitIdenticalAcrossWorkers(t *testing.T) {
+	g := convTestGeom()
+	rng := rand.New(rand.NewSource(14))
+	src := New(g.ImageSize()).RandNormal(rng, 0, 1)
+	mustBitIdentical(t, "Im2Col", atWorkers(t, func() []float64 {
+		dst := make([]float64, g.ColSize())
+		Im2Col(dst, src.Data, g)
+		return dst
+	}))
+}
+
+func TestCol2ImBitIdenticalAcrossWorkers(t *testing.T) {
+	g := convTestGeom()
+	rng := rand.New(rand.NewSource(15))
+	src := New(g.ColSize()).RandNormal(rng, 0, 1)
+	mustBitIdentical(t, "Col2Im", atWorkers(t, func() []float64 {
+		dst := make([]float64, g.ImageSize())
+		Col2Im(dst, src.Data, g)
+		return dst
+	}))
+}
+
+func TestIm2ColBatchMatchesPerSampleSerial(t *testing.T) {
+	g := convTestGeom()
+	const n = 6
+	rng := rand.New(rand.NewSource(16))
+	src := New(n*g.ImageSize()).RandNormal(rng, 0, 1)
+
+	parallel.SetWorkers(1)
+	want := make([]float64, n*g.ColSize())
+	for i := 0; i < n; i++ {
+		Im2Col(want[i*g.ColSize():(i+1)*g.ColSize()], src.Data[i*g.ImageSize():(i+1)*g.ImageSize()], g)
+	}
+	results := atWorkers(t, func() []float64 {
+		dst := make([]float64, n*g.ColSize())
+		Im2ColBatch(dst, src.Data, n, g)
+		return dst
+	})
+	parallel.SetWorkers(0)
+	mustBitIdentical(t, "Im2ColBatch", append([][]float64{want}, results...))
+}
+
+func TestCol2ImBatchMatchesPerSampleSerial(t *testing.T) {
+	g := convTestGeom()
+	const n = 6
+	rng := rand.New(rand.NewSource(17))
+	src := New(n*g.ColSize()).RandNormal(rng, 0, 1)
+
+	parallel.SetWorkers(1)
+	want := make([]float64, n*g.ImageSize())
+	for i := 0; i < n; i++ {
+		Col2Im(want[i*g.ImageSize():(i+1)*g.ImageSize()], src.Data[i*g.ColSize():(i+1)*g.ColSize()], g)
+	}
+	results := atWorkers(t, func() []float64 {
+		dst := make([]float64, n*g.ImageSize())
+		Col2ImBatch(dst, src.Data, n, g)
+		return dst
+	})
+	parallel.SetWorkers(0)
+	mustBitIdentical(t, "Col2ImBatch", append([][]float64{want}, results...))
+}

@@ -1,13 +1,56 @@
 package tensor
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
+
+	"gsfl/internal/parallel"
 )
 
 // Micro-benchmarks for the numerical kernels the NN framework spends its
 // time in. These guide optimization of the simulation's wall-clock cost
 // (they do not correspond to paper figures).
+
+// benchWorkers are the pool widths the serial-vs-parallel benchmarks
+// sweep; workers=1 is the serial baseline the speedups are measured
+// against.
+var benchWorkers = []int{1, 2, 4, 8}
+
+// BenchmarkMatMulWorkers measures the row-partitioned MatMul across pool
+// widths on a layer-sized matrix product.
+func BenchmarkMatMulWorkers(b *testing.B) {
+	x, y := benchMatrices(256, 256, 256)
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			parallel.SetWorkers(w)
+			defer parallel.SetWorkers(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MatMul(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkIm2ColBatchWorkers measures the batched unroll across pool
+// widths on a training-batch-sized input.
+func BenchmarkIm2ColBatchWorkers(b *testing.B) {
+	g := ConvGeom{InC: 8, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	const n = 16
+	src := make([]float64, n*g.ImageSize())
+	dst := make([]float64, n*g.ColSize())
+	for _, w := range benchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			parallel.SetWorkers(w)
+			defer parallel.SetWorkers(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Im2ColBatch(dst, src, n, g)
+			}
+		})
+	}
+}
 
 func benchMatrices(m, k, n int) (*Tensor, *Tensor) {
 	rng := rand.New(rand.NewSource(1))
