@@ -11,6 +11,7 @@
 package gsfl_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -392,7 +393,9 @@ func BenchmarkParallelGroupRound(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				tr.Round()
+				if _, err := tr.Round(context.Background()); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -415,7 +418,9 @@ func BenchmarkParallelEvaluate(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				tr.Evaluate()
+				if _, err := tr.Evaluate(context.Background()); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -35,6 +35,7 @@ import (
 	"gsfl/internal/parallel"
 	"gsfl/internal/partition"
 	"gsfl/internal/trace"
+	"gsfl/internal/wireless"
 )
 
 func main() {
@@ -70,11 +71,13 @@ func scaleFor(name string) (experiment.Spec, int, int, float64, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gsfl-bench", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "all", "experiment: fig2a|fig2b|table1|table2|table3|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|seeds|validate|all")
-		scale   = fs.String("scale", "test", "scale: test|medium|paper")
-		outDir  = fs.String("out", "results", "output directory")
-		rounds  = fs.Int("rounds", 0, "override training rounds (0 = scale default)")
-		workers = fs.Int("workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = serial)")
+		exp      = fs.String("exp", "all", "experiment: fig2a|fig2b|table1|table2|table3|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|seeds|validate|all")
+		scale    = fs.String("scale", "test", "scale: test|medium|paper")
+		outDir   = fs.String("out", "results", "output directory")
+		rounds   = fs.Int("rounds", 0, "override training rounds (0 = scale default)")
+		alloc    = fs.String("alloc", "uniform", "bandwidth allocator: uniform|propfair|latmin")
+		strategy = fs.String("strategy", "roundrobin", "grouping: roundrobin|random|balanced")
+		workers  = fs.Int("workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +89,12 @@ func run(args []string) error {
 	}
 	if *rounds > 0 {
 		r = *rounds
+	}
+	if spec.Alloc, err = wireless.ParseAllocator(*alloc); err != nil {
+		return err
+	}
+	if spec.Strategy, err = partition.ParseStrategy(*strategy); err != nil {
+		return err
 	}
 
 	run := func(name string, f func() error) error {

@@ -1,40 +1,54 @@
-// Command gsfl-sim trains one distributed-learning scheme (gsfl, sl, fl,
-// cl, or sfl) in the simulated wireless environment and prints the
-// training curve: per-evaluation round, cumulative latency, loss, and
-// accuracy. Optionally writes the curve as CSV.
+// Command gsfl-sim trains one distributed-learning scheme in the
+// simulated wireless environment through the public run API (gsfl/sim):
+// rounds stream as they complete, the process exits cleanly on Ctrl-C,
+// and long runs can checkpoint and resume bit-identically.
 //
-// Example:
+// Output: a human-readable evaluation table by default, or one JSON
+// line per round with -json (round index, per-component latencies, and
+// loss/accuracy on evaluation rounds) for machine consumption. The
+// final curve can additionally be written as CSV with -out.
+//
+// Examples:
 //
 //	gsfl-sim -scheme gsfl -clients 30 -groups 6 -rounds 50 -eval-every 5
+//	gsfl-sim -scheme gsfl -rounds 2 -json
+//	gsfl-sim -rounds 100 -checkpoint run.ckpt -checkpoint-every 10
+//	gsfl-sim -rounds 100 -checkpoint run.ckpt -resume   # continue a killed run
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"gsfl/internal/experiment"
 	"gsfl/internal/metrics"
-	"gsfl/internal/parallel"
 	"gsfl/internal/partition"
+	"gsfl/internal/simnet"
 	"gsfl/internal/trace"
 	"gsfl/internal/wireless"
+	"gsfl/sim"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gsfl-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gsfl-sim", flag.ContinueOnError)
 	var (
-		scheme    = fs.String("scheme", "gsfl", "scheme to train: gsfl|sl|fl|cl|sfl")
+		scheme    = fs.String("scheme", "gsfl", "scheme to train: one of sim.Schemes()")
 		clients   = fs.Int("clients", 30, "number of clients (N)")
 		groups    = fs.Int("groups", 6, "number of GSFL groups (M)")
-		rounds    = fs.Int("rounds", 20, "training rounds")
+		rounds    = fs.Int("rounds", 20, "training rounds (total, including resumed ones)")
 		evalEvery = fs.Int("eval-every", 5, "evaluate every k rounds")
 		imageSize = fs.Int("image-size", 16, "synthetic GTSRB image edge (divisible by 4)")
 		samples   = fs.Int("samples", 100, "training samples per client")
@@ -49,15 +63,18 @@ func run(args []string) error {
 		alloc     = fs.String("alloc", "uniform", "bandwidth allocator: uniform|propfair|latmin")
 		strategy  = fs.String("strategy", "roundrobin", "grouping: roundrobin|random|balanced")
 		out       = fs.String("out", "", "optional CSV output path for the curve")
+		jsonOut   = fs.Bool("json", false, "emit one JSON line per round instead of the table")
 		pipelined = fs.Bool("pipelined", false, "overlap communication and computation in GSFL turns")
 		quant     = fs.Bool("quant", false, "quantize smashed data and gradients to 8 bits")
 		dropout   = fs.Float64("dropout", 0, "per-round client unavailability probability (GSFL)")
 		workers   = fs.Int("workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = serial)")
+		ckpt      = fs.String("checkpoint", "", "checkpoint file path")
+		ckptEvery = fs.Int("checkpoint-every", 10, "rounds between checkpoints (with -checkpoint)")
+		resume    = fs.Bool("resume", false, "resume from the -checkpoint file (its scheme and options win over -scheme; the env flags must match the original run)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	parallel.SetWorkers(*workers)
 
 	spec := experiment.PaperSpec()
 	spec.Clients = *clients
@@ -77,48 +94,139 @@ func run(args []string) error {
 	spec.Hyper.QuantizeTransfers = *quant
 	spec.DropoutProb = *dropout
 
-	switch *alloc {
-	case "uniform":
-		spec.Alloc = wireless.Uniform{}
-	case "propfair":
-		spec.Alloc = wireless.ProportionalFair{}
-	case "latmin":
-		spec.Alloc = wireless.LatencyMin{}
-	default:
-		return fmt.Errorf("unknown allocator %q", *alloc)
+	var err error
+	if spec.Alloc, err = wireless.ParseAllocator(*alloc); err != nil {
+		return err
 	}
-	switch *strategy {
-	case "roundrobin":
-		spec.Strategy = partition.GroupRoundRobin
-	case "random":
-		spec.Strategy = partition.GroupRandom
-	case "balanced":
-		spec.Strategy = partition.GroupComputeBalanced
-	default:
-		return fmt.Errorf("unknown grouping strategy %q", *strategy)
+	if spec.Strategy, err = partition.ParseStrategy(*strategy); err != nil {
+		return err
 	}
 
-	fmt.Printf("training %s: N=%d M=%d rounds=%d image=%dpx cut=%d\n",
-		*scheme, *clients, *groups, *rounds, *imageSize, *cut)
-	curve, err := experiment.RunScheme(spec, *scheme, *rounds, *evalEvery)
+	env, err := experiment.Build(spec)
 	if err != nil {
 		return err
 	}
-	printCurve(curve)
+
+	// Flags explicitly given on the command line; on resume, cadences
+	// not re-specified are inherited from the checkpoint.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	opts := []sim.RunOption{
+		sim.WithRounds(*rounds),
+		sim.WithWorkers(*workers),
+	}
+	if !*resume || explicit["eval-every"] {
+		opts = append(opts, sim.WithEvalEvery(*evalEvery))
+	}
+	if *ckpt != "" {
+		opts = append(opts, sim.WithCheckpointPath(*ckpt))
+		if !*resume || explicit["checkpoint-every"] {
+			opts = append(opts, sim.WithCheckpointEvery(*ckptEvery))
+		}
+	}
+	if *jsonOut {
+		opts = append(opts, sim.WithObserver(jsonObserver(os.Stdout)))
+	} else {
+		opts = append(opts, sim.WithObserver(tableObserver(os.Stdout)))
+	}
+
+	var runner *sim.Runner
+	if *resume {
+		if *ckpt == "" {
+			return fmt.Errorf("-resume needs -checkpoint")
+		}
+		// The checkpoint dictates the scheme and its options; -scheme is
+		// ignored on resume.
+		if runner, err = sim.Resume(*ckpt, env, opts...); err != nil {
+			return err
+		}
+		if !*jsonOut {
+			fmt.Printf("resuming %s from %s at round %d (of %d)\n",
+				runner.Scheme(), *ckpt, runner.CompletedRounds(), *rounds)
+		}
+	} else {
+		tr, err := sim.New(*scheme, env, spec.SchemeOptions())
+		if err != nil {
+			return err
+		}
+		runner = sim.NewRunner(tr, opts...)
+		if !*jsonOut {
+			fmt.Printf("training %s: N=%d M=%d rounds=%d image=%dpx cut=%d\n",
+				*scheme, *clients, *groups, *rounds, *imageSize, *cut)
+		}
+	}
+	if !*jsonOut {
+		fmt.Printf("%8s %14s %10s %10s\n", "round", "latency(s)", "loss", "accuracy")
+	}
+
+	curve, err := runner.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if !*jsonOut {
+		fmt.Printf("final accuracy: %.2f%%\n", curve.FinalAccuracy()*100)
+	}
 
 	if *out != "" {
 		if err := trace.SaveCurvesCSV(*out, []*metrics.Curve{curve}); err != nil {
 			return err
 		}
-		fmt.Printf("curve written to %s\n", *out)
+		if !*jsonOut {
+			fmt.Printf("curve written to %s\n", *out)
+		}
 	}
 	return nil
 }
 
-func printCurve(c *metrics.Curve) {
-	fmt.Printf("%8s %14s %10s %10s\n", "round", "latency(s)", "loss", "accuracy")
-	for _, p := range c.Points {
-		fmt.Printf("%8d %14.3f %10.4f %9.2f%%\n", p.Round, p.LatencySeconds, p.Loss, p.Accuracy*100)
-	}
-	fmt.Printf("final accuracy: %.2f%%\n", c.FinalAccuracy()*100)
+// tableObserver prints one table row per evaluation as it streams.
+func tableObserver(w *os.File) sim.Observer {
+	return sim.ObserverFunc(func(e sim.RoundEvent) {
+		if e.Eval == nil {
+			return
+		}
+		fmt.Fprintf(w, "%8d %14.3f %10.4f %9.2f%%\n",
+			e.Round, e.ElapsedSeconds, e.Eval.Loss, e.Eval.Accuracy*100)
+	})
+}
+
+// jsonEvent is the machine-readable per-round record -json emits.
+type jsonEvent struct {
+	Scheme         string             `json:"scheme"`
+	Round          int                `json:"round"`
+	Rounds         int                `json:"rounds"`
+	RoundSeconds   float64            `json:"round_seconds"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Components     map[string]float64 `json:"components"`
+	Loss           *float64           `json:"loss,omitempty"`
+	Accuracy       *float64           `json:"accuracy,omitempty"`
+	Checkpoint     string             `json:"checkpoint,omitempty"`
+}
+
+// jsonObserver emits one JSON line per RoundEvent.
+func jsonObserver(w *os.File) sim.Observer {
+	enc := json.NewEncoder(w)
+	return sim.ObserverFunc(func(e sim.RoundEvent) {
+		ev := jsonEvent{
+			Scheme:         e.Scheme,
+			Round:          e.Round,
+			Rounds:         e.Rounds,
+			RoundSeconds:   e.RoundSeconds,
+			ElapsedSeconds: e.ElapsedSeconds,
+			Components:     map[string]float64{},
+			Checkpoint:     e.CheckpointPath,
+		}
+		for _, c := range simnet.Components() {
+			if s := e.Ledger.Get(c); s > 0 {
+				ev.Components[c.String()] = s
+			}
+		}
+		if e.Eval != nil {
+			loss, acc := e.Eval.Loss, e.Eval.Accuracy
+			ev.Loss, ev.Accuracy = &loss, &acc
+		}
+		// Encode errors (closed pipe etc.) intentionally do not abort
+		// training; the run is the product, the stream is telemetry.
+		_ = enc.Encode(ev)
+	})
 }

@@ -2,6 +2,13 @@
 // Learning: Speed up Model Training in Resource-Limited Wireless
 // Networks" (Zhang et al., ICDCS 2023; arXiv:2305.18889).
 //
+// The public surface is the run API in gsfl/sim: a scheme registry the
+// five schemes self-register into, a context-aware Runner built with
+// functional options that streams structured RoundEvents as rounds
+// complete, and checkpoint/resume that continues killed runs
+// bit-identically (curve, model bits, and latency ledgers all match an
+// uninterrupted run).
+//
 // The implementation lives under internal/: a tensor and neural-network
 // training framework (internal/tensor, internal/nn, internal/loss,
 // internal/optim) running on a shared bounded worker pool
@@ -12,14 +19,18 @@
 // itself (internal/gsfl) — whose M groups really train on concurrent
 // goroutines — the CL, SL, FL, and SplitFed baselines
 // (internal/schemes/...), and the experiment harness that regenerates
-// every figure and table from the paper (internal/experiment).
+// every figure and table from the paper (internal/experiment), itself
+// built on gsfl/sim.
 //
-// Entry points: cmd/gsfl-sim runs one scheme, cmd/gsfl-bench regenerates
-// the paper's figures and tables as CSV, cmd/gsfl-datagen renders
-// synthetic GTSRB samples, and cmd/gsfl-ap with cmd/gsfl-client run GSFL
-// as real TCP processes. The root-level bench_test.go exposes one
-// testing.B benchmark per experiment plus serial-vs-parallel speedup
-// benchmarks. README.md covers usage; docs/ARCHITECTURE.md covers the
-// layer structure, the latency model, and the parallel execution
+// Entry points: cmd/gsfl-sim runs one scheme through the run API
+// (streaming table or JSON-lines output, checkpoint/resume),
+// cmd/gsfl-bench regenerates the paper's figures and tables as CSV,
+// cmd/gsfl-datagen renders synthetic GTSRB samples, and cmd/gsfl-ap
+// with cmd/gsfl-client run GSFL as real TCP processes. The root-level
+// bench_test.go exposes one testing.B benchmark per experiment plus
+// serial-vs-parallel speedup benchmarks. README.md covers usage
+// (including migration notes for the pre-registry entry points);
+// docs/ARCHITECTURE.md covers the layer structure, the run API and its
+// checkpoint contract, the latency model, and the parallel execution
 // engine's determinism contract.
 package gsfl

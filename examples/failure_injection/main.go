@@ -12,11 +12,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"gsfl/internal/experiment"
-	"gsfl/internal/schemes"
+	"gsfl/sim"
 )
 
 func main() {
@@ -53,7 +54,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		curve := schemes.RunCurve(tr, rounds, 4)
+		curve, err := sim.NewRunner(tr,
+			sim.WithRounds(rounds),
+			sim.WithEvalEvery(4),
+		).Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
 		last := curve.Points[len(curve.Points)-1]
 		fmt.Printf("%-28s %13.3fs %11.2f%%\n", w.name, last.LatencySeconds, curve.FinalAccuracy()*100)
 	}

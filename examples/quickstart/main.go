@@ -1,21 +1,30 @@
 // Quickstart: train GSFL on a small synthetic GTSRB task and watch the
-// accuracy/latency curve.
+// accuracy/latency curve stream in as rounds complete.
 //
 // This is the minimal end-to-end use of the library: describe the
-// experiment with a Spec, build the trainer, and drive it with RunCurve.
+// experiment with a Spec, build the environment, construct the scheme
+// through the gsfl/sim registry, and drive it with a sim.Runner. The
+// run is cancellable (Ctrl-C stops it within one round) and every round
+// reports through the observer as soon as it finishes.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"gsfl/internal/experiment"
-	"gsfl/internal/schemes"
+	"gsfl/sim"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Start from the fast test-scale spec: 6 clients in 2 groups, 8x8
 	// synthetic traffic signs. PaperSpec() is the 30-client/6-group
 	// configuration of the paper's Section III.
@@ -23,19 +32,34 @@ func main() {
 	spec.TrainPerClient = 80
 	spec.Hyper.StepsPerClient = 4
 
-	trainer, err := experiment.NewTrainer(spec, "gsfl")
+	env, err := experiment.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := sim.New("gsfl", env, spec.SchemeOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("training GSFL: 6 clients, 2 groups, synthetic GTSRB (8x8)")
-	curve := schemes.RunCurve(trainer, 20, 4)
-
+	fmt.Printf("training GSFL: 6 clients, 2 groups, synthetic GTSRB (8x8)\n")
+	fmt.Printf("registered schemes: %v\n\n", sim.Schemes())
 	fmt.Printf("%8s %14s %10s %10s\n", "round", "latency(s)", "loss", "accuracy")
-	for _, p := range curve.Points {
-		fmt.Printf("%8d %14.3f %10.4f %9.2f%%\n",
-			p.Round, p.LatencySeconds, p.Loss, p.Accuracy*100)
+
+	curve, err := sim.NewRunner(trainer,
+		sim.WithRounds(20),
+		sim.WithEvalEvery(4),
+		sim.WithObserver(sim.ObserverFunc(func(e sim.RoundEvent) {
+			if e.Eval == nil {
+				return // non-evaluation rounds stream too; print evals only
+			}
+			fmt.Printf("%8d %14.3f %10.4f %9.2f%%\n",
+				e.Round, e.ElapsedSeconds, e.Eval.Loss, e.Eval.Accuracy*100)
+		})),
+	).Run(ctx)
+	if err != nil {
+		log.Fatal(err)
 	}
+
 	fmt.Printf("\nfinal accuracy %.1f%% after %.2f simulated seconds of training\n",
 		curve.FinalAccuracy()*100,
 		curve.Points[len(curve.Points)-1].LatencySeconds)

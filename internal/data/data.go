@@ -98,6 +98,9 @@ type Loader struct {
 	rng     *rand.Rand
 	order   []int
 	pos     int
+	// epoch counts reshuffles; together with pos it is the loader's
+	// complete checkpointable state (see LoaderState).
+	epoch int
 }
 
 // NewLoader constructs a Loader producing batches of the given size with
@@ -131,6 +134,39 @@ func (l *Loader) reshuffle() {
 	}
 	l.rng.Shuffle(len(l.order), func(i, j int) { l.order[i], l.order[j] = l.order[j], l.order[i] })
 	l.pos = 0
+	l.epoch++
+}
+
+// LoaderState is a Loader's complete mutable state: because the shuffle
+// order of epoch k is a pure function of the loader's RNG seed and k,
+// (epoch, position) fully determine both the current order and the RNG
+// stream position. Plain exported fields keep it gob-serializable.
+type LoaderState struct {
+	Epoch int
+	Pos   int
+}
+
+// State captures the loader for checkpointing.
+func (l *Loader) State() LoaderState {
+	return LoaderState{Epoch: l.epoch, Pos: l.pos}
+}
+
+// Restore fast-forwards a freshly constructed loader (same dataset,
+// batch size, and RNG seed) to a state captured by State, replaying the
+// intermediate reshuffles so the permutation and the RNG stream land
+// exactly where the original run left them.
+func (l *Loader) Restore(st LoaderState) error {
+	if st.Epoch < l.epoch {
+		return fmt.Errorf("data: cannot rewind loader from epoch %d to %d", l.epoch, st.Epoch)
+	}
+	if st.Pos < 0 || st.Pos > len(l.order) {
+		return fmt.Errorf("data: loader position %d outside [0,%d]", st.Pos, len(l.order))
+	}
+	for l.epoch < st.Epoch {
+		l.reshuffle()
+	}
+	l.pos = st.Pos
+	return nil
 }
 
 // Next returns the next mini-batch, starting a new shuffled epoch when

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"gsfl/internal/gsfl"
@@ -29,14 +30,24 @@ func TestGSFLWithOneGroupEqualsSL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	for r := 0; r < 4; r++ {
-		g.Round()
-		s.Round()
-		gl, ga := g.Evaluate()
-		slo, sa := s.Evaluate()
-		if gl != slo || ga != sa {
-			t.Fatalf("round %d: GSFL(M=1) diverged from SL: loss %v vs %v, acc %v vs %v",
-				r+1, gl, slo, ga, sa)
+		if _, err := g.Round(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Round(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ge, err := g.Evaluate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := s.Evaluate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ge != se {
+			t.Fatalf("round %d: GSFL(M=1) diverged from SL: %+v vs %+v", r+1, ge, se)
 		}
 	}
 }
@@ -56,14 +67,24 @@ func TestGSFLWithSingletonGroupsEqualsSFL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ctx := context.Background()
 	for r := 0; r < 4; r++ {
-		g.Round()
-		s.Round()
-		gl, ga := g.Evaluate()
-		sfLoss, sfAcc := s.Evaluate()
-		if gl != sfLoss || ga != sfAcc {
-			t.Fatalf("round %d: GSFL(M=N) diverged from SplitFed: loss %v vs %v, acc %v vs %v",
-				r+1, gl, sfLoss, ga, sfAcc)
+		if _, err := g.Round(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Round(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ge, err := g.Evaluate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		se, err := s.Evaluate(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ge != se {
+			t.Fatalf("round %d: GSFL(M=N) diverged from SplitFed: %+v vs %+v", r+1, ge, se)
 		}
 	}
 }
@@ -91,11 +112,20 @@ func TestSchemesShareInitialModel(t *testing.T) {
 		return g, s, f
 	}
 	g, s, f := build()
-	gl, ga := g.Evaluate()
-	sl2, sa := s.Evaluate()
-	fl2, fa := f.Evaluate()
-	if gl != sl2 || gl != fl2 || ga != sa || ga != fa {
-		t.Fatalf("initial models differ: losses %v/%v/%v, accs %v/%v/%v",
-			gl, sl2, fl2, ga, sa, fa)
+	ctx := context.Background()
+	ge, err := g.Evaluate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := s.Evaluate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe, err := f.Evaluate(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge != se || ge != fe {
+		t.Fatalf("initial models differ: %+v / %+v / %+v", ge, se, fe)
 	}
 }

@@ -8,21 +8,18 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"gsfl/internal/data"
 	"gsfl/internal/device"
-	"gsfl/internal/gsfl"
 	"gsfl/internal/gtsrb"
 	"gsfl/internal/metrics"
 	"gsfl/internal/model"
 	"gsfl/internal/partition"
 	"gsfl/internal/schemes"
-	"gsfl/internal/schemes/cl"
-	"gsfl/internal/schemes/fl"
-	"gsfl/internal/schemes/sfl"
-	"gsfl/internal/schemes/sl"
 	"gsfl/internal/wireless"
+	"gsfl/sim"
 )
 
 // Spec describes one experimental configuration. The zero value is not
@@ -147,40 +144,45 @@ func Build(spec Spec) (*schemes.Env, error) {
 	return env, nil
 }
 
+// SchemeOptions maps the Spec's scheme-structure knobs into the run
+// API's factory options.
+func (s Spec) SchemeOptions() sim.Options {
+	return sim.Options{
+		Groups:      s.Groups,
+		Strategy:    s.Strategy,
+		Pipelined:   s.Pipelined,
+		DropoutProb: s.DropoutProb,
+	}
+}
+
 // NewTrainer instantiates the named scheme over a fresh env built from
-// spec. Recognized names: gsfl, sl, fl, cl, sfl.
+// spec, through the gsfl/sim registry (see sim.Schemes for the
+// recognized names).
 func NewTrainer(spec Spec, scheme string) (schemes.Trainer, error) {
 	env, err := Build(spec)
 	if err != nil {
 		return nil, err
 	}
-	switch scheme {
-	case "gsfl":
-		return gsfl.New(env, gsfl.Config{
-			NumGroups:   spec.Groups,
-			Strategy:    spec.Strategy,
-			Pipelined:   spec.Pipelined,
-			DropoutProb: spec.DropoutProb,
-		})
-	case "sl":
-		return sl.New(env)
-	case "fl":
-		return fl.New(env)
-	case "cl":
-		return cl.New(env)
-	case "sfl":
-		return sfl.New(env)
-	default:
-		return nil, fmt.Errorf("experiment: unknown scheme %q (want gsfl|sl|fl|cl|sfl)", scheme)
-	}
+	return sim.New(scheme, env, spec.SchemeOptions())
 }
 
 // RunScheme builds the named scheme and trains it for the given number
-// of rounds, evaluating every evalEvery rounds.
+// of rounds, evaluating every evalEvery rounds. It is a convenience
+// wrapper over the run API; drive sim.NewRunner directly for streaming
+// events, cancellation, or checkpointing.
 func RunScheme(spec Spec, scheme string, rounds, evalEvery int) (*metrics.Curve, error) {
 	tr, err := NewTrainer(spec, scheme)
 	if err != nil {
 		return nil, err
 	}
-	return schemes.RunCurve(tr, rounds, evalEvery), nil
+	return runCurve(tr, rounds, evalEvery)
+}
+
+// runCurve drives a trainer to a finished curve — the harness-internal
+// shorthand for a Runner with no observers.
+func runCurve(tr schemes.Trainer, rounds, evalEvery int) (*metrics.Curve, error) {
+	return sim.NewRunner(tr,
+		sim.WithRounds(rounds),
+		sim.WithEvalEvery(evalEvery),
+	).Run(context.Background())
 }

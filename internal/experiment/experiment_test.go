@@ -7,7 +7,6 @@ import (
 	"gsfl/internal/gsfl"
 	"gsfl/internal/metrics"
 	"gsfl/internal/partition"
-	"gsfl/internal/schemes"
 	"gsfl/internal/schemes/fl"
 	"gsfl/internal/schemes/schemestest"
 )
@@ -197,8 +196,8 @@ func TestConvergenceGSFLFasterThanFLInRounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gc := schemes.RunCurve(g, 20, 1)
-	fc := schemes.RunCurve(f, 20, 1)
+	gc := schemestest.RunCurve(t, g, 20, 1)
+	fc := schemestest.RunCurve(t, f, 20, 1)
 	const target = 0.6
 	gr, gok := gc.RoundsToAccuracy(target)
 	fr, fok := fc.RoundsToAccuracy(target)

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"gsfl/internal/gsfl"
-	"gsfl/internal/schemes"
 )
 
 // PipelineResult is one row of the communication/computation-overlap
@@ -35,7 +34,10 @@ func RunAblationPipelining(spec Spec, rounds, evalEvery int) ([]PipelineResult, 
 		if err != nil {
 			return nil, fmt.Errorf("experiment: pipelining: %w", err)
 		}
-		curve := schemes.RunCurve(tr, rounds, evalEvery)
+		curve, err := runCurve(tr, rounds, evalEvery)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: pipelining: %w", err)
+		}
 		last := curve.Points[len(curve.Points)-1]
 		out = append(out, PipelineResult{
 			Pipelined:     pipelined,
@@ -70,7 +72,10 @@ func RunAblationQuantization(spec Spec, rounds, evalEvery int) ([]QuantResult, e
 		if err != nil {
 			return nil, fmt.Errorf("experiment: quantization: %w", err)
 		}
-		curve := schemes.RunCurve(tr, rounds, evalEvery)
+		curve, err := runCurve(tr, rounds, evalEvery)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: quantization: %w", err)
+		}
 		last := curve.Points[len(curve.Points)-1]
 		out = append(out, QuantResult{
 			Quantized:     quant,
@@ -106,7 +111,10 @@ func RunAblationDropout(spec Spec, probs []float64, rounds, evalEvery int) ([]Dr
 		if err != nil {
 			return nil, fmt.Errorf("experiment: dropout %v: %w", p, err)
 		}
-		curve := schemes.RunCurve(tr, rounds, evalEvery)
+		curve, err := runCurve(tr, rounds, evalEvery)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: dropout %v: %w", p, err)
+		}
 		last := curve.Points[len(curve.Points)-1]
 		out = append(out, DropoutResult{
 			DropoutProb:   p,

@@ -1,12 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"gsfl/internal/gsfl"
 	"gsfl/internal/metrics"
 	"gsfl/internal/partition"
-	"gsfl/internal/schemes"
 	"gsfl/internal/schemes/sfl"
 	"gsfl/internal/simnet"
 	"gsfl/internal/trace"
@@ -92,7 +92,11 @@ func RunTable2(spec Spec, rounds int) (*trace.Table, error) {
 		}
 		var sum simnet.Ledger
 		for r := 0; r < rounds; r++ {
-			sum.Merge(tr.Round())
+			led, err := tr.Round(context.Background())
+			if err != nil {
+				return nil, fmt.Errorf("experiment: table2 %s round %d: %w", scheme, r+1, err)
+			}
+			sum.Merge(led)
 		}
 		inv := 1 / float64(rounds)
 		tbl.Add(trace.Row{
@@ -170,7 +174,10 @@ func RunAblationCutLayer(spec Spec, cuts []int, rounds, evalEvery int) ([]CutLay
 		if err != nil {
 			return nil, fmt.Errorf("experiment: cut %d: %w", cut, err)
 		}
-		curve := schemes.RunCurve(tr, rounds, evalEvery)
+		curve, err := runCurve(tr, rounds, evalEvery)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: cut %d: %w", cut, err)
+		}
 		probe := env.Arch.NewSplit(env.Rng("probe", 0), cut)
 		total := 0.0
 		for _, p := range curve.Points {
@@ -212,7 +219,10 @@ func RunAblationGrouping(spec Spec, groupCounts []int, strategies []partition.Gr
 			if err != nil {
 				return nil, fmt.Errorf("experiment: grouping M=%d: %w", m, err)
 			}
-			curve := schemes.RunCurve(tr, rounds, evalEvery)
+			curve, err := runCurve(tr, rounds, evalEvery)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: grouping M=%d: %w", m, err)
+			}
 			last := curve.Points[len(curve.Points)-1]
 			out = append(out, GroupingResult{
 				Groups:        m,
@@ -246,7 +256,11 @@ func RunAblationAllocation(spec Spec, rounds int) ([]AllocationResult, error) {
 		}
 		total := 0.0
 		for r := 0; r < rounds; r++ {
-			total += tr.Round().Total()
+			led, err := tr.Round(context.Background())
+			if err != nil {
+				return nil, fmt.Errorf("experiment: allocation %s round %d: %w", alloc.Name(), r+1, err)
+			}
+			total += led.Total()
 		}
 		out = append(out, AllocationResult{
 			Allocator:    alloc.Name(),

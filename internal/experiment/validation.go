@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"gsfl/internal/gsfl"
@@ -40,7 +41,11 @@ func RunValidationEventDriven(spec Spec) (ValidationResult, error) {
 	if err != nil {
 		return ValidationResult{}, err
 	}
-	analytic := tr.Round().Total()
+	led, err := tr.Round(context.Background())
+	if err != nil {
+		return ValidationResult{}, fmt.Errorf("experiment: analytic round: %w", err)
+	}
+	analytic := led.Total()
 
 	// Rebuild the same round's task structure as event-sim chains. The
 	// model quantities (FLOPs, bytes) are identical by construction; only

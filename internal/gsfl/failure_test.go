@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"gsfl/internal/partition"
-	"gsfl/internal/schemes"
 	"gsfl/internal/schemes/schemestest"
 )
 
@@ -22,7 +21,7 @@ func TestDropoutStillLearns(t *testing.T) {
 	// With 20% of clients dropping each round, GSFL must still converge —
 	// the aggregation just averages over fewer participants.
 	tr := newDropoutTrainer(t, 1, 6, 2, 0.2)
-	curve := schemes.RunCurve(tr, 20, 4)
+	curve := schemestest.RunCurve(t, tr, 20, 4)
 	if !curve.IsFinite() {
 		t.Fatal("training with dropout diverged")
 	}
@@ -32,8 +31,8 @@ func TestDropoutStillLearns(t *testing.T) {
 }
 
 func TestDropoutDeterministic(t *testing.T) {
-	c1 := schemes.RunCurve(newDropoutTrainer(t, 2, 6, 2, 0.3), 6, 1)
-	c2 := schemes.RunCurve(newDropoutTrainer(t, 2, 6, 2, 0.3), 6, 1)
+	c1 := schemestest.RunCurve(t, newDropoutTrainer(t, 2, 6, 2, 0.3), 6, 1)
+	c2 := schemestest.RunCurve(t, newDropoutTrainer(t, 2, 6, 2, 0.3), 6, 1)
 	for i := range c1.Points {
 		if c1.Points[i] != c2.Points[i] {
 			t.Fatalf("dropout runs diverged at point %d", i)
@@ -49,7 +48,7 @@ func TestDropoutReducesRoundLatency(t *testing.T) {
 		tr := newDropoutTrainer(t, 3, 8, 2, p)
 		total := 0.0
 		for i := 0; i < 10; i++ {
-			total += tr.Round().Total()
+			total += schemestest.MustRound(t, tr).Total()
 		}
 		return total
 	}
@@ -65,7 +64,7 @@ func TestFullDropoutRoundIsNoOp(t *testing.T) {
 	beforeC, beforeS := tr.GlobalSnapshots()
 	sawNoOp := false
 	for i := 0; i < 30; i++ {
-		led := tr.Round()
+		led := schemestest.MustRound(t, tr)
 		if led.Total() == 0 {
 			sawNoOp = true
 			break

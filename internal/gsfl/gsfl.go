@@ -34,6 +34,7 @@
 package gsfl
 
 import (
+	"context"
 	"fmt"
 
 	"gsfl/internal/agg"
@@ -67,7 +68,7 @@ type Config struct {
 }
 
 // Trainer is the GSFL scheme mid-training. Create with New; drive with
-// Round/Evaluate (typically via schemes.RunCurve).
+// Round/Evaluate (typically via a gsfl/sim Runner).
 type Trainer struct {
 	env    *schemes.Env
 	cfg    Config
@@ -180,10 +181,15 @@ func (t *Trainer) availableGroups() ([][]int, []float64) {
 }
 
 // Round implements schemes.Trainer: one full distribute/train/aggregate
-// cycle.
-func (t *Trainer) Round() *simnet.Ledger {
+// cycle. Cancellation is honoured between client positions; a cancelled
+// round returns ctx.Err() and leaves the trainer unusable (resume from
+// the last checkpoint instead).
+func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	env := t.env
-	env.Channel.AdvanceRound() // client mobility (no-op when static)
+	env.Channel.AdvanceRound() // new fading stream + client mobility
 	t.round++
 	groups, weights := t.availableGroups()
 
@@ -197,7 +203,7 @@ func (t *Trainer) Round() *simnet.Ledger {
 	if len(live) == 0 {
 		// Every client dropped: the round is a no-op (the AP waits out a
 		// timeout; we price nothing and keep the previous global model).
-		return &simnet.Ledger{}
+		return &simnet.Ledger{}, nil
 	}
 
 	// --- Step 1: model distribution -----------------------------------
@@ -227,6 +233,9 @@ func (t *Trainer) Round() *simnet.Ledger {
 		}
 	}
 	for pos := 0; pos < maxLen; pos++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Groups still training at this position contend for spectrum.
 		var activeGroups []int
 		var activeClients []int
@@ -267,8 +276,10 @@ func (t *Trainer) Round() *simnet.Ledger {
 			ci := activeClients[ai]
 			rep := t.replicas[g]
 			if t.cfg.Pipelined {
-				schemes.TurnLatency(env, rep, ci, env.Hyper.Batch, env.Hyper.StepsPerClient,
-					upAlloc[ai], downAlloc[ai], true, groupLeds[g])
+				if err := schemes.TurnLatency(env, rep, ci, env.Hyper.Batch, env.Hyper.StepsPerClient,
+					upAlloc[ai], downAlloc[ai], true, groupLeds[g]); err != nil {
+					return nil, err
+				}
 			} else {
 				for _, bn := range batchSizes[ai] {
 					schemes.StepLatency(env, rep, ci, bn, upAlloc[ai], downAlloc[ai], groupLeds[g])
@@ -305,15 +316,15 @@ func (t *Trainer) Round() *simnet.Ledger {
 	t.globalServer = agg.FedAvg(serverSnaps, aggWeights)
 	schemes.AggregationLatency(t.env, len(live),
 		t.globalClient.ParamCount()+t.globalServer.ParamCount(), round)
-	return round
+	return round, nil
 }
 
 // Evaluate implements schemes.Trainer: test-set performance of the
 // aggregated global model.
-func (t *Trainer) Evaluate() (float64, float64) {
+func (t *Trainer) Evaluate(ctx context.Context) (schemes.Eval, error) {
 	t.globalClient.Restore(t.evalModel.Client)
 	t.globalServer.Restore(t.evalModel.Server)
-	return schemes.Evaluate(t.evalModel, t.env.Test, t.env.Arch.InShape)
+	return schemes.Evaluate(ctx, t.evalModel, t.env.Test, t.env.Arch.InShape)
 }
 
 // GlobalSnapshots returns copies of the current aggregated halves (for

@@ -7,7 +7,6 @@ import (
 
 	"gsfl/internal/model"
 	"gsfl/internal/partition"
-	"gsfl/internal/schemes"
 	"gsfl/internal/schemes/schemestest"
 	"gsfl/internal/simnet"
 )
@@ -24,7 +23,7 @@ func newTrainer(t *testing.T, seed int64, nClients, groups int) *Trainer {
 
 func TestGSFLLearnsBlobs(t *testing.T) {
 	tr := newTrainer(t, 1, 6, 2)
-	curve := schemes.RunCurve(tr, 15, 3)
+	curve := schemestest.RunCurve(t, tr, 15, 3)
 	if !curve.IsFinite() {
 		t.Fatal("training diverged to NaN/Inf")
 	}
@@ -40,8 +39,8 @@ func TestGSFLLearnsBlobs(t *testing.T) {
 }
 
 func TestGSFLDeterministic(t *testing.T) {
-	c1 := schemes.RunCurve(newTrainer(t, 7, 6, 3), 5, 1)
-	c2 := schemes.RunCurve(newTrainer(t, 7, 6, 3), 5, 1)
+	c1 := schemestest.RunCurve(t, newTrainer(t, 7, 6, 3), 5, 1)
+	c2 := schemestest.RunCurve(t, newTrainer(t, 7, 6, 3), 5, 1)
 	for i := range c1.Points {
 		a, b := c1.Points[i], c2.Points[i]
 		if a.Accuracy != b.Accuracy || a.Loss != b.Loss || a.LatencySeconds != b.LatencySeconds {
@@ -87,7 +86,7 @@ func TestGSFLServerStorageScalesWithM(t *testing.T) {
 
 func TestGSFLRoundLedgerComponents(t *testing.T) {
 	tr := newTrainer(t, 4, 6, 2)
-	led := tr.Round()
+	led := schemestest.MustRound(t, tr)
 	for _, c := range []simnet.Component{
 		simnet.ClientCompute, simnet.Uplink, simnet.ServerCompute,
 		simnet.Downlink, simnet.Relay, simnet.Aggregation,
@@ -108,7 +107,7 @@ func TestGSFLMoreGroupsReduceRoundLatency(t *testing.T) {
 		tr := newTrainer(t, 5, 8, groups)
 		total := 0.0
 		for i := 0; i < 3; i++ {
-			total += tr.Round().Total()
+			total += schemestest.MustRound(t, tr).Total()
 		}
 		return total
 	}
@@ -121,15 +120,15 @@ func TestGSFLMoreGroupsReduceRoundLatency(t *testing.T) {
 
 func TestGSFLAggregationKeepsReplicasInSync(t *testing.T) {
 	tr := newTrainer(t, 6, 4, 2)
-	tr.Round()
+	schemestest.MustRound(t, tr)
 	// After a round, the global snapshots are the FedAvg of the two
 	// replicas; restoring them into each replica at the start of the next
 	// round means both replicas begin identical. Verify via the global
 	// snapshot distance to each replica being equal... simpler: run a
 	// round, snapshot, run Evaluate twice — identical results.
-	l1, a1 := tr.Evaluate()
-	l2, a2 := tr.Evaluate()
-	if l1 != l2 || a1 != a2 {
+	e1 := schemestest.MustEval(t, tr)
+	e2 := schemestest.MustEval(t, tr)
+	if e1 != e2 {
 		t.Fatal("Evaluate must be a pure function of the aggregated model")
 	}
 }
@@ -164,7 +163,7 @@ func TestGSFLSingletonGroupsEqualsSFLStructure(t *testing.T) {
 
 func TestGSFLGlobalSnapshotsAreCopies(t *testing.T) {
 	tr := newTrainer(t, 9, 4, 2)
-	tr.Round()
+	schemestest.MustRound(t, tr)
 	c1, s1 := tr.GlobalSnapshots()
 	c1.Tensors[0].Fill(999)
 	s1.Tensors[0].Fill(999)
@@ -185,7 +184,7 @@ func TestGSFLPipelinedSameAccuracyLessLatency(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		curve := schemes.RunCurve(tr, 6, 2)
+		curve := schemestest.RunCurve(t, tr, 6, 2)
 		last := curve.Points[len(curve.Points)-1]
 		return curve.FinalAccuracy(), last.LatencySeconds
 	}
@@ -209,7 +208,7 @@ func TestGSFLQuantizedTransfersReduceLatency(t *testing.T) {
 		}
 		total := 0.0
 		for i := 0; i < 4; i++ {
-			led := tr.Round()
+			led := schemestest.MustRound(t, tr)
 			total += led.Get(simnet.Uplink) + led.Get(simnet.Downlink)
 		}
 		return total
@@ -231,7 +230,7 @@ func TestGSFLCheckpointResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		tr.Round()
+		schemestest.MustRound(t, tr)
 	}
 	client, server := tr.GlobalSnapshots()
 	path := filepath.Join(t.TempDir(), "resume.gob")
@@ -253,15 +252,15 @@ func TestGSFLCheckpointResume(t *testing.T) {
 	}
 	resumed.RestoreGlobal(c2, s2)
 
-	l1, a1 := tr.Evaluate()
-	l2, a2 := resumed.Evaluate()
-	if l1 != l2 || a1 != a2 {
-		t.Fatalf("resumed trainer differs: loss %v vs %v, acc %v vs %v", l1, l2, a1, a2)
+	e1 := schemestest.MustEval(t, tr)
+	e2 := schemestest.MustEval(t, resumed)
+	if e1 != e2 {
+		t.Fatalf("resumed trainer differs: %+v vs %+v", e1, e2)
 	}
 	// And it must keep training without issue.
-	resumed.Round()
-	if _, a := resumed.Evaluate(); a < 0 || a > 1 {
-		t.Fatalf("post-resume accuracy %v", a)
+	schemestest.MustRound(t, resumed)
+	if e := schemestest.MustEval(t, resumed); e.Accuracy < 0 || e.Accuracy > 1 {
+		t.Fatalf("post-resume accuracy %v", e.Accuracy)
 	}
 }
 

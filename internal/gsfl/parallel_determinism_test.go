@@ -7,7 +7,6 @@ import (
 	"gsfl/internal/model"
 	"gsfl/internal/parallel"
 	"gsfl/internal/partition"
-	"gsfl/internal/schemes"
 	"gsfl/internal/schemes/schemestest"
 )
 
@@ -27,7 +26,7 @@ func runAtWorkers(t *testing.T, workers int, cfg Config) (*metrics.Curve, model.
 	if err != nil {
 		t.Fatal(err)
 	}
-	curve := schemes.RunCurve(tr, 6, 2)
+	curve := schemestest.RunCurve(t, tr, 6, 2)
 	client, server := tr.GlobalSnapshots()
 	return curve, client, server
 }

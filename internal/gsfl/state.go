@@ -1,0 +1,84 @@
+package gsfl
+
+import (
+	"fmt"
+
+	"gsfl/internal/model"
+	"gsfl/internal/schemes"
+)
+
+func init() {
+	schemes.Register("gsfl", func(env *schemes.Env, opts schemes.FactoryOpts) (schemes.Trainer, error) {
+		return New(env, Config{
+			NumGroups:   opts.Groups,
+			Strategy:    opts.Strategy,
+			Pipelined:   opts.Pipelined,
+			DropoutProb: opts.DropoutProb,
+		})
+	})
+}
+
+// CaptureState implements schemes.Checkpointer. GSFL's persistent state
+// is the two aggregated global halves, the per-group optimizer pairs
+// (replica parameters are rewritten from the global halves every round,
+// so they are derived, not state), the per-client loaders, the round
+// counter (which keys the dropout stream), and the channel cursor.
+func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
+	st := &schemes.TrainerState{
+		Round:   t.round,
+		Channel: t.env.Channel.State(),
+		Models: []model.SnapshotState{
+			t.globalClient.State(),
+			t.globalServer.State(),
+		},
+	}
+	for g := range t.groups {
+		st.Opts = append(st.Opts, t.clientOpts[g].State(), t.serverOpts[g].State())
+	}
+	for _, l := range t.loaders {
+		st.Loaders = append(st.Loaders, l.State())
+	}
+	return st, nil
+}
+
+// RestoreState implements schemes.Checkpointer.
+func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
+	if err := st.CheckCounts("gsfl", 2, 2*len(t.groups), len(t.loaders)); err != nil {
+		return err
+	}
+	client, err := model.SnapshotFromState(st.Models[0])
+	if err != nil {
+		return fmt.Errorf("gsfl: restoring client half: %w", err)
+	}
+	server, err := model.SnapshotFromState(st.Models[1])
+	if err != nil {
+		return fmt.Errorf("gsfl: restoring server half: %w", err)
+	}
+	// Structural validation against the eval scratch model.
+	if err := schemes.RestoreSnapshots("gsfl",
+		schemes.SnapshotTarget{Snap: client, Dst: t.evalModel.Client},
+		schemes.SnapshotTarget{Snap: server, Dst: t.evalModel.Server},
+	); err != nil {
+		return err
+	}
+	t.globalClient = client.Clone()
+	t.globalServer = server.Clone()
+	for g := range t.groups {
+		if err := t.clientOpts[g].Restore(st.Opts[2*g]); err != nil {
+			return fmt.Errorf("gsfl: group %d client optimizer: %w", g, err)
+		}
+		if err := t.serverOpts[g].Restore(st.Opts[2*g+1]); err != nil {
+			return fmt.Errorf("gsfl: group %d server optimizer: %w", g, err)
+		}
+	}
+	for ci, l := range t.loaders {
+		if err := l.Restore(st.Loaders[ci]); err != nil {
+			return fmt.Errorf("gsfl: client %d loader: %w", ci, err)
+		}
+	}
+	if err := t.env.Channel.Restore(st.Channel); err != nil {
+		return fmt.Errorf("gsfl: channel: %w", err)
+	}
+	t.round = st.Round
+	return nil
+}

@@ -10,10 +10,26 @@ import (
 	"gsfl/internal/tensor"
 )
 
-// checkpointTensor is the gob-serializable form of one tensor.
-type checkpointTensor struct {
+// TensorState is the gob-serializable form of one tensor.
+type TensorState struct {
 	Shape []int
 	Data  []float64
+}
+
+// SnapshotState is the gob-serializable form of a model-half Snapshot;
+// trainer checkpoints embed these for every model they carry.
+type SnapshotState struct {
+	Tensors []TensorState
+}
+
+// State converts the snapshot into its serializable form (deep copy).
+func (sn Snapshot) State() SnapshotState {
+	return SnapshotState{Tensors: toCheckpoint(sn)}
+}
+
+// SnapshotFromState validates a serialized snapshot and rebuilds it.
+func SnapshotFromState(st SnapshotState) (Snapshot, error) {
+	return fromCheckpoint(st.Tensors)
 }
 
 // checkpointFile is the on-disk layout: a format version plus the
@@ -21,8 +37,8 @@ type checkpointTensor struct {
 type checkpointFile struct {
 	Version int
 	Cut     int
-	Client  []checkpointTensor
-	Server  []checkpointTensor
+	Client  []TensorState
+	Server  []TensorState
 }
 
 // checkpointVersion guards against reading incompatible files.
@@ -89,15 +105,15 @@ func LoadCheckpointFile(path string) (client, server Snapshot, cut int, err erro
 	return LoadCheckpoint(f)
 }
 
-func toCheckpoint(s Snapshot) []checkpointTensor {
-	out := make([]checkpointTensor, len(s.Tensors))
+func toCheckpoint(s Snapshot) []TensorState {
+	out := make([]TensorState, len(s.Tensors))
 	for i, t := range s.Tensors {
-		out[i] = checkpointTensor{Shape: t.Shape(), Data: append([]float64(nil), t.Data...)}
+		out[i] = TensorState{Shape: t.Shape(), Data: append([]float64(nil), t.Data...)}
 	}
 	return out
 }
 
-func fromCheckpoint(cs []checkpointTensor) (Snapshot, error) {
+func fromCheckpoint(cs []TensorState) (Snapshot, error) {
 	ts := make([]*tensor.Tensor, len(cs))
 	for i, c := range cs {
 		n := 1

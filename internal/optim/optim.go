@@ -115,6 +115,57 @@ func (s *SGD) Step(params, grads []*tensor.Tensor, decay []bool) {
 	}
 }
 
+// SGDState is an SGD optimizer's complete mutable state — the step
+// counter (which drives LR schedules) and the momentum buffers. Plain
+// exported fields keep it gob-serializable for training checkpoints.
+type SGDState struct {
+	Step int
+	// VelocityShapes/VelocityData hold the per-parameter momentum
+	// buffers; both are empty when momentum is disabled or no step has
+	// allocated them yet.
+	VelocityShapes [][]int
+	VelocityData   [][]float64
+}
+
+// State captures the optimizer for checkpointing.
+func (s *SGD) State() SGDState {
+	st := SGDState{Step: s.step}
+	for _, v := range s.velocity {
+		st.VelocityShapes = append(st.VelocityShapes, v.Shape())
+		st.VelocityData = append(st.VelocityData, append([]float64(nil), v.Data...))
+	}
+	return st
+}
+
+// Restore resets the optimizer to a state captured by State. The
+// optimizer must have been constructed with the same hyperparameters;
+// subsequent steps then continue bit-identically.
+func (s *SGD) Restore(st SGDState) error {
+	if st.Step < 0 {
+		return fmt.Errorf("optim: negative step count %d", st.Step)
+	}
+	if len(st.VelocityShapes) != len(st.VelocityData) {
+		return fmt.Errorf("optim: %d velocity shapes vs %d buffers", len(st.VelocityShapes), len(st.VelocityData))
+	}
+	var vel []*tensor.Tensor
+	for i, shape := range st.VelocityShapes {
+		n := 1
+		for _, d := range shape {
+			if d < 0 {
+				return fmt.Errorf("optim: velocity %d has negative dimension", i)
+			}
+			n *= d
+		}
+		if n != len(st.VelocityData[i]) {
+			return fmt.Errorf("optim: velocity %d shape %v does not match %d values", i, shape, len(st.VelocityData[i]))
+		}
+		vel = append(vel, tensor.FromSlice(append([]float64(nil), st.VelocityData[i]...), shape...))
+	}
+	s.step = st.Step
+	s.velocity = vel
+	return nil
+}
+
 // Adam implements the Adam optimizer with bias correction.
 type Adam struct {
 	Schedule    LRSchedule

@@ -183,3 +183,51 @@ func TestMomentumAcceleratesOnRavine(t *testing.T) {
 		t.Fatalf("momentum (%v) should beat plain SGD (%v) on a ravine", mom, plain)
 	}
 }
+
+func TestSGDStateRestoreContinuesBitIdentically(t *testing.T) {
+	mk := func() *SGD {
+		opt := NewSGDMomentum(0.1, 0.9)
+		opt.Schedule = StepDecayLR(0.1, 0.5, 3) // step count must survive too
+		return opt
+	}
+	params := func() []*tensor.Tensor {
+		return []*tensor.Tensor{tensor.FromSlice([]float64{1, 2, 3}, 3)}
+	}
+	grad := []*tensor.Tensor{tensor.FromSlice([]float64{0.5, -1, 0.25}, 3)}
+
+	ref, p1 := mk(), params()
+	for i := 0; i < 4; i++ {
+		ref.Step(p1, grad, nil)
+	}
+	st := ref.State()
+
+	restored, p2 := mk(), params()
+	// Bring p2 to p1's current values (the model snapshot does this in a
+	// real checkpoint), then restore optimizer state.
+	copy(p2[0].Data, p1[0].Data)
+	if err := restored.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ref.Step(p1, grad, nil)
+		restored.Step(p2, grad, nil)
+	}
+	for j := range p1[0].Data {
+		if p1[0].Data[j] != p2[0].Data[j] {
+			t.Fatalf("param %d diverged after restore: %v vs %v", j, p1[0].Data[j], p2[0].Data[j])
+		}
+	}
+}
+
+func TestSGDRestoreValidation(t *testing.T) {
+	opt := NewSGDMomentum(0.1, 0.9)
+	if err := opt.Restore(SGDState{Step: -1}); err == nil {
+		t.Fatal("negative step must error")
+	}
+	if err := opt.Restore(SGDState{
+		VelocityShapes: [][]int{{2}},
+		VelocityData:   [][]float64{{1, 2, 3}},
+	}); err == nil {
+		t.Fatal("shape/data mismatch must error")
+	}
+}

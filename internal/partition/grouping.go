@@ -37,6 +37,23 @@ func (s GroupStrategy) String() string {
 	}
 }
 
+// ParseStrategy resolves a grouping strategy from its CLI token or its
+// String(): "roundrobin"/"round-robin", "random", or
+// "balanced"/"compute-balanced". It is the single flag-parsing path
+// shared by gsfl-sim, gsfl-bench, and the examples.
+func ParseStrategy(name string) (GroupStrategy, error) {
+	switch name {
+	case "roundrobin", "round-robin":
+		return GroupRoundRobin, nil
+	case "random":
+		return GroupRandom, nil
+	case "balanced", "compute-balanced":
+		return GroupComputeBalanced, nil
+	default:
+		return 0, fmt.Errorf("partition: unknown grouping strategy %q (want roundrobin|random|balanced)", name)
+	}
+}
+
 // Groups assigns n clients (identified by index) to m groups using the
 // given strategy. capacity is required by GroupComputeBalanced (client
 // compute capability; lower = slower) and ignored otherwise. Every group

@@ -310,3 +310,24 @@ func TestPropGroupsExactCover(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestParseStrategy(t *testing.T) {
+	for name, want := range map[string]GroupStrategy{
+		"roundrobin":       GroupRoundRobin,
+		"round-robin":      GroupRoundRobin,
+		"random":           GroupRandom,
+		"balanced":         GroupComputeBalanced,
+		"compute-balanced": GroupComputeBalanced,
+	} {
+		got, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("ParseStrategy(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ParseStrategy("bogus"); err == nil {
+		t.Fatal("expected error for unknown strategy")
+	}
+}

@@ -11,6 +11,9 @@
 package cl
 
 import (
+	"context"
+	"fmt"
+
 	"gsfl/internal/data"
 	"gsfl/internal/loss"
 	"gsfl/internal/model"
@@ -18,6 +21,12 @@ import (
 	"gsfl/internal/schemes"
 	"gsfl/internal/simnet"
 )
+
+func init() {
+	schemes.Register("cl", func(env *schemes.Env, _ schemes.FactoryOpts) (schemes.Trainer, error) {
+		return New(env)
+	})
+}
 
 // Trainer is the centralized baseline mid-training.
 type Trainer struct {
@@ -68,13 +77,16 @@ func pool(parts []data.Dataset) data.Dataset {
 func (t *Trainer) Name() string { return "cl" }
 
 // Round implements schemes.Trainer: N*StepsPerClient SGD steps on pooled
-// data, all on the edge server.
-func (t *Trainer) Round() *simnet.Ledger {
+// data, all on the edge server. Cancellation is honoured between steps.
+func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	led := &simnet.Ledger{}
 	lossFn := loss.SoftmaxCrossEntropy{}
 	server := t.env.Fleet.Server
 	perSample := 3 * t.m.ServerFwdFLOPs() // cut 0: whole model is server-side
 	for s := 0; s < t.stepsPerRound; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		batch := t.loader.Next()
 		logits := t.m.Server.Forward(batch.X, true)
 		_, dLogits := lossFn.Eval(logits, batch.Y)
@@ -83,7 +95,7 @@ func (t *Trainer) Round() *simnet.Ledger {
 		t.opt.Step(t.m.Server.Params(), t.m.Server.Grads(), t.m.Server.DecayMask())
 		led.Add(simnet.ServerCompute, server.ComputeSeconds(perSample*int64(len(batch.Y))))
 	}
-	return led
+	return led, nil
 }
 
 // UploadCost prices the one-time raw-data upload that centralizing the
@@ -114,6 +126,44 @@ func (t *Trainer) UploadCost() *simnet.Ledger {
 }
 
 // Evaluate implements schemes.Trainer.
-func (t *Trainer) Evaluate() (float64, float64) {
-	return schemes.Evaluate(t.m, t.env.Test, t.env.Arch.InShape)
+func (t *Trainer) Evaluate(ctx context.Context) (schemes.Eval, error) {
+	return schemes.Evaluate(ctx, t.m, t.env.Test, t.env.Arch.InShape)
+}
+
+// CaptureState implements schemes.Checkpointer. CL's persistent state is
+// the full model (held server-side at cut 0), its optimizer, and the
+// pooled loader.
+func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
+	return &schemes.TrainerState{
+		Channel: t.env.Channel.State(),
+		Models:  []model.SnapshotState{model.TakeSnapshot(t.m.Server).State()},
+		Opts:    []optim.SGDState{t.opt.State()},
+		Loaders: []data.LoaderState{t.loader.State()},
+	}, nil
+}
+
+// RestoreState implements schemes.Checkpointer.
+func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
+	if err := st.CheckCounts("cl", 1, 1, 1); err != nil {
+		return err
+	}
+	full, err := model.SnapshotFromState(st.Models[0])
+	if err != nil {
+		return fmt.Errorf("cl: restoring model: %w", err)
+	}
+	if err := schemes.RestoreSnapshots("cl",
+		schemes.SnapshotTarget{Snap: full, Dst: t.m.Server},
+	); err != nil {
+		return err
+	}
+	if err := t.opt.Restore(st.Opts[0]); err != nil {
+		return fmt.Errorf("cl: optimizer: %w", err)
+	}
+	if err := t.loader.Restore(st.Loaders[0]); err != nil {
+		return fmt.Errorf("cl: loader: %w", err)
+	}
+	if err := t.env.Channel.Restore(st.Channel); err != nil {
+		return fmt.Errorf("cl: channel: %w", err)
+	}
+	return nil
 }

@@ -3,7 +3,6 @@ package cl
 import (
 	"testing"
 
-	"gsfl/internal/schemes"
 	"gsfl/internal/schemes/schemestest"
 	"gsfl/internal/simnet"
 )
@@ -19,7 +18,7 @@ func newTrainer(t *testing.T, seed int64, n int) *Trainer {
 
 func TestCLLearnsBlobs(t *testing.T) {
 	tr := newTrainer(t, 1, 6)
-	curve := schemes.RunCurve(tr, 8, 2)
+	curve := schemestest.RunCurve(t, tr, 8, 2)
 	if !curve.IsFinite() {
 		t.Fatal("training diverged")
 	}
@@ -29,8 +28,8 @@ func TestCLLearnsBlobs(t *testing.T) {
 }
 
 func TestCLDeterministic(t *testing.T) {
-	c1 := schemes.RunCurve(newTrainer(t, 3, 5), 3, 1)
-	c2 := schemes.RunCurve(newTrainer(t, 3, 5), 3, 1)
+	c1 := schemestest.RunCurve(t, newTrainer(t, 3, 5), 3, 1)
+	c2 := schemestest.RunCurve(t, newTrainer(t, 3, 5), 3, 1)
 	for i := range c1.Points {
 		if c1.Points[i] != c2.Points[i] {
 			t.Fatalf("point %d differs", i)
@@ -40,7 +39,7 @@ func TestCLDeterministic(t *testing.T) {
 
 func TestCLOnlyServerCompute(t *testing.T) {
 	tr := newTrainer(t, 2, 4)
-	led := tr.Round()
+	led := schemestest.MustRound(t, tr)
 	if led.Get(simnet.ServerCompute) <= 0 {
 		t.Fatal("CL must pay server compute")
 	}
@@ -59,7 +58,7 @@ func TestCLFastestPerRound(t *testing.T) {
 	// cost, so a CL round must be far cheaper than any distributed round
 	// doing the same number of updates.
 	tr := newTrainer(t, 4, 6)
-	if total := tr.Round().Total(); total > 1 {
+	if total := schemestest.MustRound(t, tr).Total(); total > 1 {
 		t.Fatalf("CL round took %v virtual seconds; expected sub-second server-only time", total)
 	}
 }

@@ -11,6 +11,9 @@
 package fl
 
 import (
+	"context"
+	"fmt"
+
 	"gsfl/internal/agg"
 	"gsfl/internal/data"
 	"gsfl/internal/loss"
@@ -20,6 +23,12 @@ import (
 	"gsfl/internal/schemes"
 	"gsfl/internal/simnet"
 )
+
+func init() {
+	schemes.Register("fl", func(env *schemes.Env, _ schemes.FactoryOpts) (schemes.Trainer, error) {
+		return New(env)
+	})
+}
 
 // Trainer is the FedAvg scheme mid-training.
 type Trainer struct {
@@ -69,9 +78,12 @@ func (t *Trainer) Name() string { return "fl" }
 
 // Round implements schemes.Trainer: parallel local training, concurrent
 // full-model upload, FedAvg, concurrent download.
-func (t *Trainer) Round() *simnet.Ledger {
+func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	env := t.env
-	env.Channel.AdvanceRound() // client mobility (no-op when static)
+	env.Channel.AdvanceRound() // new fading stream + client mobility
 	n := env.Fleet.N()
 	all := make([]int, n)
 	for i := range all {
@@ -127,11 +139,56 @@ func (t *Trainer) Round() *simnet.Ledger {
 	}
 	t.global = agg.FedAvg(snaps, t.weights)
 	schemes.AggregationLatency(env, n, t.global.ParamCount(), round)
-	return round
+	return round, nil
 }
 
 // Evaluate implements schemes.Trainer.
-func (t *Trainer) Evaluate() (float64, float64) {
+func (t *Trainer) Evaluate(ctx context.Context) (schemes.Eval, error) {
 	t.global.Restore(t.evalModel.Client)
-	return schemes.Evaluate(t.evalModel, t.env.Test, t.env.Arch.InShape)
+	return schemes.Evaluate(ctx, t.evalModel, t.env.Test, t.env.Arch.InShape)
+}
+
+// CaptureState implements schemes.Checkpointer. FL's persistent state
+// is the aggregated global model (local replicas are rewritten from it
+// every round), the per-client optimizers, and the loaders.
+func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
+	st := &schemes.TrainerState{
+		Channel: t.env.Channel.State(),
+		Models:  []model.SnapshotState{t.global.State()},
+	}
+	for ci := range t.locals {
+		st.Opts = append(st.Opts, t.opts[ci].State())
+		st.Loaders = append(st.Loaders, t.loaders[ci].State())
+	}
+	return st, nil
+}
+
+// RestoreState implements schemes.Checkpointer.
+func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
+	if err := st.CheckCounts("fl", 1, len(t.opts), len(t.loaders)); err != nil {
+		return err
+	}
+	global, err := model.SnapshotFromState(st.Models[0])
+	if err != nil {
+		return fmt.Errorf("fl: restoring global model: %w", err)
+	}
+	// Structural validation against the eval scratch model.
+	if err := schemes.RestoreSnapshots("fl",
+		schemes.SnapshotTarget{Snap: global, Dst: t.evalModel.Client},
+	); err != nil {
+		return err
+	}
+	t.global = global.Clone()
+	for ci := range t.opts {
+		if err := t.opts[ci].Restore(st.Opts[ci]); err != nil {
+			return fmt.Errorf("fl: client %d optimizer: %w", ci, err)
+		}
+		if err := t.loaders[ci].Restore(st.Loaders[ci]); err != nil {
+			return fmt.Errorf("fl: client %d loader: %w", ci, err)
+		}
+	}
+	if err := t.env.Channel.Restore(st.Channel); err != nil {
+		return fmt.Errorf("fl: channel: %w", err)
+	}
+	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"gsfl/internal/device"
-	"gsfl/internal/schemes"
 	"gsfl/internal/schemes/schemestest"
 	"gsfl/internal/simnet"
 	"gsfl/internal/wireless"
@@ -21,7 +20,7 @@ func newTrainer(t *testing.T, seed int64, n int) *Trainer {
 
 func TestFLLearnsBlobs(t *testing.T) {
 	tr := newTrainer(t, 1, 6)
-	curve := schemes.RunCurve(tr, 20, 4)
+	curve := schemestest.RunCurve(t, tr, 20, 4)
 	if !curve.IsFinite() {
 		t.Fatal("training diverged")
 	}
@@ -31,8 +30,8 @@ func TestFLLearnsBlobs(t *testing.T) {
 }
 
 func TestFLDeterministic(t *testing.T) {
-	c1 := schemes.RunCurve(newTrainer(t, 3, 5), 4, 1)
-	c2 := schemes.RunCurve(newTrainer(t, 3, 5), 4, 1)
+	c1 := schemestest.RunCurve(t, newTrainer(t, 3, 5), 4, 1)
+	c2 := schemestest.RunCurve(t, newTrainer(t, 3, 5), 4, 1)
 	for i := range c1.Points {
 		if c1.Points[i] != c2.Points[i] {
 			t.Fatalf("point %d differs", i)
@@ -42,7 +41,7 @@ func TestFLDeterministic(t *testing.T) {
 
 func TestFLRoundComponents(t *testing.T) {
 	tr := newTrainer(t, 2, 4)
-	led := tr.Round()
+	led := schemestest.MustRound(t, tr)
 	for _, c := range []simnet.Component{
 		simnet.ClientCompute, simnet.Uplink, simnet.Downlink, simnet.Aggregation,
 	} {
@@ -66,7 +65,7 @@ func TestFLTransfersFullModel(t *testing.T) {
 	// component reflects full-model bytes by checking it dwarfs the
 	// aggregation time.
 	tr := newTrainer(t, 5, 4)
-	led := tr.Round()
+	led := schemestest.MustRound(t, tr)
 	if led.Get(simnet.Uplink) <= led.Get(simnet.Aggregation) {
 		t.Fatalf("uplink %v should dominate aggregation %v",
 			led.Get(simnet.Uplink), led.Get(simnet.Aggregation))
@@ -91,7 +90,7 @@ func TestFLParallelRoundBeatsSequentialSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel := tr.Round().Total()
+	parallel := schemestest.MustRound(t, tr).Total()
 
 	// Sequential estimate: every client gets the full budget but they go
 	// one after another.

@@ -42,12 +42,9 @@ func TestTurnLatencySingleStepEquivalent(t *testing.T) {
 func TestTurnLatencyValidation(t *testing.T) {
 	env := schemestest.NewEnv(22, 4, 30)
 	m := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for zero steps")
-		}
-	}()
-	schemes.TurnLatency(env, m, 0, 8, 0, 1e6, 1e6, true, &simnet.Ledger{})
+	if err := schemes.TurnLatency(env, m, 0, 8, 0, 1e6, 1e6, true, &simnet.Ledger{}); err == nil {
+		t.Fatal("expected error for zero steps")
+	}
 }
 
 func TestQuantizedSplitStepStillLearns(t *testing.T) {

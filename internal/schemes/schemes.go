@@ -20,6 +20,7 @@
 package schemes
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -152,37 +153,31 @@ func (e *Env) Rng(purpose string, k int) *rand.Rand {
 	return rand.New(rand.NewSource(h))
 }
 
-// Trainer is one distributed-learning scheme mid-training.
-type Trainer interface {
-	// Name is the scheme's short identifier ("gsfl", "sl", "fl", "cl",
-	// "sfl"), used as the curve label.
-	Name() string
-	// Round executes one global training round and returns its
-	// critical-path latency ledger.
-	Round() *simnet.Ledger
-	// Evaluate returns (loss, accuracy) of the scheme's current global
-	// model on the env's test set.
-	Evaluate() (float64, float64)
+// Eval is one evaluation of a scheme's current global model on the
+// env's held-out test set.
+type Eval struct {
+	// Loss is the mean test loss.
+	Loss float64
+	// Accuracy is the test accuracy in [0,1].
+	Accuracy float64
 }
 
-// RunCurve drives a trainer for the given number of rounds, evaluating
-// every evalEvery rounds (and always after the final round), and returns
-// the resulting training curve with cumulative latency.
-func RunCurve(tr Trainer, rounds, evalEvery int) *metrics.Curve {
-	if rounds <= 0 || evalEvery <= 0 {
-		panic(fmt.Sprintf("schemes: rounds %d and evalEvery %d must be positive", rounds, evalEvery))
-	}
-	curve := &metrics.Curve{Scheme: tr.Name()}
-	elapsed := 0.0
-	for r := 1; r <= rounds; r++ {
-		led := tr.Round()
-		elapsed += led.Total()
-		if r%evalEvery == 0 || r == rounds {
-			l, a := tr.Evaluate()
-			curve.Append(metrics.Point{Round: r, LatencySeconds: elapsed, Loss: l, Accuracy: a})
-		}
-	}
-	return curve
+// Trainer is one distributed-learning scheme mid-training. It is the
+// contract the public run API (gsfl/sim) drives: rounds are cancellable
+// through their context and report failures as errors, never panics.
+type Trainer interface {
+	// Name is the scheme's short identifier ("gsfl", "sl", "fl", "cl",
+	// "sfl"), used as the curve label and the registry key.
+	Name() string
+	// Round executes one global training round and returns its
+	// critical-path latency ledger. It honours ctx cancellation at
+	// internal sequencing points; after a non-nil error (including
+	// ctx.Err()) the trainer may hold partially updated state and must
+	// not be driven further.
+	Round(ctx context.Context) (*simnet.Ledger, error)
+	// Evaluate returns the test-set performance of the scheme's current
+	// global model. It does not mutate training state.
+	Evaluate(ctx context.Context) (Eval, error)
 }
 
 // EvalChunk bounds evaluation batch sizes so test-set forward passes
@@ -190,14 +185,17 @@ func RunCurve(tr Trainer, rounds, evalEvery int) *metrics.Curve {
 const EvalChunk = 256
 
 // Evaluate runs the split model over the test set in chunks and returns
-// (mean loss, accuracy). It is the shared implementation behind every
-// scheme's Evaluate.
-func Evaluate(m *model.SplitModel, test data.Dataset, inShape []int) (float64, float64) {
+// the mean loss and accuracy. It is the shared implementation behind
+// every scheme's Evaluate; cancellation is honoured between chunks.
+func Evaluate(ctx context.Context, m *model.SplitModel, test data.Dataset, inShape []int) (Eval, error) {
 	n := test.Len()
 	lossFn := loss.SoftmaxCrossEntropy{}
 	totalLoss := 0.0
 	correct := 0
 	for lo := 0; lo < n; lo += EvalChunk {
+		if err := ctx.Err(); err != nil {
+			return Eval{}, err
+		}
 		hi := lo + EvalChunk
 		if hi > n {
 			hi = n
@@ -221,7 +219,7 @@ func Evaluate(m *model.SplitModel, test data.Dataset, inShape []int) (float64, f
 			}
 		}
 	}
-	return totalLoss / float64(n), float64(correct) / float64(n)
+	return Eval{Loss: totalLoss / float64(n), Accuracy: float64(correct) / float64(n)}, nil
 }
 
 // SplitStep runs one split-learning mini-batch: client-side forward,
@@ -290,15 +288,15 @@ func StepLatency(e *Env, m *model.SplitModel, ci, batchN int, upHz, downHz float
 //
 // The warm-up charges each component once; the steady-state remainder is
 // attributed to the bottleneck component.
-func TurnLatency(e *Env, m *model.SplitModel, ci, batchN, steps int, upHz, downHz float64, pipelined bool, led *simnet.Ledger) {
+func TurnLatency(e *Env, m *model.SplitModel, ci, batchN, steps int, upHz, downHz float64, pipelined bool, led *simnet.Ledger) error {
 	if steps <= 0 {
-		panic(fmt.Sprintf("schemes: turn needs positive steps, got %d", steps))
+		return fmt.Errorf("schemes: turn needs positive steps, got %d", steps)
 	}
 	if !pipelined {
 		for s := 0; s < steps; s++ {
 			StepLatency(e, m, ci, batchN, upHz, downHz, led)
 		}
-		return
+		return nil
 	}
 	client := e.Fleet.Clients[ci]
 	b := int64(batchN)
@@ -320,6 +318,7 @@ func TurnLatency(e *Env, m *model.SplitModel, ci, batchN, steps int, upHz, downH
 		}
 	}
 	led.Add(stages[bottleneck].comp, float64(steps-1)*stages[bottleneck].secs)
+	return nil
 }
 
 // RelayLatency prices handing the client-side model from client `from`

@@ -1,6 +1,7 @@
 package schemes_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -63,14 +64,20 @@ func TestRngStreamsIndependent(t *testing.T) {
 func TestEvaluateMatchesDirectComputation(t *testing.T) {
 	env := schemestest.NewEnv(2, 4, 30)
 	m := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
-	l, a := schemes.Evaluate(m, env.Test, env.Arch.InShape)
-	if math.IsNaN(l) || a < 0 || a > 1 {
-		t.Fatalf("Evaluate returned loss=%v acc=%v", l, a)
+	e1, err := schemes.Evaluate(context.Background(), m, env.Test, env.Arch.InShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(e1.Loss) || e1.Accuracy < 0 || e1.Accuracy > 1 {
+		t.Fatalf("Evaluate returned %+v", e1)
 	}
 	// Chunked evaluation must be invariant to chunk boundaries: evaluate
 	// twice; identical results (pure function).
-	l2, a2 := schemes.Evaluate(m, env.Test, env.Arch.InShape)
-	if l != l2 || a != a2 {
+	e2, err := schemes.Evaluate(context.Background(), m, env.Test, env.Arch.InShape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
 		t.Fatal("Evaluate is not deterministic")
 	}
 }
@@ -129,63 +136,26 @@ func TestAggregationLatencyScales(t *testing.T) {
 	}
 }
 
-func TestRunCurveEvaluationCadence(t *testing.T) {
+func TestEvaluateHonoursCancellation(t *testing.T) {
 	env := schemestest.NewEnv(7, 4, 30)
-	tr := &countingTrainer{env: env}
-	curve := schemes.RunCurve(tr, 10, 3)
-	// Evaluations at rounds 3, 6, 9 and the final round 10.
-	wantRounds := []int{3, 6, 9, 10}
-	if len(curve.Points) != len(wantRounds) {
-		t.Fatalf("got %d points, want %d", len(curve.Points), len(wantRounds))
+	m := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := schemes.Evaluate(ctx, m, env.Test, env.Arch.InShape); err != context.Canceled {
+		t.Fatalf("cancelled Evaluate returned %v, want context.Canceled", err)
 	}
-	for i, p := range curve.Points {
-		if p.Round != wantRounds[i] {
-			t.Fatalf("point %d at round %d, want %d", i, p.Round, wantRounds[i])
-		}
-	}
-	// Cumulative latency: each fake round adds 2s.
-	if got := curve.Points[3].LatencySeconds; got != 20 {
-		t.Fatalf("cumulative latency = %v, want 20", got)
-	}
-}
-
-func TestRunCurveValidation(t *testing.T) {
-	env := schemestest.NewEnv(8, 4, 30)
-	tr := &countingTrainer{env: env}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for zero rounds")
-		}
-	}()
-	schemes.RunCurve(tr, 0, 1)
-}
-
-// countingTrainer is a stub Trainer with fixed round cost.
-type countingTrainer struct {
-	env    *schemes.Env
-	rounds int
-}
-
-func (c *countingTrainer) Name() string { return "stub" }
-
-func (c *countingTrainer) Round() *simnet.Ledger {
-	c.rounds++
-	led := &simnet.Ledger{}
-	led.Add(simnet.ServerCompute, 2)
-	return led
-}
-
-func (c *countingTrainer) Evaluate() (float64, float64) {
-	return 1.0 / float64(c.rounds+1), float64(c.rounds) / 100
 }
 
 func TestEvaluateConfusionConsistentWithEvaluate(t *testing.T) {
 	env := schemestest.NewEnv(9, 4, 30)
 	m := env.Arch.NewSplit(env.Rng("init", 0), env.Cut)
-	_, acc := schemes.Evaluate(m, env.Test, env.Arch.InShape)
+	ev, err := schemes.Evaluate(context.Background(), m, env.Test, env.Arch.InShape)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cm := schemes.EvaluateConfusion(m, env.Test, env.Arch.InShape)
-	if cm.Accuracy() != acc {
-		t.Fatalf("confusion accuracy %v != scalar accuracy %v", cm.Accuracy(), acc)
+	if cm.Accuracy() != ev.Accuracy {
+		t.Fatalf("confusion accuracy %v != scalar accuracy %v", cm.Accuracy(), ev.Accuracy)
 	}
 	total := 0
 	for c := 0; c < schemestest.BlobClasses; c++ {

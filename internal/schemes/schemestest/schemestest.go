@@ -9,15 +9,66 @@
 package schemestest
 
 import (
+	"context"
 	"math/rand"
+	"testing"
 
 	"gsfl/internal/data"
 	"gsfl/internal/device"
+	"gsfl/internal/metrics"
 	"gsfl/internal/model"
 	"gsfl/internal/partition"
 	"gsfl/internal/schemes"
+	"gsfl/internal/simnet"
 	"gsfl/internal/wireless"
 )
+
+// RunCurve drives a trainer for the given number of rounds, evaluating
+// every evalEvery rounds (and always after the final round), and fails
+// the test on any error. It mirrors the sim.Runner loop without
+// importing gsfl/sim, which scheme packages' in-package tests cannot
+// (sim imports every scheme for registration).
+func RunCurve(tb testing.TB, tr schemes.Trainer, rounds, evalEvery int) *metrics.Curve {
+	tb.Helper()
+	ctx := context.Background()
+	curve := &metrics.Curve{Scheme: tr.Name()}
+	elapsed := 0.0
+	for r := 1; r <= rounds; r++ {
+		led, err := tr.Round(ctx)
+		if err != nil {
+			tb.Fatalf("round %d: %v", r, err)
+		}
+		elapsed += led.Total()
+		if r%evalEvery == 0 || r == rounds {
+			ev, err := tr.Evaluate(ctx)
+			if err != nil {
+				tb.Fatalf("evaluating after round %d: %v", r, err)
+			}
+			curve.Append(metrics.Point{Round: r, LatencySeconds: elapsed, Loss: ev.Loss, Accuracy: ev.Accuracy})
+		}
+	}
+	return curve
+}
+
+// MustRound runs one round, failing the test on error.
+func MustRound(tb testing.TB, tr schemes.Trainer) *simnet.Ledger {
+	tb.Helper()
+	led, err := tr.Round(context.Background())
+	if err != nil {
+		tb.Fatalf("round: %v", err)
+	}
+	return led
+}
+
+// MustEval evaluates, failing the test on error.
+func MustEval(tb testing.TB, tr schemes.Trainer) schemes.Eval {
+	tb.Helper()
+	ev, err := tr.Evaluate(context.Background())
+	if err != nil {
+		tb.Fatalf("evaluate: %v", err)
+	}
+	return ev
+}
 
 // BlobClasses is the number of classes in the toy task.
 const BlobClasses = 4

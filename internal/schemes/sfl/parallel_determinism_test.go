@@ -5,7 +5,6 @@ import (
 
 	"gsfl/internal/metrics"
 	"gsfl/internal/parallel"
-	"gsfl/internal/schemes"
 	"gsfl/internal/schemes/schemestest"
 )
 
@@ -20,7 +19,7 @@ func TestSFLBitIdenticalAcrossWorkers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return schemes.RunCurve(tr, 5, 1)
+		return schemestest.RunCurve(t, tr, 5, 1)
 	}
 	base := run(1)
 	for _, workers := range []int{2, 8} {

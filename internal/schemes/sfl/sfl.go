@@ -11,6 +11,9 @@
 package sfl
 
 import (
+	"context"
+	"fmt"
+
 	"gsfl/internal/agg"
 	"gsfl/internal/data"
 	"gsfl/internal/model"
@@ -19,6 +22,12 @@ import (
 	"gsfl/internal/schemes"
 	"gsfl/internal/simnet"
 )
+
+func init() {
+	schemes.Register("sfl", func(env *schemes.Env, _ schemes.FactoryOpts) (schemes.Trainer, error) {
+		return New(env)
+	})
+}
 
 // Trainer is the SplitFed scheme mid-training.
 type Trainer struct {
@@ -76,9 +85,12 @@ func (t *Trainer) ServerStorageBytes() int64 {
 
 // Round implements schemes.Trainer: all clients train concurrently
 // against their own server replicas, then both halves aggregate.
-func (t *Trainer) Round() *simnet.Ledger {
+func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	env := t.env
-	env.Channel.AdvanceRound() // client mobility (no-op when static)
+	env.Channel.AdvanceRound() // new fading stream + client mobility
 	n := env.Fleet.N()
 	all := make([]int, n)
 	for i := range all {
@@ -137,12 +149,70 @@ func (t *Trainer) Round() *simnet.Ledger {
 	t.globalServer = agg.FedAvg(serverSnaps, t.weights)
 	schemes.AggregationLatency(env, n,
 		t.globalClient.ParamCount()+t.globalServer.ParamCount(), round)
-	return round
+	return round, nil
 }
 
 // Evaluate implements schemes.Trainer.
-func (t *Trainer) Evaluate() (float64, float64) {
+func (t *Trainer) Evaluate(ctx context.Context) (schemes.Eval, error) {
 	t.globalClient.Restore(t.evalModel.Client)
 	t.globalServer.Restore(t.evalModel.Server)
-	return schemes.Evaluate(t.evalModel, t.env.Test, t.env.Arch.InShape)
+	return schemes.Evaluate(ctx, t.evalModel, t.env.Test, t.env.Arch.InShape)
+}
+
+// CaptureState implements schemes.Checkpointer. SplitFed's persistent
+// state is the two aggregated global halves (per-client replicas are
+// rewritten from them every round), the per-client optimizer pairs, and
+// the loaders.
+func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
+	st := &schemes.TrainerState{
+		Channel: t.env.Channel.State(),
+		Models: []model.SnapshotState{
+			t.globalClient.State(),
+			t.globalServer.State(),
+		},
+	}
+	for ci := range t.replicas {
+		st.Opts = append(st.Opts, t.clientOpts[ci].State(), t.serverOpts[ci].State())
+		st.Loaders = append(st.Loaders, t.loaders[ci].State())
+	}
+	return st, nil
+}
+
+// RestoreState implements schemes.Checkpointer.
+func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
+	if err := st.CheckCounts("sfl", 2, 2*len(t.replicas), len(t.loaders)); err != nil {
+		return err
+	}
+	client, err := model.SnapshotFromState(st.Models[0])
+	if err != nil {
+		return fmt.Errorf("sfl: restoring client half: %w", err)
+	}
+	server, err := model.SnapshotFromState(st.Models[1])
+	if err != nil {
+		return fmt.Errorf("sfl: restoring server half: %w", err)
+	}
+	// Structural validation against the eval scratch model.
+	if err := schemes.RestoreSnapshots("sfl",
+		schemes.SnapshotTarget{Snap: client, Dst: t.evalModel.Client},
+		schemes.SnapshotTarget{Snap: server, Dst: t.evalModel.Server},
+	); err != nil {
+		return err
+	}
+	t.globalClient = client.Clone()
+	t.globalServer = server.Clone()
+	for ci := range t.replicas {
+		if err := t.clientOpts[ci].Restore(st.Opts[2*ci]); err != nil {
+			return fmt.Errorf("sfl: client %d client-half optimizer: %w", ci, err)
+		}
+		if err := t.serverOpts[ci].Restore(st.Opts[2*ci+1]); err != nil {
+			return fmt.Errorf("sfl: client %d server-half optimizer: %w", ci, err)
+		}
+		if err := t.loaders[ci].Restore(st.Loaders[ci]); err != nil {
+			return fmt.Errorf("sfl: client %d loader: %w", ci, err)
+		}
+	}
+	if err := t.env.Channel.Restore(st.Channel); err != nil {
+		return fmt.Errorf("sfl: channel: %w", err)
+	}
+	return nil
 }

@@ -3,7 +3,6 @@ package sfl
 import (
 	"testing"
 
-	"gsfl/internal/schemes"
 	"gsfl/internal/schemes/schemestest"
 	"gsfl/internal/simnet"
 )
@@ -19,7 +18,7 @@ func newTrainer(t *testing.T, seed int64, n int) *Trainer {
 
 func TestSFLLearnsBlobs(t *testing.T) {
 	tr := newTrainer(t, 1, 6)
-	curve := schemes.RunCurve(tr, 15, 3)
+	curve := schemestest.RunCurve(t, tr, 15, 3)
 	if !curve.IsFinite() {
 		t.Fatal("training diverged")
 	}
@@ -29,8 +28,8 @@ func TestSFLLearnsBlobs(t *testing.T) {
 }
 
 func TestSFLDeterministic(t *testing.T) {
-	c1 := schemes.RunCurve(newTrainer(t, 3, 5), 4, 1)
-	c2 := schemes.RunCurve(newTrainer(t, 3, 5), 4, 1)
+	c1 := schemestest.RunCurve(t, newTrainer(t, 3, 5), 4, 1)
+	c2 := schemestest.RunCurve(t, newTrainer(t, 3, 5), 4, 1)
 	for i := range c1.Points {
 		if c1.Points[i] != c2.Points[i] {
 			t.Fatalf("point %d differs", i)
@@ -50,7 +49,7 @@ func TestSFLStoresOneReplicaPerClient(t *testing.T) {
 
 func TestSFLRoundComponents(t *testing.T) {
 	tr := newTrainer(t, 4, 4)
-	led := tr.Round()
+	led := schemestest.MustRound(t, tr)
 	for _, c := range []simnet.Component{
 		simnet.ClientCompute, simnet.Uplink, simnet.ServerCompute,
 		simnet.Downlink, simnet.Relay, simnet.Aggregation,
@@ -64,8 +63,8 @@ func TestSFLRoundComponents(t *testing.T) {
 func TestSFLParallelismBoundsLatency(t *testing.T) {
 	// All clients train at once; like FL, latency must scale sublinearly
 	// in the fleet size.
-	small := newTrainer(t, 5, 4).Round().Total()
-	large := newTrainer(t, 5, 8).Round().Total()
+	small := schemestest.MustRound(t, newTrainer(t, 5, 4)).Total()
+	large := schemestest.MustRound(t, newTrainer(t, 5, 8)).Total()
 	if large >= 1.9*small {
 		t.Fatalf("SplitFed latency scaled like sequential: %v -> %v", small, large)
 	}

@@ -11,12 +11,21 @@
 package sl
 
 import (
+	"context"
+	"fmt"
+
 	"gsfl/internal/data"
 	"gsfl/internal/model"
 	"gsfl/internal/optim"
 	"gsfl/internal/schemes"
 	"gsfl/internal/simnet"
 )
+
+func init() {
+	schemes.Register("sl", func(env *schemes.Env, _ schemes.FactoryOpts) (schemes.Trainer, error) {
+		return New(env)
+	})
+}
 
 // Trainer is the vanilla-SL scheme mid-training.
 type Trainer struct {
@@ -51,14 +60,18 @@ func (t *Trainer) Name() string { return "sl" }
 
 // Round implements schemes.Trainer: every client trains once, in order,
 // with the client model relayed between consecutive clients.
-func (t *Trainer) Round() *simnet.Ledger {
+// Cancellation is honoured between client turns.
+func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	env := t.env
-	env.Channel.AdvanceRound() // client mobility (no-op when static)
+	env.Channel.AdvanceRound() // new fading stream + client mobility
 	led := &simnet.Ledger{}
 	n := env.Fleet.N()
 	up := env.Channel.UplinkHz() // sole active client: full budget
 	down := env.Channel.DownlinkHz()
 	for ci := 0; ci < n; ci++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for s := 0; s < env.Hyper.StepsPerClient; s++ {
 			batch := t.loaders[ci].Next()
 			schemes.SplitStep(t.m, t.clientOpt, t.serverOpt, batch, env.Hyper.QuantizeTransfers)
@@ -69,10 +82,64 @@ func (t *Trainer) Round() *simnet.Ledger {
 		next := (ci + 1) % n
 		schemes.RelayLatency(env, t.m, ci, next, up, down, led)
 	}
-	return led
+	return led, nil
 }
 
 // Evaluate implements schemes.Trainer.
-func (t *Trainer) Evaluate() (float64, float64) {
-	return schemes.Evaluate(t.m, t.env.Test, t.env.Arch.InShape)
+func (t *Trainer) Evaluate(ctx context.Context) (schemes.Eval, error) {
+	return schemes.Evaluate(ctx, t.m, t.env.Test, t.env.Arch.InShape)
+}
+
+// CaptureState implements schemes.Checkpointer. SL's persistent state
+// is the single shared split model (it is never rebuilt from snapshots),
+// its optimizer pair, and the per-client loaders.
+func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
+	st := &schemes.TrainerState{
+		Channel: t.env.Channel.State(),
+		Models: []model.SnapshotState{
+			model.TakeSnapshot(t.m.Client).State(),
+			model.TakeSnapshot(t.m.Server).State(),
+		},
+		Opts: []optim.SGDState{t.clientOpt.State(), t.serverOpt.State()},
+	}
+	for _, l := range t.loaders {
+		st.Loaders = append(st.Loaders, l.State())
+	}
+	return st, nil
+}
+
+// RestoreState implements schemes.Checkpointer.
+func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
+	if err := st.CheckCounts("sl", 2, 2, len(t.loaders)); err != nil {
+		return err
+	}
+	client, err := model.SnapshotFromState(st.Models[0])
+	if err != nil {
+		return fmt.Errorf("sl: restoring client half: %w", err)
+	}
+	server, err := model.SnapshotFromState(st.Models[1])
+	if err != nil {
+		return fmt.Errorf("sl: restoring server half: %w", err)
+	}
+	if err := schemes.RestoreSnapshots("sl",
+		schemes.SnapshotTarget{Snap: client, Dst: t.m.Client},
+		schemes.SnapshotTarget{Snap: server, Dst: t.m.Server},
+	); err != nil {
+		return err
+	}
+	if err := t.clientOpt.Restore(st.Opts[0]); err != nil {
+		return fmt.Errorf("sl: client optimizer: %w", err)
+	}
+	if err := t.serverOpt.Restore(st.Opts[1]); err != nil {
+		return fmt.Errorf("sl: server optimizer: %w", err)
+	}
+	for ci, l := range t.loaders {
+		if err := l.Restore(st.Loaders[ci]); err != nil {
+			return fmt.Errorf("sl: client %d loader: %w", ci, err)
+		}
+	}
+	if err := t.env.Channel.Restore(st.Channel); err != nil {
+		return fmt.Errorf("sl: channel: %w", err)
+	}
+	return nil
 }

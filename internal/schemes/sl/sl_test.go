@@ -3,7 +3,6 @@ package sl
 import (
 	"testing"
 
-	"gsfl/internal/schemes"
 	"gsfl/internal/schemes/schemestest"
 	"gsfl/internal/simnet"
 )
@@ -19,7 +18,7 @@ func newTrainer(t *testing.T, seed int64, n int) *Trainer {
 
 func TestSLLearnsBlobs(t *testing.T) {
 	tr := newTrainer(t, 1, 6)
-	curve := schemes.RunCurve(tr, 10, 2)
+	curve := schemestest.RunCurve(t, tr, 10, 2)
 	if !curve.IsFinite() {
 		t.Fatal("training diverged")
 	}
@@ -29,8 +28,8 @@ func TestSLLearnsBlobs(t *testing.T) {
 }
 
 func TestSLDeterministic(t *testing.T) {
-	c1 := schemes.RunCurve(newTrainer(t, 3, 5), 4, 1)
-	c2 := schemes.RunCurve(newTrainer(t, 3, 5), 4, 1)
+	c1 := schemestest.RunCurve(t, newTrainer(t, 3, 5), 4, 1)
+	c2 := schemestest.RunCurve(t, newTrainer(t, 3, 5), 4, 1)
 	for i := range c1.Points {
 		if c1.Points[i] != c2.Points[i] {
 			t.Fatalf("point %d differs: %+v vs %+v", i, c1.Points[i], c2.Points[i])
@@ -40,7 +39,7 @@ func TestSLDeterministic(t *testing.T) {
 
 func TestSLRoundComponents(t *testing.T) {
 	tr := newTrainer(t, 2, 4)
-	led := tr.Round()
+	led := schemestest.MustRound(t, tr)
 	for _, c := range []simnet.Component{
 		simnet.ClientCompute, simnet.Uplink, simnet.ServerCompute,
 		simnet.Downlink, simnet.Relay,
@@ -58,8 +57,8 @@ func TestSLRoundComponents(t *testing.T) {
 func TestSLLatencyScalesWithClients(t *testing.T) {
 	// Sequential training: doubling the client count should roughly
 	// double the round latency (modulo heterogeneity noise).
-	small := newTrainer(t, 4, 4).Round().Total()
-	large := newTrainer(t, 4, 8).Round().Total()
+	small := schemestest.MustRound(t, newTrainer(t, 4, 4)).Total()
+	large := schemestest.MustRound(t, newTrainer(t, 4, 8)).Total()
 	if large < 1.5*small {
 		t.Fatalf("8-client round (%v) should be much longer than 4-client (%v)", large, small)
 	}

@@ -1,0 +1,95 @@
+package schemes
+
+import (
+	"fmt"
+
+	"gsfl/internal/data"
+	"gsfl/internal/model"
+	"gsfl/internal/nn"
+	"gsfl/internal/optim"
+	"gsfl/internal/wireless"
+)
+
+// TrainerState is a trainer's complete mutable state at a round
+// boundary, in a gob-serializable form. Each scheme defines its own
+// ordering for the Models/Opts/Loaders slices; a state captured from one
+// scheme restores only into a freshly constructed trainer of the same
+// scheme over an identical Env.
+//
+// Combined with the deterministic construction path (everything a
+// trainer derives at New time is a pure function of the Env), restoring
+// a TrainerState makes continued training bit-identical to the
+// uninterrupted run: model parameters, optimizer momentum and step
+// counts, data-loader shuffle positions, and the wireless channel's
+// per-round RNG cursor are all part of the state.
+type TrainerState struct {
+	// Round is the number of completed training rounds.
+	Round int
+	// Channel is the shared wireless channel's state (round cursor,
+	// client positions, shadowing).
+	Channel wireless.ChannelState
+	// Models holds the scheme's persistent model halves.
+	Models []model.SnapshotState
+	// Opts holds the scheme's optimizer states.
+	Opts []optim.SGDState
+	// Loaders holds the per-client data-loader states.
+	Loaders []data.LoaderState
+}
+
+// Checkpointer is the optional interface a Trainer implements to support
+// checkpoint/resume through the run API. All five built-in schemes
+// implement it.
+type Checkpointer interface {
+	// CaptureState deep-copies the trainer's complete mutable state.
+	// Only valid at a round boundary (between Round calls).
+	CaptureState() (*TrainerState, error)
+	// RestoreState resets a freshly constructed trainer to a captured
+	// state. The trainer must have been built over an Env identical to
+	// the one the state was captured from.
+	RestoreState(*TrainerState) error
+}
+
+// SnapshotTarget pairs a restored snapshot with the model half it is
+// destined for.
+type SnapshotTarget struct {
+	Snap model.Snapshot
+	Dst  *nn.Sequential
+}
+
+// RestoreSnapshots validates every snapshot structurally against its
+// destination, then commits them all. On mismatch it returns an error
+// before mutating anything, so a failed restore never leaves a model
+// half-updated.
+func RestoreSnapshots(scheme string, targets ...SnapshotTarget) error {
+	for i, tgt := range targets {
+		ps := tgt.Dst.Params()
+		if len(ps) != len(tgt.Snap.Tensors) {
+			return fmt.Errorf("schemes: %s snapshot %d has %d tensors, model half has %d params",
+				scheme, i, len(tgt.Snap.Tensors), len(ps))
+		}
+		for j, p := range ps {
+			if p.Size() != tgt.Snap.Tensors[j].Size() {
+				return fmt.Errorf("schemes: %s snapshot %d tensor %d has %d values, param has %d",
+					scheme, i, j, tgt.Snap.Tensors[j].Size(), p.Size())
+			}
+		}
+	}
+	for _, tgt := range targets {
+		tgt.Snap.Restore(tgt.Dst)
+	}
+	return nil
+}
+
+// CheckCounts validates the slice arities of a TrainerState against what
+// the restoring scheme expects — the first line of defence against
+// restoring a checkpoint into the wrong scheme or population size.
+func (st *TrainerState) CheckCounts(scheme string, models, opts, loaders int) error {
+	if len(st.Models) != models || len(st.Opts) != opts || len(st.Loaders) != loaders {
+		return fmt.Errorf("schemes: %s state has %d models/%d opts/%d loaders, trainer needs %d/%d/%d",
+			scheme, len(st.Models), len(st.Opts), len(st.Loaders), models, opts, loaders)
+	}
+	if st.Round < 0 {
+		return fmt.Errorf("schemes: %s state has negative round %d", scheme, st.Round)
+	}
+	return nil
+}

@@ -90,6 +90,23 @@ func (LatencyMin) Allocate(ch *Channel, clients []int, budgetHz float64, uplink 
 	return out
 }
 
+// ParseAllocator resolves an allocator policy from its CLI token or its
+// Name(): "uniform", "propfair"/"proportional-fair", or
+// "latmin"/"latency-min". It is the single flag-parsing path shared by
+// gsfl-sim, gsfl-bench, and the examples.
+func ParseAllocator(name string) (Allocator, error) {
+	switch name {
+	case "uniform":
+		return Uniform{}, nil
+	case "propfair", "proportional-fair":
+		return ProportionalFair{}, nil
+	case "latmin", "latency-min":
+		return LatencyMin{}, nil
+	default:
+		return nil, fmt.Errorf("wireless: unknown allocator %q (want uniform|propfair|latmin)", name)
+	}
+}
+
 func checkAlloc(ch *Channel, clients []int, budgetHz float64) {
 	if len(clients) == 0 {
 		panic("wireless: allocation for zero clients")

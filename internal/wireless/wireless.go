@@ -70,8 +70,18 @@ func DefaultConfig() Config {
 // Channel is the instantiated radio environment for a fleet of N
 // clients. Construction samples static client positions and shadowing;
 // per-transfer fading is drawn from the channel's RNG at transfer time.
+//
+// The fading/outage/mobility RNG is re-derived from (seed, round) at
+// every AdvanceRound, so the channel's complete mutable state at a round
+// boundary is just its round counter plus the client positions and
+// shadowing — the ChannelState a checkpoint captures. Within a round the
+// draws are strictly sequential, which is why the schemes price all
+// transfers serially in a fixed order.
 type Channel struct {
-	cfg Config
+	cfg  Config
+	seed int64
+	// round counts AdvanceRound calls; it keys the per-round RNG stream.
+	round int64
 	// distM and shadowDB are per-client placement and slow fading.
 	distM    []float64
 	shadowDB []float64
@@ -96,22 +106,35 @@ func NewChannel(cfg Config, n int, seed int64) *Channel {
 	if cfg.OutageProb < 0 || cfg.OutageProb >= 1 {
 		panic(fmt.Sprintf("wireless: outage probability %v outside [0,1)", cfg.OutageProb))
 	}
-	rng := rand.New(rand.NewSource(seed))
+	placeRng := rand.New(rand.NewSource(seed))
 	ch := &Channel{
 		cfg:      cfg,
+		seed:     seed,
 		distM:    make([]float64, n),
 		shadowDB: make([]float64, n),
-		rng:      rng,
 	}
 	for i := 0; i < n; i++ {
 		// Uniform over the annulus area (sqrt for radial density).
-		u := rng.Float64()
+		u := placeRng.Float64()
 		r2min := cfg.MinDistanceM * cfg.MinDistanceM
 		r2max := cfg.MaxDistanceM * cfg.MaxDistanceM
 		ch.distM[i] = math.Sqrt(r2min + u*(r2max-r2min))
-		ch.shadowDB[i] = rng.NormFloat64() * cfg.ShadowingSigmaDB
+		ch.shadowDB[i] = placeRng.NormFloat64() * cfg.ShadowingSigmaDB
 	}
+	ch.rng = roundRng(seed, 0)
 	return ch
+}
+
+// roundRng derives the fading/outage/mobility stream for one round.
+// Distinct (seed, round) pairs get independent streams, so a channel
+// restored at a round boundary continues with exactly the draws an
+// uninterrupted run would have made.
+func roundRng(seed, round int64) *rand.Rand {
+	h := seed
+	h = h*1_000_003 + round
+	h ^= h >> 17
+	h *= 0x2545F4914F6CDD1D
+	return rand.New(rand.NewSource(h))
 }
 
 // N returns the number of clients the channel was built for.
@@ -187,12 +210,20 @@ func (c *Channel) TransferSeconds(i int, bytes int64, wHz float64, uplink bool) 
 func (c *Channel) UplinkHz() float64   { return c.cfg.UplinkHz }
 func (c *Channel) DownlinkHz() float64 { return c.cfg.DownlinkHz }
 
-// AdvanceRound applies one round of client mobility: each client's
-// distance random-walks with the configured sigma (reflecting at the
-// bounds) and its shadowing decorrelates via an AR(1) update. A no-op
-// when MobilitySigmaM is 0, so static deployments pay nothing and stay
-// bit-for-bit reproducible.
+// Config returns the radio environment the channel was built with;
+// checkpoints fingerprint it so a run cannot silently resume under
+// different physics.
+func (c *Channel) Config() Config { return c.cfg }
+
+// AdvanceRound starts a new channel round: it re-derives the per-round
+// fading/outage RNG stream and, when MobilitySigmaM is positive, applies
+// one round of client mobility — each client's distance random-walks
+// with the configured sigma (reflecting at the bounds) and its shadowing
+// decorrelates via an AR(1) update. Static deployments pay only the
+// reseed, and every configuration stays bit-for-bit reproducible.
 func (c *Channel) AdvanceRound() {
+	c.round++
+	c.rng = roundRng(c.seed, c.round)
 	if c.cfg.MobilitySigmaM == 0 {
 		return
 	}
@@ -212,4 +243,44 @@ func (c *Channel) AdvanceRound() {
 		c.shadowDB[i] = shadowRho*c.shadowDB[i] +
 			math.Sqrt(1-shadowRho*shadowRho)*c.rng.NormFloat64()*c.cfg.ShadowingSigmaDB
 	}
+}
+
+// ChannelState is the channel's complete mutable state at a round
+// boundary, as captured into a training checkpoint. Plain exported
+// fields keep it gob-serializable.
+type ChannelState struct {
+	// Round is the AdvanceRound count.
+	Round int64
+	// DistM and ShadowDB are the per-client positions and slow fading
+	// (they drift only under mobility).
+	DistM    []float64
+	ShadowDB []float64
+}
+
+// State captures the channel for checkpointing. Valid at a round
+// boundary: mid-round fading-stream positions are not represented.
+func (c *Channel) State() ChannelState {
+	return ChannelState{
+		Round:    c.round,
+		DistM:    append([]float64(nil), c.distM...),
+		ShadowDB: append([]float64(nil), c.shadowDB...),
+	}
+}
+
+// Restore resets the channel to a state captured by State on a channel
+// built with the same config, client count, and seed. The next
+// AdvanceRound continues the exact RNG draw sequence of the original
+// run.
+func (c *Channel) Restore(st ChannelState) error {
+	if len(st.DistM) != len(c.distM) || len(st.ShadowDB) != len(c.shadowDB) {
+		return fmt.Errorf("wireless: state for %d clients, channel has %d", len(st.DistM), len(c.distM))
+	}
+	if st.Round < 0 {
+		return fmt.Errorf("wireless: negative round %d in channel state", st.Round)
+	}
+	c.round = st.Round
+	copy(c.distM, st.DistM)
+	copy(c.shadowDB, st.ShadowDB)
+	c.rng = roundRng(c.seed, c.round)
+	return nil
 }

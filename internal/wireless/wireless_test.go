@@ -261,12 +261,22 @@ func TestMobilityZeroIsNoOp(t *testing.T) {
 			t.Fatal("static channel moved a client")
 		}
 	}
-	// RNG must be untouched: two transfers after a no-op AdvanceRound on
-	// two identically seeded channels must agree.
+	// Determinism: the fading stream is a pure function of (seed, round),
+	// so two identically seeded channels that advanced the same number of
+	// rounds must price transfers identically.
 	a, b := testChannel(5, 14), testChannel(5, 14)
 	a.AdvanceRound()
+	b.AdvanceRound()
 	if a.TransferSeconds(0, 1000, 1e6, true) != b.TransferSeconds(0, 1000, 1e6, true) {
-		t.Fatal("no-op AdvanceRound consumed RNG state")
+		t.Fatal("same (seed, round) produced different fading draws")
+	}
+	// And distinct rounds get independent streams.
+	c, d := testChannel(5, 14), testChannel(5, 14)
+	c.AdvanceRound()
+	c.AdvanceRound()
+	d.AdvanceRound()
+	if c.TransferSeconds(0, 1000, 1e6, true) == d.TransferSeconds(0, 1000, 1e6, true) {
+		t.Fatal("round 2 reused round 1's fading stream")
 	}
 }
 
@@ -282,5 +292,73 @@ func TestMobilityStaysInBoundsLongRun(t *testing.T) {
 				t.Fatalf("round %d client %d out of bounds: %v", r, i, d)
 			}
 		}
+	}
+}
+
+func TestChannelStateRestoreContinuesBitIdentically(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MobilitySigmaM = 20
+	cfg.OutageProb = 0.05
+	mk := func() *Channel { return NewChannel(cfg, 4, 6) }
+
+	// Drive the reference channel through rounds with mid-round draws.
+	ref := mk()
+	for r := 0; r < 3; r++ {
+		ref.AdvanceRound()
+		for i := 0; i < 4; i++ {
+			ref.TransferSeconds(i, 1000, 1e6, true)
+		}
+	}
+	st := ref.State()
+
+	restored := mk()
+	if err := restored.Restore(st); err != nil {
+		t.Fatal(err)
+	}
+	// Continue both for two more rounds: positions and draws must agree.
+	for r := 0; r < 2; r++ {
+		ref.AdvanceRound()
+		restored.AdvanceRound()
+		for i := 0; i < 4; i++ {
+			if ref.Distance(i) != restored.Distance(i) {
+				t.Fatalf("round %d: client %d at %v vs %v", r, i, ref.Distance(i), restored.Distance(i))
+			}
+			a := ref.TransferSeconds(i, 1000, 1e6, true)
+			b := restored.TransferSeconds(i, 1000, 1e6, true)
+			if a != b {
+				t.Fatalf("round %d client %d: transfer %v vs %v after restore", r, i, a, b)
+			}
+		}
+	}
+}
+
+func TestChannelRestoreValidation(t *testing.T) {
+	ch := testChannel(4, 1)
+	if err := ch.Restore(ChannelState{Round: 1, DistM: make([]float64, 2), ShadowDB: make([]float64, 2)}); err == nil {
+		t.Fatal("client-count mismatch must error")
+	}
+	if err := ch.Restore(ChannelState{Round: -1, DistM: make([]float64, 4), ShadowDB: make([]float64, 4)}); err == nil {
+		t.Fatal("negative round must error")
+	}
+}
+
+func TestParseAllocator(t *testing.T) {
+	for name, want := range map[string]string{
+		"uniform":           "uniform",
+		"propfair":          "proportional-fair",
+		"proportional-fair": "proportional-fair",
+		"latmin":            "latency-min",
+		"latency-min":       "latency-min",
+	} {
+		a, err := ParseAllocator(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name() != want {
+			t.Fatalf("ParseAllocator(%q).Name() = %q, want %q", name, a.Name(), want)
+		}
+	}
+	if _, err := ParseAllocator("bogus"); err == nil {
+		t.Fatal("expected error for unknown allocator")
 	}
 }

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"gsfl/internal/metrics"
+	"gsfl/internal/parallel"
+	"gsfl/internal/schemes"
+)
+
+// RoundEvent is the structured progress report the Runner streams to
+// observers after every completed round.
+type RoundEvent struct {
+	// Scheme is the trainer's name.
+	Scheme string
+	// Round is the 1-based index of the round that just completed;
+	// Rounds is the run's configured total.
+	Round  int
+	Rounds int
+	// Ledger is the round's per-component latency breakdown.
+	Ledger *Ledger
+	// RoundSeconds is the round's critical-path latency;
+	// ElapsedSeconds is the cumulative virtual training time.
+	RoundSeconds   float64
+	ElapsedSeconds float64
+	// Eval is the post-round evaluation, nil on rounds the evaluation
+	// cadence skipped.
+	Eval *Eval
+	// CheckpointPath is the checkpoint written after this round, empty
+	// when none was.
+	CheckpointPath string
+}
+
+// Observer receives RoundEvents as the run progresses. OnRound is
+// called synchronously from the run loop, in round order.
+type Observer interface {
+	OnRound(RoundEvent)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(RoundEvent)
+
+// OnRound implements Observer.
+func (f ObserverFunc) OnRound(e RoundEvent) { f(e) }
+
+// RunOption configures a Runner.
+type RunOption func(*Runner)
+
+// WithRounds sets the total number of training rounds (required; on
+// resume it is the overall total, including already-completed rounds).
+func WithRounds(n int) RunOption {
+	return func(r *Runner) { r.rounds = n }
+}
+
+// WithEvalEvery sets the evaluation cadence in rounds (default 1). The
+// final round is always evaluated.
+func WithEvalEvery(k int) RunOption {
+	return func(r *Runner) { r.evalEvery = k }
+}
+
+// WithObserver subscribes an observer to the run's RoundEvent stream;
+// repeat to subscribe several.
+func WithObserver(obs Observer) RunOption {
+	return func(r *Runner) { r.observers = append(r.observers, obs) }
+}
+
+// WithWorkers sets the shared worker pool size for the run
+// (0 = GOMAXPROCS, 1 = serial). Results are bit-identical for any
+// worker count; omitting the option leaves the pool untouched.
+func WithWorkers(n int) RunOption {
+	return func(r *Runner) { r.workers = &n }
+}
+
+// WithCheckpointEvery enables checkpointing: the trainer's complete
+// state is persisted to the WithCheckpointPath file after every n-th
+// round and after the final round. Requires a trainer constructed by
+// New (or Resume) whose scheme supports state capture — all built-in
+// schemes do.
+func WithCheckpointEvery(n int) RunOption {
+	return func(r *Runner) { r.ckptEvery = n }
+}
+
+// WithCheckpointPath sets the checkpoint file location. The file is
+// rewritten atomically at each checkpoint. On resume it defaults to the
+// file the run resumed from.
+func WithCheckpointPath(path string) RunOption {
+	return func(r *Runner) { r.ckptPath = path }
+}
+
+// Runner drives one trainer for a configured number of rounds,
+// streaming RoundEvents and optionally checkpointing. Create with
+// NewRunner or Resume; a Runner runs once.
+type Runner struct {
+	trainer   schemes.Trainer
+	rounds    int
+	evalEvery int
+	observers []Observer
+	workers   *int
+	ckptEvery int
+	ckptPath  string
+
+	// Resume state: rounds already completed, their cumulative latency,
+	// and the curve points they produced.
+	startRound   int
+	startElapsed float64
+	priorPoints  []Point
+
+	err error // construction error, surfaced by Run
+}
+
+// NewRunner builds a Runner over a trainer. Configuration errors are
+// deferred to Run so call sites can stay on one line.
+func NewRunner(tr Trainer, opts ...RunOption) *Runner {
+	r := &Runner{trainer: tr, evalEvery: 1}
+	for _, o := range opts {
+		o(r)
+	}
+	r.err = r.validate()
+	return r
+}
+
+func (r *Runner) validate() error {
+	if r.trainer == nil {
+		return fmt.Errorf("sim: runner needs a trainer")
+	}
+	if r.rounds <= r.startRound {
+		return fmt.Errorf("sim: rounds %d must exceed completed rounds %d (set sim.WithRounds)", r.rounds, r.startRound)
+	}
+	if r.evalEvery <= 0 {
+		return fmt.Errorf("sim: eval cadence %d must be positive", r.evalEvery)
+	}
+	if r.ckptEvery < 0 {
+		return fmt.Errorf("sim: checkpoint cadence %d must not be negative", r.ckptEvery)
+	}
+	if r.ckptPath != "" && r.ckptEvery == 0 {
+		return fmt.Errorf("sim: checkpoint path set without sim.WithCheckpointEvery")
+	}
+	if r.ckptEvery > 0 {
+		if r.ckptPath == "" {
+			return fmt.Errorf("sim: checkpointing needs sim.WithCheckpointPath")
+		}
+		st, ok := r.trainer.(*SchemeTrainer)
+		if !ok {
+			return fmt.Errorf("sim: checkpointing needs a trainer constructed by sim.New")
+		}
+		if _, ok := st.Trainer.(schemes.Checkpointer); !ok {
+			return fmt.Errorf("sim: scheme %q does not support state capture", st.scheme)
+		}
+	}
+	return nil
+}
+
+// Scheme returns the driven trainer's scheme name.
+func (r *Runner) Scheme() string {
+	if r.trainer == nil {
+		return ""
+	}
+	return r.trainer.Name()
+}
+
+// CompletedRounds returns how many rounds were already done before this
+// Runner starts — zero for a fresh run, the checkpointed round after
+// Resume.
+func (r *Runner) CompletedRounds() int { return r.startRound }
+
+// Run executes the remaining rounds. It returns the training curve —
+// on resume, including the points restored from the checkpoint — and
+// the first error encountered. Cancelling ctx stops the run within one
+// round with ctx.Err(); the partial curve is still returned.
+func (r *Runner) Run(ctx context.Context) (*Curve, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.workers != nil {
+		parallel.SetWorkers(*r.workers)
+	}
+	curve := &Curve{Scheme: r.trainer.Name(), Points: append([]Point(nil), r.priorPoints...)}
+	elapsed := r.startElapsed
+	for round := r.startRound + 1; round <= r.rounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return curve, err
+		}
+		led, err := r.trainer.Round(ctx)
+		if err != nil {
+			return curve, r.runErr(ctx, fmt.Errorf("sim: round %d: %w", round, err))
+		}
+		elapsed += led.Total()
+		ev := RoundEvent{
+			Scheme:         r.trainer.Name(),
+			Round:          round,
+			Rounds:         r.rounds,
+			Ledger:         led,
+			RoundSeconds:   led.Total(),
+			ElapsedSeconds: elapsed,
+		}
+		if round%r.evalEvery == 0 || round == r.rounds {
+			e, err := r.trainer.Evaluate(ctx)
+			if err != nil {
+				return curve, r.runErr(ctx, fmt.Errorf("sim: evaluating after round %d: %w", round, err))
+			}
+			ev.Eval = &e
+			curve.Append(metrics.Point{
+				Round: round, LatencySeconds: elapsed, Loss: e.Loss, Accuracy: e.Accuracy,
+			})
+		}
+		if r.ckptEvery > 0 && (round%r.ckptEvery == 0 || round == r.rounds) {
+			if err := r.saveCheckpoint(round, elapsed, curve); err != nil {
+				return curve, err
+			}
+			ev.CheckpointPath = r.ckptPath
+		}
+		for _, obs := range r.observers {
+			obs.OnRound(ev)
+		}
+	}
+	return curve, nil
+}
+
+// runErr collapses failures caused by cancellation to the bare context
+// error, so callers can compare against ctx.Err() directly.
+func (r *Runner) runErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return err
+}
