@@ -1,0 +1,162 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"gsfl/internal/experiment"
+	"gsfl/internal/nn"
+	"gsfl/internal/parallel"
+	"gsfl/internal/tensor"
+)
+
+// The -benchjson mode measures the training hot path — one full GSFL
+// round at a reduced spec plus the tensor kernels it is built from — and
+// writes ns/op, B/op, and allocs/op to a JSON file. Committed before/after
+// pairs of these files (see BENCH_hotpath.json at the repo root) form the
+// perf trajectory of the allocation-free hot-path work.
+//
+// Measurements run with a single worker: serial execution excludes
+// fork-join goroutine churn from the allocation counts, so the numbers
+// isolate exactly what the destination-passing refactor targets. The
+// wall-clock effect at higher worker counts is covered by the
+// BenchmarkParallelGroupRound sweep in bench_test.go.
+
+// hotpathMeasurement is one measured operation.
+type hotpathMeasurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iters       int     `json:"iters"`
+}
+
+// hotpathReport is the full -benchjson artifact.
+type hotpathReport struct {
+	Label     string                        `json:"label,omitempty"`
+	Generated string                        `json:"generated"`
+	Workers   int                           `json:"workers"`
+	Spec      string                        `json:"spec"`
+	Results   map[string]hotpathMeasurement `json:"results"`
+}
+
+// measureOp times f over iters iterations after warmup warm-up calls and
+// reports per-iteration wall time and heap traffic.
+func measureOp(warmup, iters int, f func()) hotpathMeasurement {
+	for i := 0; i < warmup; i++ {
+		f()
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return hotpathMeasurement{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
+		Iters:       iters,
+	}
+}
+
+// hotpathSpec is the reduced GSFL configuration the round measurement
+// uses: small enough to run in seconds, large enough that conv/dense
+// layers dominate like they do at paper scale.
+func hotpathSpec() experiment.Spec {
+	spec := experiment.TestSpec()
+	spec.Clients = 8
+	spec.Groups = 2
+	spec.ImageSize = 16
+	spec.TrainPerClient = 64
+	spec.TestPerClass = 2
+	spec.Hyper.Batch = 16
+	spec.Hyper.StepsPerClient = 2
+	spec.Device.N = spec.Clients
+	return spec
+}
+
+// runBenchJSON produces the hot-path report and writes it to path.
+func runBenchJSON(path, label string) error {
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+
+	report := &hotpathReport{
+		Label:     label,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Workers:   1,
+		Spec:      "gsfl reduced: 8 clients, 2 groups, 16x16 images, batch 16, 2 steps/client",
+		Results:   map[string]hotpathMeasurement{},
+	}
+
+	// One full GSFL round: distribution, concurrent-group split training,
+	// FedAvg aggregation — the steady-state loop the simulator lives in.
+	tr, err := experiment.NewTrainer(hotpathSpec(), "gsfl")
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	report.Results["gsfl_round"] = measureOp(2, 6, func() {
+		if _, err := tr.Round(ctx); err != nil {
+			panic(err)
+		}
+	})
+
+	// Tensor kernels on layer-shaped operands.
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.New(256, 256).RandNormal(rng, 0, 1)
+	b := tensor.New(256, 256).RandNormal(rng, 0, 1)
+	report.Results["matmul_256"] = measureOp(2, 20, func() { tensor.MatMul(a, b) })
+
+	g := tensor.ConvGeom{InC: 8, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	const nImg = 16
+	src := make([]float64, nImg*g.ImageSize())
+	dst := make([]float64, nImg*g.ColSize())
+	report.Results["im2col_batch"] = measureOp(2, 20, func() { tensor.Im2ColBatch(dst, src, nImg, g) })
+
+	conv := nn.NewConv2D(rng, 3, 8, 3, 1, 1)
+	xc := tensor.New(16, 3, 16, 16).RandNormal(rng, 0, 1)
+	report.Results["conv2d_fwd_bwd"] = measureOp(2, 20, func() {
+		y := conv.Forward(xc, true)
+		nn.ZeroGrads([]nn.Layer{conv})
+		conv.Backward(y)
+	})
+
+	dense := nn.NewDense(rng, 1024, 64)
+	xd := tensor.New(16, 1024).RandNormal(rng, 0, 1)
+	report.Results["dense_fwd_bwd"] = measureOp(2, 50, func() {
+		y := dense.Forward(xd, true)
+		nn.ZeroGrads([]nn.Layer{dense})
+		dense.Backward(y)
+	})
+
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchjson: wrote %s\n", path)
+	for _, name := range []string{"gsfl_round", "matmul_256", "im2col_batch", "conv2d_fwd_bwd", "dense_fwd_bwd"} {
+		m := report.Results[name]
+		fmt.Printf("  %-16s %12.0f ns/op %12.0f B/op %10.1f allocs/op\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	return nil
+}

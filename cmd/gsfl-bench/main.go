@@ -78,9 +78,15 @@ func run(args []string) error {
 		alloc    = fs.String("alloc", "uniform", "bandwidth allocator: uniform|propfair|latmin")
 		strategy = fs.String("strategy", "roundrobin", "grouping: roundrobin|random|balanced")
 		workers  = fs.Int("workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = serial)")
+
+		benchJSON  = fs.String("benchjson", "", "measure the training hot path and write ns/B/allocs per op to this JSON file (skips experiments)")
+		benchLabel = fs.String("benchlabel", "", "label recorded in the -benchjson report (e.g. baseline, after)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchJSON != "" {
+		return runBenchJSON(*benchJSON, *benchLabel)
 	}
 	parallel.SetWorkers(*workers)
 	spec, r, evalEvery, target, err := scaleFor(*scale)

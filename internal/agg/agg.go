@@ -18,6 +18,18 @@ import (
 // normalized internally, so any positive scale works. Passing nil weights
 // averages uniformly.
 func FedAvg(snaps []model.Snapshot, weights []float64) model.Snapshot {
+	var out model.Snapshot
+	FedAvgInto(&out, snaps, weights)
+	return out
+}
+
+// FedAvgInto computes the weighted average of structurally identical
+// snapshots into dst, reusing dst's tensors (they are allocated on first
+// use, when dst is the zero Snapshot). dst must not alias any of the
+// input snapshots. Accumulation visits snapshots in slice order, exactly
+// like FedAvg, so reusing dst round after round is bit-identical to
+// allocating fresh.
+func FedAvgInto(dst *model.Snapshot, snaps []model.Snapshot, weights []float64) {
 	if len(snaps) == 0 {
 		panic("agg: FedAvg of zero snapshots")
 	}
@@ -42,9 +54,21 @@ func FedAvg(snaps []model.Snapshot, weights []float64) model.Snapshot {
 	}
 
 	ref := snaps[0]
-	out := make([]*tensor.Tensor, len(ref.Tensors))
-	for ti, t := range ref.Tensors {
-		out[ti] = tensor.New(t.Shape()...)
+	if dst.Tensors == nil {
+		dst.Tensors = make([]*tensor.Tensor, len(ref.Tensors))
+		for ti, t := range ref.Tensors {
+			dst.Tensors[ti] = tensor.New(t.Shape()...)
+		}
+	} else {
+		if len(dst.Tensors) != len(ref.Tensors) {
+			panic(fmt.Sprintf("agg: destination has %d tensors, want %d", len(dst.Tensors), len(ref.Tensors)))
+		}
+		for ti, t := range dst.Tensors {
+			if t.Size() != ref.Tensors[ti].Size() {
+				panic(fmt.Sprintf("agg: destination tensor %d size mismatch", ti))
+			}
+			t.Zero()
+		}
 	}
 	for si, sn := range snaps {
 		if len(sn.Tensors) != len(ref.Tensors) {
@@ -58,8 +82,7 @@ func FedAvg(snaps []model.Snapshot, weights []float64) model.Snapshot {
 			if t.Size() != ref.Tensors[ti].Size() {
 				panic(fmt.Sprintf("agg: snapshot %d tensor %d size mismatch", si, ti))
 			}
-			out[ti].AddScaled(w, t)
+			dst.Tensors[ti].AddScaled(w, t)
 		}
 	}
-	return model.Snapshot{Tensors: out}
 }

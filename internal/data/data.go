@@ -101,6 +101,9 @@ type Loader struct {
 	// epoch counts reshuffles; together with pos it is the loader's
 	// complete checkpointable state (see LoaderState).
 	epoch int
+	// shapeScratch is the reusable (batch, inShape...) shape buffer
+	// NextInto sizes destination tensors with.
+	shapeScratch []int
 }
 
 // NewLoader constructs a Loader producing batches of the given size with
@@ -169,9 +172,23 @@ func (l *Loader) Restore(st LoaderState) error {
 	return nil
 }
 
-// Next returns the next mini-batch, starting a new shuffled epoch when
-// the current one is exhausted.
+// Next returns the next mini-batch as freshly allocated buffers,
+// starting a new shuffled epoch when the current one is exhausted.
+// Training hot loops use NextInto instead.
 func (l *Loader) Next() Batch {
+	var b Batch
+	l.NextInto(&b)
+	return b
+}
+
+// NextInto fills b with the next mini-batch, reusing b's feature tensor
+// and label slice (they are allocated on first use and grown as needed).
+// The batch contents are valid until the next NextInto call with the
+// same b; training loops that fully consume each batch before drawing
+// the next — every scheme in this repository — therefore draw batches
+// allocation-free after warmup. The sample draw order is identical to
+// Next, so training numerics do not depend on which variant is used.
+func (l *Loader) NextInto(b *Batch) {
 	if l.pos >= len(l.order) {
 		l.reshuffle()
 	}
@@ -183,16 +200,28 @@ func (l *Loader) Next() Batch {
 	l.pos = end
 
 	n := len(idx)
-	shape := append([]int{n}, l.inShape...)
-	x := tensor.New(shape...)
-	y := make([]int, n)
+	l.shapeScratch = append(append(l.shapeScratch[:0], n), l.inShape...)
+	if b.X == nil {
+		b.X = &tensor.Tensor{}
+	}
+	x := b.X.Ensure(l.shapeScratch...)
+	if cap(b.Y) < n {
+		b.Y = make([]int, n)
+	} else {
+		b.Y = b.Y[:n]
+	}
 	per := x.Size() / n
 	for bi, si := range idx {
 		f, label := l.ds.Sample(si)
+		if len(f) != per {
+			// Fail fast: the reused batch tensor is not zero-filled, so a
+			// short row would otherwise silently expose the previous
+			// batch's values. (NewLoader validates only Sample(0).)
+			panic(fmt.Sprintf("data: sample %d has %d features, want %d", si, len(f), per))
+		}
 		copy(x.Data[bi*per:(bi+1)*per], f)
-		y[bi] = label
+		b.Y[bi] = label
 	}
-	return Batch{X: x, Y: y}
 }
 
 // StepsPerEpoch returns how many batches one epoch yields.

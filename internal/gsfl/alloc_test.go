@@ -1,0 +1,39 @@
+package gsfl
+
+import (
+	"context"
+	"testing"
+
+	"gsfl/internal/parallel"
+	"gsfl/internal/partition"
+	"gsfl/internal/schemes/schemestest"
+	"gsfl/internal/testutil"
+)
+
+// TestRoundSteadyStateAllocs guards the allocation-free training hot
+// path end to end: after warmup, a full GSFL round — model distribution,
+// split training in every group, latency pricing, FedAvg aggregation —
+// must stay within a small bookkeeping budget. The pre-workspace
+// implementation spent tens of thousands of allocations per round (see
+// BENCH_hotpath.json); the budget below covers round-scoped bookkeeping
+// (ledgers, per-position slices, bandwidth allocations), not per-element
+// tensor traffic, so a regression that reintroduces per-step buffer
+// allocation trips it immediately.
+func TestRoundSteadyStateAllocs(t *testing.T) {
+	parallel.SetWorkers(1)
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+
+	env := schemestest.NewEnv(7, 6, 48)
+	tr, err := New(env, Config{NumGroups: 2, Strategy: partition.GroupRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	round := func() {
+		if _, err := tr.Round(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	round() // warm up workspaces across every group
+	testutil.MaxAllocs(t, "gsfl round", 600, round)
+}

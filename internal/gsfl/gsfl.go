@@ -90,6 +90,17 @@ type Trainer struct {
 	weights []float64 // per-group aggregation weights (sample counts)
 
 	evalModel *model.SplitModel // scratch model for evaluation
+
+	// Per-group reusable state, so steady-state rounds allocate nothing
+	// beyond bookkeeping: stepWS[g] is group g's training-step workspace
+	// (batch, loss gradient, quantization buffers); capClient/capServer[g]
+	// are its re-captured parameter snapshots for aggregation. The agg*
+	// slices are the per-round scratch lists of live-group snapshots and
+	// weights handed to agg.FedAvgInto.
+	stepWS               []schemes.StepWorkspace
+	capClient, capServer []model.Snapshot
+	aggClient, aggServer []model.Snapshot
+	aggW                 []float64
 }
 
 // New validates the environment and assembles a GSFL trainer.
@@ -118,6 +129,9 @@ func New(env *schemes.Env, cfg Config) (*Trainer, error) {
 	t.replicas = make([]*model.SplitModel, len(groups))
 	t.clientOpts = make([]*optim.SGD, len(groups))
 	t.serverOpts = make([]*optim.SGD, len(groups))
+	t.stepWS = make([]schemes.StepWorkspace, len(groups))
+	t.capClient = make([]model.Snapshot, len(groups))
+	t.capServer = make([]model.Snapshot, len(groups))
 	for g := range groups {
 		// Fresh structure; parameters are overwritten from the global
 		// snapshots at the start of every round.
@@ -258,11 +272,12 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 				g := activeGroups[ai]
 				ci := activeClients[ai]
 				rep := t.replicas[g]
+				ws := &t.stepWS[g]
 				sizes := make([]int, env.Hyper.StepsPerClient)
 				for s := 0; s < env.Hyper.StepsPerClient; s++ {
-					batch := t.loaders[ci].Next()
-					schemes.SplitStep(rep, t.clientOpts[g], t.serverOpts[g], batch, env.Hyper.QuantizeTransfers)
-					sizes[s] = len(batch.Y)
+					t.loaders[ci].NextInto(&ws.Batch)
+					ws.SplitStep(rep, t.clientOpts[g], t.serverOpts[g], ws.Batch, env.Hyper.QuantizeTransfers)
+					sizes[s] = len(ws.Batch.Y)
 				}
 				batchSizes[ai] = sizes
 			}
@@ -304,16 +319,18 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	}
 	round := simnet.MaxOf(leds)
 
-	clientSnaps := make([]model.Snapshot, 0, len(live))
-	serverSnaps := make([]model.Snapshot, 0, len(live))
-	aggWeights := make([]float64, 0, len(live))
+	t.aggClient = t.aggClient[:0]
+	t.aggServer = t.aggServer[:0]
+	t.aggW = t.aggW[:0]
 	for _, g := range live {
-		clientSnaps = append(clientSnaps, model.TakeSnapshot(t.replicas[g].Client))
-		serverSnaps = append(serverSnaps, model.TakeSnapshot(t.replicas[g].Server))
-		aggWeights = append(aggWeights, weights[g])
+		t.capClient[g].CaptureFrom(t.replicas[g].Client)
+		t.capServer[g].CaptureFrom(t.replicas[g].Server)
+		t.aggClient = append(t.aggClient, t.capClient[g])
+		t.aggServer = append(t.aggServer, t.capServer[g])
+		t.aggW = append(t.aggW, weights[g])
 	}
-	t.globalClient = agg.FedAvg(clientSnaps, aggWeights)
-	t.globalServer = agg.FedAvg(serverSnaps, aggWeights)
+	agg.FedAvgInto(&t.globalClient, t.aggClient, t.aggW)
+	agg.FedAvgInto(&t.globalServer, t.aggServer, t.aggW)
 	schemes.AggregationLatency(t.env, len(live),
 		t.globalClient.ParamCount()+t.globalServer.ParamCount(), round)
 	return round, nil

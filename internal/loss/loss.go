@@ -18,6 +18,13 @@ type Loss interface {
 	Name() string
 	// Eval returns (mean loss over the batch, dL/dlogits).
 	Eval(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor)
+	// EvalInto is the destination-passing form of Eval: the gradient is
+	// written into grad (shaped to (batch, classes), reusing its
+	// storage), and the mean loss is returned. Training loops pass a
+	// per-replica workspace tensor so steady-state steps allocate
+	// nothing; every element of grad is overwritten, so results are
+	// bit-identical to Eval.
+	EvalInto(logits *tensor.Tensor, labels []int, grad *tensor.Tensor) float64
 }
 
 // SoftmaxCrossEntropy is the fused softmax + cross-entropy loss for
@@ -30,10 +37,16 @@ func (SoftmaxCrossEntropy) Name() string { return "softmax-xent" }
 
 // Eval implements Loss. logits must be (batch, classes); labels holds one
 // class index per row.
-func (SoftmaxCrossEntropy) Eval(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+func (l SoftmaxCrossEntropy) Eval(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	grad := &tensor.Tensor{}
+	return l.EvalInto(logits, labels, grad), grad
+}
+
+// EvalInto implements Loss.
+func (SoftmaxCrossEntropy) EvalInto(logits *tensor.Tensor, labels []int, grad *tensor.Tensor) float64 {
 	checkBatch(logits, labels)
 	n, c := logits.Dim(0), logits.Dim(1)
-	grad := tensor.New(n, c)
+	grad.Ensure(n, c)
 	total := 0.0
 	inv := 1 / float64(n)
 	for i := 0; i < n; i++ {
@@ -61,7 +74,7 @@ func (SoftmaxCrossEntropy) Eval(logits *tensor.Tensor, labels []int) (float64, *
 		}
 		g[y] -= inv
 	}
-	return total * inv, grad
+	return total * inv
 }
 
 // MSE is mean squared error against one-hot targets; provided as a
@@ -72,10 +85,16 @@ type MSE struct{}
 func (MSE) Name() string { return "mse" }
 
 // Eval implements Loss, treating labels as one-hot targets.
-func (MSE) Eval(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+func (l MSE) Eval(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	grad := &tensor.Tensor{}
+	return l.EvalInto(logits, labels, grad), grad
+}
+
+// EvalInto implements Loss.
+func (MSE) EvalInto(logits *tensor.Tensor, labels []int, grad *tensor.Tensor) float64 {
 	checkBatch(logits, labels)
 	n, c := logits.Dim(0), logits.Dim(1)
-	grad := tensor.New(n, c)
+	grad.Ensure(n, c)
 	total := 0.0
 	inv := 1 / float64(n*c)
 	for i := 0; i < n; i++ {
@@ -91,7 +110,7 @@ func (MSE) Eval(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
 			g[j] = 2 * d * inv
 		}
 	}
-	return total * inv, grad
+	return total * inv
 }
 
 // Accuracy returns the fraction of rows whose argmax matches the label.

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"gsfl/internal/nn"
 	"gsfl/internal/tensor"
 )
 
@@ -25,6 +26,19 @@ type SnapshotState struct {
 // State converts the snapshot into its serializable form (deep copy).
 func (sn Snapshot) State() SnapshotState {
 	return SnapshotState{Tensors: toCheckpoint(sn)}
+}
+
+// StateOf captures a Sequential's parameters directly into serializable
+// form. It copies each tensor exactly once, where the older
+// TakeSnapshot(s).State() pattern copied twice; trainer CaptureState
+// implementations that do not already hold a Snapshot use it.
+func StateOf(s *nn.Sequential) SnapshotState {
+	ps := s.Params()
+	out := make([]TensorState, len(ps))
+	for i, p := range ps {
+		out[i] = TensorState{Shape: p.Shape(), Data: append([]float64(nil), p.Data...)}
+	}
+	return SnapshotState{Tensors: out}
 }
 
 // SnapshotFromState validates a serialized snapshot and rebuilds it.

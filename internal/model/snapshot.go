@@ -18,12 +18,32 @@ type Snapshot struct {
 
 // TakeSnapshot deep-copies the parameters of a Sequential.
 func TakeSnapshot(s *nn.Sequential) Snapshot {
+	var sn Snapshot
+	sn.CaptureFrom(s)
+	return sn
+}
+
+// CaptureFrom re-captures the parameters of s into the snapshot in
+// place, reusing its tensors (they are allocated on first use). It is
+// the destination-passing form of TakeSnapshot: trainers keep one
+// snapshot per replica and re-capture every round without allocating.
+// The Sequential must have the same parameter structure as the previous
+// capture.
+func (sn *Snapshot) CaptureFrom(s *nn.Sequential) {
 	ps := s.Params()
-	out := make([]*tensor.Tensor, len(ps))
-	for i, p := range ps {
-		out[i] = p.Clone()
+	if sn.Tensors == nil {
+		sn.Tensors = make([]*tensor.Tensor, len(ps))
+		for i, p := range ps {
+			sn.Tensors[i] = p.Clone()
+		}
+		return
 	}
-	return Snapshot{Tensors: out}
+	if len(sn.Tensors) != len(ps) {
+		panic(fmt.Sprintf("model: capturing %d params into snapshot of %d tensors", len(ps), len(sn.Tensors)))
+	}
+	for i, p := range ps {
+		sn.Tensors[i].CopyFrom(p)
+	}
 }
 
 // Restore copies the snapshot's parameters into the Sequential, which

@@ -1,0 +1,65 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"gsfl/internal/nn"
+	"gsfl/internal/testutil"
+)
+
+func testNet(seed int64) *nn.Sequential {
+	rng := rand.New(rand.NewSource(seed))
+	return nn.NewSequential(nn.NewDense(rng, 6, 5), nn.NewReLU(), nn.NewDense(rng, 5, 3))
+}
+
+// TestCaptureFromMatchesTakeSnapshot pins the in-place re-capture to the
+// allocating snapshot, including after the source parameters change.
+func TestCaptureFromMatchesTakeSnapshot(t *testing.T) {
+	net := testNet(1)
+	var sn Snapshot
+	sn.CaptureFrom(net)
+	if d := sn.L2Distance(TakeSnapshot(net)); d != 0 {
+		t.Fatalf("initial capture differs by %v", d)
+	}
+	// Mutate the model, re-capture in place, compare again.
+	for _, p := range net.Params() {
+		p.Scale(1.5)
+	}
+	sn.CaptureFrom(net)
+	if d := sn.L2Distance(TakeSnapshot(net)); d != 0 {
+		t.Fatalf("re-capture differs by %v", d)
+	}
+}
+
+func TestCaptureFromAllocFree(t *testing.T) {
+	net := testNet(2)
+	var sn Snapshot
+	testutil.MaxAllocs(t, "Snapshot.CaptureFrom", 0, func() { sn.CaptureFrom(net) })
+}
+
+// TestStateOfMatchesSnapshotState pins the single-copy checkpoint
+// capture to the older two-copy pattern.
+func TestStateOfMatchesSnapshotState(t *testing.T) {
+	net := testNet(3)
+	want := TakeSnapshot(net).State()
+	got := StateOf(net)
+	if len(got.Tensors) != len(want.Tensors) {
+		t.Fatalf("tensor count %d vs %d", len(got.Tensors), len(want.Tensors))
+	}
+	for i := range got.Tensors {
+		if len(got.Tensors[i].Data) != len(want.Tensors[i].Data) {
+			t.Fatalf("tensor %d length mismatch", i)
+		}
+		for j := range got.Tensors[i].Data {
+			if got.Tensors[i].Data[j] != want.Tensors[i].Data[j] {
+				t.Fatalf("tensor %d element %d mismatch", i, j)
+			}
+		}
+	}
+	// The state must be a copy, not an alias of the live parameters.
+	net.Params()[0].Data[0] += 1
+	if got.Tensors[0].Data[0] == net.Params()[0].Data[0] {
+		t.Fatal("StateOf aliased live parameter memory")
+	}
+}

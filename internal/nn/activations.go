@@ -10,6 +10,10 @@ import (
 // ReLU applies max(0, x) elementwise.
 type ReLU struct {
 	mask []bool // true where the input was positive
+
+	ws struct {
+		out, dx tensor.Tensor
+	}
 }
 
 // NewReLU constructs a ReLU activation layer.
@@ -20,21 +24,30 @@ func (r *ReLU) Name() string { return "relu" }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := tensor.New(x.Shape()...)
-	var mask []bool
+	y := r.ws.out.EnsureShapeOf(x)
 	if train {
-		mask = make([]bool, x.Size())
+		if cap(r.mask) < x.Size() {
+			r.mask = make([]bool, x.Size())
+		} else {
+			r.mask = r.mask[:x.Size()]
+		}
+		for i, v := range x.Data {
+			if v > 0 {
+				y.Data[i] = v
+				r.mask[i] = true
+			} else {
+				y.Data[i] = 0
+				r.mask[i] = false
+			}
+		}
+		return y
 	}
 	for i, v := range x.Data {
 		if v > 0 {
 			y.Data[i] = v
-			if train {
-				mask[i] = true
-			}
+		} else {
+			y.Data[i] = 0
 		}
-	}
-	if train {
-		r.mask = mask
 	}
 	return y
 }
@@ -44,10 +57,12 @@ func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if r.mask == nil {
 		panic("nn: ReLU.Backward called before training-mode Forward")
 	}
-	dx := tensor.New(dy.Shape()...)
+	dx := r.ws.dx.EnsureShapeOf(dy)
 	for i, m := range r.mask {
 		if m {
 			dx.Data[i] = dy.Data[i]
+		} else {
+			dx.Data[i] = 0
 		}
 	}
 	return dx
@@ -69,6 +84,10 @@ func (r *ReLU) FwdFLOPs(in []int) int64 { return int64(prod(in)) }
 type LeakyReLU struct {
 	Alpha float64
 	x     *tensor.Tensor
+
+	ws struct {
+		out, dx tensor.Tensor
+	}
 }
 
 // NewLeakyReLU constructs a LeakyReLU with the given negative slope.
@@ -88,12 +107,15 @@ func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		l.x = x
 	}
 	a := l.Alpha
-	return x.Map(func(v float64) float64 {
+	y := l.ws.out.EnsureShapeOf(x)
+	for i, v := range x.Data {
 		if v > 0 {
-			return v
+			y.Data[i] = v
+		} else {
+			y.Data[i] = a * v
 		}
-		return a * v
-	})
+	}
+	return y
 }
 
 // Backward implements Layer.
@@ -101,7 +123,7 @@ func (l *LeakyReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if l.x == nil {
 		panic("nn: LeakyReLU.Backward called before training-mode Forward")
 	}
-	dx := tensor.New(dy.Shape()...)
+	dx := l.ws.dx.EnsureShapeOf(dy)
 	for i, v := range l.x.Data {
 		if v > 0 {
 			dx.Data[i] = dy.Data[i]
@@ -127,6 +149,10 @@ func (l *LeakyReLU) FwdFLOPs(in []int) int64 { return int64(prod(in)) }
 // Tanh applies the hyperbolic tangent elementwise.
 type Tanh struct {
 	y *tensor.Tensor
+
+	ws struct {
+		out, dx tensor.Tensor
+	}
 }
 
 // NewTanh constructs a Tanh activation layer.
@@ -137,7 +163,10 @@ func (t *Tanh) Name() string { return "tanh" }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Map(math.Tanh)
+	y := t.ws.out.EnsureShapeOf(x)
+	for i, v := range x.Data {
+		y.Data[i] = math.Tanh(v)
+	}
 	if train {
 		t.y = y
 	}
@@ -149,7 +178,7 @@ func (t *Tanh) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if t.y == nil {
 		panic("nn: Tanh.Backward called before training-mode Forward")
 	}
-	dx := tensor.New(dy.Shape()...)
+	dx := t.ws.dx.EnsureShapeOf(dy)
 	for i, v := range t.y.Data {
 		dx.Data[i] = dy.Data[i] * (1 - v*v)
 	}
@@ -171,6 +200,10 @@ func (t *Tanh) FwdFLOPs(in []int) int64 { return 8 * int64(prod(in)) }
 // Sigmoid applies 1/(1+e^-x) elementwise.
 type Sigmoid struct {
 	y *tensor.Tensor
+
+	ws struct {
+		out, dx tensor.Tensor
+	}
 }
 
 // NewSigmoid constructs a Sigmoid activation layer.
@@ -181,7 +214,10 @@ func (s *Sigmoid) Name() string { return "sigmoid" }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Map(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	y := s.ws.out.EnsureShapeOf(x)
+	for i, v := range x.Data {
+		y.Data[i] = 1 / (1 + math.Exp(-v))
+	}
 	if train {
 		s.y = y
 	}
@@ -193,7 +229,7 @@ func (s *Sigmoid) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if s.y == nil {
 		panic("nn: Sigmoid.Backward called before training-mode Forward")
 	}
-	dx := tensor.New(dy.Shape()...)
+	dx := s.ws.dx.EnsureShapeOf(dy)
 	for i, v := range s.y.Data {
 		dx.Data[i] = dy.Data[i] * v * (1 - v)
 	}

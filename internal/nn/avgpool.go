@@ -15,6 +15,10 @@ type AvgPool2D struct {
 	K int // window size == stride
 
 	inShape []int
+
+	ws struct {
+		out, dx tensor.Tensor
+	}
 }
 
 // NewAvgPool2D constructs an average-pooling layer with window and
@@ -31,13 +35,13 @@ func (p *AvgPool2D) Name() string { return fmt.Sprintf("avgpool2d(%d)", p.K) }
 
 // Forward implements Layer.
 func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	mustRank(p.Name(), x, 4)
+	mustRank(p, x, 4)
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	if h < p.K || w < p.K {
 		panic(fmt.Sprintf("nn: %s input %dx%d smaller than window", p.Name(), h, w))
 	}
 	outH, outW := h/p.K, w/p.K
-	y := tensor.New(n, c, outH, outW)
+	y := p.ws.out.Ensure(n, c, outH, outW)
 	inv := 1 / float64(p.K*p.K)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -58,7 +62,7 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 	}
 	if train {
-		p.inShape = x.Shape()
+		p.inShape = x.AppendShape(p.inShape[:0])
 	}
 	return y
 }
@@ -71,7 +75,8 @@ func (p *AvgPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	}
 	n, c, h, w := p.inShape[0], p.inShape[1], p.inShape[2], p.inShape[3]
 	outH, outW := h/p.K, w/p.K
-	dx := tensor.New(p.inShape...)
+	dx := p.ws.dx.Ensure(p.inShape...)
+	dx.Zero()
 	inv := 1 / float64(p.K*p.K)
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {

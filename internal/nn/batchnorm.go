@@ -37,6 +37,16 @@ type BatchNorm struct {
 	xhat    *tensor.Tensor
 	invStd  []float64
 	inShape []int
+
+	// ws holds the reusable output/xhat/input-gradient buffers plus the
+	// per-feature scratch (mean, variance, Σdy, Σdy·x̂, eval-mode inverse
+	// stddev). The scratch slices are length F, fixed at construction, so
+	// they are allocated exactly once.
+	ws struct {
+		out, xhat, dx             tensor.Tensor
+		mean, variance            []float64
+		sumDy, sumDyXhat, evalInv []float64
+	}
 }
 
 // NewBatchNorm constructs a BatchNorm layer for f features/channels.
@@ -44,7 +54,7 @@ func NewBatchNorm(f int) *BatchNorm {
 	if f <= 0 {
 		panic(fmt.Sprintf("nn: BatchNorm features must be positive, got %d", f))
 	}
-	return &BatchNorm{
+	b := &BatchNorm{
 		F:        f,
 		Momentum: 0.9,
 		Eps:      1e-5,
@@ -56,16 +66,21 @@ func NewBatchNorm(f int) *BatchNorm {
 		runVar:   tensor.Ones(f),
 		zeroA:    tensor.New(f),
 		zeroB:    tensor.New(f),
+		invStd:   make([]float64, f),
 	}
+	b.ws.mean = make([]float64, f)
+	b.ws.variance = make([]float64, f)
+	b.ws.sumDy = make([]float64, f)
+	b.ws.sumDyXhat = make([]float64, f)
+	b.ws.evalInv = make([]float64, f)
+	return b
 }
 
 // Name implements Layer.
 func (b *BatchNorm) Name() string { return fmt.Sprintf("batchnorm(%d)", b.F) }
 
-// groupsFor returns, for each feature f, the flat indices belonging to f.
-// Rather than materializing index lists we return the iteration geometry:
-// stride between consecutive elements of one feature and the per-feature
-// layout, handled inline in Forward/Backward for speed.
+// checkInput validates the layout and returns the spatial extent (1 for
+// rank-2 inputs, H*W for rank-4).
 func (b *BatchNorm) checkInput(x *tensor.Tensor) (spatial int) {
 	switch x.Dims() {
 	case 2:
@@ -83,7 +98,9 @@ func (b *BatchNorm) checkInput(x *tensor.Tensor) (spatial int) {
 	}
 }
 
-// forEach calls fn(featureIndex, flatIndex) for every element of x.
+// forEach calls fn(featureIndex, flatIndex) for every element of x. The
+// closures passed in capture only locals and never escape, so they cost
+// no allocations.
 func (b *BatchNorm) forEach(x *tensor.Tensor, spatial int, fn func(f, i int)) {
 	n := x.Dim(0)
 	per := b.F * spatial
@@ -103,11 +120,11 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	spatial := b.checkInput(x)
 	n := x.Dim(0)
 	count := float64(n * spatial)
-	y := tensor.New(x.Shape()...)
+	y := b.ws.out.EnsureShapeOf(x)
 
 	if !train {
 		// Evaluation mode: use running statistics.
-		inv := make([]float64, b.F)
+		inv := b.ws.evalInv
 		for f := 0; f < b.F; f++ {
 			inv[f] = 1 / math.Sqrt(b.runVar.Data[f]+b.Eps)
 		}
@@ -117,12 +134,18 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		return y
 	}
 
-	mean := make([]float64, b.F)
+	mean := b.ws.mean
+	for f := range mean {
+		mean[f] = 0
+	}
 	b.forEach(x, spatial, func(f, i int) { mean[f] += x.Data[i] })
 	for f := range mean {
 		mean[f] /= count
 	}
-	variance := make([]float64, b.F)
+	variance := b.ws.variance
+	for f := range variance {
+		variance[f] = 0
+	}
 	b.forEach(x, spatial, func(f, i int) {
 		d := x.Data[i] - mean[f]
 		variance[f] += d * d
@@ -131,11 +154,11 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		variance[f] /= count
 	}
 
-	invStd := make([]float64, b.F)
+	invStd := b.invStd
 	for f := range invStd {
 		invStd[f] = 1 / math.Sqrt(variance[f]+b.Eps)
 	}
-	xhat := tensor.New(x.Shape()...)
+	xhat := b.ws.xhat.EnsureShapeOf(x)
 	b.forEach(x, spatial, func(f, i int) {
 		xhat.Data[i] = (x.Data[i] - mean[f]) * invStd[f]
 		y.Data[i] = b.gamma.Data[f]*xhat.Data[i] + b.beta.Data[f]
@@ -147,8 +170,7 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 
 	b.xhat = xhat
-	b.invStd = invStd
-	b.inShape = x.Shape()
+	b.inShape = x.AppendShape(b.inShape[:0])
 	return y
 }
 
@@ -166,8 +188,12 @@ func (b *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	n := b.inShape[0]
 	count := float64(n * spatial)
 
-	sumDy := make([]float64, b.F)
-	sumDyXhat := make([]float64, b.F)
+	sumDy := b.ws.sumDy
+	sumDyXhat := b.ws.sumDyXhat
+	for f := 0; f < b.F; f++ {
+		sumDy[f] = 0
+		sumDyXhat[f] = 0
+	}
 	b.forEach(dy, spatial, func(f, i int) {
 		sumDy[f] += dy.Data[i]
 		sumDyXhat[f] += dy.Data[i] * b.xhat.Data[i]
@@ -177,7 +203,7 @@ func (b *BatchNorm) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		b.dgamma.Data[f] += sumDyXhat[f]
 	}
 
-	dx := tensor.New(b.inShape...)
+	dx := b.ws.dx.Ensure(b.inShape...)
 	b.forEach(dy, spatial, func(f, i int) {
 		dx.Data[i] = b.gamma.Data[f] * b.invStd[f] / count *
 			(count*dy.Data[i] - sumDy[f] - b.xhat.Data[i]*sumDyXhat[f])

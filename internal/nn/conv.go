@@ -19,6 +19,12 @@ import (
 // tensor.Col2ImBatch scatter the same way, but accumulates dW and db
 // serially in sample order to keep gradient summation order — and hence
 // training numerics — exactly equal to a single-worker run.
+//
+// All batch-shaped buffers (column matrices, output, gradients) live in
+// a lazily-sized workspace, as do the per-sample tensor headers the
+// parallel matmuls address them through and the two loop bodies handed
+// to parallel.For, so steady-state Forward/Backward calls allocate
+// nothing.
 type Conv2D struct {
 	InC, OutC int
 	KH, KW    int
@@ -30,8 +36,39 @@ type Conv2D struct {
 
 	// Cached from the training-mode forward pass.
 	x    *tensor.Tensor // input batch (N,C,H,W)
-	cols *tensor.Tensor // batched im2col matrices (N, colRows, outH*outW)
 	geom tensor.ConvGeom
+
+	ws convWorkspace
+}
+
+// convWorkspace is Conv2D's reusable buffer set plus the per-call
+// geometry the stored parallel-loop bodies read.
+type convWorkspace struct {
+	cols  tensor.Tensor // batched im2col matrices (N, colRows, spatial)
+	out   tensor.Tensor // forward output (N, outC, outH, outW)
+	dcols tensor.Tensor // batched column gradients
+	dx    tensor.Tensor // input gradient (N, C, H, W)
+	dwT   tensor.Tensor // one sample's weight-gradient staging buffer
+
+	// Per-sample headers aliasing slices of the batched buffers; sample i
+	// only ever touches index i, so the parallel loops stay disjoint.
+	colV, outV, dyV, dcolV []tensor.Tensor
+
+	// Loop bodies handed to parallel.For, built once so the hot path does
+	// not re-create (and so re-allocate) closures every call.
+	fwdBody, bwdBody func(lo, hi int)
+
+	// Per-call parameters for the stored bodies.
+	spatial, colRows, colSize int
+	dy                        *tensor.Tensor
+}
+
+// growHeaders returns hs with at least n zero-value tensor headers.
+func growHeaders(hs []tensor.Tensor, n int) []tensor.Tensor {
+	if cap(hs) < n {
+		return make([]tensor.Tensor, n)
+	}
+	return hs[:n]
 }
 
 // NewConv2D constructs a Conv2D layer with He initialization. Stride and
@@ -41,13 +78,16 @@ func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2D {
 		panic(fmt.Sprintf("nn: bad Conv2D config inC=%d outC=%d k=%d stride=%d pad=%d", inC, outC, k, stride, pad))
 	}
 	fanIn := inC * k * k
-	return &Conv2D{
+	c := &Conv2D{
 		InC: inC, OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad,
 		w:  tensor.New(outC, fanIn).HeInit(rng, fanIn),
 		b:  tensor.New(outC),
 		dw: tensor.New(outC, fanIn),
 		db: tensor.New(outC),
 	}
+	c.ws.fwdBody = c.forwardSamples
+	c.ws.bwdBody = c.backwardSamples
+	return c
 }
 
 // Name implements Layer.
@@ -68,44 +108,65 @@ func (c *Conv2D) geomFor(x *tensor.Tensor) tensor.ConvGeom {
 	return g
 }
 
+// forwardSamples computes output samples [lo, hi): one weight matmul per
+// sample, written straight into the batched output, plus the bias add.
+func (c *Conv2D) forwardSamples(lo, hi int) {
+	ws := &c.ws
+	spatial, colRows, colSize := ws.spatial, ws.colRows, ws.colSize
+	outSize := c.OutC * spatial
+	for i := lo; i < hi; i++ {
+		col := ws.colV[i].SliceViewOf(&ws.cols, i*colSize, (i+1)*colSize, colRows, spatial)
+		// (outC × colRows) @ (colRows × spatial) -> (outC × spatial)
+		out := ws.outV[i].SliceViewOf(&ws.out, i*outSize, (i+1)*outSize, c.OutC, spatial)
+		tensor.MatMulInto(out, c.w, col)
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.b.Data[oc]
+			row := out.Data[oc*spatial : (oc+1)*spatial]
+			for j := range row {
+				row[j] += bias
+			}
+		}
+	}
+}
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	mustRank(c.Name(), x, 4)
+	mustRank(c, x, 4)
 	if x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s got %d input channels", c.Name(), x.Dim(1)))
 	}
 	g := c.geomFor(x)
 	n, outH, outW := x.Dim(0), g.OutH(), g.OutW()
-	cols := outH * outW
-	colRows := c.InC * c.KH * c.KW
-	colSize := g.ColSize()
+	ws := &c.ws
+	ws.spatial = outH * outW
+	ws.colRows = c.InC * c.KH * c.KW
+	ws.colSize = g.ColSize()
 
-	colT := tensor.New(n, colRows, cols)
-	tensor.Im2ColBatch(colT.Data, x.Data, n, g)
+	ws.cols.Ensure(n, ws.colRows, ws.spatial)
+	tensor.Im2ColBatch(ws.cols.Data, x.Data, n, g)
 
-	y := tensor.New(n, c.OutC, outH, outW)
+	y := ws.out.Ensure(n, c.OutC, outH, outW)
 	if train {
 		c.x = x
 		c.geom = g
-		c.cols = colT
 	}
-	parallel.For(n, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			col := tensor.FromSlice(colT.Data[i*colSize:(i+1)*colSize], colRows, cols)
-			// (outC × colRows) @ (colRows × cols) -> (outC × cols)
-			out := tensor.MatMul(c.w, col)
-			base := i * c.OutC * cols
-			for oc := 0; oc < c.OutC; oc++ {
-				bias := c.b.Data[oc]
-				dst := y.Data[base+oc*cols : base+(oc+1)*cols]
-				src := out.Data[oc*cols : (oc+1)*cols]
-				for j, v := range src {
-					dst[j] = v + bias
-				}
-			}
-		}
-	})
+	ws.colV = growHeaders(ws.colV, n)
+	ws.outV = growHeaders(ws.outV, n)
+	parallel.For(n, 1, ws.fwdBody)
 	return y
+}
+
+// backwardSamples computes the column gradients of samples [lo, hi):
+// dcol_i = Wᵀ @ dy_i, written straight into the batched buffer.
+func (c *Conv2D) backwardSamples(lo, hi int) {
+	ws := &c.ws
+	spatial, colRows, colSize := ws.spatial, ws.colRows, ws.colSize
+	outSize := c.OutC * spatial
+	for i := lo; i < hi; i++ {
+		dyMat := ws.dyV[i].SliceViewOf(ws.dy, i*outSize, (i+1)*outSize, c.OutC, spatial)
+		dcol := ws.dcolV[i].SliceViewOf(&ws.dcols, i*colSize, (i+1)*colSize, colRows, spatial)
+		tensor.MatMulTransAInto(dcol, c.w, dyMat)
+	}
 }
 
 // Backward implements Layer.
@@ -114,34 +175,39 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Conv2D.Backward called before training-mode Forward")
 	}
 	g := c.geom
-	n, outH, outW := c.x.Dim(0), g.OutH(), g.OutW()
-	cols := outH * outW
-	colRows := c.InC * c.KH * c.KW
-	colSize := g.ColSize()
+	n := c.x.Dim(0)
+	ws := &c.ws
+	// Sizes come from the cached training geometry, not from whatever the
+	// last Forward left behind. (The column *contents* still require that
+	// no other Forward ran since the matching training pass — the
+	// package-level buffer-ownership rule.)
+	ws.spatial = g.OutH() * g.OutW()
+	ws.colRows = c.InC * c.KH * c.KW
+	ws.colSize = g.ColSize()
+	spatial, colRows, colSize := ws.spatial, ws.colRows, ws.colSize
+	outSize := c.OutC * spatial
 
 	// dcol_i = Wᵀ @ dy_i for every sample, then one batched scatter back
 	// to image space. Both phases write disjoint per-sample regions.
-	dcolT := tensor.New(n, colRows, cols)
-	parallel.For(n, 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			base := i * c.OutC * cols
-			dyMat := tensor.FromSlice(dy.Data[base:base+c.OutC*cols], c.OutC, cols)
-			dcol := tensor.FromSlice(dcolT.Data[i*colSize:(i+1)*colSize], colRows, cols)
-			tensor.MatMulTransAInto(dcol, c.w, dyMat)
-		}
-	})
-	dx := tensor.New(n, c.InC, g.InH, g.InW)
-	tensor.Col2ImBatch(dx.Data, dcolT.Data, n, g)
+	ws.dcols.Ensure(n, colRows, spatial)
+	ws.dyV = growHeaders(ws.dyV, n)
+	ws.dcolV = growHeaders(ws.dcolV, n)
+	ws.dy = dy
+	parallel.For(n, 1, ws.bwdBody)
+	ws.dy = nil
+	dx := ws.dx.Ensure(n, c.InC, g.InH, g.InW)
+	dx.Zero()
+	tensor.Col2ImBatch(dx.Data, ws.dcols.Data, n, g)
 
 	// Weight/bias gradients accumulate serially in sample order (the
 	// per-sample matmul itself is row-parallel) so the floating-point
 	// summation order matches the serial implementation bit for bit.
+	dwT := ws.dwT.Ensure(c.OutC, colRows)
 	for i := 0; i < n; i++ {
-		base := i * c.OutC * cols
-		dyMat := tensor.FromSlice(dy.Data[base:base+c.OutC*cols], c.OutC, cols)
-		colMat := tensor.FromSlice(c.cols.Data[i*colSize:(i+1)*colSize], colRows, cols)
+		dyMat := ws.dyV[i].SliceViewOf(dy, i*outSize, (i+1)*outSize, c.OutC, spatial)
+		colMat := ws.colV[i].SliceViewOf(&ws.cols, i*colSize, (i+1)*colSize, colRows, spatial)
 		// dW += dy_mat @ colᵀ ; db += row sums of dy_mat.
-		c.dw.AddInPlace(tensor.MatMulTransB(dyMat, colMat))
+		c.dw.AddInPlace(tensor.MatMulTransBInto(dwT, dyMat, colMat))
 		for oc := 0; oc < c.OutC; oc++ {
 			s := 0.0
 			for _, v := range dyMat.Row(oc) {

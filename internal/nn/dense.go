@@ -16,6 +16,15 @@ type Dense struct {
 	dw, db *tensor.Tensor
 
 	x *tensor.Tensor // cached input for Backward
+
+	// ws is the reusable forward/backward workspace (see the package
+	// comment's buffer-ownership rule): out and dx back the returned
+	// tensors; dwT/dbT stage this batch's parameter gradients before the
+	// single AddInPlace that keeps accumulation order identical to the
+	// allocate-fresh implementation.
+	ws struct {
+		out, dx, dwT, dbT tensor.Tensor
+	}
 }
 
 // NewDense constructs a Dense layer with He-normal weight initialization
@@ -39,14 +48,15 @@ func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out)
 
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	mustRank(d.Name(), x, 2)
+	mustRank(d, x, 2)
 	if x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: %s got input width %d", d.Name(), x.Dim(1)))
 	}
 	if train {
 		d.x = x
 	}
-	y := tensor.MatMul(x, d.w)
+	y := d.ws.out.Ensure(x.Dim(0), d.Out)
+	tensor.MatMulInto(y, x, d.w)
 	y.AddRowVector(d.b)
 	return y
 }
@@ -57,9 +67,9 @@ func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Dense.Backward called before training-mode Forward")
 	}
 	// dW += xᵀ @ dy ; db += column sums of dy ; dx = dy @ Wᵀ.
-	d.dw.AddInPlace(tensor.MatMulTransA(d.x, dy))
-	d.db.AddInPlace(dy.SumRows())
-	return tensor.MatMulTransB(dy, d.w)
+	d.dw.AddInPlace(tensor.MatMulTransAInto(d.ws.dwT.Ensure(d.In, d.Out), d.x, dy))
+	d.db.AddInPlace(dy.SumRowsInto(&d.ws.dbT))
+	return tensor.MatMulTransBInto(d.ws.dx.Ensure(dy.Dim(0), d.In), dy, d.w)
 }
 
 // Params implements Layer.

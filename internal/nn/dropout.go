@@ -15,6 +15,13 @@ type Dropout struct {
 	rng *rand.Rand
 
 	scale []float64 // per-element multiplier used in the last forward
+	// active records whether the last forward applied dropout (training
+	// mode with P > 0); when false, Backward is the identity.
+	active bool
+
+	ws struct {
+		out, dx tensor.Tensor
+	}
 }
 
 // NewDropout constructs a Dropout layer with drop probability p in [0,1).
@@ -32,30 +39,37 @@ func (d *Dropout) Name() string { return fmt.Sprintf("dropout(%g)", d.P) }
 // Forward implements Layer.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P == 0 {
-		d.scale = nil
+		d.active = false
 		return x
 	}
 	keep := 1 - d.P
 	inv := 1 / keep
-	y := tensor.New(x.Shape()...)
-	scale := make([]float64, x.Size())
+	y := d.ws.out.EnsureShapeOf(x)
+	if cap(d.scale) < x.Size() {
+		d.scale = make([]float64, x.Size())
+	} else {
+		d.scale = d.scale[:x.Size()]
+	}
 	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
-			scale[i] = inv
+			d.scale[i] = inv
 			y.Data[i] = v * inv
+		} else {
+			d.scale[i] = 0
+			y.Data[i] = 0
 		}
 	}
-	d.scale = scale
+	d.active = true
 	return y
 }
 
 // Backward implements Layer.
 func (d *Dropout) Backward(dy *tensor.Tensor) *tensor.Tensor {
-	if d.scale == nil {
+	if !d.active {
 		// Forward ran in eval mode or with P==0: identity gradient.
 		return dy
 	}
-	dx := tensor.New(dy.Shape()...)
+	dx := d.ws.dx.EnsureShapeOf(dy)
 	for i, s := range d.scale {
 		dx.Data[i] = dy.Data[i] * s
 	}

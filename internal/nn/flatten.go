@@ -5,9 +5,15 @@ import (
 )
 
 // Flatten reshapes (N, ...) to (N, prod(...)), bridging convolutional and
-// dense stages. It is a pure view change; no data moves.
+// dense stages. It is a pure view change; no data moves. The returned
+// tensors are reusable layer-owned headers aliasing the input's data, so
+// steady-state calls allocate nothing.
 type Flatten struct {
 	inShape []int // cached full input shape for Backward
+
+	ws struct {
+		out, dx tensor.Tensor
+	}
 }
 
 // NewFlatten constructs a Flatten layer.
@@ -19,9 +25,14 @@ func (f *Flatten) Name() string { return "flatten" }
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if train {
-		f.inShape = x.Shape()
+		f.inShape = x.AppendShape(f.inShape[:0])
 	}
-	return x.Reshape(x.Dim(0), -1)
+	n := x.Dim(0)
+	per := 0
+	if n > 0 {
+		per = x.Size() / n
+	}
+	return f.ws.out.ViewOf(x, n, per)
 }
 
 // Backward implements Layer.
@@ -29,7 +40,7 @@ func (f *Flatten) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if f.inShape == nil {
 		panic("nn: Flatten.Backward called before training-mode Forward")
 	}
-	return dy.Reshape(f.inShape...)
+	return f.ws.dx.ViewOf(dy, f.inShape...)
 }
 
 // Params implements Layer (none).

@@ -13,6 +13,29 @@
 //
 // All layers are deterministic given their RNG and inputs, and none share
 // mutable state, so group replicas can train concurrently.
+//
+// # Buffer ownership
+//
+// Forward and Backward are destination-passing under the hood: every
+// layer owns a lazily-sized workspace (output, input-gradient, and
+// per-layer scratch buffers) that is allocated on first use and reused
+// while the batch shape is stable, so steady-state training performs no
+// heap allocations. The tensors they return therefore alias layer-owned
+// memory, with the following contract:
+//
+//   - The tensor returned by Forward is valid until the layer's next
+//     Forward call; the tensor returned by Backward is valid until the
+//     layer's next Backward call. Callers that need the values longer
+//     must copy (Clone or CopyFrom).
+//   - A training-mode Forward and its matching Backward form one unit:
+//     no other Forward may run on the same layer between them (an eval
+//     pass would overwrite the cached activations Backward reads).
+//     Within a Sequential this holds automatically for the usual
+//     forward → backward → optimizer step loop.
+//   - Buffer reuse never changes operation order: each reused buffer is
+//     written with exactly the per-element schedule the allocate-fresh
+//     implementation used, so results are bit-identical, at any worker
+//     count, to the pre-workspace code.
 package nn
 
 import (
@@ -101,8 +124,11 @@ func shapeEq(a, b []int) bool {
 	return true
 }
 
-func mustRank(name string, x *tensor.Tensor, rank int) {
+// mustRank takes the layer rather than its name so the Name() fmt call
+// — an allocation — only happens on the panic path, not on every
+// Forward.
+func mustRank(l Layer, x *tensor.Tensor, rank int) {
 	if x.Dims() != rank {
-		panic(fmt.Sprintf("nn: %s expects rank-%d input, got shape %v", name, rank, x.Shape()))
+		panic(fmt.Sprintf("nn: %s expects rank-%d input, got shape %v", l.Name(), rank, x.Shape()))
 	}
 }

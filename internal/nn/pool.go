@@ -16,6 +16,10 @@ type MaxPool2D struct {
 	// the flat input index that supplied the max (argmax routing).
 	argmax  []int
 	inShape []int
+
+	ws struct {
+		out, dx tensor.Tensor
+	}
 }
 
 // NewMaxPool2D constructs a max-pooling layer with window and stride k.
@@ -29,18 +33,26 @@ func NewMaxPool2D(k int) *MaxPool2D {
 // Name implements Layer.
 func (p *MaxPool2D) Name() string { return fmt.Sprintf("maxpool2d(%d)", p.K) }
 
+// growInts returns xs with exactly n elements, reusing capacity.
+func growInts(xs []int, n int) []int {
+	if cap(xs) < n {
+		return make([]int, n)
+	}
+	return xs[:n]
+}
+
 // Forward implements Layer.
 func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	mustRank(p.Name(), x, 4)
+	mustRank(p, x, 4)
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	if h < p.K || w < p.K {
 		panic(fmt.Sprintf("nn: %s input %dx%d smaller than window", p.Name(), h, w))
 	}
 	outH, outW := h/p.K, w/p.K
-	y := tensor.New(n, c, outH, outW)
+	y := p.ws.out.Ensure(n, c, outH, outW)
 	var arg []int
 	if train {
-		arg = make([]int, y.Size())
+		arg = growInts(p.argmax, y.Size())
 	}
 	for i := 0; i < n; i++ {
 		for ch := 0; ch < c; ch++ {
@@ -70,7 +82,7 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	if train {
 		p.argmax = arg
-		p.inShape = x.Shape()
+		p.inShape = x.AppendShape(p.inShape[:0])
 	}
 	return y
 }
@@ -80,7 +92,8 @@ func (p *MaxPool2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	if p.argmax == nil {
 		panic("nn: MaxPool2D.Backward called before training-mode Forward")
 	}
-	dx := tensor.New(p.inShape...)
+	dx := p.ws.dx.Ensure(p.inShape...)
+	dx.Zero()
 	for oi, ii := range p.argmax {
 		dx.Data[ii] += dy.Data[oi]
 	}

@@ -21,8 +21,45 @@ func (b *BatchNorm) NoDecayParams() []bool { return []bool{true, true, true, tru
 
 // Sequential chains layers into a network. It is the unit both the whole
 // model and each side of a split model are built from.
+//
+// The flattened Params/Grads/DecayMask views are cached after first use
+// (they are consulted on every optimizer step, so rebuilding them would
+// put slice allocations in the training hot path). The Layers slice must
+// therefore not be mutated after the Sequential is first used, and
+// callers must treat the returned slices as read-only.
 type Sequential struct {
 	Layers []Layer
+
+	cacheBuilt bool
+	params     []*tensor.Tensor
+	grads      []*tensor.Tensor
+	decay      []bool
+}
+
+// buildCache assembles the flattened parameter views once.
+func (s *Sequential) buildCache() {
+	s.params = nil
+	s.grads = nil
+	s.decay = nil
+	for _, l := range s.Layers {
+		ps := l.Params()
+		s.params = append(s.params, ps...)
+		s.grads = append(s.grads, l.Grads()...)
+		if nd, ok := l.(NoDecay); ok {
+			skip := nd.NoDecayParams()
+			if len(skip) != len(ps) {
+				panic(fmt.Sprintf("nn: %s NoDecayParams length %d, want %d", l.Name(), len(skip), len(ps)))
+			}
+			for _, sk := range skip {
+				s.decay = append(s.decay, !sk)
+			}
+			continue
+		}
+		for range ps {
+			s.decay = append(s.decay, true)
+		}
+	}
+	s.cacheBuilt = true
 }
 
 // NewSequential constructs a Sequential from the given layers.
@@ -48,48 +85,41 @@ func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	return dy
 }
 
-// ZeroGrads zeroes all parameter gradients.
-func (s *Sequential) ZeroGrads() { ZeroGrads(s.Layers) }
-
-// Params returns all parameter tensors in layer order.
-func (s *Sequential) Params() []*tensor.Tensor {
-	var ps []*tensor.Tensor
-	for _, l := range s.Layers {
-		ps = append(ps, l.Params()...)
+// ZeroGrads zeroes all parameter gradients. It walks the cached gradient
+// views, so per-step calls allocate nothing (layer Grads() builds a
+// fresh slice per call).
+func (s *Sequential) ZeroGrads() {
+	for _, g := range s.Grads() {
+		g.Zero()
 	}
-	return ps
 }
 
-// Grads returns all gradient tensors aligned with Params.
-func (s *Sequential) Grads() []*tensor.Tensor {
-	var gs []*tensor.Tensor
-	for _, l := range s.Layers {
-		gs = append(gs, l.Grads()...)
+// Params returns all parameter tensors in layer order. The slice is
+// cached and shared — treat it as read-only.
+func (s *Sequential) Params() []*tensor.Tensor {
+	if !s.cacheBuilt {
+		s.buildCache()
 	}
-	return gs
+	return s.params
+}
+
+// Grads returns all gradient tensors aligned with Params. The slice is
+// cached and shared — treat it as read-only.
+func (s *Sequential) Grads() []*tensor.Tensor {
+	if !s.cacheBuilt {
+		s.buildCache()
+	}
+	return s.grads
 }
 
 // DecayMask returns, aligned with Params, whether each parameter should
-// receive L2 weight decay (true = decay).
+// receive L2 weight decay (true = decay). The slice is cached and
+// shared — treat it as read-only.
 func (s *Sequential) DecayMask() []bool {
-	var mask []bool
-	for _, l := range s.Layers {
-		n := len(l.Params())
-		if nd, ok := l.(NoDecay); ok {
-			skip := nd.NoDecayParams()
-			if len(skip) != n {
-				panic(fmt.Sprintf("nn: %s NoDecayParams length %d, want %d", l.Name(), len(skip), n))
-			}
-			for _, sk := range skip {
-				mask = append(mask, !sk)
-			}
-			continue
-		}
-		for i := 0; i < n; i++ {
-			mask = append(mask, true)
-		}
+	if !s.cacheBuilt {
+		s.buildCache()
 	}
-	return mask
+	return s.decay
 }
 
 // ParamCount returns the total number of scalar parameters.

@@ -1,0 +1,37 @@
+package optim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gsfl/internal/tensor"
+	"gsfl/internal/testutil"
+)
+
+// TestStepAllocFree pins the in-place optimizer contract: after the
+// first step lazily allocates momentum/moment buffers, SGD and Adam
+// updates touch no heap.
+func TestStepAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() ([]*tensor.Tensor, []*tensor.Tensor, []bool) {
+		params := []*tensor.Tensor{
+			tensor.New(32, 16).RandNormal(rng, 0, 1),
+			tensor.New(16).RandNormal(rng, 0, 1),
+		}
+		grads := []*tensor.Tensor{
+			tensor.New(32, 16).RandNormal(rng, 0, 0.1),
+			tensor.New(16).RandNormal(rng, 0, 0.1),
+		}
+		return params, grads, []bool{true, false}
+	}
+
+	p, g, d := mk()
+	sgd := NewSGDMomentum(0.01, 0.9)
+	sgd.WeightDecay = 1e-4
+	sgd.ClipNorm = 5
+	testutil.MaxAllocs(t, "SGD.Step", 0, func() { sgd.Step(p, g, d) })
+
+	p2, g2, d2 := mk()
+	adam := NewAdam(0.001)
+	testutil.MaxAllocs(t, "Adam.Step", 0, func() { adam.Step(p2, g2, d2) })
+}

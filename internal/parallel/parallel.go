@@ -103,6 +103,24 @@ func acquire(max int) (int, chan struct{}) {
 	return got, ch
 }
 
+// Inline reports whether For(n, grain, body) is guaranteed to run its
+// body inline on the calling goroutine: the range fits in a single chunk
+// or only one worker is configured. Hot call sites consult it before
+// constructing the body closure — a closure passed to For escapes to the
+// heap, so skipping its construction keeps steady-state kernels
+// allocation-free in serial runs. When Inline returns false For may
+// still degrade to the serial loop (pool exhaustion), just not
+// provably so.
+func Inline(n, grain int) bool {
+	if n <= 0 {
+		return true
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	return n <= grain || Workers() == 1
+}
+
 // For executes body over the index range [0, n), fork-join style. The
 // range is split into contiguous chunks of at least grain indices each
 // (the final chunk may carry the smaller remainder); chunks run

@@ -38,21 +38,38 @@ type Quantized struct {
 // Quantize encodes t with uniform affine quantization. Constant tensors
 // (max == min) encode with zero scale and decode exactly.
 func Quantize(t *tensor.Tensor) *Quantized {
+	q := &Quantized{}
+	QuantizeInto(q, t)
+	return q
+}
+
+// QuantizeInto encodes t into q, reusing q's code and shape buffers —
+// the destination-passing form of Quantize that the per-replica transfer
+// workspaces use. Every field of q is overwritten, so results are
+// identical to Quantize.
+func QuantizeInto(q *Quantized, t *tensor.Tensor) {
+	q.Shape = t.AppendShape(q.Shape[:0])
+	if cap(q.Codes) < t.Size() {
+		q.Codes = make([]uint8, t.Size())
+	} else {
+		q.Codes = q.Codes[:t.Size()]
+	}
+	q.Min, q.Scale = 0, 0
 	if t.Size() == 0 {
-		return &Quantized{Shape: t.Shape()}
+		q.Codes = nil
+		return
 	}
 	lo, hi := t.Min(), t.Max()
 	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
 		panic(fmt.Sprintf("quantize: non-finite tensor range [%v, %v]", lo, hi))
 	}
-	q := &Quantized{
-		Min:   lo,
-		Scale: (hi - lo) / 255,
-		Shape: t.Shape(),
-		Codes: make([]uint8, t.Size()),
-	}
+	q.Min = lo
+	q.Scale = (hi - lo) / 255
 	if q.Scale == 0 {
-		return q // all elements equal Min; codes stay zero
+		for i := range q.Codes {
+			q.Codes[i] = 0 // all elements equal Min
+		}
+		return
 	}
 	inv := 1 / q.Scale
 	for i, v := range t.Data {
@@ -64,23 +81,26 @@ func Quantize(t *tensor.Tensor) *Quantized {
 		}
 		q.Codes[i] = uint8(c)
 	}
-	return q
 }
 
 // Dequantize decodes back to a float tensor.
 func (q *Quantized) Dequantize() *tensor.Tensor {
-	out := tensor.New(q.Shape...)
+	return q.DequantizeInto(&tensor.Tensor{})
+}
+
+// DequantizeInto decodes into dst, shaping it to the encoded shape
+// (reusing its storage) and returning dst. Every element is overwritten,
+// so results are identical to Dequantize.
+func (q *Quantized) DequantizeInto(dst *tensor.Tensor) *tensor.Tensor {
+	dst.Ensure(q.Shape...)
 	if q.Scale == 0 {
-		out.Fill(q.Min)
-		if out.Size() == 0 {
-			return out
-		}
-		return out
+		dst.Fill(q.Min)
+		return dst
 	}
 	for i, c := range q.Codes {
-		out.Data[i] = q.Min + float64(c)*q.Scale
+		dst.Data[i] = q.Min + float64(c)*q.Scale
 	}
-	return out
+	return dst
 }
 
 // WireBytes returns the transfer size of the encoded tensor.
@@ -96,4 +116,21 @@ func (q *Quantized) MaxError() float64 { return q.Scale / 2 }
 // tensor the receiving side would see.
 func RoundTrip(t *tensor.Tensor) *tensor.Tensor {
 	return Quantize(t).Dequantize()
+}
+
+// Buffer is a reusable quantize→dequantize workspace. Each
+// concurrently-training replica owns its own (one per transfer
+// direction); steady-state round trips then allocate nothing.
+type Buffer struct {
+	q   Quantized
+	out tensor.Tensor
+}
+
+// RoundTrip is the allocation-free form of the package-level RoundTrip:
+// the returned tensor is the buffer's own and is valid until the next
+// call on the same Buffer. Results are bit-identical to the allocating
+// version.
+func (b *Buffer) RoundTrip(t *tensor.Tensor) *tensor.Tensor {
+	QuantizeInto(&b.q, t)
+	return b.q.DequantizeInto(&b.out)
 }

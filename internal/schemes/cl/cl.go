@@ -15,7 +15,6 @@ import (
 	"fmt"
 
 	"gsfl/internal/data"
-	"gsfl/internal/loss"
 	"gsfl/internal/model"
 	"gsfl/internal/optim"
 	"gsfl/internal/schemes"
@@ -38,6 +37,9 @@ type Trainer struct {
 	// stepsPerRound matches the total update count of one GSFL/SL round
 	// so accuracy-vs-rounds curves are update-for-update comparable.
 	stepsPerRound int
+
+	// ws is the single training-step workspace (batch + loss gradient).
+	ws schemes.StepWorkspace
 }
 
 // New validates the environment and assembles a CL trainer. The pooled
@@ -80,20 +82,15 @@ func (t *Trainer) Name() string { return "cl" }
 // data, all on the edge server. Cancellation is honoured between steps.
 func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	led := &simnet.Ledger{}
-	lossFn := loss.SoftmaxCrossEntropy{}
 	server := t.env.Fleet.Server
 	perSample := 3 * t.m.ServerFwdFLOPs() // cut 0: whole model is server-side
 	for s := 0; s < t.stepsPerRound; s++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		batch := t.loader.Next()
-		logits := t.m.Server.Forward(batch.X, true)
-		_, dLogits := lossFn.Eval(logits, batch.Y)
-		t.m.Server.ZeroGrads()
-		t.m.Server.Backward(dLogits)
-		t.opt.Step(t.m.Server.Params(), t.m.Server.Grads(), t.m.Server.DecayMask())
-		led.Add(simnet.ServerCompute, server.ComputeSeconds(perSample*int64(len(batch.Y))))
+		t.loader.NextInto(&t.ws.Batch)
+		t.ws.LocalStep(t.m.Server, t.opt, t.ws.Batch)
+		led.Add(simnet.ServerCompute, server.ComputeSeconds(perSample*int64(len(t.ws.Batch.Y))))
 	}
 	return led, nil
 }
@@ -136,7 +133,7 @@ func (t *Trainer) Evaluate(ctx context.Context) (schemes.Eval, error) {
 func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
 	return &schemes.TrainerState{
 		Channel: t.env.Channel.State(),
-		Models:  []model.SnapshotState{model.TakeSnapshot(t.m.Server).State()},
+		Models:  []model.SnapshotState{model.StateOf(t.m.Server)},
 		Opts:    []optim.SGDState{t.opt.State()},
 		Loaders: []data.LoaderState{t.loader.State()},
 	}, nil

@@ -16,7 +16,6 @@ import (
 
 	"gsfl/internal/agg"
 	"gsfl/internal/data"
-	"gsfl/internal/loss"
 	"gsfl/internal/model"
 	"gsfl/internal/optim"
 	"gsfl/internal/parallel"
@@ -44,6 +43,12 @@ type Trainer struct {
 
 	evalModel *model.SplitModel
 	fullCut   int
+
+	// Per-client reusable state: stepWS[ci] holds client ci's batch and
+	// loss-gradient buffers; caps[ci] is its re-captured model snapshot
+	// for FedAvg.
+	stepWS []schemes.StepWorkspace
+	caps   []model.Snapshot
 }
 
 // New validates the environment and assembles an FL trainer. The env's
@@ -64,6 +69,8 @@ func New(env *schemes.Env) (*Trainer, error) {
 	t.opts = make([]*optim.SGD, n)
 	t.loaders = make([]*data.Loader, n)
 	t.weights = make([]float64, n)
+	t.stepWS = make([]schemes.StepWorkspace, n)
+	t.caps = make([]model.Snapshot, n)
 	for ci := 0; ci < n; ci++ {
 		t.locals[ci] = env.Arch.NewSplit(env.Rng("local", ci), fullCut)
 		t.opts[ci] = env.NewOptimizer()
@@ -92,7 +99,6 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	upAlloc := env.Alloc.Allocate(env.Channel, all, env.Channel.UplinkHz(), true)
 	downAlloc := env.Alloc.Allocate(env.Channel, all, env.Channel.DownlinkHz(), false)
 
-	lossFn := loss.SoftmaxCrossEntropy{}
 	clientLeds := make([]*simnet.Ledger, n)
 	// Clients train concurrently — FL's defining parallelism, executed as
 	// real goroutines. Each client touches only its own local model,
@@ -105,17 +111,14 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 		for ci := lo; ci < hi; ci++ {
 			led := &simnet.Ledger{}
 			local := t.locals[ci]
+			ws := &t.stepWS[ci]
 			t.global.Restore(local.Client)
 			dev := env.Fleet.Clients[ci]
 			for s := 0; s < env.Hyper.StepsPerClient; s++ {
-				batch := t.loaders[ci].Next()
-				logits := local.Client.Forward(batch.X, true)
-				_, dLogits := lossFn.Eval(logits, batch.Y)
-				local.Client.ZeroGrads()
-				local.Client.Backward(dLogits)
-				t.opts[ci].Step(local.Client.Params(), local.Client.Grads(), local.Client.DecayMask())
+				t.loaders[ci].NextInto(&ws.Batch)
+				ws.LocalStep(local.Client, t.opts[ci], ws.Batch)
 				led.Add(simnet.ClientCompute,
-					dev.ComputeSeconds(3*local.ClientFwdFLOPs()*int64(len(batch.Y))))
+					dev.ComputeSeconds(3*local.ClientFwdFLOPs()*int64(len(ws.Batch.Y))))
 			}
 			clientLeds[ci] = led
 		}
@@ -133,11 +136,10 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 
 	round := simnet.MaxOf(clientLeds)
 
-	snaps := make([]model.Snapshot, n)
 	for ci := range t.locals {
-		snaps[ci] = model.TakeSnapshot(t.locals[ci].Client)
+		t.caps[ci].CaptureFrom(t.locals[ci].Client)
 	}
-	t.global = agg.FedAvg(snaps, t.weights)
+	agg.FedAvgInto(&t.global, t.caps, t.weights)
 	schemes.AggregationLatency(env, n, t.global.ParamCount(), round)
 	return round, nil
 }

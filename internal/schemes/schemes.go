@@ -29,6 +29,7 @@ import (
 	"gsfl/internal/loss"
 	"gsfl/internal/metrics"
 	"gsfl/internal/model"
+	"gsfl/internal/nn"
 	"gsfl/internal/optim"
 	"gsfl/internal/quantize"
 	"gsfl/internal/simnet"
@@ -184,6 +185,11 @@ type Trainer interface {
 // never allocate huge activations.
 const EvalChunk = 256
 
+// evalPool recycles the evaluation chunk buffers across Evaluate and
+// EvaluateConfusion calls (batch-shaped temporaries with no owning
+// workspace — exactly what tensor.Pool exists for).
+var evalPool tensor.Pool
+
 // Evaluate runs the split model over the test set in chunks and returns
 // the mean loss and accuracy. It is the shared implementation behind
 // every scheme's Evaluate; cancellation is honoured between chunks.
@@ -202,7 +208,7 @@ func Evaluate(ctx context.Context, m *model.SplitModel, test data.Dataset, inSha
 		}
 		cnt := hi - lo
 		shape := append([]int{cnt}, inShape...)
-		x := tensor.New(shape...)
+		x := evalPool.Get(shape...)
 		y := make([]int, cnt)
 		per := x.Size() / cnt
 		for i := lo; i < hi; i++ {
@@ -218,8 +224,26 @@ func Evaluate(ctx context.Context, m *model.SplitModel, test data.Dataset, inSha
 				correct++
 			}
 		}
+		evalPool.Put(x)
 	}
 	return Eval{Loss: totalLoss / float64(n), Accuracy: float64(correct) / float64(n)}, nil
+}
+
+// StepWorkspace is the per-replica scratch state one training step
+// needs beyond the layer-owned workspaces: the batch buffers drawn into
+// by data.Loader.NextInto, the loss-gradient tensor, and the
+// quantization round-trip buffers for each transfer direction. Each
+// concurrently-training replica (a GSFL group, an SFL client, an FL
+// client) owns exactly one, so steady-state steps allocate nothing and
+// replicas never contend. The zero value is ready to use; buffers grow
+// lazily on first step.
+type StepWorkspace struct {
+	// Batch is the reusable mini-batch destination for NextInto; its
+	// contents are consumed within the step that drew them.
+	Batch data.Batch
+
+	lossGrad   tensor.Tensor
+	qUp, qDown quantize.Buffer
 }
 
 // SplitStep runs one split-learning mini-batch: client-side forward,
@@ -232,19 +256,19 @@ func Evaluate(ctx context.Context, m *model.SplitModel, test data.Dataset, inSha
 // When quantizeTransfers is true, the smashed data and the returned
 // gradient pass through an 8-bit quantization round trip, so the
 // receiving side trains on exactly what the narrower wire would deliver.
-func SplitStep(m *model.SplitModel, clientOpt, serverOpt optim.Optimizer, batch data.Batch, quantizeTransfers bool) float64 {
+func (ws *StepWorkspace) SplitStep(m *model.SplitModel, clientOpt, serverOpt optim.Optimizer, batch data.Batch, quantizeTransfers bool) float64 {
 	smashed := m.Client.Forward(batch.X, true)
 	serverIn := smashed
 	if quantizeTransfers {
-		serverIn = quantize.RoundTrip(smashed)
+		serverIn = ws.qUp.RoundTrip(smashed)
 	}
 	logits := m.Server.Forward(serverIn, true)
-	l, dLogits := loss.SoftmaxCrossEntropy{}.Eval(logits, batch.Y)
+	l := loss.SoftmaxCrossEntropy{}.EvalInto(logits, batch.Y, &ws.lossGrad)
 
 	m.Server.ZeroGrads()
-	dSmashed := m.Server.Backward(dLogits)
+	dSmashed := m.Server.Backward(&ws.lossGrad)
 	if quantizeTransfers {
-		dSmashed = quantize.RoundTrip(dSmashed)
+		dSmashed = ws.qDown.RoundTrip(dSmashed)
 	}
 	m.Client.ZeroGrads()
 	m.Client.Backward(dSmashed)
@@ -252,6 +276,26 @@ func SplitStep(m *model.SplitModel, clientOpt, serverOpt optim.Optimizer, batch 
 	serverOpt.Step(m.Server.Params(), m.Server.Grads(), m.Server.DecayMask())
 	clientOpt.Step(m.Client.Params(), m.Client.Grads(), m.Client.DecayMask())
 	return l
+}
+
+// LocalStep runs one full-model mini-batch (forward, loss, backward,
+// optimizer step) on net — the centralized / FedAvg-style update CL and
+// FL use. It returns the batch loss.
+func (ws *StepWorkspace) LocalStep(net *nn.Sequential, opt optim.Optimizer, batch data.Batch) float64 {
+	logits := net.Forward(batch.X, true)
+	l := loss.SoftmaxCrossEntropy{}.EvalInto(logits, batch.Y, &ws.lossGrad)
+	net.ZeroGrads()
+	net.Backward(&ws.lossGrad)
+	opt.Step(net.Params(), net.Grads(), net.DecayMask())
+	return l
+}
+
+// SplitStep is the convenience form of StepWorkspace.SplitStep for
+// callers outside the training hot path (tests, one-off probes); it
+// allocates a throwaway workspace per call.
+func SplitStep(m *model.SplitModel, clientOpt, serverOpt optim.Optimizer, batch data.Batch, quantizeTransfers bool) float64 {
+	var ws StepWorkspace
+	return ws.SplitStep(m, clientOpt, serverOpt, batch, quantizeTransfers)
 }
 
 // transferWidth returns the per-scalar wire width the env's precision
@@ -351,7 +395,7 @@ func EvaluateConfusion(m *model.SplitModel, test data.Dataset, inShape []int) *m
 		}
 		cnt := hi - lo
 		shape := append([]int{cnt}, inShape...)
-		x := tensor.New(shape...)
+		x := evalPool.Get(shape...)
 		y := make([]int, cnt)
 		per := x.Size() / cnt
 		for i := lo; i < hi; i++ {
@@ -363,6 +407,7 @@ func EvaluateConfusion(m *model.SplitModel, test data.Dataset, inShape []int) *m
 		for i, p := range logits.ArgMaxRows() {
 			cm.Observe(y[i], p)
 		}
+		evalPool.Put(x)
 	}
 	return cm
 }

@@ -43,6 +43,12 @@ type Trainer struct {
 	weights    []float64
 
 	evalModel *model.SplitModel
+
+	// Per-client reusable state: stepWS[ci] is client ci's training-step
+	// workspace; capClient/capServer[ci] its re-captured snapshots for
+	// aggregation (the agg inputs FedAvgInto consumes).
+	stepWS               []schemes.StepWorkspace
+	capClient, capServer []model.Snapshot
 }
 
 // New validates the environment and assembles a SplitFed trainer.
@@ -62,6 +68,9 @@ func New(env *schemes.Env) (*Trainer, error) {
 	t.serverOpts = make([]*optim.SGD, n)
 	t.loaders = make([]*data.Loader, n)
 	t.weights = make([]float64, n)
+	t.stepWS = make([]schemes.StepWorkspace, n)
+	t.capClient = make([]model.Snapshot, n)
+	t.capServer = make([]model.Snapshot, n)
 	for ci := 0; ci < n; ci++ {
 		t.replicas[ci] = env.Arch.NewSplit(env.Rng("replica", ci), env.Cut)
 		t.clientOpts[ci] = env.NewOptimizer()
@@ -108,13 +117,14 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	parallel.For(n, 1, func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
 			rep := t.replicas[ci]
+			ws := &t.stepWS[ci]
 			t.globalClient.Restore(rep.Client)
 			t.globalServer.Restore(rep.Server)
 			sizes := make([]int, env.Hyper.StepsPerClient)
 			for s := 0; s < env.Hyper.StepsPerClient; s++ {
-				batch := t.loaders[ci].Next()
-				schemes.SplitStep(rep, t.clientOpts[ci], t.serverOpts[ci], batch, env.Hyper.QuantizeTransfers)
-				sizes[s] = len(batch.Y)
+				t.loaders[ci].NextInto(&ws.Batch)
+				ws.SplitStep(rep, t.clientOpts[ci], t.serverOpts[ci], ws.Batch, env.Hyper.QuantizeTransfers)
+				sizes[s] = len(ws.Batch.Y)
 			}
 			batchSizes[ci] = sizes
 			clientLeds[ci] = &simnet.Ledger{}
@@ -139,14 +149,12 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 
 	round := simnet.MaxOf(clientLeds)
 
-	clientSnaps := make([]model.Snapshot, n)
-	serverSnaps := make([]model.Snapshot, n)
 	for ci := range t.replicas {
-		clientSnaps[ci] = model.TakeSnapshot(t.replicas[ci].Client)
-		serverSnaps[ci] = model.TakeSnapshot(t.replicas[ci].Server)
+		t.capClient[ci].CaptureFrom(t.replicas[ci].Client)
+		t.capServer[ci].CaptureFrom(t.replicas[ci].Server)
 	}
-	t.globalClient = agg.FedAvg(clientSnaps, t.weights)
-	t.globalServer = agg.FedAvg(serverSnaps, t.weights)
+	agg.FedAvgInto(&t.globalClient, t.capClient, t.weights)
+	agg.FedAvgInto(&t.globalServer, t.capServer, t.weights)
 	schemes.AggregationLatency(env, n,
 		t.globalClient.ParamCount()+t.globalServer.ParamCount(), round)
 	return round, nil

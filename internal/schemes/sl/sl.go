@@ -35,6 +35,10 @@ type Trainer struct {
 	clientOpt *optim.SGD
 	serverOpt *optim.SGD
 	loaders   []*data.Loader
+
+	// ws is the single training-step workspace — SL trains one client at
+	// a time, so one replica's worth of scratch suffices.
+	ws schemes.StepWorkspace
 }
 
 // New validates the environment and assembles an SL trainer.
@@ -73,9 +77,9 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 			return nil, err
 		}
 		for s := 0; s < env.Hyper.StepsPerClient; s++ {
-			batch := t.loaders[ci].Next()
-			schemes.SplitStep(t.m, t.clientOpt, t.serverOpt, batch, env.Hyper.QuantizeTransfers)
-			schemes.StepLatency(env, t.m, ci, len(batch.Y), up, down, led)
+			t.loaders[ci].NextInto(&t.ws.Batch)
+			t.ws.SplitStep(t.m, t.clientOpt, t.serverOpt, t.ws.Batch, env.Hyper.QuantizeTransfers)
+			schemes.StepLatency(env, t.m, ci, len(t.ws.Batch.Y), up, down, led)
 		}
 		// Hand the client model to the next client (wrapping to next
 		// round's first client), always through the AP.
@@ -97,8 +101,8 @@ func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
 	st := &schemes.TrainerState{
 		Channel: t.env.Channel.State(),
 		Models: []model.SnapshotState{
-			model.TakeSnapshot(t.m.Client).State(),
-			model.TakeSnapshot(t.m.Server).State(),
+			model.StateOf(t.m.Client),
+			model.StateOf(t.m.Server),
 		},
 		Opts: []optim.SGDState{t.clientOpt.State(), t.serverOpt.State()},
 	}

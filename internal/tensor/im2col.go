@@ -78,11 +78,17 @@ func Im2Col(dst, src []float64, g ConvGeom) {
 	if want := g.InC * g.InH * g.InW; len(src) != want {
 		panic(fmt.Sprintf("tensor: Im2Col src size %d, want %d", len(src), want))
 	}
-	parallel.For(g.InC, grainChannels(g), func(lo, hi int) {
-		for c := lo; c < hi; c++ {
+	if grain := grainChannels(g); parallel.Inline(g.InC, grain) {
+		for c := 0; c < g.InC; c++ {
 			im2colChannel(dst, src, g, c)
 		}
-	})
+	} else {
+		parallel.For(g.InC, grain, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				im2colChannel(dst, src, g, c)
+			}
+		})
+	}
 }
 
 // Im2ColBatch unrolls n images at once: src holds n CHW images
@@ -98,12 +104,19 @@ func Im2ColBatch(dst, src []float64, n int, g ConvGeom) {
 	if want := n * imgSize; len(src) != want {
 		panic(fmt.Sprintf("tensor: Im2ColBatch src size %d, want %d", len(src), want))
 	}
-	parallel.For(n*g.InC, grainChannels(g), func(lo, hi int) {
-		for u := lo; u < hi; u++ {
+	if grain := grainChannels(g); parallel.Inline(n*g.InC, grain) {
+		for u := 0; u < n*g.InC; u++ {
 			i, c := u/g.InC, u%g.InC
 			im2colChannel(dst[i*colSize:(i+1)*colSize], src[i*imgSize:(i+1)*imgSize], g, c)
 		}
-	})
+	} else {
+		parallel.For(n*g.InC, grain, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				i, c := u/g.InC, u%g.InC
+				im2colChannel(dst[i*colSize:(i+1)*colSize], src[i*imgSize:(i+1)*imgSize], g, c)
+			}
+		})
+	}
 }
 
 // im2colChannel writes channel c's rows of one image's column matrix.
@@ -158,11 +171,17 @@ func Col2Im(dst, src []float64, g ConvGeom) {
 	if want := g.InC * g.InH * g.InW; len(dst) != want {
 		panic(fmt.Sprintf("tensor: Col2Im dst size %d, want %d", len(dst), want))
 	}
-	parallel.For(g.InC, grainChannels(g), func(lo, hi int) {
-		for c := lo; c < hi; c++ {
+	if grain := grainChannels(g); parallel.Inline(g.InC, grain) {
+		for c := 0; c < g.InC; c++ {
 			col2imChannel(dst, src, g, c)
 		}
-	})
+	} else {
+		parallel.For(g.InC, grain, func(lo, hi int) {
+			for c := lo; c < hi; c++ {
+				col2imChannel(dst, src, g, c)
+			}
+		})
+	}
 }
 
 // Col2ImBatch scatter-adds n column matrices back into n CHW images,
@@ -177,12 +196,19 @@ func Col2ImBatch(dst, src []float64, n int, g ConvGeom) {
 	if want := n * imgSize; len(dst) != want {
 		panic(fmt.Sprintf("tensor: Col2ImBatch dst size %d, want %d", len(dst), want))
 	}
-	parallel.For(n*g.InC, grainChannels(g), func(lo, hi int) {
-		for u := lo; u < hi; u++ {
+	if grain := grainChannels(g); parallel.Inline(n*g.InC, grain) {
+		for u := 0; u < n*g.InC; u++ {
 			i, c := u/g.InC, u%g.InC
 			col2imChannel(dst[i*imgSize:(i+1)*imgSize], src[i*colSize:(i+1)*colSize], g, c)
 		}
-	})
+	} else {
+		parallel.For(n*g.InC, grain, func(lo, hi int) {
+			for u := lo; u < hi; u++ {
+				i, c := u/g.InC, u%g.InC
+				col2imChannel(dst[i*imgSize:(i+1)*imgSize], src[i*colSize:(i+1)*colSize], g, c)
+			}
+		})
+	}
 }
 
 // col2imChannel scatter-adds channel c's rows of one column matrix into

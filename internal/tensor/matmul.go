@@ -43,13 +43,13 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = a @ b, reusing dst's storage. dst must be
-// (m×n). It returns dst.
+// (m×n) and must not alias a or b. It returns dst. After warmup it
+// performs no allocations in serial runs (see parallel.Inline).
 func MatMulInto(dst, a, b *Tensor) *Tensor {
 	m, k, n := checkMatMul(a, b)
 	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
 	}
-	dst.Zero()
 	matMulInto(dst.Data, a.Data, b.Data, m, k, n)
 	return dst
 }
@@ -65,7 +65,15 @@ func checkMatMul(a, b *Tensor) (m, k, n int) {
 }
 
 func matMulInto(dst, a, b []float64, m, k, n int) {
-	parallel.For(m, grainRows(2*k*n), func(lo, hi int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	grain := grainRows(2 * k * n)
+	if parallel.Inline(m, grain) {
+		matMulRows(dst, a, b, k, n, 0, m)
+		return
+	}
+	parallel.For(m, grain, func(lo, hi int) {
 		matMulRows(dst, a, b, k, n, lo, hi)
 	})
 }
@@ -94,40 +102,47 @@ func matMulRows(dst, a, b []float64, k, n, lo, hi int) {
 // element accumulates its k terms in ascending-k order on one worker, so
 // results are bit-identical to the serial schedule.
 func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m, n := checkMatMulTransA(a, b)
+	out := New(m, n)
+	matMulTransAInto(out.Data, a.Data, b.Data, k, m, n)
+	return out
+}
+
+// MatMulTransAInto computes dst = aᵀ @ b, reusing dst's storage — the
+// allocation-free variant the layer backward passes use to write a
+// gradient straight into a reusable workspace buffer. dst must be (m×n),
+// must not alias a or b, and is zeroed first. It returns dst.
+func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
+	k, m, n := checkMatMulTransA(a, b)
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransAInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	matMulTransAInto(dst.Data, a.Data, b.Data, k, m, n)
+	return dst
+}
+
+func checkMatMulTransA(a, b *Tensor) (k, m, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D tensors, got %v and %v", a.shape, b.shape))
 	}
 	if a.shape[0] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v x %v", a.shape, b.shape))
 	}
-	k, m, n := a.shape[0], a.shape[1], b.shape[1]
-	out := New(m, n)
-	parallel.For(m, grainRows(2*k*n), func(lo, hi int) {
-		matMulTransARows(out.Data, a.Data, b.Data, k, m, n, lo, hi)
-	})
-	return out
+	return a.shape[0], a.shape[1], b.shape[1]
 }
 
-// MatMulTransAInto computes dst = aᵀ @ b, reusing dst's storage — the
-// allocation-free variant Conv2D's backward pass uses to write each
-// sample's column gradient straight into the batched buffer. dst must be
-// (m×n); it is zeroed first. It returns dst.
-func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransAInto requires 2-D tensors, got %v and %v", a.shape, b.shape))
+func matMulTransAInto(dst, a, b []float64, k, m, n int) {
+	for i := range dst {
+		dst[i] = 0
 	}
-	if a.shape[0] != b.shape[0] {
-		panic(fmt.Sprintf("tensor: MatMulTransAInto outer dimension mismatch %v x %v", a.shape, b.shape))
+	grain := grainRows(2 * k * n)
+	if parallel.Inline(m, grain) {
+		matMulTransARows(dst, a, b, k, m, n, 0, m)
+		return
 	}
-	k, m, n := a.shape[0], a.shape[1], b.shape[1]
-	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTransAInto dst shape %v, want [%d %d]", dst.shape, m, n))
-	}
-	dst.Zero()
-	parallel.For(m, grainRows(2*k*n), func(lo, hi int) {
-		matMulTransARows(dst.Data, a.Data, b.Data, k, m, n, lo, hi)
+	parallel.For(m, grain, func(lo, hi int) {
+		matMulTransARows(dst, a, b, k, m, n, lo, hi)
 	})
-	return dst
 }
 
 // matMulTransARows computes output rows [lo, hi) of aᵀ @ b, keeping the
@@ -154,18 +169,44 @@ func matMulTransARows(dst, a, b []float64, k, m, n, lo, hi int) {
 // transpose. Output rows are independent dot products, partitioned across
 // workers with bit-identical results.
 func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulTransB(a, b)
+	out := New(m, n)
+	matMulTransBInto(out.Data, a.Data, b.Data, m, k, n)
+	return out
+}
+
+// MatMulTransBInto computes dst = a @ bᵀ, reusing dst's storage. dst must
+// be (m×n) and must not alias a or b; every element is overwritten (no
+// zeroing pass is needed — each output element is one full dot product).
+// It returns dst.
+func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulTransB(a, b)
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	matMulTransBInto(dst.Data, a.Data, b.Data, m, k, n)
+	return dst
+}
+
+func checkMatMulTransB(a, b *Tensor) (m, k, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTransB requires 2-D tensors, got %v and %v", a.shape, b.shape))
 	}
 	if a.shape[1] != b.shape[1] {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
-	m, k, n := a.shape[0], a.shape[1], b.shape[0]
-	out := New(m, n)
-	parallel.For(m, grainRows(2*k*n), func(lo, hi int) {
-		matMulTransBRows(out.Data, a.Data, b.Data, k, n, lo, hi)
+	return a.shape[0], a.shape[1], b.shape[0]
+}
+
+func matMulTransBInto(dst, a, b []float64, m, k, n int) {
+	grain := grainRows(2 * k * n)
+	if parallel.Inline(m, grain) {
+		matMulTransBRows(dst, a, b, k, n, 0, m)
+		return
+	}
+	parallel.For(m, grain, func(lo, hi int) {
+		matMulTransBRows(dst, a, b, k, n, lo, hi)
 	})
-	return out
 }
 
 // matMulTransBRows computes output rows [lo, hi) of a @ bᵀ.

@@ -59,19 +59,102 @@ func Full(v float64, shape ...int) *Tensor {
 func Ones(shape ...int) *Tensor { return Full(1, shape...) }
 
 // checkShape validates the shape and returns the element count.
+//
+// The panic paths live in noinline helpers that copy the shape before
+// formatting it: referencing the variadic shape slice in a fmt call
+// directly would make it escape, putting one heap allocation on every
+// Ensure/ViewOf/New call site even though the panic never fires.
 func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+			panicNegativeDim(shape)
 		}
 		n *= d
 	}
 	return n
 }
 
+//go:noinline
+func panicNegativeDim(shape []int) {
+	panic(fmt.Sprintf("tensor: negative dimension in shape %v", append([]int(nil), shape...)))
+}
+
+//go:noinline
+func panicViewSize(op string, shape []int, n, have int) {
+	panic(fmt.Sprintf("tensor: %s shape %v needs %d elements, have %d", op, append([]int(nil), shape...), n, have))
+}
+
 // Shape returns a copy of the tensor's shape.
 func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// AppendShape appends t's shape to dst and returns the result. It is the
+// allocation-free alternative to Shape for callers that keep a reusable
+// destination slice (append(cached[:0], …)).
+func (t *Tensor) AppendShape(dst []int) []int { return append(dst, t.shape...) }
+
+// Ensure reshapes t in place to the given shape, reusing its backing
+// storage when capacity allows and growing it otherwise. The contents
+// are unspecified afterwards — callers either overwrite every element or
+// call Zero explicitly. Ensure is the workspace primitive behind the
+// destination-passing hot path: a zero-value Tensor grows on first use
+// and is then reused allocation-free while its shape is stable.
+// It returns t.
+func (t *Tensor) Ensure(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if cap(t.Data) >= n {
+		t.Data = t.Data[:n]
+	} else {
+		t.Data = make([]float64, n)
+	}
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// EnsureShapeOf is Ensure with o's shape; shape-preserving layers use it
+// to size their output and input-gradient workspaces without copying the
+// source shape.
+func (t *Tensor) EnsureShapeOf(o *Tensor) *Tensor {
+	n := len(o.Data)
+	if cap(t.Data) >= n {
+		t.Data = t.Data[:n]
+	} else {
+		t.Data = make([]float64, n)
+	}
+	t.shape = append(t.shape[:0], o.shape...)
+	return t
+}
+
+// ViewOf repoints t to share src's data under the given shape (the
+// element counts must match). No data moves; t's own storage for the
+// shape slice is reused, so repointing an existing header allocates
+// nothing. It returns t.
+//
+// Views follow the buffer-ownership rule of the hot path: a view is
+// valid for exactly as long as the buffer it aliases.
+func (t *Tensor) ViewOf(src *Tensor, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(src.Data) {
+		panicViewSize("ViewOf", shape, n, len(src.Data))
+	}
+	t.Data = src.Data
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// SliceViewOf repoints t to alias src.Data[lo:hi) under the given shape.
+// Like ViewOf it moves no data and allocates nothing when t's header is
+// reused; the per-sample matmuls in the convolution layers use it to
+// address one sample's slice of a batched buffer.
+func (t *Tensor) SliceViewOf(src *Tensor, lo, hi int, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if lo < 0 || hi > len(src.Data) || lo > hi || hi-lo != n {
+		panicViewSize("SliceViewOf", shape, n, hi-lo)
+	}
+	t.Data = src.Data[lo:hi:hi]
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
 
 // Dims returns the number of dimensions.
 func (t *Tensor) Dims() int { return len(t.shape) }
@@ -257,6 +340,49 @@ func Sub(t, o *Tensor) *Tensor { return t.Clone().SubInPlace(o) }
 // Mul returns the elementwise product as a new tensor.
 func Mul(t, o *Tensor) *Tensor { return t.Clone().MulInPlace(o) }
 
+// AddInto computes dst = a + b elementwise, shaping dst like a (reusing
+// its storage) and returning dst. dst may alias a or b.
+func AddInto(dst, a, b *Tensor) *Tensor {
+	checkSameSize("AddInto", a, b)
+	dst.EnsureShapeOf(a)
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+	return dst
+}
+
+// SubInto computes dst = a - b elementwise, shaping dst like a (reusing
+// its storage) and returning dst. dst may alias a or b.
+func SubInto(dst, a, b *Tensor) *Tensor {
+	checkSameSize("SubInto", a, b)
+	dst.EnsureShapeOf(a)
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+	return dst
+}
+
+// MulInto computes the elementwise product dst = a * b, shaping dst like
+// a (reusing its storage) and returning dst. dst may alias a or b.
+func MulInto(dst, a, b *Tensor) *Tensor {
+	checkSameSize("MulInto", a, b)
+	dst.EnsureShapeOf(a)
+	for i, v := range a.Data {
+		dst.Data[i] = v * b.Data[i]
+	}
+	return dst
+}
+
+// ScaleInto computes dst = s*a, shaping dst like a (reusing its storage)
+// and returning dst. dst may alias a.
+func ScaleInto(dst *Tensor, s float64, a *Tensor) *Tensor {
+	dst.EnsureShapeOf(a)
+	for i, v := range a.Data {
+		dst.Data[i] = s * v
+	}
+	return dst
+}
+
 func checkSameSize(op string, a, b *Tensor) {
 	if len(a.Data) != len(b.Data) {
 		panic(fmt.Sprintf("tensor: %s size mismatch: %v vs %v", op, a.shape, b.shape))
@@ -354,15 +480,27 @@ func (t *Tensor) SumRows() *Tensor {
 	if len(t.shape) != 2 {
 		panic(fmt.Sprintf("tensor: SumRows on %d-D tensor", len(t.shape)))
 	}
+	return t.SumRowsInto(New(t.shape[1]))
+}
+
+// SumRowsInto computes the row sums of a 2-D tensor into dst, shaping
+// dst to a 1-D tensor of the column count (reusing its storage) and
+// returning dst. The accumulation visits rows in ascending order, so
+// results are bit-identical to SumRows.
+func (t *Tensor) SumRowsInto(dst *Tensor) *Tensor {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: SumRows on %d-D tensor", len(t.shape)))
+	}
 	rows, cols := t.shape[0], t.shape[1]
-	out := New(cols)
+	dst.Ensure(cols)
+	dst.Zero()
 	for r := 0; r < rows; r++ {
 		row := t.Data[r*cols : (r+1)*cols]
 		for c, v := range row {
-			out.Data[c] += v
+			dst.Data[c] += v
 		}
 	}
-	return out
+	return dst
 }
 
 // AllClose reports whether every pair of corresponding elements differs by
