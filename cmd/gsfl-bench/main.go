@@ -19,23 +19,31 @@
 //	validate analytic vs event-driven latency (V)     -> latency_model_validation.csv
 //	all      everything above
 //
+// Every experiment except table3/validate is a job grid executed by the
+// gsfl/sweep scheduler: -jobs N trains N grid cells concurrently
+// (duplicated cells across experiments run once), and the CSVs are
+// byte-identical for every N — including N=1, which reproduces the
+// historical serial harness exactly.
+//
 // Example:
 //
 //	gsfl-bench -exp fig2b -scale medium -out results/
+//	gsfl-bench -exp all -scale test -jobs 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"gsfl/internal/cliutil"
 	"gsfl/internal/experiment"
 	"gsfl/internal/parallel"
-	"gsfl/internal/partition"
 	"gsfl/internal/trace"
-	"gsfl/internal/wireless"
+	"gsfl/sweep"
 )
 
 func main() {
@@ -45,63 +53,72 @@ func main() {
 	}
 }
 
-// scales maps -scale values to (spec, rounds, evalEvery, table1 target).
-func scaleFor(name string) (experiment.Spec, int, int, float64, error) {
-	switch name {
-	case "test":
-		return experiment.TestSpec(), 6, 2, 0.3, nil
-	case "medium":
-		spec := experiment.PaperSpec()
-		spec.Clients = 30
-		spec.Groups = 6
-		spec.ImageSize = 16
-		spec.TrainPerClient = 80
-		spec.TestPerClass = 5
-		spec.Hyper.Batch = 16
-		spec.Hyper.StepsPerClient = 2
-		spec.Device.N = spec.Clients
-		return spec, 40, 4, 0.6, nil
-	case "paper":
-		return experiment.PaperSpec(), 200, 10, 0.85, nil
-	default:
-		return experiment.Spec{}, 0, 0, 0, fmt.Errorf("unknown scale %q (want test|medium|paper)", name)
-	}
-}
-
 func run(args []string) error {
 	fs := flag.NewFlagSet("gsfl-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: fig2a|fig2b|table1|table2|table3|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|seeds|validate|all")
-		scale    = fs.String("scale", "test", "scale: test|medium|paper")
-		outDir   = fs.String("out", "results", "output directory")
-		rounds   = fs.Int("rounds", 0, "override training rounds (0 = scale default)")
-		alloc    = fs.String("alloc", "uniform", "bandwidth allocator: uniform|propfair|latmin")
-		strategy = fs.String("strategy", "roundrobin", "grouping: roundrobin|random|balanced")
-		workers  = fs.Int("workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = serial)")
+		exp    = fs.String("exp", "all", "experiment: fig2a|fig2b|table1|table2|table3|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|seeds|validate|all")
+		scale  = fs.String("scale", "test", "scale: test|medium|paper")
+		outDir = fs.String("out", "results", "output directory")
+		rounds = fs.Int("rounds", 0, "override training rounds (0 = scale default)")
+		jobs   = fs.Int("jobs", 1, "grid cells trained concurrently (0 = GOMAXPROCS); CSVs are byte-identical for every value")
 
 		benchJSON  = fs.String("benchjson", "", "measure the training hot path and write ns/B/allocs per op to this JSON file (skips experiments)")
 		benchLabel = fs.String("benchlabel", "", "label recorded in the -benchjson report (e.g. baseline, after)")
 	)
+	var env cliutil.EnvFlags
+	env.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *benchJSON != "" {
 		return runBenchJSON(*benchJSON, *benchLabel)
 	}
-	parallel.SetWorkers(*workers)
-	spec, r, evalEvery, target, err := scaleFor(*scale)
+	sc, err := cliutil.ParseScale(*scale)
 	if err != nil {
 		return err
 	}
+	spec, r, evalEvery, target := sc.Spec, sc.Rounds, sc.EvalEvery, sc.Target
 	if *rounds > 0 {
 		r = *rounds
 	}
-	if spec.Alloc, err = wireless.ParseAllocator(*alloc); err != nil {
+	if err := env.Apply(&spec); err != nil {
 		return err
 	}
-	if spec.Strategy, err = partition.ParseStrategy(*strategy); err != nil {
+
+	// Grid-backed experiments: expand the selected grids, schedule every
+	// cell once (IDs deduplicate overlaps like table1 ⊂ fig2a), then fold
+	// each experiment's slice of results into its CSVs.
+	catalogue := experiment.GridExperiments(spec, r, evalEvery, target)
+	known := map[string]bool{"table3": true, "validate": true, "all": true}
+	for _, e := range catalogue {
+		known[e.Name] = true
+	}
+	if !known[*exp] {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	sel, err := experiment.SelectGridExperiments(catalogue, *exp)
+	if err != nil {
 		return err
 	}
+	if len(sel.Jobs) > 0 {
+		sched := &sweep.Scheduler{Jobs: *jobs, Workers: env.Workers}
+		start := time.Now()
+		results, err := sched.Run(context.Background(), sel.Jobs, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trained %d grid cells in %v (-jobs %d)\n",
+			len(sel.Jobs), time.Since(start).Round(time.Millisecond), *jobs)
+		if err := sel.Save(*outDir, results, func(name string, cells int) {
+			fmt.Printf("%-10s saved (%d cells)\n", name, cells)
+		}); err != nil {
+			return err
+		}
+	}
+
+	// table3/validate run outside the scheduler, on the full budget.
+	parallel.SetWorkers(env.Workers)
 
 	run := func(name string, f func() error) error {
 		if *exp != "all" && *exp != name {
@@ -115,49 +132,6 @@ func run(args []string) error {
 		return nil
 	}
 
-	if err := run("fig2a", func() error {
-		curves, err := experiment.RunFig2a(spec, r, evalEvery)
-		if err != nil {
-			return err
-		}
-		return trace.SaveCurvesCSV(filepath.Join(*outDir, "fig2a.csv"), curves)
-	}); err != nil {
-		return err
-	}
-
-	if err := run("fig2b", func() error {
-		curves, err := experiment.RunFig2b(spec, r, evalEvery)
-		if err != nil {
-			return err
-		}
-		return trace.SaveCurvesCSV(filepath.Join(*outDir, "fig2b.csv"), curves)
-	}); err != nil {
-		return err
-	}
-
-	if err := run("table1", func() error {
-		tbl, curves, err := experiment.RunTable1(spec, r, evalEvery, target)
-		if err != nil {
-			return err
-		}
-		if err := trace.SaveCurvesCSV(filepath.Join(*outDir, "table1_curves.csv"), curves); err != nil {
-			return err
-		}
-		return tbl.SaveCSV(filepath.Join(*outDir, "table1.csv"))
-	}); err != nil {
-		return err
-	}
-
-	if err := run("table2", func() error {
-		tbl, err := experiment.RunTable2(spec, r)
-		if err != nil {
-			return err
-		}
-		return tbl.SaveCSV(filepath.Join(*outDir, "table2.csv"))
-	}); err != nil {
-		return err
-	}
-
 	if err := run("table3", func() error {
 		tbl, err := experiment.RunTable3(spec)
 		if err != nil {
@@ -168,148 +142,7 @@ func run(args []string) error {
 		return err
 	}
 
-	if err := run("cutlayer", func() error {
-		res, err := experiment.RunAblationCutLayer(spec, []int{1, 3, 6, 9}, r, evalEvery)
-		if err != nil {
-			return err
-		}
-		tbl := trace.NewTable("ablation-cutlayer",
-			"cut", "smashed_bytes_per_batch", "client_model_bytes", "round_latency_s", "final_accuracy")
-		for _, x := range res {
-			tbl.Add(trace.Row{
-				"cut":                     x.Cut,
-				"smashed_bytes_per_batch": x.SmashedBytes,
-				"client_model_bytes":      x.ClientBytes,
-				"round_latency_s":         fmt.Sprintf("%.4f", x.RoundLatency),
-				"final_accuracy":          fmt.Sprintf("%.4f", x.FinalAccuracy),
-			})
-		}
-		return tbl.SaveCSV(filepath.Join(*outDir, "ablation_cutlayer.csv"))
-	}); err != nil {
-		return err
-	}
-
-	if err := run("grouping", func() error {
-		counts := groupCounts(spec.Clients)
-		strategies := []partition.GroupStrategy{
-			partition.GroupRoundRobin, partition.GroupRandom, partition.GroupComputeBalanced,
-		}
-		res, err := experiment.RunAblationGrouping(spec, counts, strategies, r, evalEvery)
-		if err != nil {
-			return err
-		}
-		tbl := trace.NewTable("ablation-grouping",
-			"groups", "strategy", "round_latency_s", "final_accuracy")
-		for _, x := range res {
-			tbl.Add(trace.Row{
-				"groups":          x.Groups,
-				"strategy":        x.Strategy.String(),
-				"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
-				"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
-			})
-		}
-		return tbl.SaveCSV(filepath.Join(*outDir, "ablation_grouping.csv"))
-	}); err != nil {
-		return err
-	}
-
-	if err := run("resalloc", func() error {
-		res, err := experiment.RunAblationAllocation(spec, r)
-		if err != nil {
-			return err
-		}
-		tbl := trace.NewTable("ablation-resalloc", "allocator", "round_latency_s")
-		for _, x := range res {
-			tbl.Add(trace.Row{
-				"allocator":       x.Allocator,
-				"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
-			})
-		}
-		return tbl.SaveCSV(filepath.Join(*outDir, "ablation_resalloc.csv"))
-	}); err != nil {
-		return err
-	}
-
-	if err := run("pipeline", func() error {
-		res, err := experiment.RunAblationPipelining(spec, r, evalEvery)
-		if err != nil {
-			return err
-		}
-		tbl := trace.NewTable("ablation-pipeline", "pipelined", "round_latency_s", "final_accuracy")
-		for _, x := range res {
-			tbl.Add(trace.Row{
-				"pipelined":       x.Pipelined,
-				"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
-				"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
-			})
-		}
-		return tbl.SaveCSV(filepath.Join(*outDir, "ablation_pipeline.csv"))
-	}); err != nil {
-		return err
-	}
-
-	if err := run("quant", func() error {
-		res, err := experiment.RunAblationQuantization(spec, r, evalEvery)
-		if err != nil {
-			return err
-		}
-		tbl := trace.NewTable("ablation-quant", "quantized", "round_latency_s", "final_accuracy")
-		for _, x := range res {
-			tbl.Add(trace.Row{
-				"quantized":       x.Quantized,
-				"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
-				"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
-			})
-		}
-		return tbl.SaveCSV(filepath.Join(*outDir, "ablation_quant.csv"))
-	}); err != nil {
-		return err
-	}
-
-	if err := run("noniid", func() error {
-		res, err := experiment.RunAblationNonIID(spec, []float64{0.1, 1, 100}, r, evalEvery)
-		if err != nil {
-			return err
-		}
-		tbl := trace.NewTable("ablation-noniid",
-			"alpha", "scheme", "final_accuracy", "rounds_to_50pct", "reached")
-		for _, x := range res {
-			tbl.Add(trace.Row{
-				"alpha":           fmt.Sprintf("%g", x.Alpha),
-				"scheme":          x.Scheme,
-				"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
-				"rounds_to_50pct": x.RoundsToHalf,
-				"reached":         x.ReachedHalf,
-			})
-		}
-		return tbl.SaveCSV(filepath.Join(*outDir, "ablation_noniid.csv"))
-	}); err != nil {
-		return err
-	}
-
-	if err := run("seeds", func() error {
-		tbl := trace.NewTable("seed-variance",
-			"scheme", "seeds", "mean_acc", "std_acc", "worst_acc", "best_acc")
-		for _, scheme := range []string{"gsfl", "sl", "fl"} {
-			st, err := experiment.RunSeedSweep(spec, scheme, 3, r, evalEvery)
-			if err != nil {
-				return err
-			}
-			tbl.Add(trace.Row{
-				"scheme":    st.Scheme,
-				"seeds":     st.Seeds,
-				"mean_acc":  fmt.Sprintf("%.4f", st.MeanAcc),
-				"std_acc":   fmt.Sprintf("%.4f", st.StdAcc),
-				"worst_acc": fmt.Sprintf("%.4f", st.WorstAcc),
-				"best_acc":  fmt.Sprintf("%.4f", st.BestAcc),
-			})
-		}
-		return tbl.SaveCSV(filepath.Join(*outDir, "seed_variance.csv"))
-	}); err != nil {
-		return err
-	}
-
-	if err := run("validate", func() error {
+	return run("validate", func() error {
 		res, err := experiment.RunValidationEventDriven(spec)
 		if err != nil {
 			return err
@@ -322,39 +155,5 @@ func run(args []string) error {
 			"relative_gap":   fmt.Sprintf("%+.4f", res.RelativeGap),
 		})
 		return tbl.SaveCSV(filepath.Join(*outDir, "latency_model_validation.csv"))
-	}); err != nil {
-		return err
-	}
-
-	if err := run("dropout", func() error {
-		res, err := experiment.RunAblationDropout(spec, []float64{0, 0.1, 0.2, 0.3}, r, evalEvery)
-		if err != nil {
-			return err
-		}
-		tbl := trace.NewTable("ablation-dropout", "dropout_prob", "round_latency_s", "final_accuracy")
-		for _, x := range res {
-			tbl.Add(trace.Row{
-				"dropout_prob":    fmt.Sprintf("%.2f", x.DropoutProb),
-				"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
-				"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
-			})
-		}
-		return tbl.SaveCSV(filepath.Join(*outDir, "ablation_dropout.csv"))
-	}); err != nil {
-		return err
-	}
-
-	return nil
-}
-
-// groupCounts picks a reasonable sweep of M values for N clients.
-func groupCounts(n int) []int {
-	candidates := []int{1, 2, 3, 6, 10, 15, 30}
-	var out []int
-	for _, c := range candidates {
-		if c <= n {
-			out = append(out, c)
-		}
-	}
-	return out
+	})
 }

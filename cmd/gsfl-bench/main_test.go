@@ -6,21 +6,6 @@ import (
 	"testing"
 )
 
-func TestScaleFor(t *testing.T) {
-	for _, name := range []string{"test", "medium", "paper"} {
-		spec, rounds, evalEvery, target, err := scaleFor(name)
-		if err != nil {
-			t.Fatalf("%s: %v", name, err)
-		}
-		if spec.Clients <= 0 || rounds <= 0 || evalEvery <= 0 || target <= 0 {
-			t.Fatalf("%s: nonsense scale %+v %d %d %v", name, spec, rounds, evalEvery, target)
-		}
-	}
-	if _, _, _, _, err := scaleFor("bogus"); err == nil {
-		t.Fatal("expected error for unknown scale")
-	}
-}
-
 func TestRunSingleExperiments(t *testing.T) {
 	// Each experiment at test scale with very few rounds; verify the CSV
 	// artifacts appear.
@@ -49,20 +34,38 @@ func TestRunSingleExperiments(t *testing.T) {
 	}
 }
 
+// TestRunJobsEquivalence pins the tentpole contract: the CSVs gsfl-bench
+// emits are byte-identical at -jobs 1 (the historical serial harness)
+// and at -jobs 4 (concurrent scheduling).
+func TestRunJobsEquivalence(t *testing.T) {
+	dirSerial, dirJobs := t.TempDir(), t.TempDir()
+	if err := run([]string{"-exp", "fig2a", "-scale", "test", "-rounds", "2", "-jobs", "1", "-out", dirSerial}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig2a", "-scale", "test", "-rounds", "2", "-jobs", "4", "-out", dirJobs}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(filepath.Join(dirSerial, "fig2a.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(filepath.Join(dirJobs, "fig2a.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("fig2a.csv differs between -jobs 1 and -jobs 4:\n%s\nvs\n%s", a, b)
+	}
+}
+
 func TestRunRejectsBadScale(t *testing.T) {
 	if err := run([]string{"-scale", "bogus"}); err == nil {
 		t.Fatal("expected error")
 	}
 }
 
-func TestGroupCounts(t *testing.T) {
-	got := groupCounts(6)
-	for _, m := range got {
-		if m > 6 {
-			t.Fatalf("group count %d exceeds client count", m)
-		}
-	}
-	if len(got) == 0 || got[0] != 1 {
-		t.Fatalf("groupCounts(6) = %v", got)
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus", "-scale", "test"}); err == nil {
+		t.Fatal("expected error")
 	}
 }

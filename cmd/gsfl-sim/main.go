@@ -24,12 +24,11 @@ import (
 	"os"
 	"os/signal"
 
+	"gsfl/internal/cliutil"
 	"gsfl/internal/experiment"
 	"gsfl/internal/metrics"
-	"gsfl/internal/partition"
 	"gsfl/internal/simnet"
 	"gsfl/internal/trace"
-	"gsfl/internal/wireless"
 	"gsfl/sim"
 )
 
@@ -60,18 +59,17 @@ func run(ctx context.Context, args []string) error {
 		lr        = fs.Float64("lr", 0.02, "learning rate")
 		momentum  = fs.Float64("momentum", 0.9, "SGD momentum")
 		seed      = fs.Int64("seed", 1, "global random seed")
-		alloc     = fs.String("alloc", "uniform", "bandwidth allocator: uniform|propfair|latmin")
-		strategy  = fs.String("strategy", "roundrobin", "grouping: roundrobin|random|balanced")
 		out       = fs.String("out", "", "optional CSV output path for the curve")
 		jsonOut   = fs.Bool("json", false, "emit one JSON line per round instead of the table")
 		pipelined = fs.Bool("pipelined", false, "overlap communication and computation in GSFL turns")
 		quant     = fs.Bool("quant", false, "quantize smashed data and gradients to 8 bits")
 		dropout   = fs.Float64("dropout", 0, "per-round client unavailability probability (GSFL)")
-		workers   = fs.Int("workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = serial)")
 		ckpt      = fs.String("checkpoint", "", "checkpoint file path")
 		ckptEvery = fs.Int("checkpoint-every", 10, "rounds between checkpoints (with -checkpoint)")
 		resume    = fs.Bool("resume", false, "resume from the -checkpoint file (its scheme and options win over -scheme; the env flags must match the original run)")
 	)
+	var envFlags cliutil.EnvFlags
+	envFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -94,11 +92,7 @@ func run(ctx context.Context, args []string) error {
 	spec.Hyper.QuantizeTransfers = *quant
 	spec.DropoutProb = *dropout
 
-	var err error
-	if spec.Alloc, err = wireless.ParseAllocator(*alloc); err != nil {
-		return err
-	}
-	if spec.Strategy, err = partition.ParseStrategy(*strategy); err != nil {
+	if err := envFlags.Apply(&spec); err != nil {
 		return err
 	}
 
@@ -114,7 +108,7 @@ func run(ctx context.Context, args []string) error {
 
 	opts := []sim.RunOption{
 		sim.WithRounds(*rounds),
-		sim.WithWorkers(*workers),
+		sim.WithWorkers(envFlags.Workers),
 	}
 	if !*resume || explicit["eval-every"] {
 		opts = append(opts, sim.WithEvalEvery(*evalEvery))

@@ -1,0 +1,247 @@
+// Command gsfl-sweep runs experiment grids through the concurrent,
+// resumable sweep engine (gsfl/sweep).
+//
+// A sweep is either a named paper experiment (-exp fig2a, -exp grouping,
+// …, -exp all — the same grids gsfl-bench regenerates figures from) or a
+// custom grid file (-grid grid.json). Results land in a store directory
+// (-out): a JSON-lines manifest (one record per completed job: identity,
+// final accuracy, virtual-latency breakdown, curve points) plus one
+// curve CSV per job. For named experiments the figure/table CSVs are
+// folded and written into the store directory as well.
+//
+// Sweeps are resumable: with -resume, jobs already recorded in the
+// manifest are skipped, and jobs killed mid-run continue from their sim
+// checkpoint bit-identically. The final manifest bytes depend only on
+// the grid — not on -jobs, scheduling, or how often the sweep was
+// interrupted.
+//
+// A grid file selects a base via -scale and sweeps any subset of axes:
+//
+//	{
+//	  "name": "noniid-x-dropout",
+//	  "rounds": 6, "eval_every": 2,
+//	  "axes": {
+//	    "alphas": [0.1, 1],
+//	    "dropouts": [0, 0.2],
+//	    "schemes": ["gsfl"]
+//	  }
+//	}
+//
+// Examples:
+//
+//	gsfl-sweep -exp fig2a -scale test -jobs 4 -out results/sweep
+//	gsfl-sweep -grid grid.json -jobs 8 -resume
+//	gsfl-sweep -exp all -scale medium -jobs 4 -checkpoint-every 5
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"gsfl/internal/cliutil"
+	"gsfl/internal/experiment"
+	"gsfl/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gsfl-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("gsfl-sweep", flag.ContinueOnError)
+	var (
+		gridFile  = fs.String("grid", "", "JSON grid file to sweep (mutually exclusive with -exp)")
+		exp       = fs.String("exp", "", "named experiment grid(s): fig2a|fig2b|table1|table2|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|seeds|all")
+		scale     = fs.String("scale", "test", "base spec scale: test|medium|paper")
+		outDir    = fs.String("out", "results/sweep", "store directory (manifest, curves, checkpoints)")
+		jobs      = fs.Int("jobs", 0, "jobs trained concurrently (0 = GOMAXPROCS)")
+		rounds    = fs.Int("rounds", 0, "override training rounds (0 = scale/grid default)")
+		resume    = fs.Bool("resume", false, "skip jobs already in the manifest and continue killed in-flight jobs from their checkpoints")
+		ckptEvery = fs.Int("checkpoint-every", 2, "rounds between in-flight job checkpoints (0 disables mid-job resume)")
+		quiet     = fs.Bool("quiet", false, "suppress per-job progress lines")
+	)
+	var env cliutil.EnvFlags
+	env.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*gridFile == "") == (*exp == "") {
+		return fmt.Errorf("choose exactly one of -grid or -exp")
+	}
+	sc, err := cliutil.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+	spec := sc.Spec
+	if err := env.Apply(&spec); err != nil {
+		return err
+	}
+
+	// Assemble the job list and, for named experiments, the figure folds
+	// to apply afterwards.
+	var sel experiment.GridSelection
+	if *gridFile != "" {
+		grid, err := loadGrid(*gridFile, spec, sc.Rounds, sc.EvalEvery)
+		if err != nil {
+			return err
+		}
+		if *rounds > 0 {
+			grid.Rounds = *rounds
+		}
+		if sel.Jobs, err = grid.Jobs(); err != nil {
+			return err
+		}
+	} else {
+		r := sc.Rounds
+		if *rounds > 0 {
+			r = *rounds
+		}
+		catalogue := experiment.GridExperiments(spec, r, sc.EvalEvery, sc.Target)
+		known := map[string]bool{"all": true}
+		for _, e := range catalogue {
+			known[e.Name] = true
+		}
+		if !known[*exp] {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		if sel, err = experiment.SelectGridExperiments(catalogue, *exp); err != nil {
+			return err
+		}
+	}
+
+	if !*resume && sweep.StoreExists(*outDir) {
+		// A fresh sweep must not silently reuse stale results.
+		return fmt.Errorf("%s already holds a sweep manifest; pass -resume to continue it or choose another -out", *outDir)
+	}
+	store, err := sweep.OpenStore(*outDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	sched := &sweep.Scheduler{
+		Jobs:            *jobs,
+		Workers:         env.Workers,
+		CheckpointEvery: *ckptEvery,
+	}
+	if !*quiet {
+		sched.Observers = append(sched.Observers, progressObserver(os.Stdout))
+	}
+
+	start := time.Now()
+	results, err := sched.Run(ctx, sel.Jobs, store)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sweep complete: %d jobs (%d unique) in %v; store: %s\n",
+		len(sel.Jobs), store.Len(), time.Since(start).Round(time.Millisecond), *outDir)
+
+	return sel.Save(*outDir, results, func(name string, cells int) {
+		fmt.Printf("%-10s folded (%d cells)\n", name, cells)
+	})
+}
+
+// gridFileSpec is the on-disk grid format: name, rounds, cadence, axes.
+// The base spec comes from -scale (plus -alloc/-strategy overrides).
+type gridFileSpec struct {
+	Name      string          `json:"name"`
+	Rounds    int             `json:"rounds"`
+	EvalEvery int             `json:"eval_every"`
+	Axes      experiment.Axes `json:"axes"`
+}
+
+// loadGrid reads a grid file over the scale's base spec. Rounds and
+// cadence default to the scale's when the file omits them.
+func loadGrid(path string, base experiment.Spec, defRounds, defEval int) (sweep.Grid, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return sweep.Grid{}, fmt.Errorf("reading grid: %w", err)
+	}
+	var gf gridFileSpec
+	if err := json.Unmarshal(buf, &gf); err != nil {
+		return sweep.Grid{}, fmt.Errorf("parsing grid %s: %w", path, err)
+	}
+	if gf.Name == "" {
+		return sweep.Grid{}, fmt.Errorf("grid %s: missing name", path)
+	}
+	if gf.Rounds == 0 {
+		gf.Rounds = defRounds
+	}
+	if gf.EvalEvery == 0 {
+		gf.EvalEvery = defEval
+	}
+	return sweep.Grid{
+		Name: gf.Name, Base: base,
+		Rounds: gf.Rounds, EvalEvery: gf.EvalEvery,
+		Axes: gf.Axes,
+	}, nil
+}
+
+// progressObserver renders one line per job state change plus a coarse
+// ETA derived from the rounds' host wall-clock (sim.RoundEvent
+// .HostSeconds, which the scheduler forwards on every JobRound event —
+// no timing needed here). The ETA is the serial-equivalent upper bound:
+// remaining rounds times the mean host seconds per executed round.
+func progressObserver(w *os.File) sweep.Observer {
+	var (
+		seen          int // jobs that have emitted any event
+		seenRounds    int // their total round budget
+		execRounds    int
+		execHost      float64
+		pendingRounds = map[string]int{} // started, unfinished jobs -> rounds left
+		known         = map[string]bool{}
+	)
+	eta := func(total int) string {
+		if execRounds == 0 || seen == 0 {
+			return ""
+		}
+		left := 0
+		for _, r := range pendingRounds {
+			left += r
+		}
+		// Jobs the scheduler has not touched yet: assume the mean round
+		// budget of the jobs seen so far.
+		left += (total - seen) * (seenRounds / seen)
+		d := time.Duration(float64(left) * execHost / float64(execRounds) * float64(time.Second))
+		return fmt.Sprintf(" (serial eta<=%v)", d.Round(time.Second))
+	}
+	return sweep.ObserverFunc(func(e sweep.Event) {
+		if !known[e.Job.ID] {
+			known[e.Job.ID] = true
+			seen++
+			seenRounds += e.Job.Rounds
+		}
+		switch e.Kind {
+		case sweep.JobStarted:
+			pendingRounds[e.Job.ID] = e.Rounds
+			fmt.Fprintf(w, "[%3d/%d] start  %s\n", e.Index+1, e.Total, e.Job.Name)
+		case sweep.JobResumed:
+			pendingRounds[e.Job.ID] = e.Rounds - e.Round
+			fmt.Fprintf(w, "[%3d/%d] resume %s after round %d/%d\n", e.Index+1, e.Total, e.Job.Name, e.Round, e.Rounds)
+		case sweep.JobRound:
+			execRounds++
+			execHost += e.HostSeconds
+			if pendingRounds[e.Job.ID] > 0 {
+				pendingRounds[e.Job.ID]--
+			}
+		case sweep.JobDone:
+			delete(pendingRounds, e.Job.ID)
+			fmt.Fprintf(w, "[%3d/%d] done   %s in %.2fs%s\n", e.Index+1, e.Total, e.Job.Name, e.HostSeconds, eta(e.Total))
+		case sweep.JobSkipped:
+			delete(pendingRounds, e.Job.ID)
+			fmt.Fprintf(w, "[%3d/%d] skip   %s (already in manifest)\n", e.Index+1, e.Total, e.Job.Name)
+		case sweep.JobFailed:
+			fmt.Fprintf(w, "[%3d/%d] FAIL   %s: %v\n", e.Index+1, e.Total, e.Job.Name, e.Err)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunNamedExperiment(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	err := run(context.Background(), []string{
+		"-exp", "fig2b", "-scale", "test", "-rounds", "2", "-jobs", "2", "-quiet", "-out", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"manifest.jsonl", "fig2b.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestRunGridFileAndResume(t *testing.T) {
+	tmp := t.TempDir()
+	grid := filepath.Join(tmp, "grid.json")
+	if err := os.WriteFile(grid, []byte(`{
+		"name": "mini",
+		"rounds": 2, "eval_every": 1,
+		"axes": {"dropouts": [0, 0.2], "schemes": ["gsfl"]}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(tmp, "store")
+	args := []string{"-grid", grid, "-scale", "test", "-jobs", "2", "-quiet", "-out", dir}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second run without -resume must refuse the populated store.
+	if err := run(context.Background(), args); err == nil {
+		t.Fatal("expected refusal to reuse a store without -resume")
+	}
+	// With -resume it skips everything and leaves the manifest unchanged.
+	if err := run(context.Background(), append(args, "-resume")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("resume of a complete sweep changed the manifest")
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(context.Background(), nil); err == nil {
+		t.Fatal("expected error when neither -grid nor -exp is given")
+	}
+	if err := run(context.Background(), []string{"-grid", "x.json", "-exp", "fig2a"}); err == nil {
+		t.Fatal("expected error when both -grid and -exp are given")
+	}
+	if err := run(context.Background(), []string{"-exp", "bogus", "-out", t.TempDir() + "/s"}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+	if err := run(context.Background(), []string{"-exp", "fig2a", "-scale", "bogus"}); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}

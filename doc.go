@@ -2,12 +2,17 @@
 // Learning: Speed up Model Training in Resource-Limited Wireless
 // Networks" (Zhang et al., ICDCS 2023; arXiv:2305.18889).
 //
-// The public surface is the run API in gsfl/sim: a scheme registry the
-// five schemes self-register into, a context-aware Runner built with
-// functional options that streams structured RoundEvents as rounds
-// complete, and checkpoint/resume that continues killed runs
-// bit-identically (curve, model bits, and latency ledgers all match an
-// uninterrupted run).
+// The public surface is two layers. The run API in gsfl/sim drives one
+// scheme: a scheme registry the five schemes self-register into, a
+// context-aware Runner built with functional options that streams
+// structured RoundEvents as rounds complete, and checkpoint/resume that
+// continues killed runs bit-identically (curve, model bits, and latency
+// ledgers all match an uninterrupted run). The sweep engine in
+// gsfl/sweep drives whole experiment grids: declarative Grids expand
+// into jobs with stable content-hash IDs, a Scheduler trains N jobs
+// concurrently under a shared worker budget, and a Store (JSON-lines
+// manifest plus per-job curve CSVs) makes sweeps resumable and
+// byte-identical at any concurrency.
 //
 // The implementation lives under internal/: a tensor and neural-network
 // training framework (internal/tensor, internal/nn, internal/loss,
@@ -24,9 +29,12 @@
 //
 // Entry points: cmd/gsfl-sim runs one scheme through the run API
 // (streaming table or JSON-lines output, checkpoint/resume),
-// cmd/gsfl-bench regenerates the paper's figures and tables as CSV,
-// cmd/gsfl-datagen renders synthetic GTSRB samples, and cmd/gsfl-ap
-// with cmd/gsfl-client run GSFL as real TCP processes. The root-level
+// cmd/gsfl-bench regenerates the paper's figures and tables as CSV
+// (concurrently with -jobs N, byte-identical at any N),
+// cmd/gsfl-sweep runs named or custom experiment grids through the
+// sweep engine (concurrent, resumable, kill-safe), cmd/gsfl-datagen
+// renders synthetic GTSRB samples, and cmd/gsfl-ap with
+// cmd/gsfl-client run GSFL as real TCP processes. The root-level
 // bench_test.go exposes one testing.B benchmark per experiment plus
 // serial-vs-parallel speedup benchmarks. README.md covers usage
 // (including migration notes for the pre-registry entry points);

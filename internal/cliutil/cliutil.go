@@ -1,0 +1,78 @@
+// Package cliutil holds the flag vocabulary shared by the harness CLIs
+// (gsfl-sim, gsfl-bench, gsfl-sweep): the environment knobs every
+// command exposes (-alloc, -strategy, -workers) and the -scale presets
+// mapping to experiment specs. Centralizing them keeps the commands'
+// help text, accepted tokens, and defaults identical.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"gsfl/internal/experiment"
+	"gsfl/internal/partition"
+	"gsfl/internal/wireless"
+)
+
+// EnvFlags are the CLI knobs shared by every harness command. Register
+// them on a FlagSet, parse, then Apply onto a Spec.
+type EnvFlags struct {
+	// Alloc and Strategy are the flag tokens (resolved by Apply).
+	Alloc    string
+	Strategy string
+	// Workers is the worker-goroutine budget flag value.
+	Workers int
+}
+
+// Register declares the shared flags on fs with the harness's canonical
+// names, defaults, and help strings.
+func (e *EnvFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&e.Alloc, "alloc", "uniform", "bandwidth allocator: uniform|propfair|latmin")
+	fs.StringVar(&e.Strategy, "strategy", "roundrobin", "grouping: roundrobin|random|balanced")
+	fs.IntVar(&e.Workers, "workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = serial)")
+}
+
+// Apply resolves the allocator and strategy tokens onto spec.
+func (e *EnvFlags) Apply(spec *experiment.Spec) error {
+	var err error
+	if spec.Alloc, err = wireless.ParseAllocator(e.Alloc); err != nil {
+		return err
+	}
+	if spec.Strategy, err = partition.ParseStrategy(e.Strategy); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Scale is one -scale preset: the base spec plus the round budget,
+// evaluation cadence, and table-1 target accuracy the harness uses at
+// that size.
+type Scale struct {
+	Spec      experiment.Spec
+	Rounds    int
+	EvalEvery int
+	Target    float64
+}
+
+// ParseScale maps a -scale token to its preset.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "test":
+		return Scale{Spec: experiment.TestSpec(), Rounds: 6, EvalEvery: 2, Target: 0.3}, nil
+	case "medium":
+		spec := experiment.PaperSpec()
+		spec.Clients = 30
+		spec.Groups = 6
+		spec.ImageSize = 16
+		spec.TrainPerClient = 80
+		spec.TestPerClass = 5
+		spec.Hyper.Batch = 16
+		spec.Hyper.StepsPerClient = 2
+		spec.Device.N = spec.Clients
+		return Scale{Spec: spec, Rounds: 40, EvalEvery: 4, Target: 0.6}, nil
+	case "paper":
+		return Scale{Spec: experiment.PaperSpec(), Rounds: 200, EvalEvery: 10, Target: 0.85}, nil
+	default:
+		return Scale{}, fmt.Errorf("unknown scale %q (want test|medium|paper)", name)
+	}
+}

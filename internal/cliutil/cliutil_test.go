@@ -1,0 +1,52 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+
+	"gsfl/internal/experiment"
+)
+
+func TestParseScale(t *testing.T) {
+	for _, name := range []string{"test", "medium", "paper"} {
+		sc, err := ParseScale(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Spec.Clients <= 0 || sc.Rounds <= 0 || sc.EvalEvery <= 0 || sc.Target <= 0 {
+			t.Fatalf("%s: nonsense scale %+v", name, sc)
+		}
+	}
+	if _, err := ParseScale("bogus"); err != nil {
+		// expected
+	} else {
+		t.Fatal("expected error for unknown scale")
+	}
+}
+
+func TestEnvFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var e EnvFlags
+	e.Register(fs)
+	if err := fs.Parse([]string{"-alloc", "latmin", "-strategy", "balanced", "-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	spec := experiment.TestSpec()
+	if err := e.Apply(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Alloc.Name() != "latency-min" || spec.Strategy.String() != "compute-balanced" || e.Workers != 3 {
+		t.Fatalf("flags not applied: alloc=%s strategy=%s workers=%d", spec.Alloc.Name(), spec.Strategy, e.Workers)
+	}
+	if err := e.Apply(&spec); err != nil {
+		t.Fatal(err)
+	}
+	bad := EnvFlags{Alloc: "nope", Strategy: "roundrobin"}
+	if err := bad.Apply(&spec); err == nil {
+		t.Fatal("expected allocator error")
+	}
+	bad = EnvFlags{Alloc: "uniform", Strategy: "nope"}
+	if err := bad.Apply(&spec); err == nil {
+		t.Fatal("expected strategy error")
+	}
+}

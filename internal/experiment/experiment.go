@@ -124,7 +124,7 @@ func Build(spec Spec) (*schemes.Env, error) {
 		Alloc:   spec.Alloc,
 		Test:    test,
 		Hyper:   spec.Hyper,
-		Seed:    spec.Seed + 4,
+		Seed:    spec.envSeed(),
 	}
 
 	partRng := env.Rng("partition", 0)
@@ -143,6 +143,11 @@ func Build(spec Spec) (*schemes.Env, error) {
 	}
 	return env, nil
 }
+
+// envSeed derives the env-level seed every scheme RNG stream hangs off.
+// Build and the data-free architecture probe (grids.go) must agree on
+// it, so it has exactly one definition.
+func (s Spec) envSeed() int64 { return s.Seed + 4 }
 
 // SchemeOptions maps the Spec's scheme-structure knobs into the run
 // API's factory options.

@@ -1,10 +1,8 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"math"
-
-	"gsfl/internal/gsfl"
 )
 
 // PipelineResult is one row of the communication/computation-overlap
@@ -20,32 +18,11 @@ type PipelineResult struct {
 // only the latency model changes, so the accuracy columns should match
 // and the latency column should strictly favour pipelining.
 func RunAblationPipelining(spec Spec, rounds, evalEvery int) ([]PipelineResult, error) {
-	out := make([]PipelineResult, 0, 2)
-	for _, pipelined := range []bool{false, true} {
-		env, err := Build(spec)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: pipelining: %w", err)
-		}
-		tr, err := gsfl.New(env, gsfl.Config{
-			NumGroups: spec.Groups,
-			Strategy:  spec.Strategy,
-			Pipelined: pipelined,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: pipelining: %w", err)
-		}
-		curve, err := runCurve(tr, rounds, evalEvery)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: pipelining: %w", err)
-		}
-		last := curve.Points[len(curve.Points)-1]
-		out = append(out, PipelineResult{
-			Pipelined:     pipelined,
-			RoundLatency:  last.LatencySeconds / float64(rounds),
-			FinalAccuracy: curve.FinalAccuracy(),
-		})
+	res, err := RunGrid(context.Background(), PipelineGrid(spec, rounds, evalEvery))
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return FoldPipelining(res), nil
 }
 
 // QuantResult is one row of the transfer-precision ablation.
@@ -60,30 +37,11 @@ type QuantResult struct {
 // uplink/downlink traffic versus whatever accuracy the precision loss
 // costs.
 func RunAblationQuantization(spec Spec, rounds, evalEvery int) ([]QuantResult, error) {
-	out := make([]QuantResult, 0, 2)
-	for _, quant := range []bool{false, true} {
-		s := spec
-		s.Hyper.QuantizeTransfers = quant
-		env, err := Build(s)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: quantization: %w", err)
-		}
-		tr, err := gsfl.New(env, gsfl.Config{NumGroups: s.Groups, Strategy: s.Strategy})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: quantization: %w", err)
-		}
-		curve, err := runCurve(tr, rounds, evalEvery)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: quantization: %w", err)
-		}
-		last := curve.Points[len(curve.Points)-1]
-		out = append(out, QuantResult{
-			Quantized:     quant,
-			RoundLatency:  last.LatencySeconds / float64(rounds),
-			FinalAccuracy: curve.FinalAccuracy(),
-		})
+	res, err := RunGrid(context.Background(), QuantGrid(spec, rounds, evalEvery))
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return FoldQuantization(res), nil
 }
 
 // DropoutResult is one row of the client-dropout robustness sweep.
@@ -97,32 +55,11 @@ type DropoutResult struct {
 // its effect on GSFL latency and accuracy — the robustness experiment a
 // deployment over flaky mobile devices needs.
 func RunAblationDropout(spec Spec, probs []float64, rounds, evalEvery int) ([]DropoutResult, error) {
-	out := make([]DropoutResult, 0, len(probs))
-	for _, p := range probs {
-		env, err := Build(spec)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: dropout %v: %w", p, err)
-		}
-		tr, err := gsfl.New(env, gsfl.Config{
-			NumGroups:   spec.Groups,
-			Strategy:    spec.Strategy,
-			DropoutProb: p,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: dropout %v: %w", p, err)
-		}
-		curve, err := runCurve(tr, rounds, evalEvery)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: dropout %v: %w", p, err)
-		}
-		last := curve.Points[len(curve.Points)-1]
-		out = append(out, DropoutResult{
-			DropoutProb:   p,
-			RoundLatency:  last.LatencySeconds / float64(rounds),
-			FinalAccuracy: curve.FinalAccuracy(),
-		})
+	res, err := RunGrid(context.Background(), DropoutGrid(spec, probs, rounds, evalEvery))
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return FoldDropout(res), nil
 }
 
 // NonIIDResult is one row of the data-heterogeneity sweep.
@@ -140,26 +77,11 @@ type NonIIDResult struct {
 // training is more robust — the gap that drives the paper's
 // convergence-speed advantage.
 func RunAblationNonIID(spec Spec, alphas []float64, rounds, evalEvery int) ([]NonIIDResult, error) {
-	var out []NonIIDResult
-	for _, alpha := range alphas {
-		for _, scheme := range []string{"gsfl", "fl"} {
-			s := spec
-			s.Alpha = alpha
-			curve, err := RunScheme(s, scheme, rounds, evalEvery)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: non-iid alpha=%v %s: %w", alpha, scheme, err)
-			}
-			r, ok := curve.RoundsToAccuracy(0.5)
-			out = append(out, NonIIDResult{
-				Alpha:         alpha,
-				Scheme:        scheme,
-				FinalAccuracy: curve.FinalAccuracy(),
-				RoundsToHalf:  r,
-				ReachedHalf:   ok,
-			})
-		}
+	res, err := RunGrid(context.Background(), NonIIDGrid(spec, alphas, rounds, evalEvery))
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return FoldNonIID(res), nil
 }
 
 // SeedStats summarizes a scheme's final accuracy across seeds.
@@ -179,33 +101,9 @@ func RunSeedSweep(spec Spec, scheme string, seeds, rounds, evalEvery int) (SeedS
 	if seeds <= 0 {
 		return SeedStats{}, fmt.Errorf("experiment: seed sweep needs positive seed count, got %d", seeds)
 	}
-	accs := make([]float64, 0, seeds)
-	for k := 0; k < seeds; k++ {
-		s := spec
-		s.Seed = spec.Seed + int64(1000*k)
-		curve, err := RunScheme(s, scheme, rounds, evalEvery)
-		if err != nil {
-			return SeedStats{}, fmt.Errorf("experiment: seed sweep %s seed %d: %w", scheme, k, err)
-		}
-		accs = append(accs, curve.FinalAccuracy())
+	res, err := RunGrid(context.Background(), SeedSweepGrid(spec, scheme, seeds, rounds, evalEvery))
+	if err != nil {
+		return SeedStats{}, err
 	}
-	st := SeedStats{Scheme: scheme, Seeds: seeds, WorstAcc: accs[0], BestAcc: accs[0]}
-	sum := 0.0
-	for _, a := range accs {
-		sum += a
-		if a < st.WorstAcc {
-			st.WorstAcc = a
-		}
-		if a > st.BestAcc {
-			st.BestAcc = a
-		}
-	}
-	st.MeanAcc = sum / float64(seeds)
-	ss := 0.0
-	for _, a := range accs {
-		d := a - st.MeanAcc
-		ss += d * d
-	}
-	st.StdAcc = math.Sqrt(ss / float64(seeds))
-	return st, nil
+	return FoldSeedStats(res), nil
 }

@@ -8,37 +8,33 @@ import (
 	"gsfl/internal/metrics"
 	"gsfl/internal/partition"
 	"gsfl/internal/schemes/sfl"
-	"gsfl/internal/simnet"
 	"gsfl/internal/trace"
-	"gsfl/internal/wireless"
 )
+
+// The Run* functions here are the serial reference harness: each one
+// expands its Grid (grids.go), executes the jobs in order via RunGrid,
+// and folds the results. cmd/gsfl-bench and cmd/gsfl-sweep run the same
+// grids through gsfl/sweep's concurrent scheduler and the same folds,
+// producing byte-identical output.
 
 // RunFig2a regenerates Fig. 2(a): accuracy versus training rounds for
 // CL, SL, GSFL, and FL on the synthetic GTSRB task.
 func RunFig2a(spec Spec, rounds, evalEvery int) ([]*metrics.Curve, error) {
-	curves := make([]*metrics.Curve, 0, 4)
-	for _, scheme := range []string{"cl", "sl", "gsfl", "fl"} {
-		c, err := RunScheme(spec, scheme, rounds, evalEvery)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: fig2a %s: %w", scheme, err)
-		}
-		curves = append(curves, c)
+	res, err := RunGrid(context.Background(), Fig2aGrid(spec, rounds, evalEvery))
+	if err != nil {
+		return nil, err
 	}
-	return curves, nil
+	return FoldCurves(res), nil
 }
 
 // RunFig2b regenerates Fig. 2(b): accuracy versus cumulative training
 // latency for GSFL and SL.
 func RunFig2b(spec Spec, rounds, evalEvery int) ([]*metrics.Curve, error) {
-	curves := make([]*metrics.Curve, 0, 2)
-	for _, scheme := range []string{"gsfl", "sl"} {
-		c, err := RunScheme(spec, scheme, rounds, evalEvery)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: fig2b %s: %w", scheme, err)
-		}
-		curves = append(curves, c)
+	res, err := RunGrid(context.Background(), Fig2bGrid(spec, rounds, evalEvery))
+	if err != nil {
+		return nil, err
 	}
-	return curves, nil
+	return FoldCurves(res), nil
 }
 
 // RunTable1 regenerates the convergence-speed comparison behind the
@@ -49,74 +45,24 @@ func RunTable1(spec Spec, rounds, evalEvery int, target float64) (*trace.Table, 
 	if err != nil {
 		return nil, nil, err
 	}
-	var gsflCurve *metrics.Curve
-	for _, c := range curves {
-		if c.Scheme == "gsfl" {
-			gsflCurve = c
-		}
-	}
-	tbl := trace.NewTable("table1-convergence",
-		"scheme", "target_accuracy", "rounds_to_target", "reached", "speedup_vs_scheme_for_gsfl")
-	for _, c := range curves {
-		r, ok := c.RoundsToAccuracy(target)
-		row := trace.Row{
-			"scheme":          c.Scheme,
-			"target_accuracy": target,
-			"reached":         ok,
-		}
-		if ok {
-			row["rounds_to_target"] = r
-		}
-		if s, sok := metrics.SpeedupVsRounds(gsflCurve, c, target); sok {
-			row["speedup_vs_scheme_for_gsfl"] = fmt.Sprintf("%.2f", s)
-		}
-		tbl.Add(row)
-	}
-	return tbl, curves, nil
+	return FoldTable1(curves, target), curves, nil
 }
 
 // RunTable2 regenerates the per-round latency breakdown for every
 // scheme — the decomposition behind the "31.45% delay reduction vs SL"
 // headline. It averages component seconds over the given number of
-// rounds without evaluating accuracy (pure latency measurement).
+// rounds.
 func RunTable2(spec Spec, rounds int) (*trace.Table, error) {
-	tbl := trace.NewTable("table2-latency-breakdown",
-		"scheme", "client_compute_s", "uplink_s", "server_compute_s",
-		"downlink_s", "relay_s", "aggregation_s", "total_s",
-		"client_energy_J", "server_energy_J")
-	energy := simnet.DefaultEnergyModel()
-	for _, scheme := range []string{"gsfl", "sl", "fl", "sfl", "cl"} {
-		tr, err := NewTrainer(spec, scheme)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: table2 %s: %w", scheme, err)
-		}
-		var sum simnet.Ledger
-		for r := 0; r < rounds; r++ {
-			led, err := tr.Round(context.Background())
-			if err != nil {
-				return nil, fmt.Errorf("experiment: table2 %s round %d: %w", scheme, r+1, err)
-			}
-			sum.Merge(led)
-		}
-		inv := 1 / float64(rounds)
-		tbl.Add(trace.Row{
-			"scheme":           scheme,
-			"client_compute_s": fmt.Sprintf("%.4f", sum.Get(simnet.ClientCompute)*inv),
-			"uplink_s":         fmt.Sprintf("%.4f", sum.Get(simnet.Uplink)*inv),
-			"server_compute_s": fmt.Sprintf("%.4f", sum.Get(simnet.ServerCompute)*inv),
-			"downlink_s":       fmt.Sprintf("%.4f", sum.Get(simnet.Downlink)*inv),
-			"relay_s":          fmt.Sprintf("%.4f", sum.Get(simnet.Relay)*inv),
-			"aggregation_s":    fmt.Sprintf("%.4f", sum.Get(simnet.Aggregation)*inv),
-			"total_s":          fmt.Sprintf("%.4f", sum.Total()*inv),
-			"client_energy_J":  fmt.Sprintf("%.4f", energy.ClientEnergyJ(&sum)*inv),
-			"server_energy_J":  fmt.Sprintf("%.4f", energy.ServerEnergyJ(&sum)*inv),
-		})
+	res, err := RunGrid(context.Background(), Table2Grid(spec, rounds))
+	if err != nil {
+		return nil, err
 	}
-	return tbl, nil
+	return FoldTable2(res), nil
 }
 
 // RunTable3 regenerates the server-storage comparison from §I: the edge
 // server hosts M server-side replicas under GSFL versus N under SplitFed.
+// It runs no training rounds, so it stays outside the grid catalogue.
 func RunTable3(spec Spec) (*trace.Table, error) {
 	env, err := Build(spec)
 	if err != nil {
@@ -162,36 +108,11 @@ type CutLayerResult struct {
 // reports, per cut, the smashed-data size, client-model size, mean round
 // latency, and final accuracy after the given rounds.
 func RunAblationCutLayer(spec Spec, cuts []int, rounds, evalEvery int) ([]CutLayerResult, error) {
-	out := make([]CutLayerResult, 0, len(cuts))
-	for _, cut := range cuts {
-		s := spec
-		s.Cut = cut
-		env, err := Build(s)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: cut %d: %w", cut, err)
-		}
-		tr, err := gsfl.New(env, gsfl.Config{NumGroups: s.Groups, Strategy: s.Strategy})
-		if err != nil {
-			return nil, fmt.Errorf("experiment: cut %d: %w", cut, err)
-		}
-		curve, err := runCurve(tr, rounds, evalEvery)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: cut %d: %w", cut, err)
-		}
-		probe := env.Arch.NewSplit(env.Rng("probe", 0), cut)
-		total := 0.0
-		for _, p := range curve.Points {
-			total = p.LatencySeconds // cumulative; keep the last
-		}
-		out = append(out, CutLayerResult{
-			Cut:           cut,
-			SmashedBytes:  probe.SmashedBytes(s.Hyper.Batch),
-			ClientBytes:   probe.ClientParamBytes(),
-			RoundLatency:  total / float64(rounds),
-			FinalAccuracy: curve.FinalAccuracy(),
-		})
+	res, err := RunGrid(context.Background(), CutLayerGrid(spec, cuts, rounds, evalEvery))
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return FoldCutLayer(res), nil
 }
 
 // GroupingResult is one row of the grouping ablation (A2).
@@ -205,34 +126,11 @@ type GroupingResult struct {
 // RunAblationGrouping sweeps the number of groups and the grouping
 // strategy (future work §IV).
 func RunAblationGrouping(spec Spec, groupCounts []int, strategies []partition.GroupStrategy, rounds, evalEvery int) ([]GroupingResult, error) {
-	var out []GroupingResult
-	for _, m := range groupCounts {
-		for _, st := range strategies {
-			s := spec
-			s.Groups = m
-			s.Strategy = st
-			env, err := Build(s)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: grouping M=%d: %w", m, err)
-			}
-			tr, err := gsfl.New(env, gsfl.Config{NumGroups: m, Strategy: st})
-			if err != nil {
-				return nil, fmt.Errorf("experiment: grouping M=%d: %w", m, err)
-			}
-			curve, err := runCurve(tr, rounds, evalEvery)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: grouping M=%d: %w", m, err)
-			}
-			last := curve.Points[len(curve.Points)-1]
-			out = append(out, GroupingResult{
-				Groups:        m,
-				Strategy:      st,
-				RoundLatency:  last.LatencySeconds / float64(rounds),
-				FinalAccuracy: curve.FinalAccuracy(),
-			})
-		}
+	res, err := RunGrid(context.Background(), GroupingGrid(spec, groupCounts, strategies, rounds, evalEvery))
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return FoldGrouping(res), nil
 }
 
 // AllocationResult is one row of the resource-allocation ablation (A3).
@@ -244,28 +142,12 @@ type AllocationResult struct {
 // RunAblationAllocation compares bandwidth allocation policies (future
 // work §IV) on GSFL round latency, holding everything else fixed.
 func RunAblationAllocation(spec Spec, rounds int) ([]AllocationResult, error) {
-	var out []AllocationResult
-	for _, alloc := range []wireless.Allocator{
-		wireless.Uniform{}, wireless.ProportionalFair{}, wireless.LatencyMin{},
-	} {
-		s := spec
-		s.Alloc = alloc
-		tr, err := NewTrainer(s, "gsfl")
-		if err != nil {
-			return nil, fmt.Errorf("experiment: allocation %s: %w", alloc.Name(), err)
-		}
-		total := 0.0
-		for r := 0; r < rounds; r++ {
-			led, err := tr.Round(context.Background())
-			if err != nil {
-				return nil, fmt.Errorf("experiment: allocation %s round %d: %w", alloc.Name(), r+1, err)
-			}
-			total += led.Total()
-		}
-		out = append(out, AllocationResult{
-			Allocator:    alloc.Name(),
-			RoundLatency: total / float64(rounds),
-		})
+	if spec.Alloc == nil {
+		return nil, fmt.Errorf("experiment: allocation ablation needs a base allocator")
 	}
-	return out, nil
+	res, err := RunGrid(context.Background(), AllocationGrid(spec, rounds))
+	if err != nil {
+		return nil, err
+	}
+	return FoldAllocation(res), nil
 }

@@ -1,0 +1,194 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestGridJobsExpansionOrder(t *testing.T) {
+	spec := TestSpec()
+	g := Grid{
+		Name: "demo", Base: spec, Rounds: 4, EvalEvery: 2,
+		Axes: Axes{
+			Groups:     []int{1, 2},
+			Strategies: []string{"roundrobin", "random"},
+			Schemes:    []string{"gsfl"},
+		},
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{
+		"demo/groups=1,strategy=roundrobin",
+		"demo/groups=1,strategy=random",
+		"demo/groups=2,strategy=roundrobin",
+		"demo/groups=2,strategy=random",
+	}
+	if len(jobs) != len(wantNames) {
+		t.Fatalf("expanded %d jobs, want %d", len(jobs), len(wantNames))
+	}
+	for i, j := range jobs {
+		if j.Name != wantNames[i] {
+			t.Fatalf("job %d named %q, want %q (outer axes must nest first)", i, j.Name, wantNames[i])
+		}
+		if j.Scheme != "gsfl" || j.Rounds != 4 || j.EvalEvery != 2 {
+			t.Fatalf("job %d carries wrong run config: %+v", i, j)
+		}
+	}
+	if jobs[2].Spec.Groups != 2 || jobs[1].Spec.Strategy.String() != "random" {
+		t.Fatalf("axis values not applied: %+v / %+v", jobs[2].Spec, jobs[1].Spec)
+	}
+}
+
+func TestGridSingleValueAxesOmittedFromNames(t *testing.T) {
+	g := Grid{
+		Name: "solo", Base: TestSpec(), Rounds: 2, EvalEvery: 1,
+		Axes: Axes{Cuts: []int{3}, Schemes: []string{"sl"}},
+	}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Name != "solo" {
+		t.Fatalf("single-value axes must not clutter the name: %+v", jobs)
+	}
+}
+
+func TestGridDefaultsToGSFL(t *testing.T) {
+	g := Grid{Name: "d", Base: TestSpec(), Rounds: 2, EvalEvery: 1, Axes: Axes{Cuts: []int{1, 3}}}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Scheme != "gsfl" {
+			t.Fatalf("empty scheme axis must default to gsfl, got %q", j.Scheme)
+		}
+	}
+}
+
+func TestJobIDsStableAndContentSensitive(t *testing.T) {
+	g := Fig2aGrid(TestSpec(), 4, 2)
+	a, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("job %d ID unstable across expansions: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+		if len(a[i].ID) != 16 {
+			t.Fatalf("job %d ID %q is not 16 hex digits", i, a[i].ID)
+		}
+		if seen[a[i].ID] {
+			t.Fatalf("duplicate ID %s inside one grid", a[i].ID)
+		}
+		seen[a[i].ID] = true
+	}
+	// Any identity change must move the hash.
+	mut := g
+	mut.Rounds++
+	c, err := mut.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0].ID == a[0].ID {
+		t.Fatal("changing rounds did not change the job ID")
+	}
+	mut = g
+	mut.Base.Seed++
+	d, err := mut.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0].ID == a[0].ID {
+		t.Fatal("changing the seed did not change the job ID")
+	}
+}
+
+func TestGridOverlapSharesIDs(t *testing.T) {
+	// fig2b's cells are a subset of fig2a's; equal cells must hash equal
+	// so schedulers deduplicate across experiments.
+	a, err := Fig2aGrid(TestSpec(), 4, 2).Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig2bGrid(TestSpec(), 4, 2).Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, j := range a {
+		ids[j.ID] = true
+	}
+	for _, j := range b {
+		if !ids[j.ID] {
+			t.Fatalf("fig2b job %s (%s) not found among fig2a IDs", j.Name, j.ID)
+		}
+	}
+}
+
+func TestGridJobsValidation(t *testing.T) {
+	if _, err := (Grid{Name: "x", Base: TestSpec(), EvalEvery: 1}).Jobs(); err == nil {
+		t.Fatal("expected error for zero rounds")
+	}
+	if _, err := (Grid{Name: "x", Base: TestSpec(), Rounds: 2}).Jobs(); err == nil {
+		t.Fatal("expected error for zero eval cadence")
+	}
+	bad := Grid{Name: "x", Base: TestSpec(), Rounds: 2, EvalEvery: 1, Axes: Axes{Strategies: []string{"bogus"}}}
+	if _, err := bad.Jobs(); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("expected strategy parse error, got %v", err)
+	}
+	bad.Axes = Axes{Allocators: []string{"nope"}}
+	if _, err := bad.Jobs(); err == nil {
+		t.Fatal("expected allocator parse error")
+	}
+}
+
+// TestRunJobMatchesRunScheme pins the single-job executor to the
+// historical convenience wrapper: same spec, same curve.
+func TestRunJobMatchesRunScheme(t *testing.T) {
+	spec := TestSpec()
+	want, err := RunScheme(spec, "sl", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := (Grid{Name: "j", Base: spec, Rounds: 2, EvalEvery: 1, Axes: Axes{Schemes: []string{"sl"}}}).Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunJob(context.Background(), jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve.Points) != len(want.Points) {
+		t.Fatalf("curves differ in length: %d vs %d", len(res.Curve.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		if res.Curve.Points[i] != want.Points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, res.Curve.Points[i], want.Points[i])
+		}
+	}
+	if res.TotalSeconds != res.Ledger.Total() && res.TotalSeconds <= 0 {
+		t.Fatalf("result accumulators inconsistent: total %v ledger %v", res.TotalSeconds, res.Ledger.Total())
+	}
+}
+
+func TestDefaultGroupCounts(t *testing.T) {
+	got := DefaultGroupCounts(6)
+	for _, m := range got {
+		if m > 6 {
+			t.Fatalf("group count %d exceeds client count", m)
+		}
+	}
+	if len(got) == 0 || got[0] != 1 {
+		t.Fatalf("DefaultGroupCounts(6) = %v", got)
+	}
+}

@@ -1,0 +1,623 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	"gsfl/internal/gtsrb"
+	"gsfl/internal/metrics"
+	"gsfl/internal/model"
+	"gsfl/internal/partition"
+	"gsfl/internal/schemes"
+	"gsfl/internal/simnet"
+	"gsfl/internal/trace"
+)
+
+// This file declares the paper's figures, tables, and ablations as
+// Grids plus pure folds over the expanded jobs' results. The Run*
+// wrappers in figures.go and extensions.go execute them serially;
+// cmd/gsfl-bench and cmd/gsfl-sweep run the same grids concurrently
+// through gsfl/sweep's scheduler and apply the same folds, so one-worker
+// and N-worker harnesses produce byte-identical CSVs.
+
+// Fig2aGrid sweeps the four schemes of Fig. 2(a).
+func Fig2aGrid(spec Spec, rounds, evalEvery int) Grid {
+	return Grid{
+		Name: "fig2a", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{Schemes: []string{"cl", "sl", "gsfl", "fl"}},
+	}
+}
+
+// Fig2bGrid sweeps the two schemes of Fig. 2(b). Its cells are a subset
+// of Fig2aGrid's (same IDs), so a sweep running both executes them once.
+func Fig2bGrid(spec Spec, rounds, evalEvery int) Grid {
+	return Grid{
+		Name: "fig2b", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{Schemes: []string{"gsfl", "sl"}},
+	}
+}
+
+// Table2Grid sweeps all five schemes for the per-round latency
+// breakdown. Accuracy is irrelevant here, so cells evaluate only after
+// the final round (the historical harness never evaluated them at all;
+// evaluation does not perturb training numerics or latency).
+func Table2Grid(spec Spec, rounds int) Grid {
+	return Grid{
+		Name: "table2", Base: spec, Rounds: rounds, EvalEvery: rounds,
+		Axes: Axes{Schemes: []string{"gsfl", "sl", "fl", "sfl", "cl"}},
+	}
+}
+
+// CutLayerGrid sweeps the split index (ablation A1).
+func CutLayerGrid(spec Spec, cuts []int, rounds, evalEvery int) Grid {
+	return Grid{
+		Name: "cutlayer", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{Cuts: cuts},
+	}
+}
+
+// GroupingGrid sweeps group count and grouping strategy (ablation A2),
+// groups outermost — the historical row order.
+func GroupingGrid(spec Spec, groupCounts []int, strategies []partition.GroupStrategy, rounds, evalEvery int) Grid {
+	names := make([]string, len(strategies))
+	for i, st := range strategies {
+		names[i] = st.String()
+	}
+	return Grid{
+		Name: "grouping", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{Groups: groupCounts, Strategies: names},
+	}
+}
+
+// AllocationGrid sweeps the bandwidth allocation policy (ablation A3),
+// latency-only like Table2Grid.
+func AllocationGrid(spec Spec, rounds int) Grid {
+	return Grid{
+		Name: "resalloc", Base: spec, Rounds: rounds, EvalEvery: rounds,
+		Axes: Axes{Allocators: []string{"uniform", "proportional-fair", "latency-min"}},
+	}
+}
+
+// PipelineGrid compares GSFL without and with communication/computation
+// overlap.
+func PipelineGrid(spec Spec, rounds, evalEvery int) Grid {
+	return Grid{
+		Name: "pipeline", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{Pipelined: []bool{false, true}},
+	}
+}
+
+// QuantGrid compares full-precision against 8-bit quantized transfers.
+func QuantGrid(spec Spec, rounds, evalEvery int) Grid {
+	return Grid{
+		Name: "quant", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{Quantized: []bool{false, true}},
+	}
+}
+
+// DropoutGrid sweeps per-round client unavailability.
+func DropoutGrid(spec Spec, probs []float64, rounds, evalEvery int) Grid {
+	return Grid{
+		Name: "dropout", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{Dropouts: probs},
+	}
+}
+
+// NonIIDGrid crosses Dirichlet concentration with {gsfl, fl}, alphas
+// outermost — the historical row order.
+func NonIIDGrid(spec Spec, alphas []float64, rounds, evalEvery int) Grid {
+	return Grid{
+		Name: "noniid", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{Alphas: alphas, Schemes: []string{"gsfl", "fl"}},
+	}
+}
+
+// SeedSweepGrid reruns one scheme across k seeds spaced as the
+// historical seed-variance study spaced them.
+func SeedSweepGrid(spec Spec, scheme string, seeds, rounds, evalEvery int) Grid {
+	sv := make([]int64, seeds)
+	for k := range sv {
+		sv[k] = spec.Seed + int64(1000*k)
+	}
+	return Grid{
+		Name: "seeds-" + scheme, Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{Seeds: sv, Schemes: []string{scheme}},
+	}
+}
+
+// FoldCurves extracts each result's training curve, in job order.
+func FoldCurves(res []JobResult) []*metrics.Curve {
+	out := make([]*metrics.Curve, len(res))
+	for i, r := range res {
+		out[i] = r.Curve
+	}
+	return out
+}
+
+// FoldTable1 derives the convergence-speed table from Fig. 2(a)'s
+// curves: rounds to target accuracy per scheme and the speedup of GSFL
+// over each.
+func FoldTable1(curves []*metrics.Curve, target float64) *trace.Table {
+	var gsflCurve *metrics.Curve
+	for _, c := range curves {
+		if c.Scheme == "gsfl" {
+			gsflCurve = c
+		}
+	}
+	tbl := trace.NewTable("table1-convergence",
+		"scheme", "target_accuracy", "rounds_to_target", "reached", "speedup_vs_scheme_for_gsfl")
+	for _, c := range curves {
+		r, ok := c.RoundsToAccuracy(target)
+		row := trace.Row{
+			"scheme":          c.Scheme,
+			"target_accuracy": target,
+			"reached":         ok,
+		}
+		if ok {
+			row["rounds_to_target"] = r
+		}
+		if s, sok := metrics.SpeedupVsRounds(gsflCurve, c, target); sok {
+			row["speedup_vs_scheme_for_gsfl"] = fmt.Sprintf("%.2f", s)
+		}
+		tbl.Add(row)
+	}
+	return tbl
+}
+
+// FoldTable2 averages each scheme's summed ledger into the per-round
+// latency and energy breakdown table.
+func FoldTable2(res []JobResult) *trace.Table {
+	tbl := trace.NewTable("table2-latency-breakdown",
+		"scheme", "client_compute_s", "uplink_s", "server_compute_s",
+		"downlink_s", "relay_s", "aggregation_s", "total_s",
+		"client_energy_J", "server_energy_J")
+	energy := simnet.DefaultEnergyModel()
+	for _, r := range res {
+		sum := r.Ledger
+		inv := 1 / float64(r.Job.Rounds)
+		tbl.Add(trace.Row{
+			"scheme":           r.Job.Scheme,
+			"client_compute_s": fmt.Sprintf("%.4f", sum.Get(simnet.ClientCompute)*inv),
+			"uplink_s":         fmt.Sprintf("%.4f", sum.Get(simnet.Uplink)*inv),
+			"server_compute_s": fmt.Sprintf("%.4f", sum.Get(simnet.ServerCompute)*inv),
+			"downlink_s":       fmt.Sprintf("%.4f", sum.Get(simnet.Downlink)*inv),
+			"relay_s":          fmt.Sprintf("%.4f", sum.Get(simnet.Relay)*inv),
+			"aggregation_s":    fmt.Sprintf("%.4f", sum.Get(simnet.Aggregation)*inv),
+			"total_s":          fmt.Sprintf("%.4f", sum.Total()*inv),
+			"client_energy_J":  fmt.Sprintf("%.4f", energy.ClientEnergyJ(&sum)*inv),
+			"server_energy_J":  fmt.Sprintf("%.4f", energy.ServerEnergyJ(&sum)*inv),
+		})
+	}
+	return tbl
+}
+
+// probeSplit rebuilds the architecture probe the cut-layer ablation
+// reports transfer/model sizes from, without materializing a dataset.
+// The rng only initializes weights, which the size accessors ignore; it
+// is derived exactly as Build derives it so the probe is the same object
+// the historical env-based code produced.
+func probeSplit(s Spec) *model.SplitModel {
+	arch := model.GTSRBCNN(s.ImageSize, gtsrb.NumClasses)
+	probeEnv := &schemes.Env{Seed: s.envSeed()}
+	return arch.NewSplit(probeEnv.Rng("probe", 0), s.Cut)
+}
+
+// lastLatency returns the curve's final cumulative latency (0 when the
+// curve is empty).
+func lastLatency(c *metrics.Curve) float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	return c.Points[len(c.Points)-1].LatencySeconds
+}
+
+// FoldCutLayer derives the cut-layer ablation rows from each cell's
+// curve plus a data-free architecture probe.
+func FoldCutLayer(res []JobResult) []CutLayerResult {
+	out := make([]CutLayerResult, 0, len(res))
+	for _, r := range res {
+		s := r.Job.Spec
+		probe := probeSplit(s)
+		out = append(out, CutLayerResult{
+			Cut:           s.Cut,
+			SmashedBytes:  probe.SmashedBytes(s.Hyper.Batch),
+			ClientBytes:   probe.ClientParamBytes(),
+			RoundLatency:  lastLatency(r.Curve) / float64(r.Job.Rounds),
+			FinalAccuracy: r.Curve.FinalAccuracy(),
+		})
+	}
+	return out
+}
+
+// FoldGrouping derives the grouping ablation rows.
+func FoldGrouping(res []JobResult) []GroupingResult {
+	out := make([]GroupingResult, 0, len(res))
+	for _, r := range res {
+		out = append(out, GroupingResult{
+			Groups:        r.Job.Spec.Groups,
+			Strategy:      r.Job.Spec.Strategy,
+			RoundLatency:  lastLatency(r.Curve) / float64(r.Job.Rounds),
+			FinalAccuracy: r.Curve.FinalAccuracy(),
+		})
+	}
+	return out
+}
+
+// FoldAllocation derives the allocation ablation rows from the summed
+// round latencies (the cells never needed accuracy). TotalSeconds is
+// used rather than Ledger.Total() to keep the floating-point summation
+// order of the historical per-round accumulation.
+func FoldAllocation(res []JobResult) []AllocationResult {
+	out := make([]AllocationResult, 0, len(res))
+	for _, r := range res {
+		out = append(out, AllocationResult{
+			Allocator:    r.Job.Spec.Alloc.Name(),
+			RoundLatency: r.TotalSeconds / float64(r.Job.Rounds),
+		})
+	}
+	return out
+}
+
+// FoldPipelining derives the pipelining ablation rows.
+func FoldPipelining(res []JobResult) []PipelineResult {
+	out := make([]PipelineResult, 0, len(res))
+	for _, r := range res {
+		out = append(out, PipelineResult{
+			Pipelined:     r.Job.Spec.Pipelined,
+			RoundLatency:  lastLatency(r.Curve) / float64(r.Job.Rounds),
+			FinalAccuracy: r.Curve.FinalAccuracy(),
+		})
+	}
+	return out
+}
+
+// FoldQuantization derives the transfer-precision ablation rows.
+func FoldQuantization(res []JobResult) []QuantResult {
+	out := make([]QuantResult, 0, len(res))
+	for _, r := range res {
+		out = append(out, QuantResult{
+			Quantized:     r.Job.Spec.Hyper.QuantizeTransfers,
+			RoundLatency:  lastLatency(r.Curve) / float64(r.Job.Rounds),
+			FinalAccuracy: r.Curve.FinalAccuracy(),
+		})
+	}
+	return out
+}
+
+// FoldDropout derives the dropout robustness rows.
+func FoldDropout(res []JobResult) []DropoutResult {
+	out := make([]DropoutResult, 0, len(res))
+	for _, r := range res {
+		out = append(out, DropoutResult{
+			DropoutProb:   r.Job.Spec.DropoutProb,
+			RoundLatency:  lastLatency(r.Curve) / float64(r.Job.Rounds),
+			FinalAccuracy: r.Curve.FinalAccuracy(),
+		})
+	}
+	return out
+}
+
+// FoldNonIID derives the heterogeneity sweep rows.
+func FoldNonIID(res []JobResult) []NonIIDResult {
+	out := make([]NonIIDResult, 0, len(res))
+	for _, r := range res {
+		rounds, ok := r.Curve.RoundsToAccuracy(0.5)
+		out = append(out, NonIIDResult{
+			Alpha:         r.Job.Spec.Alpha,
+			Scheme:        r.Job.Scheme,
+			FinalAccuracy: r.Curve.FinalAccuracy(),
+			RoundsToHalf:  rounds,
+			ReachedHalf:   ok,
+		})
+	}
+	return out
+}
+
+// FoldSeedStats summarizes a seed sweep's final accuracies.
+func FoldSeedStats(res []JobResult) SeedStats {
+	accs := make([]float64, 0, len(res))
+	scheme := ""
+	for _, r := range res {
+		accs = append(accs, r.Curve.FinalAccuracy())
+		scheme = r.Job.Scheme
+	}
+	st := SeedStats{Scheme: scheme, Seeds: len(accs), WorstAcc: accs[0], BestAcc: accs[0]}
+	sum := 0.0
+	for _, a := range accs {
+		sum += a
+		if a < st.WorstAcc {
+			st.WorstAcc = a
+		}
+		if a > st.BestAcc {
+			st.BestAcc = a
+		}
+	}
+	st.MeanAcc = sum / float64(len(accs))
+	ss := 0.0
+	for _, a := range accs {
+		d := a - st.MeanAcc
+		ss += d * d
+	}
+	st.StdAcc = math.Sqrt(ss / float64(len(accs)))
+	return st
+}
+
+// DefaultGroupCounts picks the grouping ablation's sweep of M values for
+// n clients.
+func DefaultGroupCounts(n int) []int {
+	candidates := []int{1, 2, 3, 6, 10, 15, 30}
+	var out []int
+	for _, c := range candidates {
+		if c <= n {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// GridExperiment is one named figure/table whose cells come from one or
+// more Grids and whose output files come from folding the cells'
+// results. Both harness CLIs (gsfl-bench, gsfl-sweep) iterate this
+// catalogue, so they regenerate identical CSVs from identical jobs.
+type GridExperiment struct {
+	// Name is the -exp token ("fig2a", "grouping", …).
+	Name string
+	// Grids expand (concatenated, in order) into the experiment's jobs.
+	// Most experiments are a single grid; the seed-variance study is one
+	// seed grid per scheme.
+	Grids []Grid
+	// Save folds the results (in job order, aligned with Jobs()) and
+	// writes the experiment's CSV file(s) under outDir.
+	Save func(outDir string, res []JobResult) error
+}
+
+// Jobs expands the experiment's grids into one concatenated job list.
+func (e GridExperiment) Jobs() ([]Job, error) {
+	var out []Job
+	for _, g := range e.Grids {
+		jobs, err := g.Jobs()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, jobs...)
+	}
+	return out, nil
+}
+
+// GridSelection is a resolved -exp choice: the selected experiments,
+// their concatenated job list, and the bookkeeping to slice scheduler
+// results back per experiment. Both harness CLIs (gsfl-bench,
+// gsfl-sweep) build and consume one, so the job concatenation and the
+// result slicing — which the byte-identical-CSV contract depends on —
+// have a single implementation.
+type GridSelection struct {
+	Experiments []GridExperiment
+	Jobs        []Job
+	counts      []int // Jobs per experiment, aligned with Experiments
+}
+
+// SelectGridExperiments filters the catalogue by an -exp token ("all"
+// selects everything) and expands the chosen grids. Tokens matching no
+// catalogue entry yield an empty selection; callers validate the token
+// against their own accepted set first.
+func SelectGridExperiments(catalogue []GridExperiment, name string) (GridSelection, error) {
+	var sel GridSelection
+	for _, e := range catalogue {
+		if name != "all" && name != e.Name {
+			continue
+		}
+		js, err := e.Jobs()
+		if err != nil {
+			return GridSelection{}, fmt.Errorf("%s: %w", e.Name, err)
+		}
+		sel.Experiments = append(sel.Experiments, e)
+		sel.counts = append(sel.counts, len(js))
+		sel.Jobs = append(sel.Jobs, js...)
+	}
+	return sel, nil
+}
+
+// Save folds each selected experiment over its slice of the results
+// (which must align with Jobs, as a scheduler run over them returns)
+// and writes its CSVs under outDir. saved, when non-nil, is called per
+// experiment with its name and cell count.
+func (s GridSelection) Save(outDir string, results []JobResult, saved func(name string, cells int)) error {
+	if len(results) != len(s.Jobs) {
+		return fmt.Errorf("experiment: %d results for %d selected jobs", len(results), len(s.Jobs))
+	}
+	off := 0
+	for i, e := range s.Experiments {
+		n := s.counts[i]
+		if err := e.Save(outDir, results[off:off+n]); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if saved != nil {
+			saved(e.Name, n)
+		}
+		off += n
+	}
+	return nil
+}
+
+// GridExperiments catalogues every grid-backed experiment at the given
+// scale parameters, in the harness's canonical order. Table 3 (storage
+// accounting) and the event-driven latency validation run no training
+// rounds and stay outside the catalogue.
+func GridExperiments(spec Spec, rounds, evalEvery int, target float64) []GridExperiment {
+	return []GridExperiment{
+		{
+			Name:  "fig2a",
+			Grids: []Grid{Fig2aGrid(spec, rounds, evalEvery)},
+			Save: func(outDir string, res []JobResult) error {
+				return trace.SaveCurvesCSV(filepath.Join(outDir, "fig2a.csv"), FoldCurves(res))
+			},
+		},
+		{
+			Name:  "fig2b",
+			Grids: []Grid{Fig2bGrid(spec, rounds, evalEvery)},
+			Save: func(outDir string, res []JobResult) error {
+				return trace.SaveCurvesCSV(filepath.Join(outDir, "fig2b.csv"), FoldCurves(res))
+			},
+		},
+		{
+			Name:  "table1",
+			Grids: []Grid{Fig2aGrid(spec, rounds, evalEvery)}, // same cells as fig2a; the scheduler dedups
+			Save: func(outDir string, res []JobResult) error {
+				curves := FoldCurves(res)
+				if err := trace.SaveCurvesCSV(filepath.Join(outDir, "table1_curves.csv"), curves); err != nil {
+					return err
+				}
+				return FoldTable1(curves, target).SaveCSV(filepath.Join(outDir, "table1.csv"))
+			},
+		},
+		{
+			Name:  "table2",
+			Grids: []Grid{Table2Grid(spec, rounds)},
+			Save: func(outDir string, res []JobResult) error {
+				return FoldTable2(res).SaveCSV(filepath.Join(outDir, "table2.csv"))
+			},
+		},
+		{
+			Name:  "cutlayer",
+			Grids: []Grid{CutLayerGrid(spec, []int{1, 3, 6, 9}, rounds, evalEvery)},
+			Save: func(outDir string, res []JobResult) error {
+				tbl := trace.NewTable("ablation-cutlayer",
+					"cut", "smashed_bytes_per_batch", "client_model_bytes", "round_latency_s", "final_accuracy")
+				for _, x := range FoldCutLayer(res) {
+					tbl.Add(trace.Row{
+						"cut":                     x.Cut,
+						"smashed_bytes_per_batch": x.SmashedBytes,
+						"client_model_bytes":      x.ClientBytes,
+						"round_latency_s":         fmt.Sprintf("%.4f", x.RoundLatency),
+						"final_accuracy":          fmt.Sprintf("%.4f", x.FinalAccuracy),
+					})
+				}
+				return tbl.SaveCSV(filepath.Join(outDir, "ablation_cutlayer.csv"))
+			},
+		},
+		{
+			Name: "grouping",
+			Grids: []Grid{GroupingGrid(spec, DefaultGroupCounts(spec.Clients), []partition.GroupStrategy{
+				partition.GroupRoundRobin, partition.GroupRandom, partition.GroupComputeBalanced,
+			}, rounds, evalEvery)},
+			Save: func(outDir string, res []JobResult) error {
+				tbl := trace.NewTable("ablation-grouping",
+					"groups", "strategy", "round_latency_s", "final_accuracy")
+				for _, x := range FoldGrouping(res) {
+					tbl.Add(trace.Row{
+						"groups":          x.Groups,
+						"strategy":        x.Strategy.String(),
+						"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
+						"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
+					})
+				}
+				return tbl.SaveCSV(filepath.Join(outDir, "ablation_grouping.csv"))
+			},
+		},
+		{
+			Name:  "resalloc",
+			Grids: []Grid{AllocationGrid(spec, rounds)},
+			Save: func(outDir string, res []JobResult) error {
+				tbl := trace.NewTable("ablation-resalloc", "allocator", "round_latency_s")
+				for _, x := range FoldAllocation(res) {
+					tbl.Add(trace.Row{
+						"allocator":       x.Allocator,
+						"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
+					})
+				}
+				return tbl.SaveCSV(filepath.Join(outDir, "ablation_resalloc.csv"))
+			},
+		},
+		{
+			Name:  "pipeline",
+			Grids: []Grid{PipelineGrid(spec, rounds, evalEvery)},
+			Save: func(outDir string, res []JobResult) error {
+				tbl := trace.NewTable("ablation-pipeline", "pipelined", "round_latency_s", "final_accuracy")
+				for _, x := range FoldPipelining(res) {
+					tbl.Add(trace.Row{
+						"pipelined":       x.Pipelined,
+						"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
+						"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
+					})
+				}
+				return tbl.SaveCSV(filepath.Join(outDir, "ablation_pipeline.csv"))
+			},
+		},
+		{
+			Name:  "quant",
+			Grids: []Grid{QuantGrid(spec, rounds, evalEvery)},
+			Save: func(outDir string, res []JobResult) error {
+				tbl := trace.NewTable("ablation-quant", "quantized", "round_latency_s", "final_accuracy")
+				for _, x := range FoldQuantization(res) {
+					tbl.Add(trace.Row{
+						"quantized":       x.Quantized,
+						"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
+						"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
+					})
+				}
+				return tbl.SaveCSV(filepath.Join(outDir, "ablation_quant.csv"))
+			},
+		},
+		{
+			Name:  "dropout",
+			Grids: []Grid{DropoutGrid(spec, []float64{0, 0.1, 0.2, 0.3}, rounds, evalEvery)},
+			Save: func(outDir string, res []JobResult) error {
+				tbl := trace.NewTable("ablation-dropout", "dropout_prob", "round_latency_s", "final_accuracy")
+				for _, x := range FoldDropout(res) {
+					tbl.Add(trace.Row{
+						"dropout_prob":    fmt.Sprintf("%.2f", x.DropoutProb),
+						"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
+						"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
+					})
+				}
+				return tbl.SaveCSV(filepath.Join(outDir, "ablation_dropout.csv"))
+			},
+		},
+		{
+			Name:  "noniid",
+			Grids: []Grid{NonIIDGrid(spec, []float64{0.1, 1, 100}, rounds, evalEvery)},
+			Save: func(outDir string, res []JobResult) error {
+				tbl := trace.NewTable("ablation-noniid",
+					"alpha", "scheme", "final_accuracy", "rounds_to_50pct", "reached")
+				for _, x := range FoldNonIID(res) {
+					tbl.Add(trace.Row{
+						"alpha":           fmt.Sprintf("%g", x.Alpha),
+						"scheme":          x.Scheme,
+						"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
+						"rounds_to_50pct": x.RoundsToHalf,
+						"reached":         x.ReachedHalf,
+					})
+				}
+				return tbl.SaveCSV(filepath.Join(outDir, "ablation_noniid.csv"))
+			},
+		},
+		{
+			Name: "seeds",
+			Grids: []Grid{
+				SeedSweepGrid(spec, "gsfl", seedsPerScheme, rounds, evalEvery),
+				SeedSweepGrid(spec, "sl", seedsPerScheme, rounds, evalEvery),
+				SeedSweepGrid(spec, "fl", seedsPerScheme, rounds, evalEvery),
+			},
+			Save: func(outDir string, res []JobResult) error {
+				tbl := trace.NewTable("seed-variance",
+					"scheme", "seeds", "mean_acc", "std_acc", "worst_acc", "best_acc")
+				for i := 0; i+seedsPerScheme <= len(res); i += seedsPerScheme {
+					st := FoldSeedStats(res[i : i+seedsPerScheme])
+					tbl.Add(trace.Row{
+						"scheme":    st.Scheme,
+						"seeds":     st.Seeds,
+						"mean_acc":  fmt.Sprintf("%.4f", st.MeanAcc),
+						"std_acc":   fmt.Sprintf("%.4f", st.StdAcc),
+						"worst_acc": fmt.Sprintf("%.4f", st.WorstAcc),
+						"best_acc":  fmt.Sprintf("%.4f", st.BestAcc),
+					})
+				}
+				return tbl.SaveCSV(filepath.Join(outDir, "seed_variance.csv"))
+			},
+		},
+	}
+}
+
+// seedsPerScheme is the seed-variance study's per-scheme seed count.
+const seedsPerScheme = 3

@@ -103,6 +103,27 @@ func acquire(max int) (int, chan struct{}) {
 	return got, ch
 }
 
+// Budget splits a total worker budget across inflight concurrent
+// top-level tasks (e.g. sweep jobs): it returns the pool width to pass
+// to SetWorkers so that the inflight task goroutines plus the pool's
+// helper tokens never exceed total. Each task goroutine is itself a
+// worker in every For it issues, so width = total - (inflight - 1),
+// floored at 1 — when tasks outnumber the budget, every task simply
+// runs serial. total <= 0 means runtime.GOMAXPROCS(0).
+func Budget(total, inflight int) int {
+	if total <= 0 {
+		total = runtime.GOMAXPROCS(0)
+	}
+	if inflight < 1 {
+		inflight = 1
+	}
+	w := total - (inflight - 1)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // Inline reports whether For(n, grain, body) is guaranteed to run its
 // body inline on the calling goroutine: the range fits in a single chunk
 // or only one worker is configured. Hot call sites consult it before

@@ -131,3 +131,26 @@ func TestSetWorkersBounds(t *testing.T) {
 		t.Fatalf("Workers() = %d, want GOMAXPROCS %d", Workers(), runtime.GOMAXPROCS(0))
 	}
 }
+
+func TestBudget(t *testing.T) {
+	cases := []struct{ total, inflight, want int }{
+		{8, 1, 8},  // one job gets the whole budget
+		{8, 4, 5},  // 4 job goroutines + 4 helpers = 8
+		{8, 8, 1},  // every job serial
+		{8, 16, 1}, // oversubscribed: floor at 1
+		{1, 1, 1},
+		{4, 0, 4}, // inflight clamps to 1
+	}
+	for _, c := range cases {
+		if got := Budget(c.total, c.inflight); got != c.want {
+			t.Fatalf("Budget(%d, %d) = %d, want %d", c.total, c.inflight, got, c.want)
+		}
+	}
+	want := runtime.GOMAXPROCS(0) - 1
+	if want < 1 {
+		want = 1
+	}
+	if got := Budget(0, 2); got != want {
+		t.Fatalf("Budget(0, 2) = %d, want %d", got, want)
+	}
+}

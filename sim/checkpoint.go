@@ -142,6 +142,18 @@ func loadCheckpoint(path string) (*checkpointFile, error) {
 	return &cf, nil
 }
 
+// PeekCheckpoint reads a checkpoint's identity — which scheme it trains
+// and how many rounds it has completed — without rebuilding a trainer.
+// Orchestrators (the sweep engine) use it to decide whether a resume is
+// viable before paying for environment construction and training.
+func PeekCheckpoint(path string) (scheme string, round int, err error) {
+	cf, err := loadCheckpoint(path)
+	if err != nil {
+		return "", 0, err
+	}
+	return cf.Scheme, cf.Round, nil
+}
+
 // Resume rebuilds a run from a checkpoint written by a Runner with
 // checkpointing enabled. env must be constructed identically to the
 // original run's environment (same spec and seed) — the checkpoint

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"gsfl/internal/metrics"
 	"gsfl/internal/parallel"
@@ -24,6 +25,12 @@ type RoundEvent struct {
 	// ElapsedSeconds is the cumulative virtual training time.
 	RoundSeconds   float64
 	ElapsedSeconds float64
+	// HostSeconds is the real (host) wall-clock time the round took to
+	// execute, including its evaluation and checkpoint when they ran.
+	// Unlike every other field it is not deterministic; progress
+	// reporting and ETA estimation use it so observers need not time
+	// rounds themselves.
+	HostSeconds float64
 	// Eval is the post-round evaluation, nil on rounds the evaluation
 	// cadence skipped.
 	Eval *Eval
@@ -181,6 +188,7 @@ func (r *Runner) Run(ctx context.Context) (*Curve, error) {
 		if err := ctx.Err(); err != nil {
 			return curve, err
 		}
+		roundStart := time.Now()
 		led, err := r.trainer.Round(ctx)
 		if err != nil {
 			return curve, r.runErr(ctx, fmt.Errorf("sim: round %d: %w", round, err))
@@ -210,6 +218,7 @@ func (r *Runner) Run(ctx context.Context) (*Curve, error) {
 			}
 			ev.CheckpointPath = r.ckptPath
 		}
+		ev.HostSeconds = time.Since(roundStart).Seconds()
 		for _, obs := range r.observers {
 			obs.OnRound(ev)
 		}

@@ -96,6 +96,9 @@ func TestRunnerStreamsRoundEvents(t *testing.T) {
 		if (e.Eval != nil) != wantEval {
 			t.Fatalf("event %d: eval presence %v, want %v", i, e.Eval != nil, wantEval)
 		}
+		if e.HostSeconds <= 0 {
+			t.Fatalf("event %d: host wall-clock %v, want > 0", i, e.HostSeconds)
+		}
 	}
 	if len(curve.Points) != 3 {
 		t.Fatalf("curve has %d points, want evals at rounds 2, 4, 6", len(curve.Points))

@@ -1,0 +1,381 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"gsfl/internal/metrics"
+	"gsfl/internal/simnet"
+	"gsfl/internal/trace"
+)
+
+// Store layout under its directory:
+//
+//	manifest.jsonl         one Entry per completed job, appended as jobs
+//	                       finish, rewritten into job order on Compact
+//	curves/<id>.csv        the job's training curve (trace long format)
+//	ckpt/<id>.ckpt         sim checkpoint of an in-flight job (transient)
+//	ckpt/<id>.progress     sweep-side cumulative ledger at the same round
+//	                       boundary as the checkpoint (transient)
+//
+// Everything durable is keyed by the job's content-hash ID, so a store
+// is shared safely by overlapping grids and across resumed runs.
+const (
+	manifestName = "manifest.jsonl"
+	curvesDir    = "curves"
+	ckptDir      = "ckpt"
+)
+
+// Point is one stored curve evaluation (a metrics.Point with fixed JSON
+// field names, so the manifest format does not silently track internal
+// renames).
+type Point struct {
+	Round          int     `json:"round"`
+	LatencySeconds float64 `json:"latency_seconds"`
+	Loss           float64 `json:"loss"`
+	Accuracy       float64 `json:"accuracy"`
+}
+
+// Entry is one manifest record: a completed job's identity and results.
+// Every field is deterministic — host wall-clock never enters the
+// manifest — so equal sweeps produce byte-equal manifests.
+type Entry struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Scheme    string `json:"scheme"`
+	Rounds    int    `json:"rounds"`
+	EvalEvery int    `json:"eval_every"`
+	Seed      int64  `json:"seed"`
+	// FinalAccuracy and ElapsedSeconds summarize the run; Components is
+	// the per-component virtual-latency sum over all rounds and
+	// TotalSeconds the round-ordered sum of critical-path totals.
+	FinalAccuracy  float64            `json:"final_accuracy"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	TotalSeconds   float64            `json:"total_seconds"`
+	Components     map[string]float64 `json:"components"`
+	// Points is the training curve; CurveFile the per-job CSV copy
+	// (relative to the store directory).
+	Points    []Point `json:"points"`
+	CurveFile string  `json:"curve_file"`
+}
+
+// progress is the transient sidecar persisted next to a job's sim
+// checkpoint: the sweep-level accumulators the checkpoint itself does
+// not carry. Round must match the checkpoint's completed rounds; a
+// mismatch (crash between the two writes) discards both and the job
+// restarts from scratch — determinism is never at risk, only work.
+type progress struct {
+	Round        int                `json:"round"`
+	Components   map[string]float64 `json:"components"`
+	TotalSeconds float64            `json:"total_seconds"`
+}
+
+// Store is the durable state of a sweep. It is safe for concurrent use
+// by one Scheduler.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]*Entry
+	f       *os.File // manifest append handle
+}
+
+// OpenStore opens (creating if needed) a sweep results directory and
+// loads its manifest. A trailing partially-written manifest line (crash
+// mid-append) is dropped; complete entries before it stand.
+func OpenStore(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, curvesDir), filepath.Join(dir, ckptDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("sweep: creating store directory: %w", err)
+		}
+	}
+	s := &Store{dir: dir, entries: map[string]*Entry{}}
+	path := filepath.Join(dir, manifestName)
+	if data, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(data)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var e Entry
+			if err := json.Unmarshal(line, &e); err != nil {
+				break // partial trailing line from a crash; stop here
+			}
+			s.entries[e.ID] = &e
+		}
+		data.Close()
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sweep: opening manifest: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening manifest for append: %w", err)
+	}
+	s.f = f
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// StoreExists reports whether dir already holds a sweep manifest —
+// i.e. opening it would continue (or collide with) an earlier sweep.
+func StoreExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, manifestName))
+	return err == nil
+}
+
+// Close releases the manifest handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// Len returns the number of recorded entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Lookup returns the manifest entry for a job ID, if recorded.
+func (s *Store) Lookup(id string) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	return e, ok
+}
+
+// Result reconstructs a completed job's JobResult from its manifest
+// entry, so folds over a resumed sweep see exactly what the original
+// execution produced.
+func (s *Store) Result(j Job) (JobResult, bool) {
+	e, ok := s.Lookup(j.ID)
+	if !ok {
+		return JobResult{}, false
+	}
+	res := JobResult{Job: j, TotalSeconds: e.TotalSeconds}
+	res.Curve = &metrics.Curve{Scheme: e.Scheme, Points: make([]metrics.Point, len(e.Points))}
+	for i, p := range e.Points {
+		res.Curve.Points[i] = metrics.Point{
+			Round: p.Round, LatencySeconds: p.LatencySeconds, Loss: p.Loss, Accuracy: p.Accuracy,
+		}
+	}
+	for _, c := range simnet.Components() {
+		if v, ok := e.Components[c.String()]; ok {
+			res.Ledger.Add(c, v)
+		}
+	}
+	return res, true
+}
+
+// entryOf flattens a result into its manifest record.
+func (s *Store) entryOf(res JobResult) *Entry {
+	e := &Entry{
+		ID:           res.Job.ID,
+		Name:         res.Job.Name,
+		Scheme:       res.Job.Scheme,
+		Rounds:       res.Job.Rounds,
+		EvalEvery:    res.Job.EvalEvery,
+		Seed:         res.Job.Spec.Seed,
+		TotalSeconds: res.TotalSeconds,
+		Components:   map[string]float64{},
+		CurveFile:    filepath.Join(curvesDir, res.Job.ID+".csv"),
+	}
+	for _, c := range simnet.Components() {
+		if v := res.Ledger.Get(c); v != 0 {
+			e.Components[c.String()] = v
+		}
+	}
+	if res.Curve != nil {
+		e.FinalAccuracy = res.Curve.FinalAccuracy()
+		for _, p := range res.Curve.Points {
+			e.Points = append(e.Points, Point{
+				Round: p.Round, LatencySeconds: p.LatencySeconds, Loss: p.Loss, Accuracy: p.Accuracy,
+			})
+		}
+		if n := len(res.Curve.Points); n > 0 {
+			e.ElapsedSeconds = res.Curve.Points[n-1].LatencySeconds
+		}
+	}
+	return e
+}
+
+// Record persists a completed job: its curve CSV, then its manifest
+// line (synced, so a later crash cannot lose acknowledged work), then
+// drops the job's transient checkpoint state.
+func (s *Store) Record(res JobResult) error {
+	e := s.entryOf(res)
+	if err := trace.SaveCurvesCSV(filepath.Join(s.dir, e.CurveFile), []*metrics.Curve{res.Curve}); err != nil {
+		return err
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding manifest entry: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("sweep: store is closed")
+	}
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sweep: appending manifest entry: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("sweep: syncing manifest: %w", err)
+	}
+	s.entries[e.ID] = e
+	s.dropTransientLocked(res.Job.ID)
+	return nil
+}
+
+// CheckpointPath returns where the scheduler checkpoints an in-flight
+// job.
+func (s *Store) CheckpointPath(j Job) string {
+	return filepath.Join(s.dir, ckptDir, j.ID+".ckpt")
+}
+
+func (s *Store) progressPath(id string) string {
+	return filepath.Join(s.dir, ckptDir, id+".progress")
+}
+
+// SaveProgress atomically persists the sweep-side accumulators at a
+// checkpoint boundary.
+func (s *Store) SaveProgress(j Job, p progress) error {
+	buf, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding progress: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, ckptDir), ".progress-*")
+	if err != nil {
+		return fmt.Errorf("sweep: creating progress file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: writing progress: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: writing progress: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.progressPath(j.ID)); err != nil {
+		return fmt.Errorf("sweep: committing progress: %w", err)
+	}
+	return nil
+}
+
+// LoadProgress reads the job's progress sidecar, reporting ok=false
+// when absent or unreadable.
+func (s *Store) LoadProgress(j Job) (progress, bool) {
+	buf, err := os.ReadFile(s.progressPath(j.ID))
+	if err != nil {
+		return progress{}, false
+	}
+	var p progress
+	if err := json.Unmarshal(buf, &p); err != nil {
+		return progress{}, false
+	}
+	return p, true
+}
+
+// HasCheckpoint reports whether an in-flight sim checkpoint exists for
+// the job.
+func (s *Store) HasCheckpoint(j Job) bool {
+	_, err := os.Stat(s.CheckpointPath(j))
+	return err == nil
+}
+
+// DropTransient removes the job's checkpoint and progress files (used
+// when falling back to a from-scratch run).
+func (s *Store) DropTransient(j Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropTransientLocked(j.ID)
+}
+
+func (s *Store) dropTransientLocked(id string) {
+	os.Remove(filepath.Join(s.dir, ckptDir, id+".ckpt"))
+	os.Remove(s.progressPath(id))
+}
+
+// Compact rewrites the manifest with the given jobs' entries first, in
+// job order, followed by any other recorded entries sorted by ID. A
+// completed sweep therefore leaves a manifest whose bytes depend only
+// on the grid — not on scheduling, concurrency, or how many times the
+// sweep was killed and resumed. The rewrite is atomic.
+func (s *Store) Compact(jobs []Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ordered []*Entry
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.ID] {
+			continue
+		}
+		seen[j.ID] = true
+		if e, ok := s.entries[j.ID]; ok {
+			ordered = append(ordered, e)
+		}
+	}
+	var extra []string
+	for id := range s.entries {
+		if !seen[id] {
+			extra = append(extra, id)
+		}
+	}
+	sort.Strings(extra)
+	for _, id := range extra {
+		ordered = append(ordered, s.entries[id])
+	}
+
+	tmp, err := os.CreateTemp(s.dir, ".manifest-*")
+	if err != nil {
+		return fmt.Errorf("sweep: compacting manifest: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	for _, e := range ordered {
+		line, err := json.Marshal(e)
+		if err != nil {
+			tmp.Close()
+			return fmt.Errorf("sweep: encoding manifest entry: %w", err)
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			tmp.Close()
+			return fmt.Errorf("sweep: writing manifest: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: writing manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: writing manifest: %w", err)
+	}
+	path := filepath.Join(s.dir, manifestName)
+	if s.f != nil {
+		s.f.Close()
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("sweep: committing manifest: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("sweep: reopening manifest: %w", err)
+	}
+	s.f = f
+	return nil
+}

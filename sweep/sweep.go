@@ -1,0 +1,58 @@
+// Package sweep is the experiment-sweep engine of the GSFL
+// reproduction: it runs whole grids of simulation jobs concurrently,
+// resumably, and deterministically.
+//
+// It layers three ideas on top of the run API (gsfl/sim):
+//
+//   - A declarative Grid (re-exported from the experiment layer): a base
+//     Spec plus per-dimension value lists (schemes, cut layers, group
+//     counts, allocators, seeds, quantization, dropout, …) that expands
+//     into Jobs with stable content-hash IDs. Equal IDs mean bit-equal
+//     results, so overlapping grids deduplicate and finished work is
+//     never redone.
+//
+//   - A Scheduler that executes N jobs concurrently, each driving its
+//     own sim.Runner under a per-job context, while splitting one global
+//     worker budget across in-flight jobs (parallel.Budget) so a sweep
+//     never oversubscribes the machine. Job progress streams to
+//     observers as structured Events.
+//
+//   - A Store that makes sweeps resumable: a JSON-lines manifest plus a
+//     per-job curve CSV under a results directory. Re-running a sweep
+//     skips jobs whose IDs are already recorded; jobs killed mid-run
+//     restart from their sim checkpoint and continue bit-identically.
+//
+// Determinism contract: every job is bit-identical for any worker count
+// and any schedule (see internal/parallel), results are ordered by job
+// position, and the manifest is compacted into job order when a sweep
+// completes — so a grid run at Jobs=1 and Jobs=8, or killed and
+// resumed, produces byte-identical manifests and curve files.
+//
+// Minimal use:
+//
+//	grid := experiment.Fig2aGrid(spec, 50, 5)
+//	jobs, _ := grid.Jobs()
+//	store, _ := sweep.OpenStore("results/sweep")
+//	defer store.Close()
+//	sched := &sweep.Scheduler{Jobs: 4, CheckpointEvery: 10}
+//	results, err := sched.Run(ctx, jobs, store)
+package sweep
+
+import (
+	"gsfl/internal/experiment"
+)
+
+// Aliases re-export the grid vocabulary so sweep callers need no
+// internal imports.
+type (
+	// Spec describes one experimental configuration.
+	Spec = experiment.Spec
+	// Grid is a declarative sweep: a base Spec plus swept axes.
+	Grid = experiment.Grid
+	// Axes lists the values each swept dimension takes.
+	Axes = experiment.Axes
+	// Job is one expanded grid cell with a stable content-hash ID.
+	Job = experiment.Job
+	// JobResult is one completed cell: curve plus latency ledger.
+	JobResult = experiment.JobResult
+)
