@@ -1,0 +1,115 @@
+// Package cliutil holds the flag vocabulary shared by the harness CLIs
+// (gsfl-sim, gsfl-bench, gsfl-sweep): the environment knobs every
+// command exposes (-alloc, -strategy, -arch, -workers), the -scale
+// presets mapping to experiment specs, and the -list registry dump.
+// Centralizing them keeps the commands' help text, accepted tokens, and
+// defaults identical.
+//
+// It is built entirely on the public gsfl/env and gsfl/sim packages —
+// allocator, strategy, and architecture tokens resolve through the env
+// registries, so out-of-tree extensions registered by an embedding
+// program show up in help text, -list output, and flag parsing with no
+// changes here.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"gsfl/env"
+	"gsfl/sim"
+)
+
+// EnvFlags are the CLI knobs shared by every harness command. Register
+// them on a FlagSet, parse, then Apply onto a Spec.
+type EnvFlags struct {
+	// Alloc, Strategy, and Arch are registry-name tokens (resolved and
+	// canonicalized by Apply).
+	Alloc    string
+	Strategy string
+	Arch     string
+	// Workers is the worker-goroutine budget flag value.
+	Workers int
+}
+
+// Register declares the shared flags on fs with the harness's canonical
+// names, defaults, and help strings. The accepted tokens come from the
+// env registries, so help text always matches what is registered.
+func (e *EnvFlags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&e.Alloc, "alloc", "uniform",
+		"bandwidth allocator: "+strings.Join(env.Allocators(), "|"))
+	fs.StringVar(&e.Strategy, "strategy", "roundrobin",
+		"grouping strategy: "+strings.Join(env.Strategies(), "|"))
+	fs.StringVar(&e.Arch, "arch", env.DefaultArch,
+		"model architecture: "+strings.Join(env.Archs(), "|"))
+	fs.IntVar(&e.Workers, "workers", 0, "worker goroutines for parallel execution (0 = GOMAXPROCS, 1 = serial)")
+}
+
+// Apply resolves the allocator, strategy, and architecture tokens
+// through the env registries and writes their canonical names onto
+// spec.
+func (e *EnvFlags) Apply(spec *env.Spec) error {
+	alloc, err := env.CanonicalAllocator(e.Alloc)
+	if err != nil {
+		return err
+	}
+	spec.Alloc = alloc
+	strategy, err := env.CanonicalStrategy(e.Strategy)
+	if err != nil {
+		return err
+	}
+	spec.Strategy = strategy
+	arch, err := env.CanonicalArch(e.Arch)
+	if err != nil {
+		return err
+	}
+	spec.Arch = arch
+	return nil
+}
+
+// Scale is one -scale preset: the base spec plus the round budget,
+// evaluation cadence, and table-1 target accuracy the harness uses at
+// that size.
+type Scale struct {
+	Spec      env.Spec
+	Rounds    int
+	EvalEvery int
+	Target    float64
+}
+
+// ParseScale maps a -scale token to its preset.
+func ParseScale(name string) (Scale, error) {
+	switch name {
+	case "test":
+		return Scale{Spec: env.TestSpec(), Rounds: 6, EvalEvery: 2, Target: 0.3}, nil
+	case "medium":
+		spec := env.PaperSpec()
+		spec.Clients = 30
+		spec.Groups = 6
+		spec.ImageSize = 16
+		spec.TrainPerClient = 80
+		spec.TestPerClass = 5
+		spec.Hyper.Batch = 16
+		spec.Hyper.StepsPerClient = 2
+		spec.Device.N = spec.Clients
+		return Scale{Spec: spec, Rounds: 40, EvalEvery: 4, Target: 0.6}, nil
+	case "paper":
+		return Scale{Spec: env.PaperSpec(), Rounds: 200, EvalEvery: 10, Target: 0.85}, nil
+	default:
+		return Scale{}, fmt.Errorf("unknown scale %q (want test|medium|paper)", name)
+	}
+}
+
+// PrintRegistries writes every extension registry's contents — schemes,
+// allocators, grouping strategies, model architectures, dataset
+// generators — one section per line, to w. It is the single source of
+// the -list output shared by gsfl-sim and gsfl-sweep.
+func PrintRegistries(w io.Writer) {
+	fmt.Fprintf(w, "schemes:     %s\n", strings.Join(sim.Schemes(), " "))
+	fmt.Fprintf(w, "allocators:  %s\n", strings.Join(env.Allocators(), " "))
+	fmt.Fprintf(w, "strategies:  %s\n", strings.Join(env.Strategies(), " "))
+	fmt.Fprintf(w, "archs:       %s\n", strings.Join(env.Archs(), " "))
+	fmt.Fprintf(w, "datasets:    %s\n", strings.Join(env.Datasets(), " "))
+}

@@ -1,0 +1,74 @@
+package cliutil
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"gsfl/env"
+)
+
+func TestParseScale(t *testing.T) {
+	for _, name := range []string{"test", "medium", "paper"} {
+		sc, err := ParseScale(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Spec.Clients <= 0 || sc.Rounds <= 0 || sc.EvalEvery <= 0 || sc.Target <= 0 {
+			t.Fatalf("%s: nonsense scale %+v", name, sc)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}
+
+func TestEnvFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var e EnvFlags
+	e.Register(fs)
+	if err := fs.Parse([]string{"-alloc", "latmin", "-strategy", "balanced", "-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	spec := env.TestSpec()
+	if err := e.Apply(&spec); err != nil {
+		t.Fatal(err)
+	}
+	// Apply canonicalizes aliases, so hashes and CSVs record one name.
+	if spec.Alloc != "latency-min" || spec.Strategy != "compute-balanced" || spec.Arch != env.DefaultArch || e.Workers != 3 {
+		t.Fatalf("flags not applied: alloc=%s strategy=%s arch=%s workers=%d", spec.Alloc, spec.Strategy, spec.Arch, e.Workers)
+	}
+	if err := e.Apply(&spec); err != nil {
+		t.Fatal(err)
+	}
+	bad := EnvFlags{Alloc: "nope", Strategy: "roundrobin", Arch: env.DefaultArch}
+	if err := bad.Apply(&spec); err == nil {
+		t.Fatal("expected allocator error")
+	}
+	bad = EnvFlags{Alloc: "uniform", Strategy: "nope", Arch: env.DefaultArch}
+	if err := bad.Apply(&spec); err == nil {
+		t.Fatal("expected strategy error")
+	}
+	bad = EnvFlags{Alloc: "uniform", Strategy: "roundrobin", Arch: "nope"}
+	if err := bad.Apply(&spec); err == nil {
+		t.Fatal("expected architecture error")
+	}
+}
+
+func TestPrintRegistries(t *testing.T) {
+	var sb strings.Builder
+	PrintRegistries(&sb)
+	out := sb.String()
+	// One source of truth: every built-in registry name must appear.
+	for _, want := range []string{
+		"gsfl", "sl", "fl", "cl", "sfl", // schemes
+		"uniform", "proportional-fair", "latency-min", // allocators
+		"round-robin", "random", "compute-balanced", // strategies
+		"gtsrb-cnn", "deepthin-cnn", "mlp", // archs
+		"gtsrb-synth", // datasets
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}

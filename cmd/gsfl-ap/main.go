@@ -17,10 +17,7 @@ import (
 	"os"
 	"time"
 
-	"gsfl/internal/gtsrb"
-	"gsfl/internal/model"
-	"gsfl/internal/partition"
-	"gsfl/internal/transport"
+	"gsfl/env"
 )
 
 func main() {
@@ -40,7 +37,7 @@ func run(args []string) error {
 		steps     = fs.Int("steps", 2, "mini-batches per client turn")
 		imageSize = fs.Int("image-size", 8, "synthetic GTSRB image edge")
 		testPer   = fs.Int("test-per-class", 2, "test samples per class")
-		cut       = fs.Int("cut", model.GTSRBCNNDefaultCut, "cut layer index")
+		cut       = fs.Int("cut", env.DefaultCut, "cut layer index")
 		lr        = fs.Float64("lr", 0.02, "server-side learning rate")
 		momentum  = fs.Float64("momentum", 0.9, "server-side momentum")
 		seed      = fs.Int64("seed", 7, "model init seed")
@@ -50,11 +47,21 @@ func run(args []string) error {
 		return err
 	}
 
-	arch := model.GTSRBCNN(*imageSize, gtsrb.NumClasses)
-	test := gtsrb.NewGenerator(gtsrb.DefaultConfig(*imageSize), *seed+1).Balanced(*testPer)
-	groupAssign := partition.Groups(*clients, *groups, partition.GroupRoundRobin, nil, nil)
+	src, err := env.NewDataset(env.DefaultDataset, env.DataConfig{ImageSize: *imageSize, Seed: *seed + 1})
+	if err != nil {
+		return err
+	}
+	arch, err := env.NewArch(env.DefaultArch, env.ArchConfig{ImageSize: *imageSize, Classes: src.Classes()})
+	if err != nil {
+		return err
+	}
+	test := src.Balanced(*testPer)
+	groupAssign, err := env.GroupClients(*clients, *groups, "round-robin", nil, nil)
+	if err != nil {
+		return err
+	}
 
-	ap, err := transport.NewAP(*addr, transport.APConfig{
+	ap, err := env.NewAP(*addr, env.APConfig{
 		Arch:           arch,
 		Cut:            *cut,
 		Groups:         groupAssign,

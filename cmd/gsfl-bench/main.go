@@ -39,10 +39,8 @@ import (
 	"path/filepath"
 	"time"
 
-	"gsfl/internal/cliutil"
-	"gsfl/internal/experiment"
-	"gsfl/internal/parallel"
-	"gsfl/internal/trace"
+	"gsfl/cliutil"
+	"gsfl/sim"
 	"gsfl/sweep"
 )
 
@@ -71,7 +69,7 @@ func run(args []string) error {
 		return err
 	}
 	if *benchJSON != "" {
-		return runBenchJSON(*benchJSON, *benchLabel)
+		return sweep.WriteHotPathBench(*benchJSON, *benchLabel)
 	}
 	sc, err := cliutil.ParseScale(*scale)
 	if err != nil {
@@ -88,7 +86,7 @@ func run(args []string) error {
 	// Grid-backed experiments: expand the selected grids, schedule every
 	// cell once (IDs deduplicate overlaps like table1 ⊂ fig2a), then fold
 	// each experiment's slice of results into its CSVs.
-	catalogue := experiment.GridExperiments(spec, r, evalEvery, target)
+	catalogue := sweep.GridExperiments(spec, r, evalEvery, target)
 	known := map[string]bool{"table3": true, "validate": true, "all": true}
 	for _, e := range catalogue {
 		known[e.Name] = true
@@ -97,7 +95,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 
-	sel, err := experiment.SelectGridExperiments(catalogue, *exp)
+	sel, err := sweep.SelectGridExperiments(catalogue, *exp)
 	if err != nil {
 		return err
 	}
@@ -118,7 +116,7 @@ func run(args []string) error {
 	}
 
 	// table3/validate run outside the scheduler, on the full budget.
-	parallel.SetWorkers(env.Workers)
+	sim.SetWorkers(env.Workers)
 
 	run := func(name string, f func() error) error {
 		if *exp != "all" && *exp != name {
@@ -133,7 +131,7 @@ func run(args []string) error {
 	}
 
 	if err := run("table3", func() error {
-		tbl, err := experiment.RunTable3(spec)
+		tbl, err := sweep.RunTable3(spec)
 		if err != nil {
 			return err
 		}
@@ -143,13 +141,13 @@ func run(args []string) error {
 	}
 
 	return run("validate", func() error {
-		res, err := experiment.RunValidationEventDriven(spec)
+		res, err := sweep.RunValidationEventDriven(spec)
 		if err != nil {
 			return err
 		}
-		tbl := trace.NewTable("latency-model-validation",
+		tbl := sweep.NewTable("latency-model-validation",
 			"analytic_s", "event_driven_s", "relative_gap")
-		tbl.Add(trace.Row{
+		tbl.Add(sweep.Row{
 			"analytic_s":     fmt.Sprintf("%.4f", res.AnalyticSeconds),
 			"event_driven_s": fmt.Sprintf("%.4f", res.EventDrivenSeconds),
 			"relative_gap":   fmt.Sprintf("%+.4f", res.RelativeGap),

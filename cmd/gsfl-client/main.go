@@ -11,9 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"gsfl/internal/gtsrb"
-	"gsfl/internal/model"
-	"gsfl/internal/transport"
+	"gsfl/env"
 )
 
 func main() {
@@ -30,7 +28,7 @@ func run(args []string) error {
 		id        = fs.Int("id", 0, "client ID (must appear in the AP's groups)")
 		samples   = fs.Int("samples", 60, "private training samples")
 		imageSize = fs.Int("image-size", 8, "synthetic GTSRB image edge (must match AP)")
-		cut       = fs.Int("cut", model.GTSRBCNNDefaultCut, "cut layer index (must match AP)")
+		cut       = fs.Int("cut", env.DefaultCut, "cut layer index (must match AP)")
 		batch     = fs.Int("batch", 8, "mini-batch size")
 		lr        = fs.Float64("lr", 0.02, "client-side learning rate")
 		momentum  = fs.Float64("momentum", 0.9, "client-side momentum")
@@ -43,11 +41,17 @@ func run(args []string) error {
 		return fmt.Errorf("client id %d must be non-negative", *id)
 	}
 
-	arch := model.GTSRBCNN(*imageSize, gtsrb.NumClasses)
-	gen := gtsrb.NewGenerator(gtsrb.DefaultConfig(*imageSize), *dataSeed+int64(*id))
-	train := gen.Dataset(*samples, nil)
+	src, err := env.NewDataset(env.DefaultDataset, env.DataConfig{ImageSize: *imageSize, Seed: *dataSeed + int64(*id)})
+	if err != nil {
+		return err
+	}
+	arch, err := env.NewArch(env.DefaultArch, env.ArchConfig{ImageSize: *imageSize, Classes: src.Classes()})
+	if err != nil {
+		return err
+	}
+	train := src.Pool(*samples)
 
-	client, err := transport.Dial(*addr, transport.ClientConfig{
+	client, err := env.Dial(*addr, env.ClientConfig{
 		ID:       *id,
 		Arch:     arch,
 		Cut:      *cut,

@@ -18,7 +18,7 @@ import (
 	"path/filepath"
 	"strconv"
 
-	"gsfl/internal/gtsrb"
+	"gsfl/env"
 )
 
 func main() {
@@ -42,9 +42,14 @@ func run(args []string) error {
 		return err
 	}
 
-	cfg := gtsrb.DefaultConfig(*size)
-	cfg.NoiseStd = *noise
-	gen := gtsrb.NewGenerator(cfg, *seed)
+	src, err := env.NewDataset(env.DefaultDataset, env.DataConfig{
+		ImageSize: *size,
+		Seed:      *seed,
+		Options:   map[string]float64{"noise_std": *noise},
+	})
+	if err != nil {
+		return err
+	}
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
@@ -52,17 +57,17 @@ func run(args []string) error {
 
 	switch *format {
 	case "png":
-		return writePNGs(gen, *outDir, *perClass, *size)
+		return writePNGs(src, *outDir, *perClass, *size)
 	case "csv":
-		return writeCSV(gen, *outDir, *perClass, *size)
+		return writeCSV(src, *outDir, *perClass, *size)
 	default:
 		return fmt.Errorf("unknown format %q (want png|csv)", *format)
 	}
 }
 
-func writePNGs(gen *gtsrb.Generator, dir string, perClass, size int) error {
+func writePNGs(gen env.DataSource, dir string, perClass, size int) error {
 	plane := size * size
-	for c := 0; c < gtsrb.NumClasses; c++ {
+	for c := 0; c < gen.Classes(); c++ {
 		for i := 0; i < perClass; i++ {
 			feats, label := gen.Sample(c)
 			img := image.NewRGBA(image.Rect(0, 0, size, size))
@@ -91,11 +96,11 @@ func writePNGs(gen *gtsrb.Generator, dir string, perClass, size int) error {
 			}
 		}
 	}
-	fmt.Printf("wrote %d PNGs to %s\n", gtsrb.NumClasses*perClass, dir)
+	fmt.Printf("wrote %d PNGs to %s\n", gen.Classes()*perClass, dir)
 	return nil
 }
 
-func writeCSV(gen *gtsrb.Generator, dir string, perClass, size int) error {
+func writeCSV(gen env.DataSource, dir string, perClass, size int) error {
 	path := filepath.Join(dir, "gtsrb_synthetic.csv")
 	f, err := os.Create(path)
 	if err != nil {
@@ -111,7 +116,7 @@ func writeCSV(gen *gtsrb.Generator, dir string, perClass, size int) error {
 	if err := w.Write(header); err != nil {
 		return err
 	}
-	for c := 0; c < gtsrb.NumClasses; c++ {
+	for c := 0; c < gen.Classes(); c++ {
 		for i := 0; i < perClass; i++ {
 			feats, label := gen.Sample(c)
 			rec := make([]string, 1, 1+len(feats))
@@ -128,6 +133,6 @@ func writeCSV(gen *gtsrb.Generator, dir string, perClass, size int) error {
 	if err := w.Error(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d samples to %s\n", gtsrb.NumClasses*perClass, path)
+	fmt.Printf("wrote %d samples to %s\n", gen.Classes()*perClass, path)
 	return f.Close()
 }

@@ -5,7 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"gsfl/internal/gtsrb"
+	"gsfl/env"
 )
 
 func TestRunPNG(t *testing.T) {
@@ -18,8 +18,12 @@ func TestRunPNG(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != gtsrb.NumClasses {
-		t.Fatalf("wrote %d PNGs, want %d", len(entries), gtsrb.NumClasses)
+	src, err := env.NewDataset(env.DefaultDataset, env.DataConfig{ImageSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != src.Classes() {
+		t.Fatalf("wrote %d PNGs, want %d", len(entries), src.Classes())
 	}
 }
 

@@ -24,11 +24,8 @@ import (
 	"os"
 	"os/signal"
 
-	"gsfl/internal/cliutil"
-	"gsfl/internal/experiment"
-	"gsfl/internal/metrics"
-	"gsfl/internal/simnet"
-	"gsfl/internal/trace"
+	"gsfl/cliutil"
+	"gsfl/env"
 	"gsfl/sim"
 )
 
@@ -67,14 +64,19 @@ func run(ctx context.Context, args []string) error {
 		ckpt      = fs.String("checkpoint", "", "checkpoint file path")
 		ckptEvery = fs.Int("checkpoint-every", 10, "rounds between checkpoints (with -checkpoint)")
 		resume    = fs.Bool("resume", false, "resume from the -checkpoint file (its scheme and options win over -scheme; the env flags must match the original run)")
+		list      = fs.Bool("list", false, "list the registered schemes, allocators, strategies, archs, and datasets, then exit")
 	)
 	var envFlags cliutil.EnvFlags
 	envFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		cliutil.PrintRegistries(os.Stdout)
+		return nil
+	}
 
-	spec := experiment.PaperSpec()
+	spec := env.PaperSpec()
 	spec.Clients = *clients
 	spec.Groups = *groups
 	spec.ImageSize = *imageSize
@@ -96,7 +98,7 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 
-	env, err := experiment.Build(spec)
+	world, err := env.Build(spec)
 	if err != nil {
 		return err
 	}
@@ -132,7 +134,7 @@ func run(ctx context.Context, args []string) error {
 		}
 		// The checkpoint dictates the scheme and its options; -scheme is
 		// ignored on resume.
-		if runner, err = sim.Resume(*ckpt, env, opts...); err != nil {
+		if runner, err = sim.Resume(*ckpt, world, opts...); err != nil {
 			return err
 		}
 		if !*jsonOut {
@@ -140,7 +142,11 @@ func run(ctx context.Context, args []string) error {
 				runner.Scheme(), *ckpt, runner.CompletedRounds(), *rounds)
 		}
 	} else {
-		tr, err := sim.New(*scheme, env, spec.SchemeOptions())
+		schemeOpts, err := spec.SchemeOptions()
+		if err != nil {
+			return err
+		}
+		tr, err := sim.New(*scheme, world, schemeOpts)
 		if err != nil {
 			return err
 		}
@@ -163,7 +169,7 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	if *out != "" {
-		if err := trace.SaveCurvesCSV(*out, []*metrics.Curve{curve}); err != nil {
+		if err := sim.SaveCurvesCSV(*out, []*sim.Curve{curve}); err != nil {
 			return err
 		}
 		if !*jsonOut {
@@ -210,7 +216,7 @@ func jsonObserver(w *os.File) sim.Observer {
 			Components:     map[string]float64{},
 			Checkpoint:     e.CheckpointPath,
 		}
-		for _, c := range simnet.Components() {
+		for _, c := range sim.Components() {
 			if s := e.Ledger.Get(c); s > 0 {
 				ev.Components[c.String()] = s
 			}

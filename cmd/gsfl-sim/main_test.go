@@ -134,3 +134,44 @@ func TestResumeRejectsChangedFlagsCLI(t *testing.T) {
 		t.Fatal("resume with changed env flags must error")
 	}
 }
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestListFlag(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run(context.Background(), []string{"-list"}); err != nil {
+			t.Error(err)
+		}
+	})
+	// One source of truth — the registries — so every built-in name must
+	// stream through -list.
+	for _, want := range []string{
+		"schemes:", "gsfl", "allocators:", "proportional-fair",
+		"strategies:", "compute-balanced", "archs:", "deepthin-cnn",
+		"datasets:", "gtsrb-synth",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -15,11 +15,13 @@
 // the grid — not on -jobs, scheduling, or how often the sweep was
 // interrupted.
 //
-// A grid file selects a base via -scale and sweeps any subset of axes:
+// A grid file selects a base via -scale, optionally patches it with a
+// partial env.Spec ("base"), and sweeps any subset of axes:
 //
 //	{
 //	  "name": "noniid-x-dropout",
 //	  "rounds": 6, "eval_every": 2,
+//	  "base": {"arch": "gtsrb-cnn", "alloc": "latency-min", "image_size": 8},
 //	  "axes": {
 //	    "alphas": [0.1, 1],
 //	    "dropouts": [0, 0.2],
@@ -43,8 +45,7 @@ import (
 	"os/signal"
 	"time"
 
-	"gsfl/internal/cliutil"
-	"gsfl/internal/experiment"
+	"gsfl/cliutil"
 	"gsfl/sweep"
 )
 
@@ -69,11 +70,16 @@ func run(ctx context.Context, args []string) error {
 		resume    = fs.Bool("resume", false, "skip jobs already in the manifest and continue killed in-flight jobs from their checkpoints")
 		ckptEvery = fs.Int("checkpoint-every", 2, "rounds between in-flight job checkpoints (0 disables mid-job resume)")
 		quiet     = fs.Bool("quiet", false, "suppress per-job progress lines")
+		list      = fs.Bool("list", false, "list the registered schemes, allocators, strategies, archs, and datasets, then exit")
 	)
 	var env cliutil.EnvFlags
 	env.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		cliutil.PrintRegistries(os.Stdout)
+		return nil
 	}
 	if (*gridFile == "") == (*exp == "") {
 		return fmt.Errorf("choose exactly one of -grid or -exp")
@@ -89,7 +95,7 @@ func run(ctx context.Context, args []string) error {
 
 	// Assemble the job list and, for named experiments, the figure folds
 	// to apply afterwards.
-	var sel experiment.GridSelection
+	var sel sweep.GridSelection
 	if *gridFile != "" {
 		grid, err := loadGrid(*gridFile, spec, sc.Rounds, sc.EvalEvery)
 		if err != nil {
@@ -106,7 +112,7 @@ func run(ctx context.Context, args []string) error {
 		if *rounds > 0 {
 			r = *rounds
 		}
-		catalogue := experiment.GridExperiments(spec, r, sc.EvalEvery, sc.Target)
+		catalogue := sweep.GridExperiments(spec, r, sc.EvalEvery, sc.Target)
 		known := map[string]bool{"all": true}
 		for _, e := range catalogue {
 			known[e.Name] = true
@@ -114,7 +120,7 @@ func run(ctx context.Context, args []string) error {
 		if !known[*exp] {
 			return fmt.Errorf("unknown experiment %q", *exp)
 		}
-		if sel, err = experiment.SelectGridExperiments(catalogue, *exp); err != nil {
+		if sel, err = sweep.SelectGridExperiments(catalogue, *exp); err != nil {
 			return err
 		}
 	}
@@ -157,12 +163,17 @@ type gridFileSpec struct {
 	Name      string          `json:"name"`
 	Rounds    int             `json:"rounds"`
 	EvalEvery int             `json:"eval_every"`
-	Axes      experiment.Axes `json:"axes"`
+	Base      json.RawMessage `json:"base,omitempty"`
+	Axes      sweep.Axes      `json:"axes"`
 }
 
 // loadGrid reads a grid file over the scale's base spec. Rounds and
-// cadence default to the scale's when the file omits them.
-func loadGrid(path string, base experiment.Spec, defRounds, defEval int) (sweep.Grid, error) {
+// cadence default to the scale's when the file omits them. An optional
+// "base" object is an env.Spec patch applied onto the scale's spec
+// before the axes sweep — any Spec field, including registry-named
+// extension points (dataset, arch, alloc, strategy), is expressible
+// from a file.
+func loadGrid(path string, base sweep.Spec, defRounds, defEval int) (sweep.Grid, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return sweep.Grid{}, fmt.Errorf("reading grid: %w", err)
@@ -179,6 +190,14 @@ func loadGrid(path string, base experiment.Spec, defRounds, defEval int) (sweep.
 	}
 	if gf.EvalEvery == 0 {
 		gf.EvalEvery = defEval
+	}
+	if len(gf.Base) > 0 {
+		if err := json.Unmarshal(gf.Base, &base); err != nil {
+			return sweep.Grid{}, fmt.Errorf("parsing grid %s base spec: %w", path, err)
+		}
+		if err := base.Validate(); err != nil {
+			return sweep.Grid{}, fmt.Errorf("grid %s base spec: %w", path, err)
+		}
 	}
 	return sweep.Grid{
 		Name: gf.Name, Base: base,

@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -70,5 +72,71 @@ func TestRunFlagValidation(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-exp", "fig2a", "-scale", "bogus"}); err == nil {
 		t.Fatal("expected error for unknown scale")
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(context.Background(), []string{"-list"})
+	os.Stdout = old
+	w.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(buf)
+	for _, want := range []string{"schemes:", "allocators:", "strategies:", "archs:", "datasets:", "latency-min", "round-robin"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGridFileBasePatch drives the env.Spec patch path: the grid file
+// overrides base-spec fields (here the allocator and image size) that
+// no axis sweeps, so external grids can express full world
+// configurations.
+func TestGridFileBasePatch(t *testing.T) {
+	tmp := t.TempDir()
+	grid := filepath.Join(tmp, "grid.json")
+	if err := os.WriteFile(grid, []byte(`{
+		"name": "patched",
+		"rounds": 2, "eval_every": 1,
+		"base": {"alloc": "latency-min", "train_per_client": 20},
+		"axes": {"schemes": ["gsfl"]}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(tmp, "store")
+	if err := run(context.Background(), []string{"-grid", grid, "-scale", "test", "-quiet", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, "manifest.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(manifest), `"name":"patched"`) {
+		t.Fatalf("manifest missing patched job: %s", manifest)
+	}
+
+	// A bad patch must fail up front with a field-specific error.
+	bad := filepath.Join(tmp, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{
+		"name": "broken", "rounds": 2, "eval_every": 1,
+		"base": {"alloc": "no-such-policy"},
+		"axes": {"schemes": ["gsfl"]}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"-grid", bad, "-scale", "test", "-quiet", "-out", filepath.Join(tmp, "store2")}); err == nil || !strings.Contains(err.Error(), "Alloc") {
+		t.Fatalf("expected base-spec validation error, got %v", err)
 	}
 }

@@ -2,43 +2,57 @@
 // Learning: Speed up Model Training in Resource-Limited Wireless
 // Networks" (Zhang et al., ICDCS 2023; arXiv:2305.18889).
 //
-// The public surface is two layers. The run API in gsfl/sim drives one
+// The public surface is three layers. The environment API in gsfl/env
+// describes and constructs the simulated world: a fully
+// JSON-serializable Spec whose extension points — bandwidth allocator,
+// grouping strategy, dataset generator, model architecture — are
+// referenced by registered name through four registries
+// (RegisterAllocator, RegisterStrategy, RegisterDataset, RegisterArch),
+// plus Build with eager field-specific validation and a facade for the
+// real-TCP deployment (NewAP, Dial). The run API in gsfl/sim drives one
 // scheme: a scheme registry the five schemes self-register into, a
 // context-aware Runner built with functional options that streams
 // structured RoundEvents as rounds complete, and checkpoint/resume that
 // continues killed runs bit-identically (curve, model bits, and latency
 // ledgers all match an uninterrupted run). The sweep engine in
-// gsfl/sweep drives whole experiment grids: declarative Grids expand
-// into jobs with stable content-hash IDs, a Scheduler trains N jobs
-// concurrently under a shared worker budget, and a Store (JSON-lines
-// manifest plus per-job curve CSVs) makes sweeps resumable and
-// byte-identical at any concurrency.
+// gsfl/sweep drives whole experiment grids: declarative Grids over
+// env.Specs expand into jobs with stable content-hash IDs, a Scheduler
+// trains N jobs concurrently under a shared worker budget, a Store
+// (JSON-lines manifest plus per-job curve CSVs) makes sweeps resumable
+// and byte-identical at any concurrency, and the paper's figure/table
+// catalogue with its folds is re-exported for harness frontends. The
+// shared CLI flag vocabulary lives in gsfl/cliutil, built on the public
+// API alone; env, sim, and sweep are the only packages allowed to
+// import gsfl/internal (enforced by a CI grep and env/boundary_test.go).
 //
 // The implementation lives under internal/: a tensor and neural-network
 // training framework (internal/tensor, internal/nn, internal/loss,
 // internal/optim) running on a shared bounded worker pool
 // (internal/parallel) with bit-identical results at any worker count,
-// the split-model container (internal/model), a synthetic GTSRB dataset
-// generator (internal/gtsrb), a wireless network and device simulator
-// (internal/wireless, internal/device, internal/simnet), the GSFL scheme
-// itself (internal/gsfl) — whose M groups really train on concurrent
-// goroutines — the CL, SL, FL, and SplitFed baselines
+// the split-model container and architecture registry (internal/model),
+// a synthetic GTSRB dataset generator (internal/gtsrb) behind the
+// dataset registry (internal/data), a wireless network and device
+// simulator (internal/wireless, internal/device, internal/simnet), the
+// GSFL scheme itself (internal/gsfl) — whose M groups really train on
+// concurrent goroutines — the CL, SL, FL, and SplitFed baselines
 // (internal/schemes/...), and the experiment harness that regenerates
-// every figure and table from the paper (internal/experiment), itself
-// built on gsfl/sim.
+// every figure and table from the paper (internal/experiment), itself a
+// thin consumer of gsfl/env and gsfl/sim.
 //
 // Entry points: cmd/gsfl-sim runs one scheme through the run API
-// (streaming table or JSON-lines output, checkpoint/resume),
-// cmd/gsfl-bench regenerates the paper's figures and tables as CSV
-// (concurrently with -jobs N, byte-identical at any N),
+// (streaming table or JSON-lines output, checkpoint/resume, -list for
+// the registries), cmd/gsfl-bench regenerates the paper's figures and
+// tables as CSV (concurrently with -jobs N, byte-identical at any N),
 // cmd/gsfl-sweep runs named or custom experiment grids through the
-// sweep engine (concurrent, resumable, kill-safe), cmd/gsfl-datagen
-// renders synthetic GTSRB samples, and cmd/gsfl-ap with
-// cmd/gsfl-client run GSFL as real TCP processes. The root-level
-// bench_test.go exposes one testing.B benchmark per experiment plus
-// serial-vs-parallel speedup benchmarks. README.md covers usage
-// (including migration notes for the pre-registry entry points);
-// docs/ARCHITECTURE.md covers the layer structure, the run API and its
-// checkpoint contract, the latency model, and the parallel execution
-// engine's determinism contract.
+// sweep engine (concurrent, resumable, kill-safe; grid files may patch
+// any env.Spec field), cmd/gsfl-datagen renders synthetic GTSRB
+// samples, and cmd/gsfl-ap with cmd/gsfl-client run GSFL as real TCP
+// processes — all of them, like the examples, built exclusively on the
+// public packages. internal/benchmarks exposes one testing.B benchmark
+// per experiment plus serial-vs-parallel speedup benchmarks. README.md
+// covers usage (including migration notes for the pre-registry entry
+// points and the env.Spec migration); docs/ARCHITECTURE.md covers the
+// layer structure, the environment API and its registries, the run API
+// and its checkpoint contract, the latency model, and the parallel
+// execution engine's determinism contract.
 package gsfl

@@ -1,0 +1,34 @@
+package env
+
+import (
+	"gsfl/internal/transport"
+)
+
+// This file re-exports the real-network deployment facade: the same
+// GSFL protocol the simulator prices virtually, executed over TCP
+// sockets by an access-point process and client processes. It lives in
+// the environment API because the AP and its clients are the physical
+// counterpart of the simulated world Build constructs — the demos
+// (cmd/gsfl-ap, cmd/gsfl-client, examples/network_deployment) assemble
+// both from the same vocabulary: a registered architecture, a dataset
+// source, and a grouping.
+
+type (
+	// AP is the access-point / edge-server side of the deployment: it
+	// listens for clients, drives training rounds, and evaluates.
+	AP = transport.AP
+	// APConfig configures an AP (architecture, cut, groups, test set,
+	// server-side hyperparameters).
+	APConfig = transport.APConfig
+	// Client is one client node serving training turns.
+	Client = transport.Client
+	// ClientConfig configures a client (id, architecture, cut, private
+	// shard, client-side hyperparameters).
+	ClientConfig = transport.ClientConfig
+)
+
+// NewAP starts an access point listening on addr.
+func NewAP(addr string, cfg APConfig) (*AP, error) { return transport.NewAP(addr, cfg) }
+
+// Dial connects a client node to an AP and registers it.
+func Dial(addr string, cfg ClientConfig) (*Client, error) { return transport.Dial(addr, cfg) }

@@ -1,0 +1,119 @@
+package env_test
+
+import (
+	"context"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"gsfl/env"
+	"gsfl/sim"
+)
+
+// This file is the out-of-tree usage proof: everything below touches
+// only the public gsfl/env and gsfl/sim packages, exactly as an
+// external program embedding the library would.
+
+// halfSplit is a custom bandwidth policy: the first listed client gets
+// half the budget, the rest share the remainder equally.
+type halfSplit struct{ calls *atomic.Int64 }
+
+func (halfSplit) Name() string { return "half-split" }
+
+func (h halfSplit) Allocate(ch *env.Channel, clients []int, budgetHz float64, uplink bool) []float64 {
+	h.calls.Add(1)
+	out := make([]float64, len(clients))
+	if len(out) == 1 {
+		out[0] = budgetHz
+		return out
+	}
+	out[0] = budgetHz / 2
+	rest := budgetHz / 2 / float64(len(clients)-1)
+	for i := 1; i < len(out); i++ {
+		out[i] = rest
+	}
+	return out
+}
+
+var (
+	allocCalls    atomic.Int64
+	stratCalls    atomic.Int64
+	extRegistered = registerExtensions()
+)
+
+// registerExtensions installs the custom allocator and strategy once,
+// at init time, like an out-of-tree package's init function would.
+func registerExtensions() bool {
+	env.RegisterAllocator(halfSplit{calls: &allocCalls}, "half")
+	env.RegisterStrategy("reverse-chunks", func(n, m int, capacity []float64, rng env.Rng) [][]int {
+		stratCalls.Add(1)
+		// Contiguous chunks assigned back to front: client n-1 lands in
+		// group 0.
+		out := make([][]int, m)
+		for i := 0; i < n; i++ {
+			g := (n - 1 - i) % m
+			out[g] = append(out[g], i)
+		}
+		for g := range out {
+			sort.Ints(out[g])
+		}
+		return out
+	})
+	return true
+}
+
+// TestOutOfTreeExtensionEndToEnd registers a custom allocator and
+// grouping strategy by name, selects both through a JSON-shaped Spec,
+// and runs the result through env.Build + sim.NewRunner.
+func TestOutOfTreeExtensionEndToEnd(t *testing.T) {
+	if !extRegistered {
+		t.Fatal("extensions not registered")
+	}
+	spec := env.TestSpec()
+	spec.Alloc = "half" // alias resolves like a built-in shorthand
+	spec.Strategy = "reverse-chunks"
+
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("spec naming custom extensions must validate: %v", err)
+	}
+	if got, err := env.CanonicalAllocator("half"); err != nil || got != "half-split" {
+		t.Fatalf("custom alias canonicalization: %q, %v", got, err)
+	}
+
+	world, err := env.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := spec.SchemeOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.New("gsfl", world, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := sim.NewRunner(tr, sim.WithRounds(2), sim.WithEvalEvery(1)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 2 {
+		t.Fatalf("expected 2 evaluations, got %d", len(curve.Points))
+	}
+	if allocCalls.Load() == 0 {
+		t.Fatal("custom allocator was never consulted")
+	}
+	if stratCalls.Load() == 0 {
+		t.Fatal("custom grouping strategy was never consulted")
+	}
+
+	// The custom grouping must actually shape the groups: with 6 clients
+	// in 2 groups, reverse-chunks puts odd client indices in group 0.
+	groups, err := env.GroupClients(6, 2, "reverse-chunks", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 5}
+	if len(groups[0]) != 3 || groups[0][0] != want[0] || groups[0][1] != want[1] || groups[0][2] != want[2] {
+		t.Fatalf("custom strategy not dispatched: %v", groups)
+	}
+}

@@ -1,0 +1,139 @@
+package env_test
+
+import (
+	"strings"
+	"testing"
+
+	"gsfl/env"
+)
+
+// mustPanic runs f and fails unless it panics with a message containing
+// want.
+func mustPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v does not contain %q", r, want)
+		}
+	}()
+	f()
+}
+
+// dupAllocator is a minimal allocator whose Name collides with the
+// built-in uniform policy.
+type dupAllocator struct{}
+
+func (dupAllocator) Name() string { return "uniform" }
+func (dupAllocator) Allocate(ch *env.Channel, clients []int, budgetHz float64, uplink bool) []float64 {
+	out := make([]float64, len(clients))
+	for i := range out {
+		out[i] = budgetHz / float64(len(clients))
+	}
+	return out
+}
+
+func TestRegistryDuplicatesPanic(t *testing.T) {
+	mustPanic(t, "registered twice", func() { env.RegisterAllocator(dupAllocator{}) })
+	mustPanic(t, "registered twice", func() {
+		env.RegisterStrategy("round-robin", func(n, m int, capacity []float64, rng env.Rng) [][]int { return nil })
+	})
+	mustPanic(t, "registered twice", func() {
+		env.RegisterDataset("gtsrb-synth", func(cfg env.DataConfig) (env.DataSource, error) { return nil, nil })
+	})
+	mustPanic(t, "registered twice", func() {
+		env.RegisterArch("gtsrb-cnn", func(cfg env.ArchConfig) (env.Arch, error) { return env.Arch{}, nil })
+	})
+	mustPanic(t, "empty", func() {
+		env.RegisterStrategy("", func(n, m int, capacity []float64, rng env.Rng) [][]int { return nil })
+	})
+	mustPanic(t, "nil", func() { env.RegisterArch("ghost", nil) })
+}
+
+func TestRegistryUnknownNamesError(t *testing.T) {
+	if _, err := env.NewAllocator("no-such-policy"); err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown allocator must list what is registered, got %v", err)
+	}
+	if _, err := env.CanonicalStrategy("no-such-strategy"); err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown strategy must list what is registered, got %v", err)
+	}
+	if _, err := env.NewDataset("no-such-dataset", env.DataConfig{ImageSize: 8}); err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown dataset must list what is registered, got %v", err)
+	}
+	if _, err := env.NewArch("no-such-arch", env.ArchConfig{ImageSize: 8, Classes: 2}); err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("unknown arch must list what is registered, got %v", err)
+	}
+}
+
+func TestRegistryListsIncludeBuiltins(t *testing.T) {
+	has := func(list []string, want string) bool {
+		for _, n := range list {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{"uniform", "proportional-fair", "latency-min"} {
+		if !has(env.Allocators(), want) {
+			t.Fatalf("Allocators() missing %q: %v", want, env.Allocators())
+		}
+	}
+	for _, want := range []string{"round-robin", "random", "compute-balanced"} {
+		if !has(env.Strategies(), want) {
+			t.Fatalf("Strategies() missing %q: %v", want, env.Strategies())
+		}
+	}
+	for _, want := range []string{"gtsrb-cnn", "deepthin-cnn", "mlp"} {
+		if !has(env.Archs(), want) {
+			t.Fatalf("Archs() missing %q: %v", want, env.Archs())
+		}
+	}
+	if !has(env.Datasets(), "gtsrb-synth") {
+		t.Fatalf("Datasets() missing gtsrb-synth: %v", env.Datasets())
+	}
+}
+
+func TestCanonicalization(t *testing.T) {
+	for _, tc := range [][2]string{
+		{"propfair", "proportional-fair"},
+		{"latmin", "latency-min"},
+		{"uniform", "uniform"},
+	} {
+		got, err := env.CanonicalAllocator(tc[0])
+		if err != nil || got != tc[1] {
+			t.Fatalf("CanonicalAllocator(%q) = %q, %v; want %q", tc[0], got, err, tc[1])
+		}
+	}
+	for _, tc := range [][2]string{
+		{"roundrobin", "round-robin"},
+		{"balanced", "compute-balanced"},
+		{"random", "random"},
+	} {
+		got, err := env.CanonicalStrategy(tc[0])
+		if err != nil || got != tc[1] {
+			t.Fatalf("CanonicalStrategy(%q) = %q, %v; want %q", tc[0], got, err, tc[1])
+		}
+	}
+}
+
+// TestGroupClientsErrorsInsteadOfPanics: the public grouping entry
+// point converts strategy-specific input errors into errors.
+func TestGroupClientsErrorsInsteadOfPanics(t *testing.T) {
+	if _, err := env.GroupClients(6, 2, "compute-balanced", nil, nil); err == nil {
+		t.Fatal("compute-balanced without capacities must error, not panic")
+	}
+	if _, err := env.GroupClients(0, 2, "round-robin", nil, nil); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := env.GroupClients(2, 6, "round-robin", nil, nil); err == nil {
+		t.Fatal("m>n must error")
+	}
+	groups, err := env.GroupClients(6, 2, "round-robin", nil, nil)
+	if err != nil || len(groups) != 2 {
+		t.Fatalf("round-robin grouping failed: %v %v", groups, err)
+	}
+}

@@ -1,0 +1,208 @@
+package env
+
+import (
+	"fmt"
+
+	"gsfl/internal/device"
+	"gsfl/internal/partition"
+	"gsfl/internal/schemes"
+	"gsfl/internal/wireless"
+)
+
+// Default extension names: the values an empty Spec field normalizes
+// to, chosen so the zero-ish Spec keeps describing the paper's world.
+const (
+	// DefaultStrategy is round-robin grouping (the paper's default).
+	DefaultStrategy = "round-robin"
+	// DefaultDataset is the synthetic-GTSRB generator.
+	DefaultDataset = "gtsrb-synth"
+	// DefaultArch is the paper's lightweight GTSRB CNN.
+	DefaultArch = "gtsrb-cnn"
+)
+
+// Spec describes one experimental configuration. Every extension point
+// (allocator, grouping strategy, dataset, architecture) is referenced by
+// registered name, so a Spec marshals to JSON and back without loss —
+// Build(unmarshal(marshal(s))) constructs a world bit-identical to
+// Build(s). The zero value is not usable; start from PaperSpec or
+// TestSpec and override.
+type Spec struct {
+	// Clients (N) and Groups (M) set the population structure; the paper
+	// uses N=30, M=6.
+	Clients int `json:"clients"`
+	Groups  int `json:"groups"`
+	// Strategy names the registered grouping policy assigning clients to
+	// groups ("" = round-robin; see Strategies).
+	Strategy string `json:"strategy,omitempty"`
+	// Dataset names the registered dataset generator ("" = gtsrb-synth;
+	// see Datasets).
+	Dataset string `json:"dataset,omitempty"`
+	// Arch names the registered model architecture ("" = gtsrb-cnn; see
+	// Archs).
+	Arch string `json:"arch,omitempty"`
+	// ImageSize is the square sample edge length in pixels (32 at paper
+	// scale).
+	ImageSize int `json:"image_size"`
+	// TrainPerClient is each client's private sample count.
+	TrainPerClient int `json:"train_per_client"`
+	// TestPerClass sizes the balanced held-out test set.
+	TestPerClass int `json:"test_per_class"`
+	// Alpha is the Dirichlet non-IID concentration; 0 means IID.
+	Alpha float64 `json:"alpha"`
+	// Cut is the split index into the architecture's layer stack.
+	Cut int `json:"cut"`
+	// Hyper are the shared optimization hyperparameters.
+	Hyper Hyper `json:"hyper"`
+	// Alloc names the registered bandwidth-allocation policy (see
+	// Allocators). Unlike the other extension fields it has no default:
+	// an empty name is a validation error, because the allocator is the
+	// knob the paper's future work sweeps.
+	Alloc string `json:"alloc"`
+	// Device and Wireless override the hardware environment; zero values
+	// take the package defaults.
+	Device   DeviceConfig   `json:"device"`
+	Wireless WirelessConfig `json:"wireless"`
+	// Seed derives all randomness.
+	Seed int64 `json:"seed"`
+	// Pipelined enables communication/computation overlap in GSFL turns.
+	Pipelined bool `json:"pipelined,omitempty"`
+	// DropoutProb injects per-round client unavailability into GSFL.
+	DropoutProb float64 `json:"dropout_prob,omitempty"`
+}
+
+// PaperSpec is the configuration of the paper's Section III: 30
+// clients, 6 groups, GTSRB-scale images, mildly non-IID data.
+func PaperSpec() Spec {
+	return Spec{
+		Clients:        30,
+		Groups:         6,
+		Strategy:       DefaultStrategy,
+		Dataset:        DefaultDataset,
+		Arch:           DefaultArch,
+		ImageSize:      32,
+		TrainPerClient: 200,
+		TestPerClass:   10,
+		Alpha:          1.0,
+		Cut:            3,
+		Hyper: Hyper{
+			Batch:          16,
+			StepsPerClient: 4,
+			LR:             0.02,
+			Momentum:       0.9,
+			ClipNorm:       5,
+		},
+		Alloc:    "uniform",
+		Device:   device.DefaultConfig(30),
+		Wireless: wireless.DefaultConfig(),
+		Seed:     1,
+	}
+}
+
+// TestSpec is a minimal configuration for fast CI runs: 6 clients in 2
+// groups on 8x8 images.
+func TestSpec() Spec {
+	s := PaperSpec()
+	s.Clients = 6
+	s.Groups = 2
+	s.ImageSize = 8
+	s.TrainPerClient = 40
+	s.TestPerClass = 2
+	s.Hyper.Batch = 8
+	s.Hyper.StepsPerClient = 2
+	s.Device = device.DefaultConfig(6)
+	return s
+}
+
+// Normalized returns the spec with empty extension names replaced by
+// their defaults (Strategy, Dataset, Arch — not Alloc, which is
+// required). Build, Validate, and the job content hash all operate on
+// the normalized form, so an unset field and an explicit default are
+// the same configuration.
+func (s Spec) Normalized() Spec {
+	if s.Strategy == "" {
+		s.Strategy = DefaultStrategy
+	}
+	if s.Dataset == "" {
+		s.Dataset = DefaultDataset
+	}
+	if s.Arch == "" {
+		s.Arch = DefaultArch
+	}
+	return s
+}
+
+// Validate checks every Spec field eagerly and reports the first
+// problem with a field-specific error. Registry-named fields (Alloc,
+// Strategy, Dataset, Arch) must resolve; Build performs the remaining
+// checks that need the materialized architecture (the cut index upper
+// bound).
+func (s Spec) Validate() error {
+	s = s.Normalized()
+	if s.Clients <= 0 {
+		return fmt.Errorf("env: Clients %d must be positive", s.Clients)
+	}
+	if s.Groups <= 0 {
+		return fmt.Errorf("env: Groups %d must be positive", s.Groups)
+	}
+	if s.Groups > s.Clients {
+		return fmt.Errorf("env: Groups %d cannot exceed Clients %d", s.Groups, s.Clients)
+	}
+	if s.ImageSize <= 0 {
+		return fmt.Errorf("env: ImageSize %d must be positive", s.ImageSize)
+	}
+	if s.TrainPerClient <= 0 {
+		return fmt.Errorf("env: TrainPerClient %d must be positive", s.TrainPerClient)
+	}
+	if s.TestPerClass <= 0 {
+		return fmt.Errorf("env: TestPerClass %d must be positive", s.TestPerClass)
+	}
+	if s.Alpha < 0 {
+		return fmt.Errorf("env: Alpha %v must be non-negative (0 = IID)", s.Alpha)
+	}
+	if s.Cut < 0 {
+		return fmt.Errorf("env: Cut %d must be non-negative", s.Cut)
+	}
+	if err := s.Hyper.Validate(); err != nil {
+		return fmt.Errorf("env: %w", err)
+	}
+	if s.Alloc == "" {
+		return fmt.Errorf("env: missing allocator (set Spec.Alloc to one of %v)", Allocators())
+	}
+	if _, err := wireless.ParseAllocator(s.Alloc); err != nil {
+		return fmt.Errorf("env: Alloc: %w", err)
+	}
+	if _, err := partition.ParseStrategy(s.Strategy); err != nil {
+		return fmt.Errorf("env: Strategy: %w", err)
+	}
+	if _, err := CanonicalDataset(s.Dataset); err != nil {
+		return fmt.Errorf("env: Dataset: %w", err)
+	}
+	if _, err := CanonicalArch(s.Arch); err != nil {
+		return fmt.Errorf("env: Arch: %w", err)
+	}
+	if s.DropoutProb < 0 || s.DropoutProb >= 1 {
+		return fmt.Errorf("env: DropoutProb %v outside [0,1)", s.DropoutProb)
+	}
+	return nil
+}
+
+// EnvSeed derives the env-level seed every scheme RNG stream hangs off.
+// Build and data-free architecture probes (the cut-layer ablation's
+// size accounting) must agree on it, so it has exactly one definition.
+func (s Spec) EnvSeed() int64 { return s.Seed + 4 }
+
+// SchemeOptions maps the Spec's scheme-structure knobs into the run
+// API's factory options, resolving the grouping strategy name through
+// the registry.
+func (s Spec) SchemeOptions() (schemes.FactoryOpts, error) {
+	st, err := partition.ParseStrategy(s.Normalized().Strategy)
+	if err != nil {
+		return schemes.FactoryOpts{}, fmt.Errorf("env: Strategy: %w", err)
+	}
+	return schemes.FactoryOpts{
+		Groups:      s.Groups,
+		Strategy:    st,
+		Pipelined:   s.Pipelined,
+		DropoutProb: s.DropoutProb,
+	}, nil
+}

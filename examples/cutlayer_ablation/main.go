@@ -13,17 +13,20 @@ import (
 	"log"
 	"math/rand"
 
-	"gsfl/internal/experiment"
-	"gsfl/internal/model"
+	"gsfl/env"
+	"gsfl/sweep"
 )
 
 func main() {
-	spec := experiment.TestSpec()
+	spec := env.TestSpec()
 	spec.ImageSize = 16
 	spec.TrainPerClient = 60
 
 	// Static analysis first: what each cut implies, before any training.
-	arch := model.GTSRBCNN(spec.ImageSize, 43)
+	arch, err := env.NewArch(spec.Arch, env.ArchConfig{ImageSize: spec.ImageSize, Classes: 43})
+	if err != nil {
+		log.Fatal(err)
+	}
 	nLayers := len(arch.Build(rand.New(rand.NewSource(0))))
 	fmt.Println("static cut-layer analysis (batch =", spec.Hyper.Batch, "):")
 	fmt.Printf("%4s %22s %18s %16s %16s\n",
@@ -39,7 +42,7 @@ func main() {
 	// realized round latency.
 	cuts := []int{1, 3, 6, 9}
 	fmt.Println("\ntraining GSFL at each cut (8 rounds each)...")
-	res, err := experiment.RunAblationCutLayer(spec, cuts, 8, 4)
+	res, err := sweep.RunAblationCutLayer(spec, cuts, 8, 4)
 	if err != nil {
 		log.Fatal(err)
 	}

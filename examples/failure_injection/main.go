@@ -16,12 +16,12 @@ import (
 	"fmt"
 	"log"
 
-	"gsfl/internal/experiment"
+	"gsfl/env"
 	"gsfl/sim"
 )
 
 func main() {
-	base := experiment.TestSpec()
+	base := env.TestSpec()
 	base.Clients = 8
 	base.Groups = 2
 	base.Device.N = base.Clients
@@ -31,14 +31,14 @@ func main() {
 
 	type world struct {
 		name   string
-		mutate func(*experiment.Spec)
+		mutate func(*env.Spec)
 	}
 	worlds := []world{
-		{"failure-free", func(s *experiment.Spec) {}},
-		{"20% client dropout", func(s *experiment.Spec) { s.DropoutProb = 0.2 }},
-		{"10% link outages", func(s *experiment.Spec) { s.Wireless.OutageProb = 0.1 }},
-		{"mobile clients (20m/round)", func(s *experiment.Spec) { s.Wireless.MobilitySigmaM = 20 }},
-		{"all three at once", func(s *experiment.Spec) {
+		{"failure-free", func(s *env.Spec) {}},
+		{"20% client dropout", func(s *env.Spec) { s.DropoutProb = 0.2 }},
+		{"10% link outages", func(s *env.Spec) { s.Wireless.OutageProb = 0.1 }},
+		{"mobile clients (20m/round)", func(s *env.Spec) { s.Wireless.MobilitySigmaM = 20 }},
+		{"all three at once", func(s *env.Spec) {
 			s.DropoutProb = 0.2
 			s.Wireless.OutageProb = 0.1
 			s.Wireless.MobilitySigmaM = 20
@@ -50,7 +50,15 @@ func main() {
 	for _, w := range worlds {
 		spec := base
 		w.mutate(&spec)
-		tr, err := experiment.NewTrainer(spec, "gsfl")
+		world, err := env.Build(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts, err := spec.SchemeOptions()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := sim.New("gsfl", world, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

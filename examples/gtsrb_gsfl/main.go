@@ -13,9 +13,9 @@ import (
 	"fmt"
 	"log"
 
-	"gsfl/internal/experiment"
-	"gsfl/internal/metrics"
-	"gsfl/internal/trace"
+	"gsfl/env"
+	"gsfl/sim"
+	"gsfl/sweep"
 )
 
 func main() {
@@ -24,7 +24,7 @@ func main() {
 
 	// Paper structure (30 clients, 6 groups) at reduced image scale so
 	// the example finishes in minutes on a laptop CPU.
-	spec := experiment.PaperSpec()
+	spec := env.PaperSpec()
 	spec.ImageSize = 12
 	spec.TrainPerClient = 60
 	spec.TestPerClass = 3
@@ -32,7 +32,7 @@ func main() {
 	spec.Hyper.Batch = 8
 
 	fmt.Printf("running Fig. 2(a): CL vs SL vs GSFL vs FL, %d rounds each...\n", *rounds)
-	curves, err := experiment.RunFig2a(spec, *rounds, 4)
+	curves, err := sweep.RunFig2a(spec, *rounds, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,22 +45,22 @@ func main() {
 	}
 
 	// Headline numbers, mirroring the paper's summary sentences.
-	byName := map[string]*metrics.Curve{}
+	byName := map[string]*sim.Curve{}
 	for _, c := range curves {
 		byName[c.Scheme] = c
 	}
 	target := 0.98 * byName["gsfl"].BestAccuracy() // near-converged target
-	if s, ok := metrics.SpeedupVsRounds(byName["gsfl"], byName["fl"], target); ok {
+	if s, ok := sim.SpeedupVsRounds(byName["gsfl"], byName["fl"], target); ok {
 		fmt.Printf("\nGSFL convergence speedup vs FL (rounds to %.0f%%): %.0f%%\n", target*100, s*100)
 	} else {
 		fmt.Printf("\nFL did not reach GSFL's near-converged accuracy (%.0f%%) within %d rounds\n",
 			target*100, *rounds)
 	}
-	if red, ok := metrics.DelayReduction(byName["gsfl"], byName["sl"], target); ok {
+	if red, ok := sim.DelayReduction(byName["gsfl"], byName["sl"], target); ok {
 		fmt.Printf("GSFL delay reduction vs SL at the same accuracy: %.2f%% (paper: 31.45%%)\n", red*100)
 	}
 
-	if err := trace.SaveCurvesCSV("results/example/fig2a.csv", curves); err != nil {
+	if err := sim.SaveCurvesCSV("results/example/fig2a.csv", curves); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nseries written to results/example/fig2a.csv")

@@ -14,10 +14,7 @@ import (
 	"math/rand"
 	"time"
 
-	"gsfl/internal/gtsrb"
-	"gsfl/internal/model"
-	"gsfl/internal/partition"
-	"gsfl/internal/transport"
+	"gsfl/env"
 )
 
 func main() {
@@ -27,17 +24,33 @@ func main() {
 		rounds   = 8
 		imgSize  = 8
 	)
-	arch := model.GTSRBCNN(imgSize, gtsrb.NumClasses)
-	cut := model.GTSRBCNNDefaultCut
+	// The world vocabulary comes from the env registries: the default
+	// dataset generator and architecture by name, partitioned and
+	// grouped with the same helpers the simulator uses.
+	src, err := env.NewDataset(env.DefaultDataset, env.DataConfig{ImageSize: imgSize, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	arch, err := env.NewArch(env.DefaultArch, env.ArchConfig{ImageSize: imgSize, Classes: src.Classes()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cut := env.DefaultCut
 
 	// Private data per client plus a test set at the AP.
-	gen := gtsrb.NewGenerator(gtsrb.DefaultConfig(imgSize), 1)
-	pool := gen.Dataset(nClients*60, nil)
-	parts := partition.IID(pool, nClients, rand.New(rand.NewSource(2)))
-	test := gtsrb.NewGenerator(gtsrb.DefaultConfig(imgSize), 3).Balanced(2)
+	pool := src.Pool(nClients * 60)
+	parts := env.PartitionIID(pool, nClients, rand.New(rand.NewSource(2)))
+	testSrc, err := env.NewDataset(env.DefaultDataset, env.DataConfig{ImageSize: imgSize, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := testSrc.Balanced(2)
 
-	groups := partition.Groups(nClients, nGroups, partition.GroupRoundRobin, nil, nil)
-	ap, err := transport.NewAP("127.0.0.1:0", transport.APConfig{
+	groups, err := env.GroupClients(nClients, nGroups, "round-robin", nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ap, err := env.NewAP("127.0.0.1:0", env.APConfig{
 		Arch:           arch,
 		Cut:            cut,
 		Groups:         groups,
@@ -56,7 +69,7 @@ func main() {
 	// its own OS process on another machine).
 	clientErrs := make(chan error, nClients)
 	for ci := 0; ci < nClients; ci++ {
-		client, err := transport.Dial(ap.Addr(), transport.ClientConfig{
+		client, err := env.Dial(ap.Addr(), env.ClientConfig{
 			ID:       ci,
 			Arch:     arch,
 			Cut:      cut,

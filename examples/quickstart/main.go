@@ -2,8 +2,9 @@
 // accuracy/latency curve stream in as rounds complete.
 //
 // This is the minimal end-to-end use of the library: describe the
-// experiment with a Spec, build the environment, construct the scheme
-// through the gsfl/sim registry, and drive it with a sim.Runner. The
+// experiment with an env.Spec, build the world with env.Build,
+// construct the scheme through the gsfl/sim registry, and drive it with
+// a sim.Runner. The
 // run is cancellable (Ctrl-C stops it within one round) and every round
 // reports through the observer as soon as it finishes.
 //
@@ -17,7 +18,7 @@ import (
 	"os"
 	"os/signal"
 
-	"gsfl/internal/experiment"
+	"gsfl/env"
 	"gsfl/sim"
 )
 
@@ -28,15 +29,19 @@ func main() {
 	// Start from the fast test-scale spec: 6 clients in 2 groups, 8x8
 	// synthetic traffic signs. PaperSpec() is the 30-client/6-group
 	// configuration of the paper's Section III.
-	spec := experiment.TestSpec()
+	spec := env.TestSpec()
 	spec.TrainPerClient = 80
 	spec.Hyper.StepsPerClient = 4
 
-	env, err := experiment.Build(spec)
+	world, err := env.Build(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trainer, err := sim.New("gsfl", env, spec.SchemeOptions())
+	opts, err := spec.SchemeOptions()
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := sim.New("gsfl", world, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

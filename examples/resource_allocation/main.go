@@ -18,12 +18,12 @@ import (
 	"fmt"
 	"log"
 
-	"gsfl/internal/experiment"
-	"gsfl/internal/wireless"
+	"gsfl/env"
+	"gsfl/sweep"
 )
 
 func main() {
-	spec := experiment.TestSpec()
+	spec := env.TestSpec()
 	spec.Clients = 12
 	spec.Groups = 4
 	spec.Device.N = spec.Clients
@@ -32,12 +32,14 @@ func main() {
 
 	// First show what the policies do to a single batch of concurrent
 	// uplink transfers (one client per group).
-	ch := wireless.NewChannel(wireless.DefaultConfig(), spec.Clients, 7)
+	ch := env.NewChannel(env.DefaultWirelessConfig(), spec.Clients, 7)
 	active := []int{0, 3, 6, 9}
 	fmt.Println("bandwidth split across 4 concurrent uplink clients (20 MHz budget):")
-	for _, alloc := range []wireless.Allocator{
-		wireless.Uniform{}, wireless.ProportionalFair{}, wireless.LatencyMin{},
-	} {
+	for _, name := range env.Allocators() {
+		alloc, err := env.NewAllocator(name)
+		if err != nil {
+			log.Fatal(err)
+		}
 		ws := alloc.Allocate(ch, active, 20e6, true)
 		fmt.Printf("  %-18s", alloc.Name())
 		for i, w := range ws {
@@ -48,7 +50,7 @@ func main() {
 
 	// Then measure realized GSFL round latency under each policy.
 	fmt.Println("\nGSFL mean round latency per policy (6 rounds):")
-	res, err := experiment.RunAblationAllocation(spec, 6)
+	res, err := sweep.RunAblationAllocation(spec, 6)
 	if err != nil {
 		log.Fatal(err)
 	}

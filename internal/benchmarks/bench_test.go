@@ -8,7 +8,7 @@
 // whole suite finishes in minutes on a laptop. Set GSFL_FULL=1 for the
 // paper-scale configuration (30 clients, 6 groups, 32x32 images) — this
 // takes hours of CPU time but exercises the identical code paths.
-package gsfl_test
+package benchmarks_test
 
 import (
 	"context"
@@ -20,7 +20,6 @@ import (
 	"gsfl/internal/experiment"
 	"gsfl/internal/metrics"
 	"gsfl/internal/parallel"
-	"gsfl/internal/partition"
 	"gsfl/internal/tensor"
 )
 
@@ -207,9 +206,7 @@ func BenchmarkAblationGrouping(b *testing.B) {
 	if os.Getenv("GSFL_FULL") == "1" {
 		counts = []int{1, 2, 3, 6, 10, 15, 30}
 	}
-	strategies := []partition.GroupStrategy{
-		partition.GroupRoundRobin, partition.GroupRandom, partition.GroupComputeBalanced,
-	}
+	strategies := []string{"round-robin", "random", "compute-balanced"}
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunAblationGrouping(spec, counts, strategies, rounds, evalEvery)
 		if err != nil {

@@ -1,174 +1,57 @@
-// Package experiment assembles complete simulated worlds (data + fleet +
-// channel + model) and runs the paper's experiments end to end.
+// Package experiment is the paper-reproduction harness: it declares the
+// figures, tables, and ablations as experiment grids over environment
+// specs, runs them, and folds the results into the paper's CSVs.
 //
-// Each exported Run* function regenerates one figure or table from
-// DESIGN.md's experiment index: Fig. 2(a) accuracy-vs-rounds, Fig. 2(b)
-// accuracy-vs-latency, the convergence/latency/storage tables, and the
-// future-work ablations (cut layer, grouping, resource allocation).
+// Environment construction lives in the public gsfl/env package — this
+// package is a thin consumer: its Spec is an alias of env.Spec, Build
+// delegates to env.Build, and the extension points (allocators,
+// grouping strategies, datasets, architectures) resolve through the
+// env registries. What remains here is the harness itself: the Grid
+// expansion with stable job content hashes (grid.go), the catalogue of
+// paper experiments and their folds (grids.go), and the Run* reference
+// wrappers (figures.go, extensions.go).
 package experiment
 
 import (
 	"context"
-	"fmt"
 
-	"gsfl/internal/data"
-	"gsfl/internal/device"
-	"gsfl/internal/gtsrb"
+	"gsfl/env"
 	"gsfl/internal/metrics"
-	"gsfl/internal/model"
-	"gsfl/internal/partition"
 	"gsfl/internal/schemes"
-	"gsfl/internal/wireless"
 	"gsfl/sim"
 )
 
-// Spec describes one experimental configuration. The zero value is not
-// usable; start from PaperSpec or TestSpec and override.
-type Spec struct {
-	// Clients (N) and Groups (M) set the population structure; the paper
-	// uses N=30, M=6.
-	Clients int
-	Groups  int
-	// Strategy assigns clients to groups.
-	Strategy partition.GroupStrategy
-	// ImageSize is the synthetic-GTSRB edge length (32 at paper scale).
-	ImageSize int
-	// TrainPerClient is each client's private sample count.
-	TrainPerClient int
-	// TestPerClass sizes the balanced held-out test set.
-	TestPerClass int
-	// Alpha is the Dirichlet non-IID concentration; 0 means IID.
-	Alpha float64
-	// Cut is the split index into model.GTSRBCNN.
-	Cut int
-	// Hyper are the shared optimization hyperparameters.
-	Hyper schemes.Hyper
-	// Alloc is the bandwidth allocation policy.
-	Alloc wireless.Allocator
-	// Device and Wireless override the hardware environment; zero values
-	// take the package defaults.
-	Device   device.Config
-	Wireless wireless.Config
-	// Seed derives all randomness.
-	Seed int64
-	// Pipelined enables communication/computation overlap in GSFL turns.
-	Pipelined bool
-	// DropoutProb injects per-round client unavailability into GSFL.
-	DropoutProb float64
-}
+// Spec describes one experimental configuration; it is the public
+// env.Spec (fully JSON-serializable, extension points by registered
+// name). The zero value is not usable; start from PaperSpec or TestSpec
+// and override.
+type Spec = env.Spec
 
 // PaperSpec is the configuration of Section III: 30 clients, 6 groups,
 // GTSRB-scale images, mildly non-IID data.
-func PaperSpec() Spec {
-	return Spec{
-		Clients:        30,
-		Groups:         6,
-		Strategy:       partition.GroupRoundRobin,
-		ImageSize:      32,
-		TrainPerClient: 200,
-		TestPerClass:   10,
-		Alpha:          1.0,
-		Cut:            model.GTSRBCNNDefaultCut,
-		Hyper: schemes.Hyper{
-			Batch:          16,
-			StepsPerClient: 4,
-			LR:             0.02,
-			Momentum:       0.9,
-			ClipNorm:       5,
-		},
-		Alloc:    wireless.Uniform{},
-		Device:   device.DefaultConfig(30),
-		Wireless: wireless.DefaultConfig(),
-		Seed:     1,
-	}
-}
+func PaperSpec() Spec { return env.PaperSpec() }
 
 // TestSpec is a minimal configuration for fast CI runs: 6 clients in 2
 // groups on 8x8 images.
-func TestSpec() Spec {
-	s := PaperSpec()
-	s.Clients = 6
-	s.Groups = 2
-	s.ImageSize = 8
-	s.TrainPerClient = 40
-	s.TestPerClass = 2
-	s.Hyper.Batch = 8
-	s.Hyper.StepsPerClient = 2
-	s.Device = device.DefaultConfig(6)
-	return s
-}
+func TestSpec() Spec { return env.TestSpec() }
 
-// Build materializes the Spec into a schemes.Env.
-func Build(spec Spec) (*schemes.Env, error) {
-	if spec.Clients <= 0 || spec.Groups <= 0 || spec.Groups > spec.Clients {
-		return nil, fmt.Errorf("experiment: bad population N=%d M=%d", spec.Clients, spec.Groups)
-	}
-	if spec.Alloc == nil {
-		return nil, fmt.Errorf("experiment: missing allocator")
-	}
-	spec.Device.N = spec.Clients
-
-	gen := gtsrb.NewGenerator(gtsrb.DefaultConfig(spec.ImageSize), spec.Seed)
-	pool := gen.Dataset(spec.Clients*spec.TrainPerClient, nil)
-	testGen := gtsrb.NewGenerator(gtsrb.DefaultConfig(spec.ImageSize), spec.Seed+1)
-	test := testGen.Balanced(spec.TestPerClass)
-
-	fleet := device.NewFleet(spec.Device, spec.Seed+2)
-	channel := wireless.NewChannel(spec.Wireless, spec.Clients, spec.Seed+3)
-
-	env := &schemes.Env{
-		Arch:    model.GTSRBCNN(spec.ImageSize, gtsrb.NumClasses),
-		Cut:     spec.Cut,
-		Fleet:   fleet,
-		Channel: channel,
-		Alloc:   spec.Alloc,
-		Test:    test,
-		Hyper:   spec.Hyper,
-		Seed:    spec.envSeed(),
-	}
-
-	partRng := env.Rng("partition", 0)
-	var subsets []*data.Subset
-	if spec.Alpha > 0 {
-		subsets = partition.Dirichlet(pool, spec.Clients, spec.Alpha, partRng)
-	} else {
-		subsets = partition.IID(pool, spec.Clients, partRng)
-	}
-	env.Train = make([]data.Dataset, len(subsets))
-	for i, s := range subsets {
-		env.Train[i] = s
-	}
-	if err := env.Validate(); err != nil {
-		return nil, fmt.Errorf("experiment: built invalid env: %w", err)
-	}
-	return env, nil
-}
-
-// envSeed derives the env-level seed every scheme RNG stream hangs off.
-// Build and the data-free architecture probe (grids.go) must agree on
-// it, so it has exactly one definition.
-func (s Spec) envSeed() int64 { return s.Seed + 4 }
-
-// SchemeOptions maps the Spec's scheme-structure knobs into the run
-// API's factory options.
-func (s Spec) SchemeOptions() sim.Options {
-	return sim.Options{
-		Groups:      s.Groups,
-		Strategy:    s.Strategy,
-		Pipelined:   s.Pipelined,
-		DropoutProb: s.DropoutProb,
-	}
-}
+// Build materializes the Spec into a schemes.Env via the public
+// environment builder.
+func Build(spec Spec) (*schemes.Env, error) { return env.Build(spec) }
 
 // NewTrainer instantiates the named scheme over a fresh env built from
 // spec, through the gsfl/sim registry (see sim.Schemes for the
 // recognized names).
 func NewTrainer(spec Spec, scheme string) (schemes.Trainer, error) {
-	env, err := Build(spec)
+	world, err := Build(spec)
 	if err != nil {
 		return nil, err
 	}
-	return sim.New(scheme, env, spec.SchemeOptions())
+	opts, err := spec.SchemeOptions()
+	if err != nil {
+		return nil, err
+	}
+	return sim.New(scheme, world, opts)
 }
 
 // RunScheme builds the named scheme and trains it for the given number

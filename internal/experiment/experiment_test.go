@@ -53,9 +53,14 @@ func TestBuildValidation(t *testing.T) {
 		t.Fatal("expected error for M > N")
 	}
 	bad2 := TestSpec()
-	bad2.Alloc = nil
+	bad2.Alloc = ""
 	if _, err := Build(bad2); err == nil {
 		t.Fatal("expected error for missing allocator")
+	}
+	bad3 := TestSpec()
+	bad3.Alloc = "no-such-policy"
+	if _, err := Build(bad3); err == nil {
+		t.Fatal("expected error for unknown allocator")
 	}
 }
 
@@ -234,7 +239,7 @@ func TestAblationCutLayer(t *testing.T) {
 func TestAblationGrouping(t *testing.T) {
 	spec := TestSpec()
 	res, err := RunAblationGrouping(spec, []int{1, 3},
-		[]partition.GroupStrategy{partition.GroupRoundRobin}, 2, 1)
+		[]string{"round-robin"}, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,7 +6,6 @@ import (
 
 	"gsfl/internal/gsfl"
 	"gsfl/internal/metrics"
-	"gsfl/internal/partition"
 	"gsfl/internal/schemes/sfl"
 	"gsfl/internal/trace"
 )
@@ -64,19 +63,23 @@ func RunTable2(spec Spec, rounds int) (*trace.Table, error) {
 // server hosts M server-side replicas under GSFL versus N under SplitFed.
 // It runs no training rounds, so it stays outside the grid catalogue.
 func RunTable3(spec Spec) (*trace.Table, error) {
-	env, err := Build(spec)
+	world, err := Build(spec)
 	if err != nil {
 		return nil, err
 	}
-	g, err := gsfl.New(env, gsfl.Config{NumGroups: spec.Groups, Strategy: spec.Strategy})
+	opts, err := spec.SchemeOptions()
 	if err != nil {
 		return nil, err
 	}
-	env2, err := Build(spec)
+	g, err := gsfl.New(world, gsfl.Config{NumGroups: spec.Groups, Strategy: opts.Strategy})
 	if err != nil {
 		return nil, err
 	}
-	s, err := sfl.New(env2)
+	world2, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sfl.New(world2)
 	if err != nil {
 		return nil, err
 	}
@@ -115,17 +118,19 @@ func RunAblationCutLayer(spec Spec, cuts []int, rounds, evalEvery int) ([]CutLay
 	return FoldCutLayer(res), nil
 }
 
-// GroupingResult is one row of the grouping ablation (A2).
+// GroupingResult is one row of the grouping ablation (A2). Strategy is
+// the canonical registry name.
 type GroupingResult struct {
 	Groups        int
-	Strategy      partition.GroupStrategy
+	Strategy      string
 	RoundLatency  float64
 	FinalAccuracy float64
 }
 
 // RunAblationGrouping sweeps the number of groups and the grouping
-// strategy (future work §IV).
-func RunAblationGrouping(spec Spec, groupCounts []int, strategies []partition.GroupStrategy, rounds, evalEvery int) ([]GroupingResult, error) {
+// strategy (future work §IV). Strategies are registry names (see
+// env.Strategies).
+func RunAblationGrouping(spec Spec, groupCounts []int, strategies []string, rounds, evalEvery int) ([]GroupingResult, error) {
 	res, err := RunGrid(context.Background(), GroupingGrid(spec, groupCounts, strategies, rounds, evalEvery))
 	if err != nil {
 		return nil, err
@@ -142,7 +147,7 @@ type AllocationResult struct {
 // RunAblationAllocation compares bandwidth allocation policies (future
 // work §IV) on GSFL round latency, holding everything else fixed.
 func RunAblationAllocation(spec Spec, rounds int) ([]AllocationResult, error) {
-	if spec.Alloc == nil {
+	if spec.Alloc == "" {
 		return nil, fmt.Errorf("experiment: allocation ablation needs a base allocator")
 	}
 	res, err := RunGrid(context.Background(), AllocationGrid(spec, rounds))

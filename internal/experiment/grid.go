@@ -7,9 +7,9 @@ import (
 	"hash/fnv"
 	"strings"
 
+	"gsfl/env"
 	"gsfl/internal/device"
 	"gsfl/internal/metrics"
-	"gsfl/internal/partition"
 	"gsfl/internal/schemes"
 	"gsfl/internal/simnet"
 	"gsfl/internal/wireless"
@@ -40,8 +40,9 @@ type Grid struct {
 // Seeds outermost, Schemes innermost — so single-axis grids enumerate in
 // the order given and multi-axis grids match the paper harness's
 // historical loop nesting (groups over strategies, alphas over schemes).
-// Allocators and Strategies are named so grids serialize to JSON; names
-// resolve through wireless.ParseAllocator and partition.ParseStrategy.
+// Extension-point axes (Strategies, Allocators, Datasets, Archs) carry
+// registered names, so grids serialize to JSON; aliases resolve through
+// the env registries and are canonicalized before hashing.
 type Axes struct {
 	Seeds      []int64   `json:"seeds,omitempty"`
 	Alphas     []float64 `json:"alphas,omitempty"`
@@ -52,6 +53,8 @@ type Axes struct {
 	Dropouts   []float64 `json:"dropouts,omitempty"`
 	Quantized  []bool    `json:"quantized,omitempty"`
 	Pipelined  []bool    `json:"pipelined,omitempty"`
+	Datasets   []string  `json:"datasets,omitempty"`
+	Archs      []string  `json:"archs,omitempty"`
 	// Schemes defaults to ["gsfl"], the subject of every ablation.
 	Schemes []string `json:"schemes,omitempty"`
 }
@@ -102,10 +105,21 @@ type jobIdentity struct {
 }
 
 // hashJob derives the stable content ID of a (scheme, spec, rounds,
-// evalEvery) cell.
+// evalEvery) cell. Extension names are canonicalized through the env
+// registries before hashing, so a spec saying "propfair" and one saying
+// "proportional-fair" are the same cell.
 func hashJob(scheme string, s Spec, rounds, evalEvery int) (string, error) {
-	if s.Alloc == nil {
+	if s.Alloc == "" {
 		return "", fmt.Errorf("experiment: job spec has no allocator")
+	}
+	s = s.Normalized()
+	alloc, err := env.CanonicalAllocator(s.Alloc)
+	if err != nil {
+		return "", fmt.Errorf("experiment: job identity: %w", err)
+	}
+	strategy, err := env.CanonicalStrategy(s.Strategy)
+	if err != nil {
+		return "", fmt.Errorf("experiment: job identity: %w", err)
 	}
 	id := jobIdentity{
 		Scheme:         scheme,
@@ -113,14 +127,14 @@ func hashJob(scheme string, s Spec, rounds, evalEvery int) (string, error) {
 		EvalEvery:      evalEvery,
 		Clients:        s.Clients,
 		Groups:         s.Groups,
-		Strategy:       s.Strategy.String(),
+		Strategy:       strategy,
 		ImageSize:      s.ImageSize,
 		TrainPerClient: s.TrainPerClient,
 		TestPerClass:   s.TestPerClass,
 		Alpha:          s.Alpha,
 		Cut:            s.Cut,
 		Hyper:          s.Hyper,
-		Alloc:          s.Alloc.Name(),
+		Alloc:          alloc,
 		Device:         s.Device,
 		Wireless:       s.Wireless,
 		Seed:           s.Seed,
@@ -133,7 +147,44 @@ func hashJob(scheme string, s Spec, rounds, evalEvery int) (string, error) {
 	}
 	h := fnv.New64a()
 	_, _ = h.Write(buf)
+	// The dataset and architecture joined the identity after the format
+	// above was pinned; they extend the hash only when non-default, so
+	// every historical job keeps its historical ID.
+	if s.Dataset != env.DefaultDataset || s.Arch != env.DefaultArch {
+		ext, err := json.Marshal(struct{ Dataset, Arch string }{s.Dataset, s.Arch})
+		if err != nil {
+			return "", fmt.Errorf("experiment: encoding job identity extension: %w", err)
+		}
+		_, _ = h.Write(ext)
+	}
 	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// canonicalizeSpec rewrites the spec's extension names to their
+// canonical registry forms (empty strategy/dataset/arch to defaults,
+// aliases like "propfair" to "proportional-fair"). An empty allocator
+// is left for hashJob's dedicated error.
+func canonicalizeSpec(s *Spec) error {
+	*s = s.Normalized()
+	if s.Alloc != "" {
+		alloc, err := env.CanonicalAllocator(s.Alloc)
+		if err != nil {
+			return err
+		}
+		s.Alloc = alloc
+	}
+	strategy, err := env.CanonicalStrategy(s.Strategy)
+	if err != nil {
+		return err
+	}
+	s.Strategy = strategy
+	if _, err := env.CanonicalDataset(s.Dataset); err != nil {
+		return err
+	}
+	if _, err := env.CanonicalArch(s.Arch); err != nil {
+		return err
+	}
+	return nil
 }
 
 // axis is one expanded dimension: a key for labels and one apply
@@ -180,7 +231,7 @@ func (g Grid) axes() []axis {
 	add("strategy", len(g.Axes.Strategies),
 		func(i int) string { return g.Axes.Strategies[i] },
 		func(j *Job, i int) error {
-			st, err := partition.ParseStrategy(g.Axes.Strategies[i])
+			st, err := env.CanonicalStrategy(g.Axes.Strategies[i])
 			if err != nil {
 				return err
 			}
@@ -190,7 +241,7 @@ func (g Grid) axes() []axis {
 	add("alloc", len(g.Axes.Allocators),
 		func(i int) string { return g.Axes.Allocators[i] },
 		func(j *Job, i int) error {
-			al, err := wireless.ParseAllocator(g.Axes.Allocators[i])
+			al, err := env.CanonicalAllocator(g.Axes.Allocators[i])
 			if err != nil {
 				return err
 			}
@@ -206,6 +257,26 @@ func (g Grid) axes() []axis {
 	add("pipe", len(g.Axes.Pipelined),
 		func(i int) string { return fmt.Sprintf("%t", g.Axes.Pipelined[i]) },
 		func(j *Job, i int) error { j.Spec.Pipelined = g.Axes.Pipelined[i]; return nil })
+	add("dataset", len(g.Axes.Datasets),
+		func(i int) string { return g.Axes.Datasets[i] },
+		func(j *Job, i int) error {
+			name, err := env.CanonicalDataset(g.Axes.Datasets[i])
+			if err != nil {
+				return err
+			}
+			j.Spec.Dataset = name
+			return nil
+		})
+	add("arch", len(g.Axes.Archs),
+		func(i int) string { return g.Axes.Archs[i] },
+		func(j *Job, i int) error {
+			name, err := env.CanonicalArch(g.Axes.Archs[i])
+			if err != nil {
+				return err
+			}
+			j.Spec.Arch = name
+			return nil
+		})
 	schemesAxis := g.Axes.Schemes
 	if len(schemesAxis) == 0 {
 		schemesAxis = []string{"gsfl"}
@@ -240,6 +311,12 @@ func (g Grid) Jobs() ([]Job, error) {
 			}
 			if len(prefix) > 0 {
 				j.Name += "/" + strings.Join(prefix, ",")
+			}
+			// The job carries the canonical spec (alias names from a grid
+			// file's base patch resolved, defaults filled in), so folds,
+			// stores, and logs all record one spelling per extension.
+			if err := canonicalizeSpec(&j.Spec); err != nil {
+				return fmt.Errorf("experiment: grid %q cell %s: %w", g.Name, j.Name, err)
 			}
 			id, err := hashJob(j.Scheme, j.Spec, j.Rounds, j.EvalEvery)
 			if err != nil {
@@ -294,11 +371,15 @@ func resultObserver(res *JobResult) sim.RunOption {
 // the single job-execution path shared by the serial harness (RunGrid)
 // and the concurrent scheduler (gsfl/sweep).
 func RunJob(ctx context.Context, j Job, opts ...sim.RunOption) (JobResult, error) {
-	env, err := Build(j.Spec)
+	world, err := Build(j.Spec)
 	if err != nil {
 		return JobResult{}, fmt.Errorf("experiment: job %s: %w", j.Name, err)
 	}
-	tr, err := sim.New(j.Scheme, env, j.Spec.SchemeOptions())
+	schemeOpts, err := j.Spec.SchemeOptions()
+	if err != nil {
+		return JobResult{}, fmt.Errorf("experiment: job %s: %w", j.Name, err)
+	}
+	tr, err := sim.New(j.Scheme, world, schemeOpts)
 	if err != nil {
 		return JobResult{}, fmt.Errorf("experiment: job %s: %w", j.Name, err)
 	}
@@ -324,7 +405,7 @@ func RunJob(ctx context.Context, j Job, opts ...sim.RunOption) (JobResult, error
 // identical. startRound reports how many rounds the checkpoint had
 // completed; callers must ensure prior covers exactly those rounds.
 func ResumeJob(ctx context.Context, j Job, ckptPath string, prior simnet.Ledger, priorTotal float64, opts ...sim.RunOption) (res JobResult, startRound int, err error) {
-	env, err := Build(j.Spec)
+	world, err := Build(j.Spec)
 	if err != nil {
 		return JobResult{}, 0, fmt.Errorf("experiment: job %s: %w", j.Name, err)
 	}
@@ -334,7 +415,7 @@ func ResumeJob(ctx context.Context, j Job, ckptPath string, prior simnet.Ledger,
 		sim.WithEvalEvery(j.EvalEvery),
 		resultObserver(&res),
 	}, opts...)
-	r, err := sim.Resume(ckptPath, env, ropts...)
+	r, err := sim.Resume(ckptPath, world, ropts...)
 	if err != nil {
 		return JobResult{}, 0, fmt.Errorf("experiment: job %s: %w", j.Name, err)
 	}

@@ -37,7 +37,7 @@ func TestGridJobsExpansionOrder(t *testing.T) {
 			t.Fatalf("job %d carries wrong run config: %+v", i, j)
 		}
 	}
-	if jobs[2].Spec.Groups != 2 || jobs[1].Spec.Strategy.String() != "random" {
+	if jobs[2].Spec.Groups != 2 || jobs[1].Spec.Strategy != "random" {
 		t.Fatalf("axis values not applied: %+v / %+v", jobs[2].Spec, jobs[1].Spec)
 	}
 }
@@ -190,5 +190,33 @@ func TestDefaultGroupCounts(t *testing.T) {
 	}
 	if len(got) == 0 || got[0] != 1 {
 		t.Fatalf("DefaultGroupCounts(6) = %v", got)
+	}
+}
+
+// TestJobSpecsCarryCanonicalNames: aliases arriving through the base
+// spec (e.g. a grid file's "base" patch), not just through axes, are
+// canonicalized onto the expanded jobs, so folds and stores record one
+// spelling per extension.
+func TestJobSpecsCarryCanonicalNames(t *testing.T) {
+	base := TestSpec()
+	base.Alloc = "propfair"
+	base.Strategy = "balanced"
+	g := Grid{Name: "alias-base", Base: base, Rounds: 2, EvalEvery: 1, Axes: Axes{}}
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Spec.Alloc != "proportional-fair" || jobs[0].Spec.Strategy != "compute-balanced" {
+		t.Fatalf("base aliases not canonicalized: %+v", jobs[0].Spec)
+	}
+	canon := base
+	canon.Alloc, canon.Strategy = "proportional-fair", "compute-balanced"
+	g2 := Grid{Name: "alias-base", Base: canon, Rounds: 2, EvalEvery: 1, Axes: Axes{}}
+	jobs2, err := g2.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].ID != jobs2[0].ID {
+		t.Fatal("alias and canonical base specs must expand to the same cell ID")
 	}
 }

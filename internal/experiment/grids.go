@@ -5,10 +5,9 @@ import (
 	"math"
 	"path/filepath"
 
-	"gsfl/internal/gtsrb"
+	"gsfl/env"
 	"gsfl/internal/metrics"
 	"gsfl/internal/model"
-	"gsfl/internal/partition"
 	"gsfl/internal/schemes"
 	"gsfl/internal/simnet"
 	"gsfl/internal/trace"
@@ -58,15 +57,12 @@ func CutLayerGrid(spec Spec, cuts []int, rounds, evalEvery int) Grid {
 }
 
 // GroupingGrid sweeps group count and grouping strategy (ablation A2),
-// groups outermost — the historical row order.
-func GroupingGrid(spec Spec, groupCounts []int, strategies []partition.GroupStrategy, rounds, evalEvery int) Grid {
-	names := make([]string, len(strategies))
-	for i, st := range strategies {
-		names[i] = st.String()
-	}
+// groups outermost — the historical row order. Strategies are registry
+// names (see env.Strategies).
+func GroupingGrid(spec Spec, groupCounts []int, strategies []string, rounds, evalEvery int) Grid {
 	return Grid{
 		Name: "grouping", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
-		Axes: Axes{Groups: groupCounts, Strategies: names},
+		Axes: Axes{Groups: groupCounts, Strategies: strategies},
 	}
 }
 
@@ -193,13 +189,23 @@ func FoldTable2(res []JobResult) *trace.Table {
 }
 
 // probeSplit rebuilds the architecture probe the cut-layer ablation
-// reports transfer/model sizes from, without materializing a dataset.
-// The rng only initializes weights, which the size accessors ignore; it
-// is derived exactly as Build derives it so the probe is the same object
-// the historical env-based code produced.
+// reports transfer/model sizes from, without materializing a dataset
+// (the class count comes from a cheaply instantiated source). The rng
+// only initializes weights, which the size accessors ignore; it is
+// derived exactly as Build derives it so the probe is the same object
+// the historical env-based code produced. The spec comes from an
+// already-executed job, so resolution errors are programmer errors.
 func probeSplit(s Spec) *model.SplitModel {
-	arch := model.GTSRBCNN(s.ImageSize, gtsrb.NumClasses)
-	probeEnv := &schemes.Env{Seed: s.envSeed()}
+	s = s.Normalized()
+	src, err := env.NewDataset(s.Dataset, env.DataConfig{ImageSize: s.ImageSize, Seed: s.Seed})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: probe dataset: %v", err))
+	}
+	arch, err := env.NewArch(s.Arch, env.ArchConfig{ImageSize: s.ImageSize, Classes: src.Classes(), Seed: s.Seed})
+	if err != nil {
+		panic(fmt.Sprintf("experiment: probe arch: %v", err))
+	}
+	probeEnv := &schemes.Env{Seed: s.EnvSeed()}
 	return arch.NewSplit(probeEnv.Rng("probe", 0), s.Cut)
 }
 
@@ -252,7 +258,7 @@ func FoldAllocation(res []JobResult) []AllocationResult {
 	out := make([]AllocationResult, 0, len(res))
 	for _, r := range res {
 		out = append(out, AllocationResult{
-			Allocator:    r.Job.Spec.Alloc.Name(),
+			Allocator:    r.Job.Spec.Alloc, // canonical: grid expansion resolved it
 			RoundLatency: r.TotalSeconds / float64(r.Job.Rounds),
 		})
 	}
@@ -498,8 +504,8 @@ func GridExperiments(spec Spec, rounds, evalEvery int, target float64) []GridExp
 		},
 		{
 			Name: "grouping",
-			Grids: []Grid{GroupingGrid(spec, DefaultGroupCounts(spec.Clients), []partition.GroupStrategy{
-				partition.GroupRoundRobin, partition.GroupRandom, partition.GroupComputeBalanced,
+			Grids: []Grid{GroupingGrid(spec, DefaultGroupCounts(spec.Clients), []string{
+				"round-robin", "random", "compute-balanced",
 			}, rounds, evalEvery)},
 			Save: func(outDir string, res []JobResult) error {
 				tbl := trace.NewTable("ablation-grouping",
@@ -507,7 +513,7 @@ func GridExperiments(spec Spec, rounds, evalEvery int, target float64) []GridExp
 				for _, x := range FoldGrouping(res) {
 					tbl.Add(trace.Row{
 						"groups":          x.Groups,
-						"strategy":        x.Strategy.String(),
+						"strategy":        x.Strategy,
 						"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
 						"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
 					})

@@ -33,11 +33,15 @@ func RunValidationEventDriven(spec Spec) (ValidationResult, error) {
 	spec.Wireless.FadingJitter = 0
 	spec.Wireless.OutageProb = 0
 
-	env, err := Build(spec)
+	world, err := Build(spec)
 	if err != nil {
 		return ValidationResult{}, err
 	}
-	tr, err := gsfl.New(env, gsfl.Config{NumGroups: spec.Groups, Strategy: spec.Strategy})
+	opts, err := spec.SchemeOptions()
+	if err != nil {
+		return ValidationResult{}, err
+	}
+	tr, err := gsfl.New(world, gsfl.Config{NumGroups: spec.Groups, Strategy: opts.Strategy})
 	if err != nil {
 		return ValidationResult{}, err
 	}
@@ -55,7 +59,7 @@ func RunValidationEventDriven(spec Spec) (ValidationResult, error) {
 		return ValidationResult{}, err
 	}
 	probe := env2.Arch.NewSplit(env2.Rng("probe", 0), spec.Cut)
-	tr2, err := gsfl.New(env2, gsfl.Config{NumGroups: spec.Groups, Strategy: spec.Strategy})
+	tr2, err := gsfl.New(env2, gsfl.Config{NumGroups: spec.Groups, Strategy: opts.Strategy})
 	if err != nil {
 		return ValidationResult{}, err
 	}

@@ -1,0 +1,56 @@
+package gtsrb
+
+import (
+	"fmt"
+
+	"gsfl/internal/data"
+)
+
+// SourceName is the registry name of the synthetic-GTSRB generator —
+// the default dataset of every experiment spec.
+const SourceName = "gtsrb-synth"
+
+// source adapts a Generator to the data.Source interface so the
+// environment builder (and out-of-tree tooling) can construct it by
+// name.
+type source struct{ gen *Generator }
+
+func (s source) InShape() []int                    { return s.gen.InShape() }
+func (s source) Classes() int                      { return NumClasses }
+func (s source) Sample(class int) ([]float64, int) { return s.gen.Sample(class) }
+func (s source) Pool(n int) *data.InMemory         { return s.gen.Dataset(n, nil) }
+func (s source) Balanced(perClass int) *data.InMemory {
+	return s.gen.Balanced(perClass)
+}
+
+// init registers the generator into the dataset registry. Config
+// options map onto the generator's jitter knobs by name; absent keys
+// keep the photographic-difficulty defaults.
+func init() {
+	data.RegisterSource(SourceName, func(cfg data.SourceConfig) (data.Source, error) {
+		if cfg.ImageSize < 8 {
+			return nil, fmt.Errorf("gtsrb: image size %d too small (min 8)", cfg.ImageSize)
+		}
+		c := DefaultConfig(cfg.ImageSize)
+		for key, v := range cfg.Options {
+			switch key {
+			case "noise_std":
+				c.NoiseStd = v
+			case "jitter":
+				c.Jitter = v
+			case "scale_jitter":
+				c.ScaleJitter = v
+			case "brightness_jitter":
+				c.BrightnessJitter = v
+			case "rotation_jitter":
+				c.RotationJitter = v
+			case "label_noise":
+				if v < 0 || v >= 1 {
+					return nil, fmt.Errorf("gtsrb: label noise %v outside [0,1)", v)
+				}
+				c.LabelNoise = v
+			}
+		}
+		return source{gen: NewGenerator(c, cfg.Seed)}, nil
+	})
+}

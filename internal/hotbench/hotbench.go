@@ -1,4 +1,17 @@
-package main
+// Package hotbench measures the training hot path — one full GSFL
+// round at a reduced spec plus the tensor kernels it is built from —
+// and writes ns/op, B/op, and allocs/op to a JSON file. Committed
+// before/after pairs of these files (see BENCH_hotpath.json at the repo
+// root) form the perf trajectory of the allocation-free hot-path work.
+// The public entry point is sweep.WriteHotPathBench (what gsfl-bench
+// -benchjson calls).
+//
+// Measurements run with a single worker: serial execution excludes
+// fork-join goroutine churn from the allocation counts, so the numbers
+// isolate exactly what the destination-passing refactor targets. The
+// wall-clock effect at higher worker counts is covered by the
+// BenchmarkParallelGroupRound sweep in bench_test.go.
+package hotbench
 
 import (
 	"context"
@@ -16,38 +29,26 @@ import (
 	"gsfl/internal/tensor"
 )
 
-// The -benchjson mode measures the training hot path — one full GSFL
-// round at a reduced spec plus the tensor kernels it is built from — and
-// writes ns/op, B/op, and allocs/op to a JSON file. Committed before/after
-// pairs of these files (see BENCH_hotpath.json at the repo root) form the
-// perf trajectory of the allocation-free hot-path work.
-//
-// Measurements run with a single worker: serial execution excludes
-// fork-join goroutine churn from the allocation counts, so the numbers
-// isolate exactly what the destination-passing refactor targets. The
-// wall-clock effect at higher worker counts is covered by the
-// BenchmarkParallelGroupRound sweep in bench_test.go.
-
-// hotpathMeasurement is one measured operation.
-type hotpathMeasurement struct {
+// Measurement is one measured operation.
+type Measurement struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Iters       int     `json:"iters"`
 }
 
-// hotpathReport is the full -benchjson artifact.
-type hotpathReport struct {
-	Label     string                        `json:"label,omitempty"`
-	Generated string                        `json:"generated"`
-	Workers   int                           `json:"workers"`
-	Spec      string                        `json:"spec"`
-	Results   map[string]hotpathMeasurement `json:"results"`
+// Report is the full -benchjson artifact.
+type Report struct {
+	Label     string                 `json:"label,omitempty"`
+	Generated string                 `json:"generated"`
+	Workers   int                    `json:"workers"`
+	Spec      string                 `json:"spec"`
+	Results   map[string]Measurement `json:"results"`
 }
 
 // measureOp times f over iters iterations after warmup warm-up calls and
 // reports per-iteration wall time and heap traffic.
-func measureOp(warmup, iters int, f func()) hotpathMeasurement {
+func measureOp(warmup, iters int, f func()) Measurement {
 	for i := 0; i < warmup; i++ {
 		f()
 	}
@@ -61,7 +62,7 @@ func measureOp(warmup, iters int, f func()) hotpathMeasurement {
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&m1)
 	n := float64(iters)
-	return hotpathMeasurement{
+	return Measurement{
 		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
 		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
 		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
@@ -69,10 +70,10 @@ func measureOp(warmup, iters int, f func()) hotpathMeasurement {
 	}
 }
 
-// hotpathSpec is the reduced GSFL configuration the round measurement
+// benchSpec is the reduced GSFL configuration the round measurement
 // uses: small enough to run in seconds, large enough that conv/dense
 // layers dominate like they do at paper scale.
-func hotpathSpec() experiment.Spec {
+func benchSpec() experiment.Spec {
 	spec := experiment.TestSpec()
 	spec.Clients = 8
 	spec.Groups = 2
@@ -85,22 +86,22 @@ func hotpathSpec() experiment.Spec {
 	return spec
 }
 
-// runBenchJSON produces the hot-path report and writes it to path.
-func runBenchJSON(path, label string) error {
+// Write produces the hot-path report and writes it to path.
+func Write(path, label string) error {
 	parallel.SetWorkers(1)
 	defer parallel.SetWorkers(0)
 
-	report := &hotpathReport{
+	report := &Report{
 		Label:     label,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Workers:   1,
 		Spec:      "gsfl reduced: 8 clients, 2 groups, 16x16 images, batch 16, 2 steps/client",
-		Results:   map[string]hotpathMeasurement{},
+		Results:   map[string]Measurement{},
 	}
 
 	// One full GSFL round: distribution, concurrent-group split training,
 	// FedAvg aggregation — the steady-state loop the simulator lives in.
-	tr, err := experiment.NewTrainer(hotpathSpec(), "gsfl")
+	tr, err := experiment.NewTrainer(benchSpec(), "gsfl")
 	if err != nil {
 		return err
 	}

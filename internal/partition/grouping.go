@@ -4,11 +4,16 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
-// GroupStrategy enumerates the client-grouping policies GSFL can use.
-// The paper defers grouping policy to future work; these implement the
-// obvious candidates for the grouping ablation (experiment A2).
+// GroupStrategy identifies a client-grouping policy. The paper defers
+// grouping policy to future work; the built-in values implement the
+// obvious candidates for the grouping ablation (experiment A2), and
+// RegisterStrategy extends the set with out-of-tree policies resolved
+// by name. The built-in constants' integer values are stable (they are
+// gob-encoded into run checkpoints); dynamically registered strategies
+// receive values in registration order.
 type GroupStrategy int
 
 const (
@@ -21,37 +26,112 @@ const (
 	// (groups run in parallel, so the round ends when the slowest group
 	// finishes).
 	GroupComputeBalanced
+
+	// firstDynamicStrategy is where RegisterStrategy starts handing out
+	// values.
+	firstDynamicStrategy
 )
 
-// String implements fmt.Stringer.
-func (s GroupStrategy) String() string {
-	switch s {
-	case GroupRoundRobin:
-		return "round-robin"
-	case GroupRandom:
-		return "random"
-	case GroupComputeBalanced:
-		return "compute-balanced"
-	default:
-		return fmt.Sprintf("GroupStrategy(%d)", int(s))
+// GroupFunc implements a grouping policy: assign n clients (identified
+// by index 0..n-1) to m groups. capacity carries per-client compute
+// capability (lower = slower) for capacity-aware policies and may be
+// nil otherwise; rng drives randomized policies and may be nil for
+// deterministic ones. Implementations must return every client exactly
+// once and at least one client per group, and must be deterministic
+// given (n, m, capacity, rng state).
+type GroupFunc func(n, m int, capacity []float64, rng *rand.Rand) [][]int
+
+// strategyEntry is one registered policy.
+type strategyEntry struct {
+	name string
+	fn   GroupFunc
+}
+
+var (
+	strategyMu      sync.RWMutex
+	strategyByName  = map[string]GroupStrategy{}
+	strategyEntries = map[GroupStrategy]strategyEntry{}
+	nextStrategy    = firstDynamicStrategy
+)
+
+// registerStrategyAs installs fn under a fixed strategy value, its
+// canonical name, and any aliases. Shared by the built-in init
+// registrations (fixed values) and RegisterStrategy (dynamic values).
+func registerStrategyAs(s GroupStrategy, name string, fn GroupFunc, aliases ...string) {
+	if name == "" {
+		panic("partition: RegisterStrategy with empty name")
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("partition: RegisterStrategy(%q) with nil GroupFunc", name))
+	}
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
+	if _, dup := strategyByName[name]; dup {
+		panic(fmt.Sprintf("partition: grouping strategy %q registered twice", name))
+	}
+	strategyByName[name] = s
+	strategyEntries[s] = strategyEntry{name: name, fn: fn}
+	for _, a := range aliases {
+		if _, dup := strategyByName[a]; dup {
+			panic(fmt.Sprintf("partition: grouping strategy alias %q registered twice", a))
+		}
+		strategyByName[a] = s
 	}
 }
 
-// ParseStrategy resolves a grouping strategy from its CLI token or its
-// String(): "roundrobin"/"round-robin", "random", or
-// "balanced"/"compute-balanced". It is the single flag-parsing path
-// shared by gsfl-sim, gsfl-bench, and the examples.
-func ParseStrategy(name string) (GroupStrategy, error) {
-	switch name {
-	case "roundrobin", "round-robin":
-		return GroupRoundRobin, nil
-	case "random":
-		return GroupRandom, nil
-	case "balanced", "compute-balanced":
-		return GroupComputeBalanced, nil
-	default:
-		return 0, fmt.Errorf("partition: unknown grouping strategy %q (want roundrobin|random|balanced)", name)
+// RegisterStrategy adds a grouping policy under its canonical name and
+// returns the GroupStrategy value that now identifies it (usable in
+// schemes.FactoryOpts and experiment specs). It panics on an empty
+// name, a nil function, or a duplicate name — programmer errors at init
+// time. Note that dynamic values are assigned in registration order, so
+// checkpoints of runs using registered strategies resume correctly only
+// under the same registration order.
+func RegisterStrategy(name string, fn GroupFunc) GroupStrategy {
+	strategyMu.Lock()
+	s := nextStrategy
+	nextStrategy++
+	strategyMu.Unlock()
+	registerStrategyAs(s, name, fn)
+	return s
+}
+
+// StrategyNames returns the canonical names of every registered
+// grouping strategy in sorted order.
+func StrategyNames() []string {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	out := make([]string, 0, len(strategyEntries))
+	for _, e := range strategyEntries {
+		out = append(out, e.name)
 	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseStrategy resolves a grouping strategy from its canonical name or
+// a registered alias. The built-ins answer to "roundrobin"/"round-robin",
+// "random", and "balanced"/"compute-balanced". It is the single
+// name-to-strategy resolution path shared by the CLIs, grid files, and
+// the env registry.
+func ParseStrategy(name string) (GroupStrategy, error) {
+	strategyMu.RLock()
+	s, ok := strategyByName[name]
+	strategyMu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("partition: unknown grouping strategy %q (registered: %v)", name, StrategyNames())
+	}
+	return s, nil
+}
+
+// String implements fmt.Stringer, returning the canonical name.
+func (s GroupStrategy) String() string {
+	strategyMu.RLock()
+	e, ok := strategyEntries[s]
+	strategyMu.RUnlock()
+	if !ok {
+		return fmt.Sprintf("GroupStrategy(%d)", int(s))
+	}
+	return e.name
 }
 
 // Groups assigns n clients (identified by index) to m groups using the
@@ -65,31 +145,48 @@ func Groups(n, m int, strategy GroupStrategy, capacity []float64, rng *rand.Rand
 	if m > n {
 		panic(fmt.Sprintf("partition: %d groups cannot be filled by %d clients", m, n))
 	}
-	switch strategy {
-	case GroupRoundRobin:
-		out := make([][]int, m)
-		for i := 0; i < n; i++ {
-			out[i%m] = append(out[i%m], i)
-		}
-		return out
-	case GroupRandom:
-		perm := rng.Perm(n)
-		out := make([][]int, m)
-		for gi := 0; gi < m; gi++ {
-			lo := gi * n / m
-			hi := (gi + 1) * n / m
-			out[gi] = append([]int(nil), perm[lo:hi]...)
-			sort.Ints(out[gi])
-		}
-		return out
-	case GroupComputeBalanced:
+	strategyMu.RLock()
+	e, ok := strategyEntries[strategy]
+	strategyMu.RUnlock()
+	if !ok {
+		panic(fmt.Sprintf("partition: unknown grouping strategy %d", strategy))
+	}
+	return e.fn(n, m, capacity, rng)
+}
+
+// The built-in policies register like out-of-tree ones, so name
+// resolution, listing, and dispatch have exactly one path.
+func init() {
+	registerStrategyAs(GroupRoundRobin, "round-robin", roundRobin, "roundrobin")
+	registerStrategyAs(GroupRandom, "random", randomChunks)
+	registerStrategyAs(GroupComputeBalanced, "compute-balanced", func(n, m int, capacity []float64, _ *rand.Rand) [][]int {
 		if len(capacity) != n {
 			panic(fmt.Sprintf("partition: compute-balanced grouping needs %d capacities, got %d", n, len(capacity)))
 		}
 		return computeBalanced(n, m, capacity)
-	default:
-		panic(fmt.Sprintf("partition: unknown grouping strategy %d", strategy))
+	}, "balanced")
+}
+
+// roundRobin assigns client i to group i mod m.
+func roundRobin(n, m int, _ []float64, _ *rand.Rand) [][]int {
+	out := make([][]int, m)
+	for i := 0; i < n; i++ {
+		out[i%m] = append(out[i%m], i)
 	}
+	return out
+}
+
+// randomChunks shuffles clients, then splits into contiguous chunks.
+func randomChunks(n, m int, _ []float64, rng *rand.Rand) [][]int {
+	perm := rng.Perm(n)
+	out := make([][]int, m)
+	for gi := 0; gi < m; gi++ {
+		lo := gi * n / m
+		hi := (gi + 1) * n / m
+		out[gi] = append([]int(nil), perm[lo:hi]...)
+		sort.Ints(out[gi])
+	}
+	return out
 }
 
 // computeBalanced is the LPT (longest processing time) greedy: sort

@@ -2,6 +2,8 @@ package wireless
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 )
 
 // Allocator splits a bandwidth budget among a set of concurrently
@@ -90,21 +92,73 @@ func (LatencyMin) Allocate(ch *Channel, clients []int, budgetHz float64, uplink 
 	return out
 }
 
-// ParseAllocator resolves an allocator policy from its CLI token or its
-// Name(): "uniform", "propfair"/"proportional-fair", or
-// "latmin"/"latency-min". It is the single flag-parsing path shared by
-// gsfl-sim, gsfl-bench, and the examples.
-func ParseAllocator(name string) (Allocator, error) {
-	switch name {
-	case "uniform":
-		return Uniform{}, nil
-	case "propfair", "proportional-fair":
-		return ProportionalFair{}, nil
-	case "latmin", "latency-min":
-		return LatencyMin{}, nil
-	default:
-		return nil, fmt.Errorf("wireless: unknown allocator %q (want uniform|propfair|latmin)", name)
+var (
+	allocatorMu     sync.RWMutex
+	allocatorByName = map[string]Allocator{}
+	allocatorNames  []string // canonical names, registration order
+)
+
+// RegisterAllocator adds a bandwidth-allocation policy to the registry
+// under its Name() plus any extra aliases (CLI shorthands). Registered
+// allocators are resolvable by ParseAllocator, listed by
+// AllocatorNames, and usable by name in experiment specs and grid
+// files. It panics on a nil allocator, an empty name, or a duplicate
+// name — programmer errors at init time. The built-in policies register
+// themselves; call this only for out-of-tree allocators.
+func RegisterAllocator(a Allocator, aliases ...string) {
+	if a == nil {
+		panic("wireless: RegisterAllocator with nil allocator")
 	}
+	name := a.Name()
+	if name == "" {
+		panic("wireless: RegisterAllocator with empty Name()")
+	}
+	allocatorMu.Lock()
+	defer allocatorMu.Unlock()
+	if _, dup := allocatorByName[name]; dup {
+		panic(fmt.Sprintf("wireless: allocator %q registered twice", name))
+	}
+	allocatorByName[name] = a
+	allocatorNames = append(allocatorNames, name)
+	for _, alias := range aliases {
+		if _, dup := allocatorByName[alias]; dup {
+			panic(fmt.Sprintf("wireless: allocator alias %q registered twice", alias))
+		}
+		allocatorByName[alias] = a
+	}
+}
+
+// AllocatorNames returns the canonical names of every registered
+// allocator in sorted order.
+func AllocatorNames() []string {
+	allocatorMu.RLock()
+	defer allocatorMu.RUnlock()
+	out := append([]string(nil), allocatorNames...)
+	sort.Strings(out)
+	return out
+}
+
+// ParseAllocator resolves an allocator policy from its canonical Name()
+// or a registered alias. The built-ins answer to "uniform",
+// "propfair"/"proportional-fair", and "latmin"/"latency-min". It is the
+// single name-to-allocator resolution path shared by the CLIs, grid
+// files, and the env registry.
+func ParseAllocator(name string) (Allocator, error) {
+	allocatorMu.RLock()
+	a, ok := allocatorByName[name]
+	allocatorMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wireless: unknown allocator %q (registered: %v)", name, AllocatorNames())
+	}
+	return a, nil
+}
+
+// The built-in policies register like out-of-tree ones, so name
+// resolution, listing, and dispatch have exactly one path.
+func init() {
+	RegisterAllocator(Uniform{})
+	RegisterAllocator(ProportionalFair{}, "propfair")
+	RegisterAllocator(LatencyMin{}, "latmin")
 }
 
 func checkAlloc(ch *Channel, clients []int, budgetHz float64) {

@@ -23,8 +23,8 @@
 //
 // Minimal use:
 //
-//	env, _ := experiment.Build(experiment.TestSpec())
-//	tr, _ := sim.New("gsfl", env, sim.Options{Groups: 2})
+//	world, _ := env.Build(env.TestSpec())
+//	tr, _ := sim.New("gsfl", world, sim.Options{Groups: 2})
 //	curve, err := sim.NewRunner(tr,
 //	    sim.WithRounds(50),
 //	    sim.WithEvalEvery(5),

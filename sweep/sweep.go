@@ -30,7 +30,10 @@
 //
 // Minimal use:
 //
-//	grid := experiment.Fig2aGrid(spec, 50, 5)
+//	grid := sweep.Grid{
+//	    Name: "demo", Base: env.TestSpec(), Rounds: 50, EvalEvery: 5,
+//	    Axes: sweep.Axes{Schemes: []string{"gsfl", "sl"}},
+//	}
 //	jobs, _ := grid.Jobs()
 //	store, _ := sweep.OpenStore("results/sweep")
 //	defer store.Close()
@@ -40,12 +43,14 @@ package sweep
 
 import (
 	"gsfl/internal/experiment"
+	"gsfl/internal/metrics"
 )
 
 // Aliases re-export the grid vocabulary so sweep callers need no
 // internal imports.
 type (
-	// Spec describes one experimental configuration.
+	// Spec describes one experimental configuration (the public
+	// env.Spec).
 	Spec = experiment.Spec
 	// Grid is a declarative sweep: a base Spec plus swept axes.
 	Grid = experiment.Grid
@@ -55,4 +60,6 @@ type (
 	Job = experiment.Job
 	// JobResult is one completed cell: curve plus latency ledger.
 	JobResult = experiment.JobResult
+	// Curve is a training trajectory (the same type as sim.Curve).
+	Curve = metrics.Curve
 )
