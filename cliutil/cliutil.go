@@ -104,12 +104,14 @@ func ParseScale(name string) (Scale, error) {
 
 // PrintRegistries writes every extension registry's contents — schemes,
 // allocators, grouping strategies, model architectures, dataset
-// generators — one section per line, to w. It is the single source of
-// the -list output shared by gsfl-sim and gsfl-sweep.
+// generators, straggler policies — one section per line, to w. It is
+// the single source of the -list output shared by gsfl-sim, gsfl-sweep,
+// and the deployment commands.
 func PrintRegistries(w io.Writer) {
 	fmt.Fprintf(w, "schemes:     %s\n", strings.Join(sim.Schemes(), " "))
 	fmt.Fprintf(w, "allocators:  %s\n", strings.Join(env.Allocators(), " "))
 	fmt.Fprintf(w, "strategies:  %s\n", strings.Join(env.Strategies(), " "))
 	fmt.Fprintf(w, "archs:       %s\n", strings.Join(env.Archs(), " "))
 	fmt.Fprintf(w, "datasets:    %s\n", strings.Join(env.Datasets(), " "))
+	fmt.Fprintf(w, "stragglers:  %s\n", strings.Join(env.StragglerPolicies(), " "))
 }

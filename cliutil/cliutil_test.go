@@ -65,7 +65,8 @@ func TestPrintRegistries(t *testing.T) {
 		"uniform", "proportional-fair", "latency-min", // allocators
 		"round-robin", "random", "compute-balanced", // strategies
 		"gtsrb-cnn", "deepthin-cnn", "mlp", // archs
-		"gtsrb-synth", // datasets
+		"gtsrb-synth",        // datasets
+		"drop", "reuse-last", // straggler policies
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out)

@@ -4,6 +4,13 @@
 // number of GSFL rounds, printing evaluation results, then shuts the
 // fleet down.
 //
+// A per-round -deadline plus a -straggler fallback policy keep the
+// fleet moving when a client stalls, disconnects mid-frame, or simply
+// cannot keep up: its turn is patched per the policy, its slot is
+// refilled from late joiners at the next round boundary, and the round
+// completes on time. -metrics exposes live transport counters over
+// HTTP for scraping.
+//
 // The AP and its clients must agree on -clients, -image-size, -cut and
 // the per-client data seeds; the defaults line up out of the box:
 //
@@ -15,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"gsfl/cliutil"
 	"gsfl/env"
 )
 
@@ -40,11 +49,22 @@ func run(args []string) error {
 		cut       = fs.Int("cut", env.DefaultCut, "cut layer index")
 		lr        = fs.Float64("lr", 0.02, "server-side learning rate")
 		momentum  = fs.Float64("momentum", 0.9, "server-side momentum")
+		clipNorm  = fs.Float64("clip-norm", 0, "gradient clipping norm (0 = off, must match clients)")
+		quant     = fs.Bool("quant", false, "quantize transfer frames to 8 bits (must match clients)")
 		seed      = fs.Int64("seed", 7, "model init seed")
 		wait      = fs.Duration("wait", 60*time.Second, "how long to wait for clients")
+		deadline  = fs.Duration("deadline", 0, "per-round deadline; clients that miss it become stragglers (0 = none)")
+		straggler = fs.String("straggler", "drop",
+			"straggler fallback policy: "+strings.Join(env.StragglerPolicies(), "|"))
+		metrics = fs.String("metrics", "", "serve transport counters over HTTP on this address (e.g. 127.0.0.1:9090)")
+		list    = fs.Bool("list", false, "list the registered extension points, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		cliutil.PrintRegistries(os.Stdout)
+		return nil
 	}
 
 	src, err := env.NewDataset(env.DefaultDataset, env.DataConfig{ImageSize: *imageSize, Seed: *seed + 1})
@@ -68,8 +88,13 @@ func run(args []string) error {
 		StepsPerClient: *steps,
 		LR:             *lr,
 		Momentum:       *momentum,
+		ClipNorm:       *clipNorm,
 		Test:           test,
 		Seed:           *seed,
+		Quantize:       *quant,
+		RoundDeadline:  *deadline,
+		Straggler:      *straggler,
+		MetricsAddr:    *metrics,
 	})
 	if err != nil {
 		return err
@@ -78,19 +103,27 @@ func run(args []string) error {
 
 	fmt.Printf("AP listening on %s, waiting for %d clients (groups %v)...\n",
 		ap.Addr(), *clients, groupAssign)
+	if maddr := ap.MetricsAddr(); maddr != "" {
+		fmt.Printf("metrics on http://%s/metrics\n", maddr)
+	}
 	if err := ap.WaitForClients(*wait); err != nil {
 		return err
 	}
 	fmt.Println("all clients registered; training")
 
 	for r := 1; r <= *rounds; r++ {
-		start := time.Now()
-		if err := ap.Round(); err != nil {
+		stats, err := ap.Round()
+		if err != nil {
 			return err
 		}
 		l, a := ap.Evaluate()
-		fmt.Printf("round %3d  wall %8s  loss %7.4f  acc %6.2f%%\n",
-			r, time.Since(start).Round(time.Millisecond), l, a*100)
+		fmt.Printf("round %3d  wall %8s  loss %7.4f  acc %6.2f%%  participants %d",
+			r, stats.Duration.Round(time.Millisecond), l, a*100, stats.Participants)
+		if stats.Stragglers > 0 || stats.Skipped > 0 || stats.Refilled > 0 {
+			fmt.Printf("  (stragglers %d, skipped %d, refilled %d)",
+				stats.Stragglers, stats.Skipped, stats.Refilled)
+		}
+		fmt.Println()
 	}
 	return ap.Shutdown()
 }

@@ -1,12 +1,25 @@
 package main
 
 import (
+	"bufio"
+	"os"
+	"strings"
 	"testing"
 )
 
-func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-no-such-flag"}); err == nil {
-		t.Fatal("expected flag error")
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := map[string][]string{
+		"bad flag":              {"-no-such-flag"},
+		"bad straggler policy":  {"-straggler", "bogus", "-wait", "100ms", "-addr", "127.0.0.1:0"},
+		"bad cut":               {"-cut", "99", "-wait", "100ms", "-addr", "127.0.0.1:0"},
+		"clients below groups":  {"-clients", "1", "-groups", "2", "-wait", "100ms", "-addr", "127.0.0.1:0"},
+		"unparseable deadline":  {"-deadline", "soon"},
+		"unparseable clip-norm": {"-clip-norm", "tight"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
 }
 
@@ -14,9 +27,46 @@ func TestRunTimesOutWithoutClients(t *testing.T) {
 	err := run([]string{
 		"-addr", "127.0.0.1:0",
 		"-clients", "2", "-groups", "1", "-rounds", "1",
+		"-deadline", "1s", "-straggler", "reuse-last",
 		"-wait", "100ms",
 	})
 	if err == nil {
 		t.Fatal("expected timeout error with no clients")
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected and returns its output.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestListFlag(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run([]string{"-list"}); err != nil {
+			t.Error(err)
+		}
+	})
+	// The deployment registries must stream through -list alongside the
+	// simulator ones — single source of truth in cliutil.
+	for _, want := range []string{"stragglers:", "drop", "reuse-last", "archs:", "datasets:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -32,6 +32,8 @@ func run(args []string) error {
 		batch     = fs.Int("batch", 8, "mini-batch size")
 		lr        = fs.Float64("lr", 0.02, "client-side learning rate")
 		momentum  = fs.Float64("momentum", 0.9, "client-side momentum")
+		clipNorm  = fs.Float64("clip-norm", 0, "gradient clipping norm (0 = off, must match AP)")
+		quant     = fs.Bool("quant", false, "quantize transfer frames to 8 bits (must match AP)")
 		dataSeed  = fs.Int64("data-seed", 1000, "base seed; shard seed = base + id")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -59,6 +61,8 @@ func run(args []string) error {
 		Batch:    *batch,
 		LR:       *lr,
 		Momentum: *momentum,
+		ClipNorm: *clipNorm,
+		Quantize: *quant,
 		Seed:     *dataSeed + 7919*int64(*id),
 	})
 	if err != nil {

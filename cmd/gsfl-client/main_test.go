@@ -4,20 +4,26 @@ import (
 	"testing"
 )
 
-func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run([]string{"-no-such-flag"}); err == nil {
-		t.Fatal("expected flag error")
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := map[string][]string{
+		"bad flag":              {"-no-such-flag"},
+		"negative id":           {"-id", "-1"},
+		"unparseable id":        {"-id", "one"},
+		"unparseable clip-norm": {"-clip-norm", "tight"},
+		"unparseable quant":     {"-quant", "-id"}, // bool flag eats no value; "-id" then misses its argument
 	}
-}
-
-func TestRunRejectsNegativeID(t *testing.T) {
-	if err := run([]string{"-id", "-1"}); err == nil {
-		t.Fatal("expected id validation error")
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
 	}
 }
 
 func TestRunFailsWhenAPUnreachable(t *testing.T) {
-	err := run([]string{"-addr", "127.0.0.1:1", "-id", "0", "-samples", "5", "-image-size", "8"})
+	err := run([]string{
+		"-addr", "127.0.0.1:1", "-id", "0", "-samples", "5", "-image-size", "8",
+		"-clip-norm", "5", "-quant",
+	})
 	if err == nil {
 		t.Fatal("expected dial error")
 	}

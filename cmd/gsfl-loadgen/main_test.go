@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := map[string][]string{
+		"bad flag":             {"-no-such-flag"},
+		"zero clients":         {"-clients", "0"},
+		"zero groups":          {"-groups", "0", "-clients", "4", "-rounds", "1"},
+		"bad straggler policy": {"-straggler", "bogus", "-clients", "4", "-groups", "2", "-rounds", "1"},
+		"all spares":           {"-clients", "4", "-groups", "2", "-rounds", "1", "-spare-frac", "1"},
+		"unparseable deadline": {"-deadline", "soon"},
+	}
+	for name, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{
+		"-clients", "8", "-groups", "2", "-rounds", "2",
+		"-deadline", "5s", "-quiet", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Clients           int `json:"clients"`
+		ParticipantsTotal int `json:"participants_total"`
+		StragglersTotal   int `json:"stragglers_total"`
+	}
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, b)
+	}
+	if rep.Clients != 8 || rep.ParticipantsTotal != 16 || rep.StragglersTotal != 0 {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected and returns its output.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func TestListFlag(t *testing.T) {
+	out := captureStdout(t, func() {
+		if err := run([]string{"-list"}); err != nil {
+			t.Error(err)
+		}
+	})
+	for _, want := range []string{"stragglers:", "drop", "reuse-last"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -59,6 +59,12 @@ func main() {
 		Momentum:       0.9,
 		Test:           test,
 		Seed:           7,
+		// A real deployment bounds each round: a client that stalls past
+		// the deadline is patched per the straggler policy and the round
+		// completes anyway. Loopback clients never trip this; it documents
+		// the production configuration.
+		RoundDeadline: 30 * time.Second,
+		Straggler:     "drop",
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -90,13 +96,13 @@ func main() {
 	fmt.Printf("all %d clients registered\n\n", nClients)
 
 	for r := 1; r <= rounds; r++ {
-		start := time.Now()
-		if err := ap.Round(); err != nil {
+		stats, err := ap.Round()
+		if err != nil {
 			log.Fatal(err)
 		}
 		l, a := ap.Evaluate()
-		fmt.Printf("round %2d  wall %8s  loss %7.4f  acc %6.2f%%\n",
-			r, time.Since(start).Round(time.Millisecond), l, a*100)
+		fmt.Printf("round %2d  wall %8s  loss %7.4f  acc %6.2f%%  participants %d\n",
+			r, stats.Duration.Round(time.Millisecond), l, a*100, stats.Participants)
 	}
 
 	if err := ap.Shutdown(); err != nil {

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds operational counters — the Prometheus-style side of the
+// package, next to the training-curve statistics above. The real-TCP
+// deployment (internal/transport) registers rounds/s, bytes in/out,
+// straggler and membership counters here and serves them from the AP's
+// -metrics endpoint in the standard text exposition format.
+
+// Counter is a monotonically increasing int64 metric. Safe for
+// concurrent use.
+type Counter struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("metrics: negative Add(%d) on counter %s", n, c.name))
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Name returns the metric name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a settable int64 metric. Safe for concurrent use.
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add shifts the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Name returns the metric name.
+func (g *Gauge) Name() string { return g.name }
+
+// Registry holds a set of named counters and gauges and renders them in
+// the Prometheus text exposition format. Metrics are emitted in
+// registration order, so scrapes are byte-stable for a fixed value set.
+type Registry struct {
+	mu     sync.Mutex
+	order  []string
+	byName map[string]any // *Counter or *Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]any)}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Registering the same name as a different metric type
+// panics (a programmer error at wiring time).
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %s already registered as a gauge", name))
+		}
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.byName[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Registering the same name as a different metric type panics.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		g, ok := m.(*Gauge)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %s already registered as a counter", name))
+		}
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.byName[name] = g
+	r.order = append(r.order, name)
+	return g
+}
+
+// WriteText renders every metric in the Prometheus text exposition
+// format (HELP, TYPE, value), in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.byName[n]
+	}
+	r.mu.Unlock()
+
+	for i, name := range names {
+		var kind string
+		var help string
+		var val int64
+		switch m := metrics[i].(type) {
+		case *Counter:
+			kind, help, val = "counter", m.help, m.Value()
+		case *Gauge:
+			kind, help, val = "gauge", m.help, m.Value()
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, kind, name, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -142,16 +142,25 @@ func (e *Env) NewOptimizer() *optim.SGD {
 	return opt
 }
 
+// DeriveSeed maps (seed, purpose, k) to the seed of the named RNG
+// stream. It is the one definition both execution substrates share: the
+// in-process schemes derive every stream through Env.Rng, and the real
+// TCP deployment (internal/transport) derives its model-init and
+// client-loader streams with the same function — which is what makes a
+// fault-free TCP round byte-identical to the simulator at equal seeds.
+func DeriveSeed(seed int64, purpose string, k int) int64 {
+	h := seed
+	for _, c := range purpose {
+		h = h*131 + int64(c)
+	}
+	return h*1_000_003 + int64(k)
+}
+
 // Rng derives a deterministic RNG stream for a named purpose. Distinct
 // (purpose, k) pairs get independent streams, so adding a consumer never
 // perturbs existing ones.
 func (e *Env) Rng(purpose string, k int) *rand.Rand {
-	h := e.Seed
-	for _, c := range purpose {
-		h = h*131 + int64(c)
-	}
-	h = h*1_000_003 + int64(k)
-	return rand.New(rand.NewSource(h))
+	return rand.New(rand.NewSource(DeriveSeed(e.Seed, purpose, k)))
 }
 
 // Eval is one evaluation of a scheme's current global model on the

@@ -1,0 +1,206 @@
+package faultconn
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// drive pushes a fixed write schedule through a wrapped pipe end while a
+// peer goroutine drains it, and returns the wrapper's fault script.
+func drive(t *testing.T, p Profile, writes []int) string {
+	t.Helper()
+	a, b := net.Pipe()
+	conn := Wrap(a, p)
+	defer conn.Close()
+	defer b.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 1<<12)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	for _, n := range writes {
+		if _, err := conn.Write(make([]byte, n)); err != nil {
+			break
+		}
+	}
+	conn.Close()
+	<-done
+	return conn.Script()
+}
+
+func TestScriptReplayIsByteIdentical(t *testing.T) {
+	p := Profile{Seed: 42, WriteDelayProb: 0.5, WriteDelay: time.Millisecond, PartialWriteProb: 0.3}
+	writes := []int{64, 128, 32, 256, 16, 512}
+	s1 := drive(t, p, writes)
+	s2 := drive(t, p, writes)
+	if s1 != s2 {
+		t.Fatalf("schedules diverged:\n--- run 1\n%s--- run 2\n%s", s1, s2)
+	}
+	if s1 == "" {
+		t.Fatal("profile injected nothing; replay test is vacuous")
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	writes := []int{64, 128, 32, 256, 16, 512, 64, 128}
+	s1 := drive(t, Profile{Seed: 1, PartialWriteProb: 0.5}, writes)
+	s2 := drive(t, Profile{Seed: 2, PartialWriteProb: 0.5}, writes)
+	if s1 == s2 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestStallHonorsReadDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	conn := Wrap(a, Profile{StallAfterReads: 1})
+	defer conn.Close()
+
+	conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := conn.Read(make([]byte, 8))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read returned %v, want ErrDeadlineExceeded", err)
+	}
+	if el := time.Since(start); el < 40*time.Millisecond || el > 2*time.Second {
+		t.Fatalf("deadline fired after %v, want ~50ms", el)
+	}
+}
+
+func TestStallReleasedByClose(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	conn := Wrap(a, Profile{StallAfterWrites: 1})
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := conn.Write([]byte("hello"))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	conn.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("released stall returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the stalled write")
+	}
+}
+
+func TestDropAfterBytesDeliversPrefixThenEOF(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	conn := Wrap(a, Profile{DropAfterBytes: 10})
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 64)
+		n, _ := io.ReadFull(b, buf[:10])
+		got <- buf[:n]
+	}()
+	if _, err := conn.Write(make([]byte, 6)); err != nil {
+		t.Fatalf("write inside budget: %v", err)
+	}
+	// This write crosses the budget: 4 bytes delivered, then death.
+	if _, err := conn.Write(make([]byte, 8)); err == nil {
+		t.Fatal("budget-crossing write reported success")
+	}
+	if prefix := <-got; len(prefix) != 10 {
+		t.Fatalf("peer got %d bytes before EOF, want 10", len(prefix))
+	}
+	if _, err := b.Read(make([]byte, 8)); err != io.EOF {
+		t.Fatalf("peer read after drop returned %v, want EOF", err)
+	}
+	if _, err := conn.Write([]byte("more")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write after drop returned %v, want ErrClosed", err)
+	}
+}
+
+func TestPartialWriteDeliversShortCount(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	conn := Wrap(a, Profile{Seed: 3, PartialWriteProb: 1})
+	defer conn.Close()
+
+	go io.Copy(io.Discard, b)
+	n, err := conn.Write(make([]byte, 100))
+	if err != nil {
+		t.Fatalf("partial write errored: %v", err)
+	}
+	if n <= 0 || n >= 100 {
+		t.Fatalf("partial write delivered %d of 100 bytes", n)
+	}
+	evs := conn.Events()
+	if len(evs) != 1 || evs[0].Fault != "partial" || evs[0].Bytes != n {
+		t.Fatalf("events %+v, want one partial of %d bytes", evs, n)
+	}
+}
+
+func TestZeroProfileIsTransparent(t *testing.T) {
+	a, b := net.Pipe()
+	conn := Wrap(a, Profile{})
+	defer conn.Close()
+	defer b.Close()
+
+	go func() {
+		buf := make([]byte, 5)
+		io.ReadFull(b, buf)
+		b.Write(buf)
+	}()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(conn, buf); err != nil || string(buf) != "hello" {
+		t.Fatalf("echo through clean wrapper: %q, %v", buf, err)
+	}
+	if s := conn.Script(); s != "" {
+		t.Fatalf("zero profile injected faults:\n%s", s)
+	}
+}
+
+func TestListenerSeedsPerConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := WrapListener(ln, Profile{Seed: 10, PartialWriteProb: 0.5})
+	defer fln.Close()
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := fln.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+	}
+	for i := 0; i < 2; i++ {
+		c := <-accepted
+		if _, ok := c.(*Conn); !ok {
+			t.Fatalf("accepted conn %T is not wrapped", c)
+		}
+		c.Close()
+	}
+}

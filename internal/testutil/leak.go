@@ -1,0 +1,65 @@
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// GoroutinesMatching counts live goroutines whose stack trace contains
+// the substring (e.g. a package import path), excluding the caller's
+// own goroutine.
+func GoroutinesMatching(substr string) int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	count := 0
+	stacks := strings.Split(string(buf), "\n\n")
+	for i, s := range stacks {
+		if i == 0 {
+			continue // first stack is the calling goroutine
+		}
+		if strings.Contains(s, substr) {
+			count++
+		}
+	}
+	return count
+}
+
+// ExpectNoGoroutines fails the test if, after a grace period for
+// shutdown-in-progress goroutines to unwind, any goroutine mentioning
+// substr in its stack is still alive — the goleak-style assertion the
+// transport shutdown tests use. The failure message includes the
+// offending stacks.
+func ExpectNoGoroutines(t interface {
+	Helper()
+	Errorf(format string, args ...any)
+}, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if GoroutinesMatching(substr) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var leaked []string
+	for i, s := range strings.Split(string(buf[:n]), "\n\n") {
+		if i > 0 && strings.Contains(s, substr) {
+			leaked = append(leaked, s)
+		}
+	}
+	t.Errorf("testutil: %d goroutine(s) mentioning %q survived shutdown:\n%s",
+		len(leaked), substr, strings.Join(leaked, "\n\n"))
+}

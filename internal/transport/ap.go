@@ -1,80 +1,225 @@
 package transport
 
 import (
-	"encoding/gob"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"gsfl/internal/agg"
 	"gsfl/internal/data"
 	"gsfl/internal/loss"
+	"gsfl/internal/metrics"
 	"gsfl/internal/model"
 	"gsfl/internal/nn"
 	"gsfl/internal/optim"
 	"gsfl/internal/quantize"
+	"gsfl/internal/schemes"
 	"gsfl/internal/tensor"
 )
+
+// registerTimeout bounds how long a fresh connection may take to present
+// its hello frame before the AP drops it. Keeps half-open or silent
+// connections from pinning registration goroutines.
+const registerTimeout = 10 * time.Second
+
+// ErrShutdown is returned by Round on an AP that has been shut down.
+var ErrShutdown = errors.New("transport: ap is shut down")
 
 // APConfig configures the access point / edge server.
 type APConfig struct {
 	// Arch and Cut define the model and split point.
 	Arch model.Arch
 	Cut  int
-	// Groups assigns registered client IDs to groups; clients within a
-	// group train sequentially, groups run concurrently.
+	// Groups assigns client IDs to group slots; clients within a group
+	// train sequentially, groups run concurrently. The assignment is the
+	// initial one — slots vacated by departed clients are refilled from
+	// spare registrations at round boundaries.
 	Groups [][]int
 	// StepsPerClient is the number of mini-batches per client turn.
 	StepsPerClient int
-	// LR / Momentum configure the server-side optimizers (one per group).
-	LR       float64
-	Momentum float64
+	// LR / Momentum / ClipNorm / LRDecay* configure the server-side
+	// optimizers (one per group), mirroring the simulator's
+	// hyperparameters so both substrates take identical optimizer steps.
+	LR            float64
+	Momentum      float64
+	ClipNorm      float64
+	LRDecayFactor float64
+	LRDecayEvery  int
 	// Test is the evaluation set held at the AP.
 	Test data.Dataset
-	// Seed derives model initialization.
+	// Seed derives model initialization — through the same
+	// schemes.DeriveSeed streams the in-process trainer uses, so a
+	// fault-free TCP round reproduces the simulator bit-for-bit at equal
+	// seeds.
 	Seed int64
 	// Quantize enables 8-bit quantization of the smashed-data and
 	// gradient frames (the model halves still travel at full precision).
 	// Clients must be configured identically.
 	Quantize bool
+	// RoundDeadline bounds every network operation of one round: a
+	// client that cannot complete its turn before roundStart+deadline is
+	// a straggler — its connection is closed, the configured fallback
+	// policy patches the relay chain, and the round continues. It doubles
+	// as the backpressure bound: the AP keeps at most one frame in flight
+	// per connection, so a stalled receiver blocks its group goroutine at
+	// the socket until the deadline fires, never queues unbounded memory.
+	// Zero disables deadlines (trusted-network mode).
+	RoundDeadline time.Duration
+	// Straggler names the registered fallback policy ("drop",
+	// "reuse-last", or anything added via RegisterStragglerPolicy).
+	// Empty selects "drop".
+	Straggler string
+	// MaxFrameBytes caps a frame payload (0 = DefaultMaxFrameBytes).
+	MaxFrameBytes int
+	// MetricsAddr, when non-empty, serves the AP's operational counters
+	// in Prometheus text format at GET /metrics on this address.
+	MetricsAddr string
+}
+
+// newOptimizer mirrors schemes.Env.NewOptimizer for the transport
+// configs: same constructor, same clipping, same decay schedule — the
+// optimizer-step sequence is part of the byte-identity contract.
+func newOptimizer(lr, momentum, clipNorm, decayFactor float64, decayEvery int) *optim.SGD {
+	opt := optim.NewSGDMomentum(lr, momentum)
+	opt.ClipNorm = clipNorm
+	if decayEvery > 0 {
+		opt.Schedule = optim.StepDecayLR(lr, decayFactor, decayEvery)
+	}
+	return opt
+}
+
+// RoundStats reports what one network round actually did — the
+// load-bearing counterpart of the simulator's latency ledger.
+type RoundStats struct {
+	// Round is the 1-based round index.
+	Round int
+	// Participants is how many clients contributed a fresh update.
+	Participants int
+	// Stragglers is how many clients missed the deadline or died
+	// mid-turn (their connections are closed).
+	Stragglers int
+	// Skipped is how many group slots got no turn: no live connection
+	// when the turn came, or the round budget was already exhausted by
+	// an earlier straggler in the chain (the connection stays open).
+	Skipped int
+	// Refilled is how many vacated slots were refilled from spare
+	// registrations at the round boundary.
+	Refilled int
+	// Groups is how many groups contributed to aggregation.
+	Groups int
+	// Duration is the round's wall-clock time.
+	Duration time.Duration
+}
+
+// clientConn is one registered client's framed connection. During a
+// round it is owned exclusively by the goroutine of the group its
+// client currently sits in; between rounds nothing touches it.
+type clientConn struct {
+	id      int
+	samples int64
+	conn    net.Conn
+	fc      *frameConn
+	// lastGood is the turn state this client returned on its most recent
+	// completed turn — what the reuse-last straggler policy substitutes.
+	lastGood *TurnState
+}
+
+// groupRT is one group's training runtime: its server-half replica and
+// optimizer, the relayed client-side optimizer state between rounds, and
+// the reusable per-step workspaces (loss gradient, activation pool,
+// quantization buffers) that keep steady-state turns allocation-free.
+type groupRT struct {
+	server         *nn.Sequential
+	opt            *optim.SGD
+	clientOptState optim.SGDState
+
+	lossGrad tensor.Tensor
+	pool     tensor.Pool
+	deq      tensor.Tensor
+	qGrad    quantize.Quantized
 }
 
 // AP is the listening access point. It owns the global model halves, one
-// server-side replica per group, and the client registry.
+// server-side replica per group, and the client roster.
 type AP struct {
-	cfg APConfig
-	ln  net.Listener
+	cfg    APConfig
+	ln     net.Listener
+	policy StragglerPolicy
 
 	globalClient model.Snapshot
 	globalServer model.Snapshot
-	replicas     []*nn.Sequential // server halves, one per group
-	serverOpts   []*optim.SGD
+	groupRTs     []*groupRT
+	capServer    []model.Snapshot
 	evalModel    *model.SplitModel
+	smashedShape []int
 
-	mu      sync.Mutex
-	conns   map[int]*clientConn
-	arrived chan struct{} // signalled on each registration
+	reg         *metrics.Registry
+	mRounds     *metrics.Counter
+	mBytesIn    *metrics.Counter
+	mBytesOut   *metrics.Counter
+	mStragglers *metrics.Counter
+	mJoined     *metrics.Counter
+	mLeft       *metrics.Counter
+	mActive     *metrics.Gauge
+	mLastRound  *metrics.Gauge
 
-	// accepting goroutine lifecycle
+	mu       sync.Mutex
+	members  [][]int // mutable copy of cfg.Groups, refilled over time
+	slotted  map[int]bool
+	joined   map[int]*clientConn
+	everSeen map[int]bool
+	pending  map[net.Conn]bool
+	arrived  chan struct{} // signalled on each registration
+	closed   bool
+	round    int
+
+	regWG      sync.WaitGroup
 	acceptDone chan struct{}
-	closed     bool
-}
 
-// clientConn is one registered client's connection with its codec pair.
-// A connection is only ever used by the single group goroutine that owns
-// the client, so no locking is needed around enc/dec during a round.
-type clientConn struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	metricsLn   net.Listener
+	metricsSrv  *http.Server
+	metricsDone chan struct{}
 }
 
 // NewAP validates the config, builds the models, and starts listening on
 // addr (e.g. "127.0.0.1:0" for an ephemeral test port).
 func NewAP(addr string, cfg APConfig) (*AP, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	ap, err := NewAPListener(ln, cfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return ap, nil
+}
+
+// validateCut rejects a missing architecture or out-of-range cut with
+// an error instead of the panic Arch.NewSplit reserves for programmer
+// errors: in the network processes the cut comes from a user flag and
+// must fail gracefully.
+func validateCut(arch model.Arch, cut int) error {
+	if arch.Build == nil {
+		return errors.New("transport: missing architecture")
+	}
+	if n := len(arch.Build(rand.New(rand.NewSource(0)))); cut < 0 || cut > n {
+		return fmt.Errorf("transport: cut %d outside [0,%d] for arch %q", cut, n, arch.Name)
+	}
+	return nil
+}
+
+// NewAPListener builds an AP over an existing listener — the injection
+// point the fault tests use to interpose faultconn wrappers between the
+// AP and its clients.
+func NewAPListener(ln net.Listener, cfg APConfig) (*AP, error) {
 	if cfg.StepsPerClient <= 0 {
 		return nil, fmt.Errorf("transport: steps per client %d must be positive", cfg.StepsPerClient)
 	}
@@ -90,6 +235,9 @@ func NewAP(addr string, cfg APConfig) (*AP, error) {
 			return nil, fmt.Errorf("transport: group %d is empty", gi)
 		}
 		for _, ci := range g {
+			if ci < 0 {
+				return nil, fmt.Errorf("transport: negative client id %d in group %d", ci, gi)
+			}
 			if seen[ci] {
 				return nil, fmt.Errorf("transport: client %d appears in two groups", ci)
 			}
@@ -99,28 +247,68 @@ func NewAP(addr string, cfg APConfig) (*AP, error) {
 	if cfg.Test == nil || cfg.Test.Len() == 0 {
 		return nil, errors.New("transport: missing test set")
 	}
-
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: listen: %w", err)
+	if err := validateCut(cfg.Arch, cfg.Cut); err != nil {
+		return nil, err
 	}
-	init := cfg.Arch.NewSplit(rand.New(rand.NewSource(cfg.Seed)), cfg.Cut)
+	if cfg.Straggler == "" {
+		cfg.Straggler = "drop"
+	}
+	policy, err := stragglerPolicyByName(cfg.Straggler)
+	if err != nil {
+		return nil, err
+	}
+
+	// Model init draws from the same derived stream as the in-process
+	// trainer's env.Rng("init", 0) — the root of the byte-identity
+	// guarantee between the two substrates.
+	init := cfg.Arch.NewSplit(rand.New(rand.NewSource(schemes.DeriveSeed(cfg.Seed, "init", 0))), cfg.Cut)
 	ap := &AP{
 		cfg:          cfg,
 		ln:           ln,
+		policy:       policy,
 		globalClient: model.TakeSnapshot(init.Client),
 		globalServer: model.TakeSnapshot(init.Server),
 		evalModel:    init,
-		conns:        make(map[int]*clientConn),
-		arrived:      make(chan struct{}, 1024),
+		smashedShape: init.SmashedShape(),
+		reg:          metrics.NewRegistry(),
+		slotted:      map[int]bool{},
+		joined:       map[int]*clientConn{},
+		everSeen:     map[int]bool{},
+		pending:      map[net.Conn]bool{},
+		arrived:      make(chan struct{}, 1),
 		acceptDone:   make(chan struct{}),
 	}
-	ap.replicas = make([]*nn.Sequential, len(cfg.Groups))
-	ap.serverOpts = make([]*optim.SGD, len(cfg.Groups))
+	ap.mRounds = ap.reg.Counter("gsfl_rounds_total", "Completed training rounds.")
+	ap.mBytesIn = ap.reg.Counter("gsfl_bytes_read_total", "Framed bytes read from clients.")
+	ap.mBytesOut = ap.reg.Counter("gsfl_bytes_written_total", "Framed bytes written to clients.")
+	ap.mStragglers = ap.reg.Counter("gsfl_stragglers_total", "Clients dropped for missing the round deadline.")
+	ap.mJoined = ap.reg.Counter("gsfl_clients_joined_total", "Successful client registrations.")
+	ap.mLeft = ap.reg.Counter("gsfl_clients_left_total", "Registered clients whose connections closed.")
+	ap.mActive = ap.reg.Gauge("gsfl_clients_active", "Currently registered clients.")
+	ap.mLastRound = ap.reg.Gauge("gsfl_round_millis", "Wall-clock duration of the last round in milliseconds.")
+
+	ap.members = make([][]int, len(cfg.Groups))
+	for g, mem := range cfg.Groups {
+		ap.members[g] = append([]int(nil), mem...)
+		for _, ci := range mem {
+			ap.slotted[ci] = true
+		}
+	}
+	ap.groupRTs = make([]*groupRT, len(cfg.Groups))
+	ap.capServer = make([]model.Snapshot, len(cfg.Groups))
 	for g := range cfg.Groups {
-		rep := cfg.Arch.NewSplit(rand.New(rand.NewSource(cfg.Seed+int64(g)+1)), cfg.Cut)
-		ap.replicas[g] = rep.Server
-		ap.serverOpts[g] = optim.NewSGDMomentum(cfg.LR, cfg.Momentum)
+		rep := cfg.Arch.NewSplit(rand.New(rand.NewSource(schemes.DeriveSeed(cfg.Seed, "replica", g))), cfg.Cut)
+		ap.groupRTs[g] = &groupRT{
+			server: rep.Server,
+			opt:    newOptimizer(cfg.LR, cfg.Momentum, cfg.ClipNorm, cfg.LRDecayFactor, cfg.LRDecayEvery),
+		}
+	}
+
+	if cfg.MetricsAddr != "" {
+		if err := ap.serveMetrics(cfg.MetricsAddr); err != nil {
+			ln.Close()
+			return nil, err
+		}
 	}
 	go ap.acceptLoop()
 	return ap, nil
@@ -129,7 +317,41 @@ func NewAP(addr string, cfg APConfig) (*AP, error) {
 // Addr returns the listening address clients should dial.
 func (ap *AP) Addr() string { return ap.ln.Addr().String() }
 
-// acceptLoop registers incoming clients until the listener closes.
+// Metrics returns the AP's operational counter registry.
+func (ap *AP) Metrics() *metrics.Registry { return ap.reg }
+
+// MetricsAddr returns the address the metrics endpoint listens on, or ""
+// when disabled.
+func (ap *AP) MetricsAddr() string {
+	if ap.metricsLn == nil {
+		return ""
+	}
+	return ap.metricsLn.Addr().String()
+}
+
+func (ap *AP) serveMetrics(addr string) error {
+	mln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		ap.reg.WriteText(w)
+	})
+	srv := &http.Server{Handler: mux}
+	done := make(chan struct{})
+	ap.metricsLn, ap.metricsSrv, ap.metricsDone = mln, srv, done
+	go func() {
+		defer close(done)
+		srv.Serve(mln)
+	}()
+	return nil
+}
+
+// acceptLoop registers incoming clients until the listener closes. Every
+// in-flight registration is tracked (pending set + regWG) so Shutdown
+// can abort and await them — no half-registered connection outlives it.
 func (ap *AP) acceptLoop() {
 	defer close(ap.acceptDone)
 	for {
@@ -137,45 +359,104 @@ func (ap *AP) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		ap.mu.Lock()
+		if ap.closed {
+			ap.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		ap.pending[conn] = true
+		ap.regWG.Add(1)
+		ap.mu.Unlock()
 		go ap.register(conn)
 	}
 }
 
 // register reads the hello frame and files the connection under its
-// client ID. Bad registrations drop the connection.
+// client ID: into its group slot if it has one, as a spare otherwise.
+// Bad or duplicate registrations drop the connection.
 func (ap *AP) register(conn net.Conn) {
-	cc := &clientConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
-	var hello clientEnvelope
-	if err := cc.dec.Decode(&hello); err != nil || hello.Kind != kindHello {
-		conn.Close()
-		return
+	defer ap.regWG.Done()
+	conn.SetReadDeadline(time.Now().Add(registerTimeout))
+	fc := newFrameConn(conn, ap.cfg.MaxFrameBytes)
+	fc.onRead = func(n int) { ap.mBytesIn.Add(int64(n)) }
+	fc.onWrite = func(n int) { ap.mBytesOut.Add(int64(n)) }
+
+	kind, payload, err := fc.readFrame()
+	var hello helloMsg
+	if err == nil && kind == frameHello {
+		hello, err = decodeHello(payload)
+	} else if err == nil {
+		err = fmt.Errorf("transport: first frame kind %d, want hello", kind)
 	}
+	if err == nil && ap.cfg.Quantize != hello.Quantize {
+		err = fmt.Errorf("transport: client %d quantize=%v, ap has %v", hello.ClientID, hello.Quantize, ap.cfg.Quantize)
+	}
+	conn.SetReadDeadline(time.Time{})
+
 	ap.mu.Lock()
-	if _, dup := ap.conns[hello.ClientID]; dup {
+	delete(ap.pending, conn)
+	if err != nil || ap.closed {
 		ap.mu.Unlock()
 		conn.Close()
 		return
 	}
-	ap.conns[hello.ClientID] = cc
+	if _, dup := ap.joined[hello.ClientID]; dup {
+		ap.mu.Unlock()
+		conn.Close()
+		return
+	}
+	ap.joined[hello.ClientID] = &clientConn{id: hello.ClientID, samples: hello.Samples, conn: conn, fc: fc}
+	ap.everSeen[hello.ClientID] = true
 	ap.mu.Unlock()
+
+	ap.mJoined.Inc()
+	ap.mActive.Add(1)
 	select {
 	case ap.arrived <- struct{}{}:
 	default:
 	}
 }
 
+// drop removes a connection from the roster and closes it. Its group
+// slot stays assigned and is refilled from spares at the next round
+// boundary.
+func (ap *AP) drop(cc *clientConn) {
+	cc.conn.Close()
+	ap.mu.Lock()
+	cur, ok := ap.joined[cc.id]
+	if ok && cur == cc {
+		delete(ap.joined, cc.id)
+	}
+	ap.mu.Unlock()
+	if ok && cur == cc {
+		ap.mLeft.Inc()
+		ap.mActive.Add(-1)
+	}
+}
+
 // WaitForClients blocks until every client named in Groups has
 // registered, or the timeout elapses.
 func (ap *AP) WaitForClients(timeout time.Duration) error {
+	return ap.waitUntil(timeout, ap.allRegistered, "all group members")
+}
+
+// WaitForCount blocks until at least n clients are registered
+// (members or spares), or the timeout elapses.
+func (ap *AP) WaitForCount(n int, timeout time.Duration) error {
+	return ap.waitUntil(timeout, func() bool { return ap.ClientCount() >= n }, fmt.Sprintf("%d clients", n))
+}
+
+func (ap *AP) waitUntil(timeout time.Duration, ready func() bool, what string) error {
 	deadline := time.After(timeout)
 	for {
-		if ap.allRegistered() {
+		if ready() {
 			return nil
 		}
 		select {
 		case <-ap.arrived:
 		case <-deadline:
-			return fmt.Errorf("transport: timed out waiting for clients (%d registered)", ap.clientCount())
+			return fmt.Errorf("transport: timed out waiting for %s (%d registered)", what, ap.ClientCount())
 		}
 	}
 }
@@ -183,9 +464,9 @@ func (ap *AP) WaitForClients(timeout time.Duration) error {
 func (ap *AP) allRegistered() bool {
 	ap.mu.Lock()
 	defer ap.mu.Unlock()
-	for _, g := range ap.cfg.Groups {
+	for _, g := range ap.members {
 		for _, ci := range g {
-			if _, ok := ap.conns[ci]; !ok {
+			if _, ok := ap.joined[ci]; !ok {
 				return false
 			}
 		}
@@ -193,169 +474,312 @@ func (ap *AP) allRegistered() bool {
 	return true
 }
 
-func (ap *AP) clientCount() int {
+// ClientCount returns the number of currently registered clients.
+func (ap *AP) ClientCount() int {
 	ap.mu.Lock()
 	defer ap.mu.Unlock()
-	return len(ap.conns)
+	return len(ap.joined)
 }
 
-// Round drives one full GSFL round over the network: distribution,
-// concurrent per-group split training, and aggregation. It returns the
-// first error any group encountered (the round is then unusable and the
-// caller should Shutdown).
-func (ap *AP) Round() error {
-	type result struct {
-		group  int
-		client model.Snapshot
-		err    error
-	}
-	results := make(chan result, len(ap.cfg.Groups))
+// turnSlot is one position of a group's round plan. cc is nil when the
+// slot's client has no live connection (never joined, or left and the
+// slot could not be refilled).
+type turnSlot struct {
+	id int
+	cc *clientConn
+}
 
-	for g := range ap.cfg.Groups {
-		// Step 1: every group replica starts from the global server half.
-		ap.globalServer.Restore(ap.replicas[g])
+// refillLocked re-fills group slots whose clients have left with spare
+// registrations (ascending client ID, groups in index order) and
+// returns how many slots changed hands. Slots of clients that never
+// registered are kept for them. Callers hold ap.mu.
+func (ap *AP) refillLocked() int {
+	var spares []int
+	for id := range ap.joined {
+		if !ap.slotted[id] {
+			spares = append(spares, id)
+		}
+	}
+	sort.Ints(spares)
+	refilled := 0
+	si := 0
+	for g := range ap.members {
+		for i, id := range ap.members[g] {
+			if si >= len(spares) {
+				return refilled
+			}
+			if ap.joined[id] == nil && ap.everSeen[id] {
+				delete(ap.slotted, id)
+				nid := spares[si]
+				si++
+				ap.members[g][i] = nid
+				ap.slotted[nid] = true
+				refilled++
+			}
+		}
+	}
+	return refilled
+}
+
+// groupResult is what one group's goroutine hands back to Round.
+type groupResult struct {
+	state        TurnState
+	weight       int64
+	participants int
+	stragglers   int
+	skipped      int
+}
+
+// Round drives one full GSFL round over the network: slot refill, model
+// distribution, concurrent per-group split training under the round
+// deadline, and sample-weighted aggregation. Client failures never fail
+// the round — they become stragglers handled by the configured policy;
+// a round in which no client contributed keeps the previous global
+// model, like a fully-dropped simulator round. Round is not safe for
+// concurrent calls.
+func (ap *AP) Round() (RoundStats, error) {
+	start := time.Now()
+	ap.mu.Lock()
+	if ap.closed {
+		ap.mu.Unlock()
+		return RoundStats{}, ErrShutdown
+	}
+	ap.round++
+	stats := RoundStats{Round: ap.round}
+	stats.Refilled = ap.refillLocked()
+	plans := make([][]turnSlot, len(ap.members))
+	for g, mem := range ap.members {
+		plans[g] = make([]turnSlot, len(mem))
+		for i, id := range mem {
+			plans[g][i] = turnSlot{id: id, cc: ap.joined[id]}
+		}
+	}
+	ap.mu.Unlock()
+
+	var deadline time.Time
+	if ap.cfg.RoundDeadline > 0 {
+		deadline = start.Add(ap.cfg.RoundDeadline)
+	}
+
+	// Step 1 + 2: distribute and train, groups concurrent. Each group
+	// goroutine touches only group-owned state; the chain starts from the
+	// shared global snapshots, which are read-only until aggregation.
+	results := make([]groupResult, len(plans))
+	var wg sync.WaitGroup
+	for g := range plans {
+		rt := ap.groupRTs[g]
+		ap.globalServer.Restore(rt.server)
+		results[g].state = TurnState{Model: ap.globalClient, Opt: rt.clientOptState}
+		wg.Add(1)
 		go func(g int) {
-			snap, err := ap.runGroup(g)
-			results <- result{group: g, client: snap, err: err}
+			defer wg.Done()
+			ap.runGroup(ap.groupRTs[g], plans[g], deadline, &results[g])
 		}(g)
 	}
+	wg.Wait()
 
-	clientSnaps := make([]model.Snapshot, 0, len(ap.cfg.Groups))
-	serverSnaps := make([]model.Snapshot, 0, len(ap.cfg.Groups))
-	weights := make([]float64, 0, len(ap.cfg.Groups))
-	var firstErr error
-	for range ap.cfg.Groups {
-		r := <-results
-		if r.err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("transport: group %d: %w", r.group, r.err)
-			}
-			continue
+	// Step 3: aggregation, in ascending group order — float addition
+	// order is part of the byte-identity contract with the simulator.
+	var aggClient, aggServer []model.Snapshot
+	var weights []float64
+	for g := range results {
+		r := &results[g]
+		stats.Participants += r.participants
+		stats.Stragglers += r.stragglers
+		stats.Skipped += r.skipped
+		ap.groupRTs[g].clientOptState = r.state.Opt
+		if r.weight > 0 {
+			ap.capServer[g].CaptureFrom(ap.groupRTs[g].server)
+			aggClient = append(aggClient, r.state.Model)
+			aggServer = append(aggServer, ap.capServer[g])
+			weights = append(weights, float64(r.weight))
+			stats.Groups++
 		}
-		clientSnaps = append(clientSnaps, r.client)
-		serverSnaps = append(serverSnaps, model.TakeSnapshot(ap.replicas[r.group]))
-		weights = append(weights, float64(len(ap.cfg.Groups[r.group])))
 	}
-	if firstErr != nil {
-		return firstErr
+	if len(weights) > 0 {
+		agg.FedAvgInto(&ap.globalClient, aggClient, weights)
+		agg.FedAvgInto(&ap.globalServer, aggServer, weights)
 	}
-	// Step 3: aggregation among groups.
-	ap.globalClient = agg.FedAvg(clientSnaps, weights)
-	ap.globalServer = agg.FedAvg(serverSnaps, weights)
-	return nil
+	ap.mStragglers.Add(int64(stats.Stragglers))
+	ap.mRounds.Inc()
+	stats.Duration = time.Since(start)
+	ap.mLastRound.Set(stats.Duration.Milliseconds())
+	return stats, nil
 }
 
 // runGroup executes Step 2 for one group: sequential split training
-// through its clients, relaying the client model via this AP. Returns
-// the final client-side snapshot.
-func (ap *AP) runGroup(g int) (model.Snapshot, error) {
+// through its slots, relaying the turn state via this AP. res.state
+// holds the chain state on entry and the final chain state on return.
+func (ap *AP) runGroup(rt *groupRT, plan []turnSlot, deadline time.Time, res *groupResult) {
+	for _, slot := range plan {
+		if slot.cc == nil {
+			res.skipped++
+			continue
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			// The round budget was exhausted (by a straggler earlier in
+			// the chain) before this turn started. The client did nothing
+			// wrong — skip the slot but keep its connection, so one
+			// stalled peer cannot evict a whole group's healthy fleet.
+			res.skipped++
+			continue
+		}
+		handed := res.state
+		if err := ap.runTurn(rt, slot.cc, &res.state, deadline); err != nil {
+			// Straggler: kill the connection, patch the chain, continue.
+			res.stragglers++
+			next, counted := ap.policy(&handed, slot.cc.lastGood)
+			res.state = *next
+			if counted {
+				res.weight += slot.cc.samples
+			}
+			ap.drop(slot.cc)
+			continue
+		}
+		res.participants++
+		res.weight += slot.cc.samples
+	}
+}
+
+// runTurn drives one client's training turn. On success the chain state
+// is replaced by what the client returned; any failure (deadline,
+// disconnect, protocol violation, malformed tensor) leaves the chain
+// untouched and reports the error for straggler handling.
+func (ap *AP) runTurn(rt *groupRT, cc *clientConn, chain *TurnState, deadline time.Time) error {
 	lossFn := loss.SoftmaxCrossEntropy{}
-	server := ap.replicas[g]
-	opt := ap.serverOpts[g]
-	modelWire := snapshotToWire(ap.globalClient)
-
-	for _, ci := range ap.cfg.Groups[g] {
-		cc := ap.connFor(ci)
-		if cc == nil {
-			return model.Snapshot{}, fmt.Errorf("client %d not registered", ci)
-		}
-		// Hand the current client model to this client and start its turn.
-		err := cc.enc.Encode(apEnvelope{
-			Kind:  kindTrain,
-			Model: modelWire,
-			Steps: ap.cfg.StepsPerClient,
-		})
+	cc.conn.SetWriteDeadline(deadline)
+	if err := cc.fc.writeTrain(ap.cfg.StepsPerClient, chain); err != nil {
+		return err
+	}
+	for s := 0; s < ap.cfg.StepsPerClient; s++ {
+		cc.conn.SetReadDeadline(deadline)
+		kind, payload, err := cc.fc.readFrame()
 		if err != nil {
-			return model.Snapshot{}, fmt.Errorf("sending train to %d: %w", ci, err)
+			return err
 		}
-		for s := 0; s < ap.cfg.StepsPerClient; s++ {
-			var msg clientEnvelope
-			if err := cc.dec.Decode(&msg); err != nil {
-				return model.Snapshot{}, fmt.Errorf("reading smashed from %d: %w", ci, err)
-			}
-			if msg.Kind != kindSmashed {
-				return model.Snapshot{}, fmt.Errorf("client %d sent %q, want smashed", ci, msg.Kind)
-			}
-			acts, err := decodeActs(&msg)
-			if err != nil {
-				return model.Snapshot{}, err
-			}
-			// Server-side forward + loss + backward, then return the cut
-			// gradient.
-			logits := server.Forward(acts, true)
-			_, dLogits := lossFn.Eval(logits, msg.Labels)
-			server.ZeroGrads()
-			dSmashed := server.Backward(dLogits)
-			opt.Step(server.Params(), server.Grads(), server.DecayMask())
-			grad := apEnvelope{Kind: kindGradient}
-			if ap.cfg.Quantize {
-				grad.QGrad = quantize.Quantize(dSmashed)
-			} else {
-				grad.Grad = toWire(dSmashed)
-			}
-			if err := cc.enc.Encode(grad); err != nil {
-				return model.Snapshot{}, fmt.Errorf("sending gradient to %d: %w", ci, err)
-			}
+		if kind != frameSmashed {
+			return fmt.Errorf("transport: client %d sent kind %d, want smashed", cc.id, kind)
 		}
-		var ret clientEnvelope
-		if err := cc.dec.Decode(&ret); err != nil {
-			return model.Snapshot{}, fmt.Errorf("reading model return from %d: %w", ci, err)
+		acts, q, ys, err := decodeSmashed(payload, &rt.pool)
+		if err != nil {
+			return err
 		}
-		if ret.Kind != kindReturn {
-			return model.Snapshot{}, fmt.Errorf("client %d sent %q, want return", ci, ret.Kind)
+		serverIn := acts
+		if q != nil {
+			if !ap.cfg.Quantize {
+				return fmt.Errorf("transport: client %d sent quantized frame to full-precision ap", cc.id)
+			}
+			serverIn = q.DequantizeInto(&rt.deq)
+		} else if ap.cfg.Quantize {
+			return fmt.Errorf("transport: client %d sent full-precision frame to quantizing ap", cc.id)
 		}
-		modelWire = ret.Model // relay to the next client (through this AP)
+		if err := ap.checkSmashed(serverIn, ys); err != nil {
+			if acts != nil {
+				rt.pool.Put(acts)
+			}
+			return fmt.Errorf("transport: client %d: %w", cc.id, err)
+		}
+
+		// Server-side forward + loss + backward, then return the cut
+		// gradient — the same op sequence as the simulator's SplitStep.
+		logits := rt.server.Forward(serverIn, true)
+		lossFn.EvalInto(logits, ys, &rt.lossGrad)
+		rt.server.ZeroGrads()
+		dSmashed := rt.server.Backward(&rt.lossGrad)
+		cc.conn.SetWriteDeadline(deadline)
+		var werr error
+		if ap.cfg.Quantize {
+			quantize.QuantizeInto(&rt.qGrad, dSmashed)
+			werr = cc.fc.writeGradient(nil, &rt.qGrad)
+		} else {
+			werr = cc.fc.writeGradient(dSmashed, nil)
+		}
+		rt.opt.Step(rt.server.Params(), rt.server.Grads(), rt.server.DecayMask())
+		if acts != nil {
+			rt.pool.Put(acts)
+		}
+		if werr != nil {
+			return werr
+		}
 	}
-	snap, err := snapshotFromWire(modelWire)
+	cc.conn.SetReadDeadline(deadline)
+	kind, payload, err := cc.fc.readFrame()
 	if err != nil {
-		return model.Snapshot{}, err
+		return err
 	}
-	return snap, nil
+	if kind != frameReturn {
+		return fmt.Errorf("transport: client %d sent kind %d, want return", cc.id, kind)
+	}
+	st, err := decodeReturn(payload, nil)
+	if err != nil {
+		return err
+	}
+	if err := ap.checkModel(st.Model); err != nil {
+		return fmt.Errorf("transport: client %d returned %w", cc.id, err)
+	}
+	*chain = st
+	cc.lastGood = &st
+	return nil
 }
 
-func (ap *AP) connFor(ci int) *clientConn {
-	ap.mu.Lock()
-	defer ap.mu.Unlock()
-	return ap.conns[ci]
+// checkSmashed validates an incoming activation batch against the
+// architecture before it can reach a layer (where a shape mismatch
+// would panic). The AP treats every frame as hostile.
+func (ap *AP) checkSmashed(acts *tensor.Tensor, ys []int) error {
+	if acts.Dims() != 1+len(ap.smashedShape) {
+		return fmt.Errorf("smashed rank %d, want %d", acts.Dims(), 1+len(ap.smashedShape))
+	}
+	n := acts.Dim(0)
+	if n == 0 || n != len(ys) {
+		return fmt.Errorf("batch of %d activations vs %d labels", n, len(ys))
+	}
+	for i, d := range ap.smashedShape {
+		if acts.Dim(i+1) != d {
+			return fmt.Errorf("smashed shape %v, want per-sample %v", acts.Shape(), ap.smashedShape)
+		}
+	}
+	classes := ap.cfg.Test.Classes()
+	for _, y := range ys {
+		if y < 0 || y >= classes {
+			return fmt.Errorf("label %d outside [0,%d)", y, classes)
+		}
+	}
+	return nil
 }
 
-// Evaluate runs the aggregated global model over the AP's test set.
+// checkModel validates a returned client-half snapshot against the
+// global structure before it can reach Restore or FedAvg (which panic
+// on mismatch).
+func (ap *AP) checkModel(sn model.Snapshot) error {
+	if len(sn.Tensors) != len(ap.globalClient.Tensors) {
+		return fmt.Errorf("model with %d tensors, want %d", len(sn.Tensors), len(ap.globalClient.Tensors))
+	}
+	for i, t := range sn.Tensors {
+		if t.Size() != ap.globalClient.Tensors[i].Size() {
+			return fmt.Errorf("model tensor %d size %d, want %d", i, t.Size(), ap.globalClient.Tensors[i].Size())
+		}
+	}
+	return nil
+}
+
+// Evaluate runs the aggregated global model over the AP's test set,
+// through the same chunked evaluator the simulator uses.
 func (ap *AP) Evaluate() (lossVal, acc float64) {
 	ap.globalClient.Restore(ap.evalModel.Client)
 	ap.globalServer.Restore(ap.evalModel.Server)
-	lossFn := loss.SoftmaxCrossEntropy{}
-	n := ap.cfg.Test.Len()
-	const chunk = 256
-	total, correct := 0.0, 0
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		cnt := hi - lo
-		shape := append([]int{cnt}, ap.cfg.Arch.InShape...)
-		x := tensor.New(shape...)
-		y := make([]int, cnt)
-		per := x.Size() / cnt
-		for i := lo; i < hi; i++ {
-			f, label := ap.cfg.Test.Sample(i)
-			copy(x.Data[(i-lo)*per:(i-lo+1)*per], f)
-			y[i-lo] = label
-		}
-		logits := ap.evalModel.Forward(x, false)
-		l, _ := lossFn.Eval(logits, y)
-		total += l * float64(cnt)
-		for i, p := range logits.ArgMaxRows() {
-			if p == y[i] {
-				correct++
-			}
-		}
-	}
-	return total / float64(n), float64(correct) / float64(n)
+	ev, _ := schemes.Evaluate(context.Background(), ap.evalModel, ap.cfg.Test, ap.cfg.Arch.InShape)
+	return ev.Loss, ev.Accuracy
 }
 
-// Shutdown tells every client to exit, closes all connections, and stops
-// the listener. Safe to call once.
+// GlobalSnapshots returns copies of the current aggregated halves — the
+// cross-substrate comparison hook the byte-identity test uses.
+func (ap *AP) GlobalSnapshots() (client, server model.Snapshot) {
+	return ap.globalClient.Clone(), ap.globalServer.Clone()
+}
+
+// Shutdown tells every client to exit, closes all connections (including
+// half-registered ones), stops the listeners, and waits for every
+// AP goroutine to finish. Safe to call more than once.
 func (ap *AP) Shutdown() error {
 	ap.mu.Lock()
 	if ap.closed {
@@ -363,24 +787,44 @@ func (ap *AP) Shutdown() error {
 		return nil
 	}
 	ap.closed = true
-	conns := make([]*clientConn, 0, len(ap.conns))
-	for _, cc := range ap.conns {
+	conns := make([]*clientConn, 0, len(ap.joined))
+	for _, cc := range ap.joined {
 		conns = append(conns, cc)
+	}
+	ap.joined = map[int]*clientConn{}
+	pend := make([]net.Conn, 0, len(ap.pending))
+	for c := range ap.pending {
+		pend = append(pend, c)
 	}
 	ap.mu.Unlock()
 
+	// Listener first: no new connections can slip in behind the roster
+	// sweep. Then abort in-flight registrations and drain their
+	// goroutines, then dismiss registered clients.
 	var firstErr error
+	if err := ap.ln.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	for _, c := range pend {
+		c.Close()
+	}
+	<-ap.acceptDone
+	ap.regWG.Wait()
+
 	for _, cc := range conns {
-		if err := cc.enc.Encode(apEnvelope{Kind: kindShutdown}); err != nil && firstErr == nil {
+		cc.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		if err := cc.fc.writeShutdown(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		if err := cc.conn.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
-	if err := ap.ln.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	ap.mActive.Set(0)
+
+	if ap.metricsSrv != nil {
+		ap.metricsSrv.Close()
+		<-ap.metricsDone
 	}
-	<-ap.acceptDone
 	return firstErr
 }

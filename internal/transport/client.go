@@ -1,7 +1,6 @@
 package transport
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -11,12 +10,14 @@ import (
 	"gsfl/internal/model"
 	"gsfl/internal/optim"
 	"gsfl/internal/quantize"
+	"gsfl/internal/schemes"
+	"gsfl/internal/tensor"
 )
 
 // ClientConfig configures one client node.
 type ClientConfig struct {
 	// ID is the client's fleet index; it must match an entry in the AP's
-	// Groups.
+	// Groups (or it registers as a spare, eligible for slot refill).
 	ID int
 	// Arch and Cut must match the AP's (the client builds the client-side
 	// half structure; parameters arrive over the wire).
@@ -26,30 +27,67 @@ type ClientConfig struct {
 	Train data.Dataset
 	// Batch is the mini-batch size.
 	Batch int
-	// LR / Momentum configure the local client-side optimizer.
-	LR       float64
-	Momentum float64
-	// Seed derives the loader's shuffling stream.
+	// LR / Momentum / ClipNorm / LRDecay* configure the local client-side
+	// optimizer; they must match the AP's hyperparameters (the optimizer
+	// state relays through the AP between group members).
+	LR            float64
+	Momentum      float64
+	ClipNorm      float64
+	LRDecayFactor float64
+	LRDecayEvery  int
+	// Seed is the shared experiment seed; the loader stream derives from
+	// it via schemes.DeriveSeed(Seed, "loader", ID) — the same stream the
+	// in-process trainer gives client ID, which is what makes a TCP round
+	// replay the simulator's batches exactly.
 	Seed int64
 	// Quantize must match the AP's setting: 8-bit smashed-data frames
 	// out, 8-bit gradient frames expected back.
 	Quantize bool
+	// MaxFrameBytes caps a frame payload (0 = DefaultMaxFrameBytes).
+	MaxFrameBytes int
 }
 
 // Client is one mobile device participating in GSFL over the network.
 type Client struct {
 	cfg    ClientConfig
 	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
+	fc     *frameConn
 	half   *model.SplitModel
 	opt    *optim.SGD
 	loader *data.Loader
+
+	// Reusable turn state: the mini-batch destination, gradient decode
+	// pool, dequantize/quantize buffers, and the return-snapshot capture
+	// target. Steady-state turns allocate only the optimizer-state copy.
+	batch data.Batch
+	pool  tensor.Pool
+	deq   tensor.Tensor
+	qActs quantize.Quantized
+	snap  model.Snapshot
 }
 
 // Dial connects to the AP and registers. The returned Client is ready
 // for Run.
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c, err := NewClientConn(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClientConn builds a registered client over an existing connection —
+// the injection point the fault tests use to interpose faultconn
+// wrappers. It takes ownership of conn on success.
+func NewClientConn(conn net.Conn, cfg ClientConfig) (*Client, error) {
+	if cfg.ID < 0 {
+		return nil, fmt.Errorf("transport: negative client id %d", cfg.ID)
+	}
 	if cfg.Train == nil || cfg.Train.Len() == 0 {
 		return nil, errors.New("transport: client has no data")
 	}
@@ -59,22 +97,20 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if cfg.LR <= 0 {
 		return nil, fmt.Errorf("transport: learning rate %v must be positive", cfg.LR)
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	if err := validateCut(cfg.Arch, cfg.Cut); err != nil {
+		return nil, err
 	}
 	c := &Client{
 		cfg:  cfg,
 		conn: conn,
-		enc:  gob.NewEncoder(conn),
-		dec:  gob.NewDecoder(conn),
-		// Structure only; parameters are overwritten by each TrainRequest.
-		half:   cfg.Arch.NewSplit(rand.New(rand.NewSource(cfg.Seed)), cfg.Cut),
-		opt:    optim.NewSGDMomentum(cfg.LR, cfg.Momentum),
-		loader: data.NewLoader(cfg.Train, cfg.Batch, cfg.Arch.InShape, rand.New(rand.NewSource(cfg.Seed+1))),
+		fc:   newFrameConn(conn, cfg.MaxFrameBytes),
+		// Structure only; parameters are overwritten by each train frame.
+		half: cfg.Arch.NewSplit(rand.New(rand.NewSource(cfg.Seed)), cfg.Cut),
+		opt:  newOptimizer(cfg.LR, cfg.Momentum, cfg.ClipNorm, cfg.LRDecayFactor, cfg.LRDecayEvery),
+		loader: data.NewLoader(cfg.Train, cfg.Batch, cfg.Arch.InShape,
+			rand.New(rand.NewSource(schemes.DeriveSeed(cfg.Seed, "loader", cfg.ID)))),
 	}
-	if err := c.enc.Encode(clientEnvelope{Kind: kindHello, ClientID: cfg.ID}); err != nil {
-		conn.Close()
+	if err := c.fc.writeHello(cfg.ID, int64(cfg.Train.Len()), cfg.Quantize); err != nil {
 		return nil, fmt.Errorf("transport: hello: %w", err)
 	}
 	return c, nil
@@ -85,62 +121,103 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 func (c *Client) Run() error {
 	defer c.conn.Close()
 	for {
-		var msg apEnvelope
-		if err := c.dec.Decode(&msg); err != nil {
+		kind, payload, err := c.fc.readFrame()
+		if err != nil {
 			return fmt.Errorf("transport: client %d read: %w", c.cfg.ID, err)
 		}
-		switch msg.Kind {
-		case kindShutdown:
+		switch kind {
+		case frameShutdown:
 			return nil
-		case kindTrain:
-			if err := c.trainTurn(msg); err != nil {
+		case frameTrain:
+			steps, st, err := decodeTrain(payload, &c.pool)
+			if err == nil {
+				err = c.trainTurn(steps, st)
+			}
+			if err != nil {
 				return fmt.Errorf("transport: client %d: %w", c.cfg.ID, err)
 			}
 		default:
-			return fmt.Errorf("transport: client %d got unexpected %q", c.cfg.ID, msg.Kind)
+			return fmt.Errorf("transport: client %d got unexpected frame kind %d", c.cfg.ID, kind)
 		}
 	}
 }
 
-// trainTurn executes one local training turn: load the relayed model,
-// run Steps split mini-batches against the AP, and return the model.
-func (c *Client) trainTurn(req apEnvelope) error {
-	snap, err := snapshotFromWire(req.Model)
-	if err != nil {
+// trainTurn executes one local training turn: restore the relayed model
+// and group optimizer state, run the requested split mini-batches
+// against the AP, and return both. The op sequence per step matches the
+// simulator's SplitStep exactly.
+func (c *Client) trainTurn(steps int, st TurnState) error {
+	if err := c.checkState(st); err != nil {
 		return err
 	}
-	snap.Restore(c.half.Client)
+	st.Model.Restore(c.half.Client)
+	if err := c.opt.Restore(st.Opt); err != nil {
+		return fmt.Errorf("restoring optimizer state: %w", err)
+	}
+	// Both restores copy, so the decoded tensors can go straight back to
+	// the pool — the relay path then recycles its buffers across turns.
+	for _, t := range st.Model.Tensors {
+		c.pool.Put(t)
+	}
 
-	for s := 0; s < req.Steps; s++ {
-		batch := c.loader.Next()
-		smashed := c.half.Client.Forward(batch.X, true)
-		frame := clientEnvelope{Kind: kindSmashed, Labels: batch.Y}
+	for s := 0; s < steps; s++ {
+		c.loader.NextInto(&c.batch)
+		smashed := c.half.Client.Forward(c.batch.X, true)
+		var err error
 		if c.cfg.Quantize {
-			frame.QActs = quantize.Quantize(smashed)
+			quantize.QuantizeInto(&c.qActs, smashed)
+			err = c.fc.writeSmashed(nil, &c.qActs, c.batch.Y)
 		} else {
-			frame.Acts = toWire(smashed)
+			err = c.fc.writeSmashed(smashed, nil, c.batch.Y)
 		}
-		if err := c.enc.Encode(frame); err != nil {
+		if err != nil {
 			return fmt.Errorf("sending smashed: %w", err)
 		}
-		var resp apEnvelope
-		if err := c.dec.Decode(&resp); err != nil {
+		kind, payload, err := c.fc.readFrame()
+		if err != nil {
 			return fmt.Errorf("reading gradient: %w", err)
 		}
-		if resp.Kind != kindGradient {
-			return fmt.Errorf("got %q, want gradient", resp.Kind)
+		if kind != frameGradient {
+			return fmt.Errorf("got frame kind %d, want gradient", kind)
 		}
-		grad, err := decodeGrad(&resp)
+		grad, qg, err := decodeGradient(payload, &c.pool)
 		if err != nil {
 			return err
 		}
+		g := grad
+		if qg != nil {
+			g = qg.DequantizeInto(&c.deq)
+		}
+		if !g.SameShape(smashed) {
+			if grad != nil {
+				c.pool.Put(grad)
+			}
+			return fmt.Errorf("gradient shape %v, want %v", g.Shape(), smashed.Shape())
+		}
 		c.half.Client.ZeroGrads()
-		c.half.Client.Backward(grad)
+		c.half.Client.Backward(g)
 		c.opt.Step(c.half.Client.Params(), c.half.Client.Grads(), c.half.Client.DecayMask())
+		if grad != nil {
+			c.pool.Put(grad)
+		}
 	}
 
-	return c.enc.Encode(clientEnvelope{
-		Kind:  kindReturn,
-		Model: snapshotToWire(model.TakeSnapshot(c.half.Client)),
-	})
+	c.snap.CaptureFrom(c.half.Client)
+	ret := TurnState{Model: c.snap, Opt: c.opt.State()}
+	return c.fc.writeReturn(&ret)
+}
+
+// checkState validates a relayed model against the local structure
+// before Restore (which panics on mismatch) can see it.
+func (c *Client) checkState(st TurnState) error {
+	params := c.half.Client.Params()
+	if len(st.Model.Tensors) != len(params) {
+		return fmt.Errorf("relayed model has %d tensors, want %d", len(st.Model.Tensors), len(params))
+	}
+	for i, t := range st.Model.Tensors {
+		if t.Size() != params[i].Size() {
+			return fmt.Errorf("relayed model tensor %d size %d, want %d", i, t.Size(), params[i].Size())
+		}
+	}
+	return nil
 }

@@ -1,0 +1,424 @@
+package transport
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"gsfl/internal/data"
+	"gsfl/internal/model"
+	"gsfl/internal/partition"
+	"gsfl/internal/schemes/schemestest"
+	"gsfl/internal/testutil/faultconn"
+)
+
+// The tests in this file run the full AP/client protocol over net.Pipe
+// with faultconn-injected failures. net.Pipe is synchronous and
+// unbuffered, and the protocol is strictly sequential per connection, so
+// every run of a given (topology, seed, profile) triple replays the
+// identical byte schedule — these are deterministic regression tests,
+// not flaky chaos tests.
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "pipe" }
+func (pipeAddr) String() string  { return "pipe" }
+
+// pipeListener is a net.Listener whose connections are net.Pipe pairs
+// handed in via dial. The client end of each pair is wrapped with the
+// supplied fault profile.
+type pipeListener struct {
+	conns chan net.Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func newPipeListener() *pipeListener {
+	return &pipeListener{conns: make(chan net.Conn), done: make(chan struct{})}
+}
+
+func (l *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l *pipeListener) Close() error {
+	l.once.Do(func() { close(l.done) })
+	return nil
+}
+
+func (l *pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+func (l *pipeListener) dial(p faultconn.Profile) (*faultconn.Conn, error) {
+	server, client := net.Pipe()
+	select {
+	case l.conns <- server:
+		return faultconn.Wrap(client, p), nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// faultWorld is one AP over a pipeListener plus per-client fault
+// profiles.
+type faultWorld struct {
+	t     *testing.T
+	ap    *AP
+	ln    *pipeListener
+	arch  model.Arch
+	cut   int
+	parts []*data.Subset
+	conns map[int]*faultconn.Conn
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	errs  map[int]error
+}
+
+// newFaultWorld builds the AP (deadline + policy from cfg overrides) and
+// starts the listed clients, each under its fault profile.
+func newFaultWorld(t *testing.T, nClients int, groups [][]int, deadline time.Duration, policy string, profiles map[int]faultconn.Profile) *faultWorld {
+	t.Helper()
+	w := &faultWorld{
+		t:     t,
+		ln:    newPipeListener(),
+		arch:  model.MLP(schemestest.BlobDim, 16, schemestest.BlobClasses),
+		cut:   model.MLPDefaultCut,
+		conns: map[int]*faultconn.Conn{},
+		errs:  map[int]error{},
+	}
+	pool := schemestest.Blobs(nClients*40, 0.6, rand.New(rand.NewSource(1)))
+	w.parts = partition.IID(pool, nClients, rand.New(rand.NewSource(2)))
+	test := schemestest.Blobs(100, 0.6, rand.New(rand.NewSource(3)))
+
+	ap, err := NewAPListener(w.ln, APConfig{
+		Arch: w.arch, Cut: w.cut, Groups: groups,
+		StepsPerClient: 1, LR: 0.05, Momentum: 0.9,
+		Test: test, Seed: 7,
+		RoundDeadline: deadline,
+		Straggler:     policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ap = ap
+	for ci := 0; ci < nClients; ci++ {
+		w.startClient(ci, profiles[ci])
+	}
+	if err := ap.WaitForClients(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// startClient dials through the pipe listener with the given profile and
+// runs the client in a goroutine.
+func (w *faultWorld) startClient(id int, p faultconn.Profile) {
+	w.t.Helper()
+	conn, err := w.ln.dial(p)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	cl, err := NewClientConn(conn, ClientConfig{
+		ID: id, Arch: w.arch, Cut: w.cut, Train: w.parts[id%len(w.parts)],
+		Batch: 8, LR: 0.05, Momentum: 0.9, Seed: 7,
+	})
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	w.conns[id] = conn
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		err := cl.Run()
+		w.mu.Lock()
+		w.errs[id] = err
+		w.mu.Unlock()
+	}()
+}
+
+// stop shuts the AP down and releases every client (closing their conns
+// unblocks stalled fault operations).
+func (w *faultWorld) stop() {
+	w.ap.Shutdown()
+	for _, c := range w.conns {
+		c.Close()
+	}
+	w.wg.Wait()
+}
+
+func TestStragglerStallDropsClientAndRoundSurvives(t *testing.T) {
+	// Client 1 stalls on its first post-hello write (the smashed upload),
+	// so the AP's read deadline fires mid-turn.
+	w := newFaultWorld(t, 2, [][]int{{0, 1}}, 300*time.Millisecond, "drop",
+		map[int]faultconn.Profile{1: {StallAfterWrites: 2}})
+	defer w.stop()
+
+	stats, err := w.ap.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Participants != 1 || stats.Stragglers != 1 || stats.Groups != 1 {
+		t.Fatalf("round 1 stats %+v, want 1 participant, 1 straggler, 1 group", stats)
+	}
+	if w.ap.ClientCount() != 1 {
+		t.Fatalf("straggler still registered: %d clients", w.ap.ClientCount())
+	}
+
+	// The vacated slot has no spare to refill it: round 2 skips it and
+	// the surviving client keeps training on the patched chain.
+	stats, err = w.ap.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Participants != 1 || stats.Skipped != 1 || stats.Stragglers != 0 {
+		t.Fatalf("round 2 stats %+v, want 1 participant, 1 skipped", stats)
+	}
+	if l, a := w.ap.Evaluate(); l <= 0 || a < 0 || a > 1 {
+		t.Fatalf("model unusable after straggler rounds: loss=%v acc=%v", l, a)
+	}
+}
+
+func TestDeadlineExhaustionSkipsButKeepsHealthyClients(t *testing.T) {
+	// Client 0 — the HEAD of the chain — stalls and burns the whole
+	// round budget. Client 1 behind it never gets a turn, but it did
+	// nothing wrong: it must be skipped with its connection kept, not
+	// dropped as a straggler. One stalled peer must not evict a group's
+	// healthy fleet.
+	w := newFaultWorld(t, 2, [][]int{{0, 1}}, 300*time.Millisecond, "drop",
+		map[int]faultconn.Profile{0: {StallAfterWrites: 2}})
+	defer w.stop()
+
+	stats, err := w.ap.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Participants != 0 || stats.Stragglers != 1 || stats.Skipped != 1 {
+		t.Fatalf("round 1 stats %+v, want 0 participants, 1 straggler, 1 skipped", stats)
+	}
+	if w.ap.ClientCount() != 1 {
+		t.Fatalf("healthy client was evicted with the straggler: %d clients", w.ap.ClientCount())
+	}
+
+	// Round 2 starts with a fresh budget: the kept client trains.
+	stats, err = w.ap.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Participants != 1 || stats.Stragglers != 0 || stats.Skipped != 1 {
+		t.Fatalf("round 2 stats %+v, want the kept client participating", stats)
+	}
+}
+
+func TestReuseLastPolicySubstitutesPreviousTurn(t *testing.T) {
+	// Client 1 completes round 1 (writes: hello, smashed, return) and
+	// stalls on round 2's smashed upload (write 4). Under reuse-last its
+	// round-1 state re-enters the chain; under drop it does not — so the
+	// two policies must aggregate different global models in round 2,
+	// from identical seeds and an identical fault schedule.
+	run := func(policy string) model.Snapshot {
+		w := newFaultWorld(t, 2, [][]int{{0, 1}}, 300*time.Millisecond, policy,
+			map[int]faultconn.Profile{1: {StallAfterWrites: 4}})
+		defer w.stop()
+		s1, err := w.ap.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1.Participants != 2 || s1.Stragglers != 0 {
+			t.Fatalf("%s round 1 stats %+v, want clean round", policy, s1)
+		}
+		s2, err := w.ap.Round()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s2.Participants != 1 || s2.Stragglers != 1 || s2.Groups != 1 {
+			t.Fatalf("%s round 2 stats %+v, want 1 participant, 1 straggler", policy, s2)
+		}
+		client, _ := w.ap.GlobalSnapshots()
+		return client
+	}
+	dropModel := run("drop")
+	reuseModel := run("reuse-last")
+	if dropModel.L2Distance(reuseModel) == 0 {
+		t.Fatal("reuse-last aggregated the same model as drop; the stale turn was not substituted")
+	}
+}
+
+func TestMidFrameDropBecomesStraggler(t *testing.T) {
+	// Client 1's connection dies after 200 written bytes: past its hello
+	// (20 framed bytes) but inside its first smashed frame. The AP sees a
+	// mid-frame EOF, not a deadline — still a straggler.
+	w := newFaultWorld(t, 2, [][]int{{0, 1}}, time.Second, "drop",
+		map[int]faultconn.Profile{1: {DropAfterBytes: 200}})
+	defer w.stop()
+
+	stats, err := w.ap.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Participants != 1 || stats.Stragglers != 1 {
+		t.Fatalf("stats %+v, want 1 participant and 1 straggler", stats)
+	}
+}
+
+func TestPartialWriteKillsTurnNotAP(t *testing.T) {
+	// Seed 7 at p=0.5 delivers the hello whole and truncates the first
+	// smashed upload: the client detects the short write and aborts, the
+	// AP sees the conn die mid-turn. Either way the round survives.
+	w := newFaultWorld(t, 2, [][]int{{0, 1}}, 300*time.Millisecond, "drop",
+		map[int]faultconn.Profile{1: {Seed: 7, PartialWriteProb: 0.5}})
+	defer w.stop()
+
+	stats, err := w.ap.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Participants != 1 || stats.Stragglers != 1 {
+		t.Fatalf("stats %+v, want 1 participant and 1 straggler", stats)
+	}
+}
+
+func TestBackpressureStalledReaderTripsWriteDeadline(t *testing.T) {
+	// The client never reads a single frame. net.Pipe is unbuffered, so
+	// the AP's train write cannot complete — backpressure blocks the
+	// group goroutine at the socket (one frame in flight, no queue)
+	// until the round deadline converts the stall into a straggler.
+	const deadline = 300 * time.Millisecond
+	w := newFaultWorld(t, 1, [][]int{{0}}, deadline, "drop",
+		map[int]faultconn.Profile{0: {StallAfterReads: 1}})
+	defer w.stop()
+
+	before, _ := w.ap.GlobalSnapshots()
+	start := time.Now()
+	stats, err := w.ap.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Participants != 0 || stats.Stragglers != 1 || stats.Groups != 0 {
+		t.Fatalf("stats %+v, want only a straggler", stats)
+	}
+	if el := time.Since(start); el < deadline-50*time.Millisecond || el > 5*time.Second {
+		t.Fatalf("round took %v, want ~deadline (%v)", el, deadline)
+	}
+	// No group contributed: the global model must be untouched, exactly
+	// like a fully-dropped simulator round.
+	after, _ := w.ap.GlobalSnapshots()
+	if before.L2Distance(after) != 0 {
+		t.Fatal("global model changed in a round with no participants")
+	}
+}
+
+func TestLeaveAndJoinRefillSlot(t *testing.T) {
+	w := newFaultWorld(t, 2, [][]int{{0}, {1}}, time.Second, "drop", nil)
+	defer w.stop()
+
+	if stats, err := w.ap.Round(); err != nil || stats.Participants != 2 {
+		t.Fatalf("round 1: %+v, %v", stats, err)
+	}
+
+	// Client 1 leaves between rounds; a spare (id 5) joins.
+	w.conns[1].Close()
+	w.startClient(5, faultconn.Profile{})
+	if err := w.ap.WaitForCount(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The AP only discovers the death when it touches the connection:
+	// round 2 records the straggler, round 3 refills the slot from the
+	// spare.
+	stats, err := w.ap.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Stragglers != 1 || stats.Participants != 1 {
+		t.Fatalf("round 2 stats %+v, want the dead client surfaced as a straggler", stats)
+	}
+	stats, err = w.ap.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Refilled != 1 || stats.Participants != 2 || stats.Skipped != 0 {
+		t.Fatalf("round 3 stats %+v, want the spare refilled into the slot", stats)
+	}
+}
+
+func TestFaultScheduleReplayIsByteIdentical(t *testing.T) {
+	// Two full training runs under an identical seeded fault profile must
+	// produce (a) identical injected-fault scripts and (b) bit-identical
+	// global models — the replay guarantee every test above leans on.
+	profile := faultconn.Profile{Seed: 99, WriteDelayProb: 0.5, WriteDelay: time.Millisecond}
+	run := func() (string, model.Snapshot) {
+		w := newFaultWorld(t, 2, [][]int{{0, 1}}, 0, "drop",
+			map[int]faultconn.Profile{1: profile})
+		defer w.stop()
+		for r := 0; r < 3; r++ {
+			if _, err := w.ap.Round(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		client, _ := w.ap.GlobalSnapshots()
+		return w.conns[1].Script(), client
+	}
+	script1, model1 := run()
+	script2, model2 := run()
+	if script1 != script2 {
+		t.Fatalf("fault schedules diverged across runs:\n--- run 1\n%s--- run 2\n%s", script1, script2)
+	}
+	if script1 == "" {
+		t.Fatal("profile injected no faults; the replay test is vacuous")
+	}
+	if model1.L2Distance(model2) != 0 {
+		t.Fatal("global models diverged across identical fault runs")
+	}
+}
+
+func TestStragglerPolicyRegistry(t *testing.T) {
+	names := StragglerPolicies()
+	has := map[string]bool{}
+	for _, n := range names {
+		has[n] = true
+	}
+	if !has["drop"] || !has["reuse-last"] {
+		t.Fatalf("registry %v missing built-in policies", names)
+	}
+	if _, err := stragglerPolicyByName("no-such-policy"); err == nil {
+		t.Fatal("unknown policy name resolved")
+	}
+
+	handed := &TurnState{}
+	last := &TurnState{}
+	drop, _ := stragglerPolicyByName("drop")
+	if next, counted := drop(handed, last); next != handed || counted {
+		t.Fatal("drop must hand back the pre-turn state, uncounted")
+	}
+	reuse, _ := stragglerPolicyByName("reuse-last")
+	if next, counted := reuse(handed, last); next != last || !counted {
+		t.Fatal("reuse-last must substitute the last good state, counted")
+	}
+	if next, counted := reuse(handed, nil); next != handed || counted {
+		t.Fatal("reuse-last without history must degrade to drop")
+	}
+
+	for _, bad := range []struct {
+		name string
+		p    StragglerPolicy
+	}{
+		{"", drop},
+		{"drop", drop},
+		{"x", nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegisterStragglerPolicy(%q, %v) did not panic", bad.name, bad.p == nil)
+				}
+			}()
+			RegisterStragglerPolicy(bad.name, bad.p)
+		}()
+	}
+}

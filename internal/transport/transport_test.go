@@ -1,7 +1,11 @@
 package transport
 
 import (
+	"io"
 	"math/rand"
+	"net"
+	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -9,9 +13,8 @@ import (
 	"gsfl/internal/data"
 	"gsfl/internal/model"
 	"gsfl/internal/partition"
-	"gsfl/internal/quantize"
 	"gsfl/internal/schemes/schemestest"
-	"gsfl/internal/tensor"
+	"gsfl/internal/testutil"
 )
 
 // launchWorld starts an AP plus one goroutine per client on localhost
@@ -53,7 +56,7 @@ func launchWorld(t *testing.T, nClients, nGroups, steps int) (*AP, func(), chan 
 			Batch:    8,
 			LR:       0.05,
 			Momentum: 0.9,
-			Seed:     int64(100 + ci),
+			Seed:     7,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -81,8 +84,12 @@ func TestNetworkGSFLTrainsEndToEnd(t *testing.T) {
 	ap, stop, errs := launchWorld(t, 6, 2, 4)
 	_, before := ap.Evaluate()
 	for r := 0; r < 10; r++ {
-		if err := ap.Round(); err != nil {
+		stats, err := ap.Round()
+		if err != nil {
 			t.Fatal(err)
+		}
+		if stats.Participants != 6 || stats.Stragglers != 0 || stats.Groups != 2 {
+			t.Fatalf("round %d stats %+v on a healthy fleet", r, stats)
 		}
 	}
 	_, after := ap.Evaluate()
@@ -112,8 +119,12 @@ func TestNetworkGroupsRunConcurrently(t *testing.T) {
 			}
 		}
 	}()
-	if err := ap.Round(); err != nil {
+	stats, err := ap.Round()
+	if err != nil {
 		t.Fatal(err)
+	}
+	if stats.Groups != 4 {
+		t.Fatalf("aggregated %d groups, want 4", stats.Groups)
 	}
 	l, a := ap.Evaluate()
 	if l <= 0 || a < 0 || a > 1 {
@@ -121,8 +132,14 @@ func TestNetworkGroupsRunConcurrently(t *testing.T) {
 	}
 }
 
-func TestShutdownIdempotent(t *testing.T) {
-	ap, stop, errs := launchWorld(t, 2, 1, 1)
+// TestShutdownLeavesNoGoroutines is the shutdown leak regression test:
+// after Shutdown returns, no transport goroutine — accept loop,
+// registration, group, or metrics — may still be alive.
+func TestShutdownLeavesNoGoroutines(t *testing.T) {
+	ap, stop, errs := launchWorld(t, 4, 2, 1)
+	if _, err := ap.Round(); err != nil {
+		t.Fatal(err)
+	}
 	stop()
 	for err := range errs {
 		if err != nil {
@@ -131,6 +148,50 @@ func TestShutdownIdempotent(t *testing.T) {
 	}
 	if err := ap.Shutdown(); err != nil {
 		t.Fatalf("second shutdown errored: %v", err)
+	}
+	testutil.ExpectNoGoroutines(t, "gsfl/internal/transport")
+}
+
+// TestShutdownAbortsPendingRegistration pins the half-registered
+// connection path: a connection that never sends hello must not block or
+// outlive Shutdown.
+func TestShutdownAbortsPendingRegistration(t *testing.T) {
+	arch := model.MLP(schemestest.BlobDim, 8, schemestest.BlobClasses)
+	test := schemestest.Blobs(20, 0.6, rand.New(rand.NewSource(1)))
+	ap, err := NewAP("127.0.0.1:0", APConfig{
+		Arch: arch, Cut: model.MLPDefaultCut,
+		Groups: [][]int{{0}}, StepsPerClient: 1, LR: 0.1, Test: test,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dial raw and send nothing: the connection sits in registration.
+	conn, err := netDial(ap.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	time.Sleep(20 * time.Millisecond)
+	done := make(chan error, 1)
+	go func() { done <- ap.Shutdown() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown hung on a pending registration")
+	}
+	testutil.ExpectNoGoroutines(t, "gsfl/internal/transport.(*AP)")
+}
+
+func TestRoundAfterShutdownErrs(t *testing.T) {
+	ap, stop, errs := launchWorld(t, 2, 1, 1)
+	stop()
+	for range errs {
+	}
+	if _, err := ap.Round(); err != ErrShutdown {
+		t.Fatalf("Round after shutdown returned %v, want ErrShutdown", err)
 	}
 }
 
@@ -170,7 +231,12 @@ func TestNewAPValidation(t *testing.T) {
 		{"no groups", func(c *APConfig) { c.Groups = nil }},
 		{"empty group", func(c *APConfig) { c.Groups = [][]int{{}} }},
 		{"duplicate client", func(c *APConfig) { c.Groups = [][]int{{0}, {0}} }},
+		{"negative client id", func(c *APConfig) { c.Groups = [][]int{{-1}} }},
 		{"no test", func(c *APConfig) { c.Test = nil }},
+		{"unknown straggler policy", func(c *APConfig) { c.Straggler = "no-such-policy" }},
+		{"cut out of range", func(c *APConfig) { c.Cut = 99 }},
+		{"negative cut", func(c *APConfig) { c.Cut = -1 }},
+		{"missing arch", func(c *APConfig) { c.Arch = model.Arch{} }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -192,59 +258,128 @@ func TestDialValidation(t *testing.T) {
 		name string
 		cfg  ClientConfig
 	}{
+		{"negative id", ClientConfig{ID: -1, Arch: arch, Cut: 2, Train: ds, Batch: 4, LR: 0.1}},
 		{"no data", ClientConfig{ID: 0, Arch: arch, Cut: 2, Batch: 4, LR: 0.1}},
 		{"zero batch", ClientConfig{ID: 0, Arch: arch, Cut: 2, Train: ds, Batch: 0, LR: 0.1}},
 		{"zero lr", ClientConfig{ID: 0, Arch: arch, Cut: 2, Train: ds, Batch: 4, LR: 0}},
+		{"cut out of range", ClientConfig{ID: 0, Arch: arch, Cut: 99, Train: ds, Batch: 4, LR: 0.1}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := Dial("127.0.0.1:1", tc.cfg); err == nil {
+			// Through Dial the connect error would mask validation; feed
+			// NewClientConn a pipe so the config check itself must fire.
+			// Every case is invalid, so it returns before the hello write
+			// (which would block on an unread synchronous pipe).
+			c1, c2 := net.Pipe()
+			defer c1.Close()
+			defer c2.Close()
+			if _, err := NewClientConn(c1, tc.cfg); err == nil {
 				t.Fatal("expected error")
+			}
+			if _, err := Dial("127.0.0.1:1", tc.cfg); err == nil {
+				t.Fatal("expected dial error")
 			}
 		})
 	}
 }
 
-func TestWireTensorRoundTrip(t *testing.T) {
-	x := tensor.New(2, 3, 4).RandNormal(rand.New(rand.NewSource(5)), 0, 1)
-	w := toWire(x)
-	// Mutating the original must not affect the wire copy.
-	x.Fill(0)
-	y, err := fromWire(w)
+func TestQuantizeModeMismatchRejectsRegistration(t *testing.T) {
+	arch := model.MLP(schemestest.BlobDim, 8, schemestest.BlobClasses)
+	test := schemestest.Blobs(20, 0.6, rand.New(rand.NewSource(1)))
+	ds := schemestest.Blobs(10, 0.6, rand.New(rand.NewSource(2)))
+	ap, err := NewAP("127.0.0.1:0", APConfig{
+		Arch: arch, Cut: model.MLPDefaultCut,
+		Groups: [][]int{{0}}, StepsPerClient: 1, LR: 0.1, Test: test,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if y.Dim(2) != 4 || y.L2Norm() == 0 {
-		t.Fatal("wire round trip lost data or aliased the source")
-	}
-}
-
-func TestFromWireRejectsCorrupt(t *testing.T) {
-	if _, err := fromWire(WireTensor{Shape: []int{2, 2}, Data: []float64{1}}); err == nil {
-		t.Fatal("expected size mismatch error")
-	}
-	if _, err := fromWire(WireTensor{Shape: []int{-1}, Data: nil}); err == nil {
-		t.Fatal("expected negative dimension error")
-	}
-}
-
-func TestSnapshotWireRoundTrip(t *testing.T) {
-	arch := model.MLP(4, 3, 2)
-	m := arch.NewSplit(rand.New(rand.NewSource(1)), 2)
-	snap := model.TakeSnapshot(m.Client)
-	back, err := snapshotFromWire(snapshotToWire(snap))
+	defer ap.Shutdown()
+	// Quantizing client against a full-precision AP: the hello is
+	// rejected, so the client never registers.
+	cl, err := Dial(ap.Addr(), ClientConfig{
+		ID: 0, Arch: arch, Cut: model.MLPDefaultCut, Train: ds,
+		Batch: 4, LR: 0.1, Quantize: true,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.L2Distance(back) != 0 {
-		t.Fatal("snapshot wire round trip changed parameters")
+	go cl.Run()
+	if err := ap.WaitForClients(200 * time.Millisecond); err == nil {
+		t.Fatal("mismatched client registered")
 	}
+}
+
+func TestMetricsEndpointServesCounters(t *testing.T) {
+	arch := model.MLP(schemestest.BlobDim, 16, schemestest.BlobClasses)
+	cut := model.MLPDefaultCut
+	ds := schemestest.Blobs(40, 0.6, rand.New(rand.NewSource(1)))
+	test := schemestest.Blobs(40, 0.6, rand.New(rand.NewSource(2)))
+	ap, err := NewAP("127.0.0.1:0", APConfig{
+		Arch: arch, Cut: cut, Groups: [][]int{{0}},
+		StepsPerClient: 1, LR: 0.05, Test: test, Seed: 3,
+		MetricsAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ap.Shutdown()
+	if ap.MetricsAddr() == "" {
+		t.Fatal("metrics endpoint not listening")
+	}
+
+	cl, err := Dial(ap.Addr(), ClientConfig{
+		ID: 0, Arch: arch, Cut: cut, Train: ds, Batch: 8, LR: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cl.Run() }()
+	if err := ap.WaitForClients(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.Round(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + ap.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"gsfl_rounds_total 1",
+		"gsfl_clients_active 1",
+		"gsfl_bytes_read_total",
+		"gsfl_bytes_written_total",
+	} {
+		if !containsLine(string(body), want) {
+			t.Errorf("metrics output missing %q:\n%s", want, body)
+		}
+	}
+	ap.Shutdown()
+	if err := <-done; err != nil {
+		t.Fatalf("client error: %v", err)
+	}
+}
+
+func containsLine(body, prefix string) bool {
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // Interface conformance: the network world reuses data.Dataset.
 var _ data.Dataset = (*data.InMemory)(nil)
 
-// launchQuantWorld is launchWorld with 8-bit frames enabled on both ends.
 func TestNetworkGSFLQuantizedFramesTrain(t *testing.T) {
 	arch := model.MLP(schemestest.BlobDim, 16, schemestest.BlobClasses)
 	cut := model.MLPDefaultCut
@@ -285,7 +420,7 @@ func TestNetworkGSFLQuantizedFramesTrain(t *testing.T) {
 		t.Fatal(err)
 	}
 	for r := 0; r < 10; r++ {
-		if err := ap.Round(); err != nil {
+		if _, err := ap.Round(); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -306,14 +441,8 @@ func TestNetworkGSFLQuantizedFramesTrain(t *testing.T) {
 	}
 }
 
-func TestDecodeActsPrefersQuantized(t *testing.T) {
-	x := tensor.New(6).RandNormal(rand.New(rand.NewSource(31)), 0, 1)
-	msg := clientEnvelope{QActs: quantize.Quantize(x)}
-	got, err := decodeActs(&msg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !tensor.AllClose(got, x, msg.QActs.MaxError()+1e-12) {
-		t.Fatal("quantized decode outside error bound")
-	}
+// netDial opens a raw TCP connection to the AP, bypassing the client
+// handshake — for tests that need a connection stuck in registration.
+func netDial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
 }

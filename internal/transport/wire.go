@@ -5,131 +5,667 @@
 // this package actually runs it as a distributed system: an AP process
 // listens for client connections, orchestrates the M groups concurrently
 // (one goroutine per group), executes the server-side halves against
-// smashed data arriving over the network, relays client-side models
-// between clients through the AP, and FedAvg-aggregates at round
-// boundaries — the exact Step 1/2/3 structure of the paper, with real
-// sockets, real serialization, and real concurrency instead of a
-// virtual clock.
+// smashed data arriving over the network, relays client-side models (and
+// the group's client-side optimizer state) between clients through the
+// AP, and FedAvg-aggregates at round boundaries — the exact Step 1/2/3
+// structure of the paper, with real sockets, real serialization, and
+// real concurrency instead of a virtual clock.
 //
-// The wire format is encoding/gob with an explicit message envelope (a
-// tagged union), because both directions of the protocol carry more than
-// one message type and gob streams are easiest to keep robust when every
-// frame has the same static type.
+// # Wire format
+//
+// Every frame is length-prefixed binary, little-endian throughout:
+//
+//	frame    := u32 payloadLen | u8 kind | payload
+//	tensor   := u8 ndim | ndim × u32 dim | n × f64
+//	tensors  := u16 count | count × tensor
+//	quant    := f64 min | f64 scale | u8 ndim | ndim × u32 dim | n × u8
+//	labels   := u32 count | count × u32
+//	optstate := u64 step | tensors (momentum buffers)
+//	state    := optstate | tensors (client-half parameters)
+//
+// Frame payloads by kind:
+//
+//	hello    := u32 magic | u16 version | u32 clientID | u64 samples | u8 flags
+//	train    := u32 steps | state
+//	smashed  := u8 enc | (tensor if enc=0 | quant if enc=1) | labels
+//	gradient := u8 enc | (tensor if enc=0 | quant if enc=1)
+//	return   := state
+//	shutdown := (empty)
+//
+// The layout is deliberate: a train payload minus its leading u32 is
+// exactly a return payload, so a protocol-conformant echo client (the
+// loadgen's synthetic fleet) can answer a turn without parsing models.
+//
+// Encoding appends into one reusable buffer per connection and issues a
+// single Write per frame; decoding reads into one reusable buffer and
+// materializes tensors from a tensor.Pool. Steady-state rounds therefore
+// run the framing layer allocation-free — the per-message buffer churn
+// of the previous gob stream is gone. Every decoder validates claimed
+// sizes against the actual payload length before allocating, so a
+// hostile or corrupt peer can make a frame fail, never make the AP
+// over-allocate or panic (FuzzDecodeFrame pins this).
 package transport
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
+	"math"
+	"net"
 
 	"gsfl/internal/model"
+	"gsfl/internal/optim"
 	"gsfl/internal/quantize"
 	"gsfl/internal/tensor"
 )
 
-// WireTensor is the serialized form of one tensor.
-type WireTensor struct {
-	Shape []int
-	Data  []float64
-}
-
-// toWire converts a tensor for transmission (copying, so later mutation
-// of the live tensor cannot race the encoder).
-func toWire(t *tensor.Tensor) WireTensor {
-	return WireTensor{
-		Shape: t.Shape(),
-		Data:  append([]float64(nil), t.Data...),
-	}
-}
-
-// fromWire reconstructs a tensor.
-func fromWire(w WireTensor) (*tensor.Tensor, error) {
-	n := 1
-	for _, d := range w.Shape {
-		if d < 0 {
-			return nil, fmt.Errorf("transport: negative dimension in wire shape %v", w.Shape)
-		}
-		n *= d
-	}
-	if n != len(w.Data) {
-		return nil, fmt.Errorf("transport: wire tensor shape %v does not match %d elements", w.Shape, len(w.Data))
-	}
-	return tensor.FromSlice(append([]float64(nil), w.Data...), w.Shape...), nil
-}
-
-// snapshotToWire serializes a model snapshot.
-func snapshotToWire(s model.Snapshot) []WireTensor {
-	out := make([]WireTensor, len(s.Tensors))
-	for i, t := range s.Tensors {
-		out[i] = toWire(t)
-	}
-	return out
-}
-
-// snapshotFromWire deserializes a model snapshot.
-func snapshotFromWire(ws []WireTensor) (model.Snapshot, error) {
-	ts := make([]*tensor.Tensor, len(ws))
-	for i, w := range ws {
-		t, err := fromWire(w)
-		if err != nil {
-			return model.Snapshot{}, err
-		}
-		ts[i] = t
-	}
-	return model.Snapshot{Tensors: ts}, nil
-}
-
-// Message kinds. Both directions use a tagged envelope so a single
-// gob stream per direction carries the whole protocol.
 const (
-	// AP -> client
-	kindTrain    = "train"    // begin a local training turn
-	kindGradient = "gradient" // cut-layer gradient for the last batch
-	kindShutdown = "shutdown" // training is over; close gracefully
+	frameHeaderLen = 5
+	wireMagic      = 0x4753464C // "GSFL"
+	wireVersion    = 1
 
-	// client -> AP
-	kindHello   = "hello"   // registration (first message on a conn)
-	kindSmashed = "smashed" // cut-layer activations + labels
-	kindReturn  = "return"  // trained client-side model
+	// DefaultMaxFrameBytes caps a single frame's payload unless the
+	// config overrides it. Oversize length prefixes are rejected before
+	// any allocation.
+	DefaultMaxFrameBytes = 256 << 20
+
+	// maxTensorDims bounds tensor rank on the wire; nothing this system
+	// builds exceeds rank 4.
+	maxTensorDims = 8
 )
 
-// apEnvelope is every AP->client frame.
-type apEnvelope struct {
-	Kind string
-	// Train fields (Kind == kindTrain).
-	Model []WireTensor // client-side parameters to load
-	Steps int          // mini-batches to run this turn
-	// Gradient field (Kind == kindGradient). Exactly one of Grad/QGrad is
-	// populated, per the deployment's quantization setting.
-	Grad  WireTensor
-	QGrad *quantize.Quantized
+// Frame kinds. AP -> client: train, gradient, shutdown. Client -> AP:
+// hello, smashed, return.
+const (
+	frameHello    byte = 1
+	frameTrain    byte = 2
+	frameSmashed  byte = 3
+	frameGradient byte = 4
+	frameReturn   byte = 5
+	frameShutdown byte = 6
+)
+
+// Transfer encodings for smashed/gradient frames.
+const (
+	encFloat64 byte = 0
+	encQuant8  byte = 1
+)
+
+// Hello flag bits.
+const helloFlagQuantize byte = 1 << 0
+
+// ErrFrameTooLarge reports a length prefix beyond the connection's
+// frame cap.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
+// TurnState is the client-side training state a group relays from
+// client to client through the AP: the client-half parameters plus the
+// group's client-side optimizer state (momentum buffers and step
+// counter). Relaying the optimizer alongside the model is what keeps a
+// TCP group's update sequence identical to the in-process trainer,
+// where one client-side optimizer per group persists across the whole
+// relay chain.
+type TurnState struct {
+	Model model.Snapshot
+	Opt   optim.SGDState
 }
 
-// clientEnvelope is every client->AP frame.
-type clientEnvelope struct {
-	Kind string
-	// Hello field (Kind == kindHello).
+// helloMsg is the decoded registration frame.
+type helloMsg struct {
 	ClientID int
-	// Smashed fields (Kind == kindSmashed). Exactly one of Acts/QActs is
-	// populated, per the deployment's quantization setting.
-	Acts   WireTensor
-	QActs  *quantize.Quantized
-	Labels []int
-	// Return field (Kind == kindReturn).
-	Model []WireTensor
+	Samples  int64
+	Quantize bool
 }
 
-// decodeActs returns the activation tensor from a smashed frame,
-// whichever encoding it used.
-func decodeActs(msg *clientEnvelope) (*tensor.Tensor, error) {
-	if msg.QActs != nil {
-		return msg.QActs.Dequantize(), nil
-	}
-	return fromWire(msg.Acts)
+// --- encoding ----------------------------------------------------------
+
+// wireEnc builds one frame in a reusable buffer.
+type wireEnc struct {
+	buf []byte
 }
 
-// decodeGrad returns the gradient tensor from a gradient frame.
-func decodeGrad(msg *apEnvelope) (*tensor.Tensor, error) {
-	if msg.QGrad != nil {
-		return msg.QGrad.Dequantize(), nil
+func (e *wireEnc) begin(kind byte) {
+	e.buf = append(e.buf[:0], 0, 0, 0, 0, kind)
+}
+
+// finish patches the length prefix and returns the complete frame.
+func (e *wireEnc) finish() []byte {
+	binary.LittleEndian.PutUint32(e.buf[0:4], uint32(len(e.buf)-frameHeaderLen))
+	return e.buf
+}
+
+func (e *wireEnc) u8(v byte)    { e.buf = append(e.buf, v) }
+func (e *wireEnc) u16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *wireEnc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *wireEnc) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *wireEnc) f64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+func (e *wireEnc) f64s(xs []float64) {
+	for _, x := range xs {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(x))
 	}
-	return fromWire(msg.Grad)
+}
+
+func (e *wireEnc) shape(dims []int) {
+	e.u8(byte(len(dims)))
+	for _, d := range dims {
+		e.u32(uint32(d))
+	}
+}
+
+func (e *wireEnc) tensor(t *tensor.Tensor) {
+	e.shape(t.Shape())
+	e.f64s(t.Data)
+}
+
+func (e *wireEnc) tensors(ts []*tensor.Tensor) {
+	e.u16(uint16(len(ts)))
+	for _, t := range ts {
+		e.tensor(t)
+	}
+}
+
+func (e *wireEnc) quantized(q *quantize.Quantized) {
+	e.f64(q.Min)
+	e.f64(q.Scale)
+	e.shape(q.Shape)
+	e.buf = append(e.buf, q.Codes...)
+}
+
+func (e *wireEnc) labels(ys []int) {
+	e.u32(uint32(len(ys)))
+	for _, y := range ys {
+		e.u32(uint32(y))
+	}
+}
+
+func (e *wireEnc) optState(st *optim.SGDState) {
+	e.u64(uint64(st.Step))
+	e.u16(uint16(len(st.VelocityData)))
+	for i, data := range st.VelocityData {
+		e.shape(st.VelocityShapes[i])
+		e.f64s(data)
+	}
+}
+
+func (e *wireEnc) turnState(st *TurnState) {
+	e.optState(&st.Opt)
+	e.tensors(st.Model.Tensors)
+}
+
+// --- decoding ----------------------------------------------------------
+
+// wireDec is a cursor over one frame payload with a sticky error. Every
+// read validates the remaining length first, so truncated or hostile
+// payloads produce errors — never panics, never allocations sized from
+// unvalidated input.
+type wireDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *wireDec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("transport: "+format, args...)
+	}
+}
+
+func (d *wireDec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.b)-d.off < n {
+		d.fail("truncated frame: need %d bytes at offset %d of %d", n, d.off, len(d.b))
+		return false
+	}
+	return true
+}
+
+func (d *wireDec) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *wireDec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *wireDec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *wireDec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *wireDec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// shape reads a dimension list and returns the element count. The
+// product is bounded by what the remaining payload could possibly back
+// (elemBytes per element), so a hostile shape cannot trigger a huge
+// allocation downstream.
+func (d *wireDec) shape(elemBytes int) (dims []int, n int) {
+	nd := int(d.u8())
+	if d.err != nil {
+		return nil, 0
+	}
+	if nd > maxTensorDims {
+		d.fail("tensor rank %d exceeds %d", nd, maxTensorDims)
+		return nil, 0
+	}
+	dims = make([]int, nd)
+	n = 1
+	for i := range dims {
+		v := d.u32()
+		if d.err != nil {
+			return nil, 0
+		}
+		dims[i] = int(v)
+		n *= int(v)
+		if n < 0 || n > (len(d.b)-d.off)/elemBytes+1 {
+			d.fail("tensor shape %v claims more elements than the %d payload bytes hold", dims[:i+1], len(d.b)-d.off)
+			return nil, 0
+		}
+	}
+	if n*elemBytes > len(d.b)-d.off {
+		d.fail("tensor shape %v needs %d bytes, payload has %d", dims, n*elemBytes, len(d.b)-d.off)
+		return nil, 0
+	}
+	return dims, n
+}
+
+func (d *wireDec) f64sInto(dst []float64) {
+	if !d.need(8 * len(dst)) {
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+		d.off += 8
+	}
+}
+
+// tensor decodes one tensor, drawing the backing buffer from pool when
+// one is supplied.
+func (d *wireDec) tensor(pool *tensor.Pool) *tensor.Tensor {
+	dims, n := d.shape(8)
+	if d.err != nil {
+		return nil
+	}
+	_ = n
+	var t *tensor.Tensor
+	if pool != nil {
+		t = pool.Get(dims...)
+	} else {
+		t = tensor.New(dims...)
+	}
+	d.f64sInto(t.Data)
+	return t
+}
+
+func (d *wireDec) tensorList(pool *tensor.Pool) []*tensor.Tensor {
+	count := int(d.u16())
+	if d.err != nil {
+		return nil
+	}
+	// Each tensor costs at least its 1-byte rank on the wire.
+	if count > len(d.b)-d.off {
+		d.fail("tensor list claims %d tensors in %d bytes", count, len(d.b)-d.off)
+		return nil
+	}
+	ts := make([]*tensor.Tensor, count)
+	for i := range ts {
+		ts[i] = d.tensor(pool)
+		if d.err != nil {
+			return nil
+		}
+	}
+	return ts
+}
+
+func (d *wireDec) quantized() *quantize.Quantized {
+	q := &quantize.Quantized{Min: d.f64(), Scale: d.f64()}
+	dims, n := d.shape(1)
+	if d.err != nil {
+		return nil
+	}
+	q.Shape = dims
+	if !d.need(n) {
+		return nil
+	}
+	q.Codes = append([]uint8(nil), d.b[d.off:d.off+n]...)
+	d.off += n
+	return q
+}
+
+func (d *wireDec) labels() []int {
+	count := int(d.u32())
+	if d.err != nil {
+		return nil
+	}
+	if count > (len(d.b)-d.off)/4 {
+		d.fail("label list claims %d entries in %d bytes", count, len(d.b)-d.off)
+		return nil
+	}
+	ys := make([]int, count)
+	for i := range ys {
+		ys[i] = int(d.u32())
+	}
+	return ys
+}
+
+func (d *wireDec) optState() optim.SGDState {
+	st := optim.SGDState{Step: int(d.u64())}
+	if st.Step < 0 {
+		d.fail("negative optimizer step count")
+		return optim.SGDState{}
+	}
+	count := int(d.u16())
+	if d.err != nil {
+		return optim.SGDState{}
+	}
+	if count > len(d.b)-d.off {
+		d.fail("optimizer state claims %d buffers in %d bytes", count, len(d.b)-d.off)
+		return optim.SGDState{}
+	}
+	for i := 0; i < count; i++ {
+		dims, n := d.shape(8)
+		if d.err != nil {
+			return optim.SGDState{}
+		}
+		data := make([]float64, n)
+		d.f64sInto(data)
+		if d.err != nil {
+			return optim.SGDState{}
+		}
+		st.VelocityShapes = append(st.VelocityShapes, dims)
+		st.VelocityData = append(st.VelocityData, data)
+	}
+	return st
+}
+
+func (d *wireDec) turnState(pool *tensor.Pool) TurnState {
+	st := TurnState{Opt: d.optState()}
+	st.Model = model.Snapshot{Tensors: d.tensorList(pool)}
+	return st
+}
+
+// finish reports the decoder's sticky error, or a trailing-garbage error
+// when the payload was longer than its message.
+func (d *wireDec) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("transport: %d trailing bytes after message", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// --- message codecs ----------------------------------------------------
+
+func decodeHello(p []byte) (helloMsg, error) {
+	d := wireDec{b: p}
+	if magic := d.u32(); d.err == nil && magic != wireMagic {
+		return helloMsg{}, fmt.Errorf("transport: bad hello magic %#x", magic)
+	}
+	if v := d.u16(); d.err == nil && v != wireVersion {
+		return helloMsg{}, fmt.Errorf("transport: wire version %d, want %d", v, wireVersion)
+	}
+	msg := helloMsg{ClientID: int(int32(d.u32())), Samples: int64(d.u64())}
+	flags := d.u8()
+	msg.Quantize = flags&helloFlagQuantize != 0
+	if err := d.finish(); err != nil {
+		return helloMsg{}, err
+	}
+	if msg.ClientID < 0 {
+		return helloMsg{}, fmt.Errorf("transport: negative client id %d", msg.ClientID)
+	}
+	if msg.Samples < 0 {
+		return helloMsg{}, fmt.Errorf("transport: negative sample count %d", msg.Samples)
+	}
+	return msg, nil
+}
+
+func decodeTrain(p []byte, pool *tensor.Pool) (steps int, st TurnState, err error) {
+	d := wireDec{b: p}
+	steps = int(d.u32())
+	st = d.turnState(pool)
+	if err := d.finish(); err != nil {
+		return 0, TurnState{}, err
+	}
+	if steps <= 0 {
+		return 0, TurnState{}, fmt.Errorf("transport: train frame with %d steps", steps)
+	}
+	return steps, st, nil
+}
+
+func decodeSmashed(p []byte, pool *tensor.Pool) (acts *tensor.Tensor, q *quantize.Quantized, ys []int, err error) {
+	d := wireDec{b: p}
+	switch enc := d.u8(); {
+	case d.err != nil:
+	case enc == encFloat64:
+		acts = d.tensor(pool)
+	case enc == encQuant8:
+		q = d.quantized()
+	default:
+		d.fail("unknown transfer encoding %d", enc)
+	}
+	ys = d.labels()
+	if err := d.finish(); err != nil {
+		return nil, nil, nil, err
+	}
+	return acts, q, ys, nil
+}
+
+func decodeGradient(p []byte, pool *tensor.Pool) (grad *tensor.Tensor, q *quantize.Quantized, err error) {
+	d := wireDec{b: p}
+	switch enc := d.u8(); {
+	case d.err != nil:
+	case enc == encFloat64:
+		grad = d.tensor(pool)
+	case enc == encQuant8:
+		q = d.quantized()
+	default:
+		d.fail("unknown transfer encoding %d", enc)
+	}
+	if err := d.finish(); err != nil {
+		return nil, nil, err
+	}
+	return grad, q, nil
+}
+
+func decodeReturn(p []byte, pool *tensor.Pool) (TurnState, error) {
+	d := wireDec{b: p}
+	st := d.turnState(pool)
+	if err := d.finish(); err != nil {
+		return TurnState{}, err
+	}
+	return st, nil
+}
+
+// decodeFrame dispatches a payload through the kind's decoder,
+// discarding the result — the fuzz entry point, exercising exactly the
+// code the AP and clients run on untrusted input.
+func decodeFrame(kind byte, p []byte) error {
+	switch kind {
+	case frameHello:
+		_, err := decodeHello(p)
+		return err
+	case frameTrain:
+		_, _, err := decodeTrain(p, nil)
+		return err
+	case frameSmashed:
+		_, _, _, err := decodeSmashed(p, nil)
+		return err
+	case frameGradient:
+		_, _, err := decodeGradient(p, nil)
+		return err
+	case frameReturn:
+		_, err := decodeReturn(p, nil)
+		return err
+	case frameShutdown:
+		if len(p) != 0 {
+			return fmt.Errorf("transport: shutdown frame carries %d payload bytes", len(p))
+		}
+		return nil
+	default:
+		return fmt.Errorf("transport: unknown frame kind %d", kind)
+	}
+}
+
+// --- framed connection -------------------------------------------------
+
+// frameConn frames one net.Conn: single-buffer encode with one Write
+// per frame, single-buffer reads, per-direction byte accounting, and a
+// payload size cap. A frameConn is used by one goroutine at a time per
+// direction (the protocol is strictly request/response). Reads go
+// straight to the conn — no user-space buffering — so a read deadline
+// that fires mid-frame never leaves hidden buffered state behind.
+type frameConn struct {
+	c        net.Conn
+	enc      wireEnc
+	rbuf     []byte
+	maxFrame int
+	// onRead/onWrite observe framed byte counts (nil = no accounting).
+	onRead, onWrite func(n int)
+}
+
+func newFrameConn(c net.Conn, maxFrame int) *frameConn {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrameBytes
+	}
+	return &frameConn{c: c, maxFrame: maxFrame}
+}
+
+// readFrame returns the next frame's kind and payload. The payload is
+// valid until the next readFrame call on this connection.
+func (fc *frameConn) readFrame() (byte, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(fc.c, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	kind := hdr[4]
+	if n > fc.maxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes, cap %d", ErrFrameTooLarge, n, fc.maxFrame)
+	}
+	if cap(fc.rbuf) < n {
+		fc.rbuf = make([]byte, n)
+	}
+	buf := fc.rbuf[:n]
+	if _, err := io.ReadFull(fc.c, buf); err != nil {
+		return 0, nil, fmt.Errorf("transport: mid-frame read: %w", err)
+	}
+	if fc.onRead != nil {
+		fc.onRead(frameHeaderLen + n)
+	}
+	return kind, buf, nil
+}
+
+// flush writes the frame the encoder holds as a single Write.
+func (fc *frameConn) flush() error {
+	frame := fc.enc.finish()
+	if len(frame)-frameHeaderLen > fc.maxFrame {
+		return fmt.Errorf("%w: encoding %d bytes, cap %d", ErrFrameTooLarge, len(frame)-frameHeaderLen, fc.maxFrame)
+	}
+	n, err := fc.c.Write(frame)
+	if err != nil {
+		return err
+	}
+	if n != len(frame) {
+		// A short write would desync the frame stream for the peer;
+		// failing the turn here keeps the failure local and explicit.
+		return io.ErrShortWrite
+	}
+	if fc.onWrite != nil {
+		fc.onWrite(len(frame))
+	}
+	return nil
+}
+
+func (fc *frameConn) writeHello(id int, samples int64, quantized bool) error {
+	fc.enc.begin(frameHello)
+	fc.enc.u32(wireMagic)
+	fc.enc.u16(wireVersion)
+	fc.enc.u32(uint32(id))
+	fc.enc.u64(uint64(samples))
+	var flags byte
+	if quantized {
+		flags |= helloFlagQuantize
+	}
+	fc.enc.u8(flags)
+	return fc.flush()
+}
+
+func (fc *frameConn) writeTrain(steps int, st *TurnState) error {
+	fc.enc.begin(frameTrain)
+	fc.enc.u32(uint32(steps))
+	fc.enc.turnState(st)
+	return fc.flush()
+}
+
+func (fc *frameConn) writeSmashed(acts *tensor.Tensor, q *quantize.Quantized, ys []int) error {
+	fc.enc.begin(frameSmashed)
+	if q != nil {
+		fc.enc.u8(encQuant8)
+		fc.enc.quantized(q)
+	} else {
+		fc.enc.u8(encFloat64)
+		fc.enc.tensor(acts)
+	}
+	fc.enc.labels(ys)
+	return fc.flush()
+}
+
+func (fc *frameConn) writeGradient(grad *tensor.Tensor, q *quantize.Quantized) error {
+	fc.enc.begin(frameGradient)
+	if q != nil {
+		fc.enc.u8(encQuant8)
+		fc.enc.quantized(q)
+	} else {
+		fc.enc.u8(encFloat64)
+		fc.enc.tensor(grad)
+	}
+	return fc.flush()
+}
+
+func (fc *frameConn) writeReturn(st *TurnState) error {
+	fc.enc.begin(frameReturn)
+	fc.enc.turnState(st)
+	return fc.flush()
+}
+
+func (fc *frameConn) writeShutdown() error {
+	fc.enc.begin(frameShutdown)
+	return fc.flush()
+}
+
+// writeRaw frames an already-encoded payload (the loadgen echo path).
+func (fc *frameConn) writeRaw(kind byte, payload []byte) error {
+	fc.enc.begin(kind)
+	fc.enc.buf = append(fc.enc.buf, payload...)
+	return fc.flush()
 }

@@ -1,0 +1,344 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+
+	"gsfl/internal/model"
+	"gsfl/internal/optim"
+	"gsfl/internal/quantize"
+	"gsfl/internal/tensor"
+)
+
+// encodeFrame renders one frame through the production encoder and
+// returns (kind, payload) — the exact bytes readFrame would hand a peer.
+func encodeFrame(build func(e *wireEnc)) (byte, []byte) {
+	var e wireEnc
+	build(&e)
+	frame := e.finish()
+	return frame[4], append([]byte(nil), frame[frameHeaderLen:]...)
+}
+
+func testTurnState(seed int64) TurnState {
+	rng := rand.New(rand.NewSource(seed))
+	m := model.MLP(4, 3, 2).NewSplit(rng, 2)
+	st := TurnState{
+		Model: model.TakeSnapshot(m.Client),
+		Opt: optim.SGDState{
+			Step:           7,
+			VelocityShapes: [][]int{{4, 3}, {3}},
+			VelocityData:   [][]float64{make([]float64, 12), make([]float64, 3)},
+		},
+	}
+	for _, buf := range st.Opt.VelocityData {
+		for i := range buf {
+			buf[i] = rng.NormFloat64()
+		}
+	}
+	return st
+}
+
+func TestWireHelloRoundTrip(t *testing.T) {
+	kind, payload := encodeFrame(func(e *wireEnc) {
+		e.begin(frameHello)
+		e.u32(wireMagic)
+		e.u16(wireVersion)
+		e.u32(42)
+		e.u64(1234)
+		e.u8(helloFlagQuantize)
+	})
+	if kind != frameHello {
+		t.Fatalf("kind %d", kind)
+	}
+	msg, err := decodeHello(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.ClientID != 42 || msg.Samples != 1234 || !msg.Quantize {
+		t.Fatalf("decoded %+v", msg)
+	}
+}
+
+func TestWireHelloRejectsBadMagicAndVersion(t *testing.T) {
+	_, badMagic := encodeFrame(func(e *wireEnc) {
+		e.begin(frameHello)
+		e.u32(0xDEADBEEF)
+		e.u16(wireVersion)
+		e.u32(1)
+		e.u64(1)
+		e.u8(0)
+	})
+	if _, err := decodeHello(badMagic); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	_, badVersion := encodeFrame(func(e *wireEnc) {
+		e.begin(frameHello)
+		e.u32(wireMagic)
+		e.u16(wireVersion + 1)
+		e.u32(1)
+		e.u64(1)
+		e.u8(0)
+	})
+	if _, err := decodeHello(badVersion); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestWireTrainRoundTrip(t *testing.T) {
+	want := testTurnState(5)
+	_, payload := encodeFrame(func(e *wireEnc) {
+		e.begin(frameTrain)
+		e.u32(3)
+		e.turnState(&want)
+	})
+	steps, got, err := decodeTrain(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 3 {
+		t.Fatalf("steps %d, want 3", steps)
+	}
+	if want.Model.L2Distance(got.Model) != 0 {
+		t.Fatal("model changed in transit")
+	}
+	if got.Opt.Step != want.Opt.Step || len(got.Opt.VelocityData) != len(want.Opt.VelocityData) {
+		t.Fatalf("optimizer state changed: %+v", got.Opt)
+	}
+	for i, buf := range got.Opt.VelocityData {
+		for j, v := range buf {
+			if v != want.Opt.VelocityData[i][j] {
+				t.Fatalf("velocity[%d][%d] = %v, want %v", i, j, v, want.Opt.VelocityData[i][j])
+			}
+		}
+	}
+}
+
+// TestWireTrainReturnPayloadAlignment pins the layout guarantee the
+// loadgen echo depends on: a return payload is exactly a train payload
+// minus its leading step-count word.
+func TestWireTrainReturnPayloadAlignment(t *testing.T) {
+	st := testTurnState(9)
+	_, train := encodeFrame(func(e *wireEnc) {
+		e.begin(frameTrain)
+		e.u32(5)
+		e.turnState(&st)
+	})
+	if _, err := decodeReturn(train[4:], nil); err != nil {
+		t.Fatalf("train[4:] does not decode as a return payload: %v", err)
+	}
+}
+
+func TestWireSmashedRoundTrip(t *testing.T) {
+	acts := tensor.New(2, 3).RandNormal(rand.New(rand.NewSource(11)), 0, 1)
+	ys := []int{1, 0}
+	_, payload := encodeFrame(func(e *wireEnc) {
+		e.begin(frameSmashed)
+		e.u8(encFloat64)
+		e.tensor(acts)
+		e.labels(ys)
+	})
+	got, q, gotYs, err := decodeSmashed(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != nil {
+		t.Fatal("full-precision frame decoded as quantized")
+	}
+	if !got.SameShape(acts) || got.L2Norm() != acts.L2Norm() {
+		t.Fatal("activations changed in transit")
+	}
+	if len(gotYs) != 2 || gotYs[0] != 1 || gotYs[1] != 0 {
+		t.Fatalf("labels %v", gotYs)
+	}
+	// Mutating the source after encode must not affect the decode.
+	acts.Fill(0)
+	if got.L2Norm() == 0 {
+		t.Fatal("decoded tensor aliases the source")
+	}
+}
+
+func TestWireQuantizedSmashedRoundTrip(t *testing.T) {
+	acts := tensor.New(4, 5).RandNormal(rand.New(rand.NewSource(13)), 0, 1)
+	q := quantize.Quantize(acts)
+	_, payload := encodeFrame(func(e *wireEnc) {
+		e.begin(frameSmashed)
+		e.u8(encQuant8)
+		e.quantized(q)
+		e.labels([]int{0, 1, 2, 3})
+	})
+	got, gotQ, ys, err := decodeSmashed(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil || gotQ == nil {
+		t.Fatal("quantized frame decoded as full precision")
+	}
+	if len(ys) != 4 {
+		t.Fatalf("labels %v", ys)
+	}
+	// Dequantizing the wire copy must reproduce the sender's numerics
+	// exactly — quantization error is paid once, at QuantizeInto.
+	a, b := q.Dequantize(), gotQ.Dequantize()
+	if !a.SameShape(b) {
+		t.Fatal("shape changed in transit")
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("dequantized[%d] %v != %v", i, b.Data[i], a.Data[i])
+		}
+	}
+}
+
+func TestWireGradientRoundTrip(t *testing.T) {
+	grad := tensor.New(2, 3).RandNormal(rand.New(rand.NewSource(17)), 0, 1)
+	_, payload := encodeFrame(func(e *wireEnc) {
+		e.begin(frameGradient)
+		e.u8(encFloat64)
+		e.tensor(grad)
+	})
+	got, q, err := decodeGradient(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != nil || !got.SameShape(grad) || got.L2Norm() != grad.L2Norm() {
+		t.Fatal("gradient changed in transit")
+	}
+}
+
+func TestWireDecodersRejectHostileInput(t *testing.T) {
+	st := testTurnState(19)
+	_, ret := encodeFrame(func(e *wireEnc) {
+		e.begin(frameReturn)
+		e.turnState(&st)
+	})
+	cases := []struct {
+		name string
+		kind byte
+		p    []byte
+	}{
+		{"truncated return", frameReturn, ret[:len(ret)/2]},
+		{"trailing garbage", frameReturn, append(append([]byte(nil), ret...), 0xFF)},
+		{"empty train", frameTrain, nil},
+		{"smashed bad encoding", frameSmashed, []byte{9}},
+		{"shutdown with payload", frameShutdown, []byte{1}},
+		{"unknown kind", 99, nil},
+		{"huge tensor rank", frameGradient, []byte{encFloat64, 200}},
+		// Shape claims 2^32-ish elements backed by nothing: must error,
+		// not allocate.
+		{"oversized shape", frameGradient, []byte{encFloat64, 2, 0xFF, 0xFF, 0xFF, 0x7F, 0xFF, 0xFF, 0xFF, 0x7F}},
+		{"label flood", frameSmashed, []byte{encFloat64, 1, 1, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8, 0xFF, 0xFF, 0xFF, 0x7F}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := decodeFrame(tc.kind, tc.p); err == nil {
+				t.Fatal("hostile payload accepted")
+			}
+		})
+	}
+}
+
+func TestFrameConnRejectsOversizeFrame(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := newFrameConn(a, 0)
+	receiver := newFrameConn(b, 64) // tiny cap on the receiving side
+
+	errc := make(chan error, 1)
+	go func() {
+		st := testTurnState(23)
+		errc <- sender.writeReturn(&st)
+	}()
+	_, _, err := receiver.readFrame()
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read err %v, want ErrFrameTooLarge", err)
+	}
+	a.Close() // release the blocked writer
+	<-errc
+
+	// The cap also applies on the encode side.
+	big := newFrameConn(a, 16)
+	st := testTurnState(23)
+	if err := big.writeReturn(&st); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write err %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameConnSurfacesShortWrite(t *testing.T) {
+	short := &shortWriteConn{}
+	fc := newFrameConn(short, 0)
+	if err := fc.writeShutdown(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err %v, want ErrShortWrite", err)
+	}
+}
+
+// shortWriteConn delivers one byte fewer than asked, without error — the
+// (contract-violating) behaviour faultconn's partial-write fault models.
+type shortWriteConn struct{ net.Conn }
+
+func (c *shortWriteConn) Write(p []byte) (int, error) { return len(p) - 1, nil }
+
+// FuzzDecodeFrame drives the exact decoder stack the AP and clients run
+// on untrusted bytes. The invariant: any input either decodes or
+// errors — never panics, never allocates beyond what the payload length
+// can back (enforced structurally by the decoders' pre-allocation
+// bounds checks; a violation here shows up as OOM or runtime panic).
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: one well-formed frame of every kind plus the classic
+	// footguns (empty payload, truncation, trailing bytes).
+	st := testTurnState(29)
+	acts := tensor.New(2, 3).RandNormal(rand.New(rand.NewSource(31)), 0, 1)
+
+	addFrame := func(build func(e *wireEnc)) {
+		kind, payload := encodeFrame(build)
+		f.Add(kind, payload)
+		if len(payload) > 0 {
+			f.Add(kind, payload[:len(payload)/2])
+			f.Add(kind, append(append([]byte(nil), payload...), 0))
+		}
+	}
+	addFrame(func(e *wireEnc) {
+		e.begin(frameHello)
+		e.u32(wireMagic)
+		e.u16(wireVersion)
+		e.u32(3)
+		e.u64(100)
+		e.u8(helloFlagQuantize)
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(frameTrain)
+		e.u32(2)
+		e.turnState(&st)
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(frameSmashed)
+		e.u8(encFloat64)
+		e.tensor(acts)
+		e.labels([]int{0, 1})
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(frameSmashed)
+		e.u8(encQuant8)
+		e.quantized(quantize.Quantize(acts))
+		e.labels([]int{0, 1})
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(frameGradient)
+		e.u8(encFloat64)
+		e.tensor(acts)
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(frameReturn)
+		e.turnState(&st)
+	})
+	f.Add(frameShutdown, []byte{})
+	f.Add(byte(0), []byte{})
+	f.Add(byte(255), []byte{0xFF, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
+		_ = decodeFrame(kind, payload)
+	})
+}
