@@ -69,6 +69,50 @@ func (e *EnvFlags) Apply(spec *env.Spec) error {
 	return nil
 }
 
+// PopFlags are the population-layer knobs (PR 7) a harness command
+// exposes alongside EnvFlags. Zero values leave the spec untouched, so
+// commands that never pass the flags keep the classic fixed-client
+// world.
+type PopFlags struct {
+	// Population is the persistent member count (0 = no population).
+	Population int
+	// SampleFraction is the per-round cohort fraction of the population.
+	SampleFraction float64
+	// AvailTrace and ProfileMix are registry-name tokens (the mix is a
+	// "name:weight,…" expression over registered device profiles).
+	AvailTrace string
+	ProfileMix string
+}
+
+// Register declares the population flags on fs. The accepted trace
+// tokens come from the env registry, so help text always matches what
+// is registered.
+func (p *PopFlags) Register(fs *flag.FlagSet) {
+	fs.IntVar(&p.Population, "population", 0,
+		"persistent client population size (0 = classic fixed-client world)")
+	fs.Float64Var(&p.SampleFraction, "sample-fraction", 0,
+		"fraction of the population sampled per round (0 = full sampling)")
+	fs.StringVar(&p.AvailTrace, "avail-trace", "",
+		"availability trace: "+strings.Join(env.AvailTraces(), "|"))
+	fs.StringVar(&p.ProfileMix, "profile-mix", "",
+		"device-profile mix, name:weight pairs over "+strings.Join(env.DeviceProfiles(), "|"))
+}
+
+// Apply writes the population fields onto spec and validates them
+// eagerly (field-specific errors, so a CLI typo names the flag at
+// fault). The flags ride on Spec validation rather than duplicating
+// it.
+func (p *PopFlags) Apply(spec *env.Spec) error {
+	spec.Population = p.Population
+	spec.SampleFraction = p.SampleFraction
+	spec.AvailTrace = p.AvailTrace
+	spec.DeviceProfileMix = p.ProfileMix
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
 // Scale is one -scale preset: the base spec plus the round budget,
 // evaluation cadence, and table-1 target accuracy the harness uses at
 // that size.
@@ -104,9 +148,10 @@ func ParseScale(name string) (Scale, error) {
 
 // PrintRegistries writes every extension registry's contents — schemes,
 // allocators, grouping strategies, model architectures, dataset
-// generators, straggler policies — one section per line, to w. It is
-// the single source of the -list output shared by gsfl-sim, gsfl-sweep,
-// and the deployment commands.
+// generators, straggler policies, availability traces, device
+// profiles — one section per line, to w. It is the single source of
+// the -list output shared by gsfl-sim, gsfl-sweep, and the deployment
+// commands.
 func PrintRegistries(w io.Writer) {
 	fmt.Fprintf(w, "schemes:     %s\n", strings.Join(sim.Schemes(), " "))
 	fmt.Fprintf(w, "allocators:  %s\n", strings.Join(env.Allocators(), " "))
@@ -114,4 +159,6 @@ func PrintRegistries(w io.Writer) {
 	fmt.Fprintf(w, "archs:       %s\n", strings.Join(env.Archs(), " "))
 	fmt.Fprintf(w, "datasets:    %s\n", strings.Join(env.Datasets(), " "))
 	fmt.Fprintf(w, "stragglers:  %s\n", strings.Join(env.StragglerPolicies(), " "))
+	fmt.Fprintf(w, "traces:      %s\n", strings.Join(env.AvailTraces(), " "))
+	fmt.Fprintf(w, "profiles:    %s\n", strings.Join(env.DeviceProfiles(), " "))
 }

@@ -55,6 +55,40 @@ func TestEnvFlags(t *testing.T) {
 	}
 }
 
+func TestPopFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var p PopFlags
+	p.Register(fs)
+	if err := fs.Parse([]string{
+		"-population", "24", "-sample-fraction", "0.25",
+		"-avail-trace", "onoff", "-profile-mix", "low-end:0.5,baseline:0.5",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	spec := env.TestSpec()
+	if err := p.Apply(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Population != 24 || spec.SampleFraction != 0.25 ||
+		spec.AvailTrace != "onoff" || spec.DeviceProfileMix != "low-end:0.5,baseline:0.5" {
+		t.Fatalf("flags not applied: %+v", spec)
+	}
+	// Zero-valued flags leave the classic world intact.
+	spec = env.TestSpec()
+	if err := new(PopFlags).Apply(&spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Population != 0 || spec.AvailTrace != "" {
+		t.Fatalf("zero flags must not configure a population: %+v", spec)
+	}
+	// Field-specific errors surface the flag at fault.
+	bad := PopFlags{Population: 24, SampleFraction: 0.25, AvailTrace: "nope"}
+	spec = env.TestSpec()
+	if err := bad.Apply(&spec); err == nil || !strings.Contains(err.Error(), "AvailTrace") {
+		t.Fatalf("want an AvailTrace error, got %v", err)
+	}
+}
+
 func TestPrintRegistries(t *testing.T) {
 	var sb strings.Builder
 	PrintRegistries(&sb)
@@ -67,6 +101,8 @@ func TestPrintRegistries(t *testing.T) {
 		"gtsrb-cnn", "deepthin-cnn", "mlp", // archs
 		"gtsrb-synth",        // datasets
 		"drop", "reuse-last", // straggler policies
+		"always-on", "onoff", "diurnal", // availability traces
+		"baseline", "low-end", "high-end", // device profiles
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out)

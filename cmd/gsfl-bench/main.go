@@ -54,14 +54,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gsfl-bench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment: fig2a|fig2b|table1|table2|table3|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|seeds|validate|all")
+		exp    = fs.String("exp", "all", "experiment: fig2a|fig2b|table1|table2|table3|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|popsample|seeds|validate|all")
 		scale  = fs.String("scale", "test", "scale: test|medium|paper")
 		outDir = fs.String("out", "results", "output directory")
 		rounds = fs.Int("rounds", 0, "override training rounds (0 = scale default)")
 		jobs   = fs.Int("jobs", 1, "grid cells trained concurrently (0 = GOMAXPROCS); CSVs are byte-identical for every value")
 
 		benchJSON  = fs.String("benchjson", "", "measure the training hot path and write ns/B/allocs per op to this JSON file (skips experiments)")
-		benchLabel = fs.String("benchlabel", "", "label recorded in the -benchjson report (e.g. baseline, after)")
+		benchPop   = fs.String("benchpop", "", "measure the million-member population engine and write its memory/latency report to this JSON file (skips experiments)")
+		benchLabel = fs.String("benchlabel", "", "label recorded in the -benchjson/-benchpop report (e.g. baseline, after)")
 	)
 	var env cliutil.EnvFlags
 	env.Register(fs)
@@ -70,6 +71,9 @@ func run(args []string) error {
 	}
 	if *benchJSON != "" {
 		return sweep.WriteHotPathBench(*benchJSON, *benchLabel)
+	}
+	if *benchPop != "" {
+		return sweep.WritePopulationBench(*benchPop, *benchLabel)
 	}
 	sc, err := cliutil.ParseScale(*scale)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 
@@ -64,10 +65,13 @@ func run(ctx context.Context, args []string) error {
 		ckpt      = fs.String("checkpoint", "", "checkpoint file path")
 		ckptEvery = fs.Int("checkpoint-every", 10, "rounds between checkpoints (with -checkpoint)")
 		resume    = fs.Bool("resume", false, "resume from the -checkpoint file (its scheme and options win over -scheme; the env flags must match the original run)")
+		metrics   = fs.String("metrics", "", "address serving the population gauges over HTTP (requires -population)")
 		list      = fs.Bool("list", false, "list the registered schemes, allocators, strategies, archs, and datasets, then exit")
 	)
 	var envFlags cliutil.EnvFlags
 	envFlags.Register(fs)
+	var popFlags cliutil.PopFlags
+	popFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,10 +101,26 @@ func run(ctx context.Context, args []string) error {
 	if err := envFlags.Apply(&spec); err != nil {
 		return err
 	}
+	if err := popFlags.Apply(&spec); err != nil {
+		return err
+	}
 
 	world, err := env.Build(spec)
 	if err != nil {
 		return err
+	}
+	if *metrics != "" {
+		pm, ok := world.Pop.(interface{ MetricsHandler() http.Handler })
+		if !ok {
+			return fmt.Errorf("-metrics needs an active population (set -population and -sample-fraction)")
+		}
+		srv := &http.Server{Addr: *metrics, Handler: pm.MetricsHandler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "gsfl-sim: metrics endpoint:", err)
+			}
+		}()
+		defer srv.Close()
 	}
 
 	// Flags explicitly given on the command line; on resume, cadences

@@ -21,9 +21,16 @@
 // (JSON-lines manifest plus per-job curve CSVs) makes sweeps resumable
 // and byte-identical at any concurrency, and the paper's figure/table
 // catalogue with its folds is re-exported for harness frontends. The
-// shared CLI flag vocabulary lives in gsfl/cliutil, built on the public
-// API alone; env, sim, and sweep are the only packages allowed to
-// import gsfl/internal (enforced by a CI grep and env/boundary_test.go).
+// population engine in gsfl/pop scales the fixed-fleet world to
+// cross-device deployment size: a persistent population of up to
+// millions of members held as compact records (never live models),
+// churned by registered availability traces and device-profile mixes,
+// from which each round deterministically samples a cohort onto the
+// Spec's client slots — configured through env.Spec's Population
+// fields and swept like any other axis. The shared CLI flag vocabulary
+// lives in gsfl/cliutil, built on the public API alone; env, sim,
+// sweep, and pop are the only packages allowed to import gsfl/internal
+// (enforced by a CI grep and env/boundary_test.go).
 //
 // The implementation lives under internal/: a tensor and neural-network
 // training framework (internal/tensor, internal/nn, internal/loss,
@@ -40,9 +47,12 @@
 // thin consumer of gsfl/env and gsfl/sim.
 //
 // Entry points: cmd/gsfl-sim runs one scheme through the run API
-// (streaming table or JSON-lines output, checkpoint/resume, -list for
-// the registries), cmd/gsfl-bench regenerates the paper's figures and
-// tables as CSV (concurrently with -jobs N, byte-identical at any N),
+// (streaming table or JSON-lines output, checkpoint/resume, population
+// sampling via -population/-sample-fraction with live gauges on
+// -metrics, -list for the registries), cmd/gsfl-bench regenerates the
+// paper's figures and tables as CSV (concurrently with -jobs N,
+// byte-identical at any N; -benchpop writes the million-member
+// population report),
 // cmd/gsfl-sweep runs named or custom experiment grids through the
 // sweep engine (concurrent, resumable, kill-safe; grid files may patch
 // any env.Spec field), cmd/gsfl-datagen renders synthetic GTSRB

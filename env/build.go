@@ -10,6 +10,7 @@ import (
 	"gsfl/internal/partition"
 	"gsfl/internal/schemes"
 	"gsfl/internal/wireless"
+	"gsfl/pop"
 )
 
 // Build materializes a Spec into the complete simulated world a scheme
@@ -84,6 +85,29 @@ func Build(spec Spec) (*Env, error) {
 	}
 	if err := world.Validate(); err != nil {
 		return nil, fmt.Errorf("env: built invalid world: %w", err)
+	}
+
+	// Attach the client population when the spec asks for one beyond
+	// the identity configuration (population == clients, full sampling,
+	// always-on, baseline-only — which IS the classic world, kept on
+	// the legacy path so numerics stay bit-identical). The population
+	// seed hangs off the spec seed like the other world components
+	// (+1 test data, +2 fleet, +3 channel, +5 population).
+	if spec.populationActive() {
+		p, err := pop.New(pop.Config{
+			Members:    spec.Population,
+			Slots:      spec.Clients,
+			Cohort:     spec.CohortSize(),
+			Trace:      spec.AvailTrace,
+			ProfileMix: spec.DeviceProfileMix,
+			Sampler:    pop.SamplerAvailability,
+			Seed:       spec.Seed + 5,
+			Fleet:      fleet,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("env: Population: %w", err)
+		}
+		world.Pop = p
 	}
 	return world, nil
 }

@@ -15,13 +15,22 @@
 //     field-specific validation. Building the same Spec twice yields
 //     bit-identical worlds.
 //
-//   - Four registries, mirroring the scheme registry in gsfl/sim.
-//     RegisterAllocator, RegisterStrategy, RegisterDataset, and
-//     RegisterArch add implementations under a name; Allocators,
-//     Strategies, Datasets, and Archs list them; a Spec (or a CLI flag,
-//     or a grid-file axis) selects one by that name. The built-ins
-//     self-register, so the names "uniform", "round-robin",
-//     "gtsrb-synth", "gtsrb-cnn", … are always available.
+//   - Six registries, mirroring the scheme registry in gsfl/sim.
+//     RegisterAllocator, RegisterStrategy, RegisterDataset,
+//     RegisterArch, RegisterAvailTrace, and RegisterDeviceProfile add
+//     implementations under a name; Allocators, Strategies, Datasets,
+//     Archs, AvailTraces, and DeviceProfiles list them; a Spec (or a
+//     CLI flag, or a grid-file axis) selects one by that name. The
+//     built-ins self-register, so the names "uniform", "round-robin",
+//     "gtsrb-synth", "gtsrb-cnn", "onoff", "low-end", … are always
+//     available.
+//
+// Setting Spec.Population (with SampleFraction, AvailTrace, and
+// DeviceProfileMix) attaches a persistent client population from
+// gsfl/pop: Build constructs the member records and availability event
+// queue, and the cohort-based schemes sample from it each round. A Spec
+// with Population == Clients and full always-on sampling is the classic
+// fixed-fleet world and attaches nothing.
 //
 // Minimal use:
 //

@@ -7,6 +7,7 @@ import (
 	"gsfl/internal/model"
 	"gsfl/internal/partition"
 	"gsfl/internal/wireless"
+	"gsfl/pop"
 
 	// The built-in dataset generator self-registers from its init
 	// function; importing gsfl/env therefore makes "gtsrb-synth"
@@ -152,3 +153,32 @@ func CanonicalArch(name string) (string, error) {
 	}
 	return "", fmt.Errorf("unknown architecture %q (registered: %v)", name, Archs())
 }
+
+// RegisterAvailTrace adds an availability/churn trace under its Name(),
+// making it usable by name in Spec.AvailTrace, grid files, and the
+// -avail-trace flag.
+func RegisterAvailTrace(t AvailTrace) { pop.RegisterTrace(t) }
+
+// AvailTraces returns the registered availability-trace names in sorted
+// order.
+func AvailTraces() []string { return pop.Traces() }
+
+// CanonicalAvailTrace validates an availability-trace name against the
+// registry, returning the name job content hashes and manifests record
+// (trace names have no aliases, so the canonical form is the name
+// itself).
+func CanonicalAvailTrace(name string) (string, error) {
+	if _, err := pop.TraceByName(name); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// RegisterDeviceProfile adds a device-heterogeneity profile, making it
+// usable in Spec.DeviceProfileMix expressions and the -profile-mix
+// flag.
+func RegisterDeviceProfile(p DeviceProfile) { pop.RegisterProfile(p) }
+
+// DeviceProfiles returns the registered device-profile names in sorted
+// order.
+func DeviceProfiles() []string { return pop.Profiles() }

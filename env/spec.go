@@ -2,11 +2,13 @@ package env
 
 import (
 	"fmt"
+	"math"
 
 	"gsfl/internal/device"
 	"gsfl/internal/partition"
 	"gsfl/internal/schemes"
 	"gsfl/internal/wireless"
+	"gsfl/pop"
 )
 
 // Default extension names: the values an empty Spec field normalizes
@@ -68,6 +70,31 @@ type Spec struct {
 	Pipelined bool `json:"pipelined,omitempty"`
 	// DropoutProb injects per-round client unavailability into GSFL.
 	DropoutProb float64 `json:"dropout_prob,omitempty"`
+	// Population, when positive, puts a persistent client population of
+	// that size behind the Clients physical slots: each round the
+	// cohort-based schemes (gsfl, fl, sfl) sample
+	// round(SampleFraction×Population) members — capped at Clients —
+	// from the currently available population instead of training the
+	// fixed client list. Members are compact records (gsfl/pop); the
+	// fleet, channel, and datasets stay sized Clients. Zero keeps the
+	// classic fixed-client world. A population equal to Clients with
+	// SampleFraction 1 under the default trace and mix is exactly that
+	// world, and Build treats it as such (no population attached), so
+	// numerics stay bit-identical.
+	Population int `json:"population,omitempty"`
+	// SampleFraction is the per-round sampling fraction in (0,1];
+	// 0 normalizes to 1 (sample everyone, bounded by Clients slots).
+	// Only meaningful with Population set.
+	SampleFraction float64 `json:"sample_fraction,omitempty"`
+	// AvailTrace names the registered availability/churn trace driving
+	// member online/offline dwell times ("" = always-on; see
+	// AvailTraces). Only meaningful with Population set.
+	AvailTrace string `json:"avail_trace,omitempty"`
+	// DeviceProfileMix is a weighted device-heterogeneity mix,
+	// "profile:weight,profile:weight" over registered profiles (see
+	// DeviceProfiles); "" assigns every member the baseline profile.
+	// Only meaningful with Population set.
+	DeviceProfileMix string `json:"device_profile_mix,omitempty"`
 }
 
 // PaperSpec is the configuration of the paper's Section III: 30
@@ -128,7 +155,46 @@ func (s Spec) Normalized() Spec {
 	if s.Arch == "" {
 		s.Arch = DefaultArch
 	}
+	if s.Population > 0 {
+		if s.AvailTrace == "" {
+			s.AvailTrace = pop.DefaultTrace
+		}
+		if s.SampleFraction == 0 {
+			s.SampleFraction = 1
+		}
+	}
 	return s
+}
+
+// CohortSize returns the per-round sampling target the population
+// fields imply: round(SampleFraction × Population), at least 1. It is
+// meaningful only when Population is set; Validate bounds it by
+// Clients (the physical slot count).
+func (s Spec) CohortSize() int {
+	s = s.Normalized()
+	k := int(math.Round(s.SampleFraction * float64(s.Population)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// populationActive reports whether Build should attach a population:
+// the fields are set AND they describe something other than the
+// classic fixed-client world. The identity configuration — population
+// == clients, full sampling, always-on, baseline-only — short-circuits
+// to the legacy path so its numerics stay bit-identical to a spec with
+// no population at all.
+func (s Spec) populationActive() bool {
+	s = s.Normalized()
+	if s.Population <= 0 {
+		return false
+	}
+	identity := s.Population == s.Clients &&
+		s.SampleFraction == 1 &&
+		s.AvailTrace == pop.DefaultTrace &&
+		s.DeviceProfileMix == ""
+	return !identity
 }
 
 // Validate checks every Spec field eagerly and reports the first
@@ -182,6 +248,48 @@ func (s Spec) Validate() error {
 	}
 	if s.DropoutProb < 0 || s.DropoutProb >= 1 {
 		return fmt.Errorf("env: DropoutProb %v outside [0,1)", s.DropoutProb)
+	}
+	if err := s.validatePopulation(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validatePopulation checks the population fields (the spec is already
+// normalized). Zero Population requires the satellite fields unset;
+// a set Population requires a coherent, registry-resolvable sampling
+// configuration.
+func (s Spec) validatePopulation() error {
+	if s.Population < 0 {
+		return fmt.Errorf("env: Population %d must be non-negative (0 = no population layer)", s.Population)
+	}
+	if s.Population == 0 {
+		if s.SampleFraction != 0 {
+			return fmt.Errorf("env: SampleFraction %v set without Population", s.SampleFraction)
+		}
+		if s.AvailTrace != "" {
+			return fmt.Errorf("env: AvailTrace %q set without Population", s.AvailTrace)
+		}
+		if s.DeviceProfileMix != "" {
+			return fmt.Errorf("env: DeviceProfileMix %q set without Population", s.DeviceProfileMix)
+		}
+		return nil
+	}
+	if s.Population < s.Clients {
+		return fmt.Errorf("env: Population %d smaller than Clients %d (members need a data shard each slot)", s.Population, s.Clients)
+	}
+	if s.SampleFraction <= 0 || s.SampleFraction > 1 {
+		return fmt.Errorf("env: SampleFraction %v outside (0,1]", s.SampleFraction)
+	}
+	if k := s.CohortSize(); k > s.Clients {
+		return fmt.Errorf("env: cohort %d (SampleFraction %v × Population %d) exceeds the %d client slots",
+			k, s.SampleFraction, s.Population, s.Clients)
+	}
+	if _, err := CanonicalAvailTrace(s.AvailTrace); err != nil {
+		return fmt.Errorf("env: AvailTrace: %w", err)
+	}
+	if _, err := pop.ParseMix(s.DeviceProfileMix); err != nil {
+		return fmt.Errorf("env: DeviceProfileMix: %w", err)
 	}
 	return nil
 }

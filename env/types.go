@@ -9,6 +9,7 @@ import (
 	"gsfl/internal/partition"
 	"gsfl/internal/schemes"
 	"gsfl/internal/wireless"
+	"gsfl/pop"
 )
 
 // Aliases re-export the environment vocabulary so Spec fields,
@@ -65,6 +66,22 @@ type (
 	// Rng is the randomness source threaded through grouping and
 	// partitioning helpers.
 	Rng = *rand.Rand
+	// Cohort is the per-round population-sampling interface a built
+	// world carries in Env.Pop (nil in the classic fixed-client world).
+	Cohort = schemes.Cohort
+	// SlotBinding mounts one sampled population member onto a physical
+	// client slot for a round.
+	SlotBinding = schemes.SlotBinding
+	// AvailTrace models member availability dwell times; implement it
+	// and RegisterAvailTrace to add a churn model by name.
+	AvailTrace = pop.Trace
+	// DeviceProfile is a named compute-speed class for
+	// Spec.DeviceProfileMix; RegisterDeviceProfile adds one.
+	DeviceProfile = pop.Profile
+	// Population is the concrete record-array population engine behind
+	// Env.Pop when Spec.Population is set (type-assert Env.Pop to reach
+	// its metrics registry and memory accounting).
+	Population = pop.Population
 )
 
 // DefaultCut is the paper's client/server boundary in the default

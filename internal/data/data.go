@@ -104,6 +104,10 @@ type Loader struct {
 	// shapeScratch is the reusable (batch, inShape...) shape buffer
 	// NextInto sizes destination tensors with.
 	shapeScratch []int
+	// src is the reseedable source behind rng for loaders that go
+	// through Reset; nil for loaders constructed around a caller-owned
+	// RNG that never reset.
+	src rand.Source
 }
 
 // NewLoader constructs a Loader producing batches of the given size with
@@ -126,6 +130,44 @@ func NewLoader(ds Dataset, batch int, inShape []int, rng *rand.Rand) *Loader {
 	l := &Loader{ds: ds, batch: batch, inShape: inShape, rng: rng}
 	l.reshuffle()
 	return l
+}
+
+// Reset re-points the loader at ds and restarts it on a fresh RNG
+// stream seeded with seed, as if newly constructed. The population
+// layer calls it once per sampled slot per round to mount a member's
+// data shard, so it reuses the loader's order buffer and (after the
+// first call) its RNG allocation: steady-state resets are
+// allocation-free as long as ds.Len() never exceeds a previously seen
+// length. The per-sample feature width must match the loader's shape.
+func (l *Loader) Reset(ds Dataset, seed int64) {
+	if ds.Len() == 0 {
+		panic("data: empty dataset")
+	}
+	per := 1
+	for _, d := range l.inShape {
+		per *= d
+	}
+	if f, _ := ds.Sample(0); len(f) != per {
+		panic(fmt.Sprintf("data: sample has %d features, shape %v needs %d", len(f), l.inShape, per))
+	}
+	l.ds = ds
+	if l.src == nil {
+		l.src = rand.NewSource(seed)
+		l.rng = rand.New(l.src)
+	} else {
+		l.src.Seed(seed)
+	}
+	n := ds.Len()
+	if cap(l.order) < n {
+		l.order = make([]int, n)
+	} else {
+		l.order = l.order[:n]
+	}
+	for i := range l.order {
+		l.order[i] = i
+	}
+	l.epoch = 0
+	l.reshuffle()
 }
 
 func (l *Loader) reshuffle() {

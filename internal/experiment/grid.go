@@ -55,6 +55,12 @@ type Axes struct {
 	Pipelined  []bool    `json:"pipelined,omitempty"`
 	Datasets   []string  `json:"datasets,omitempty"`
 	Archs      []string  `json:"archs,omitempty"`
+	// Population axes sweep the persistent-population dimensions from
+	// PR 7: total member count, per-round sampling fraction, and the
+	// availability trace members follow.
+	Populations     []int     `json:"populations,omitempty"`
+	SampleFractions []float64 `json:"sample_fractions,omitempty"`
+	AvailTraces     []string  `json:"avail_traces,omitempty"`
 	// Schemes defaults to ["gsfl"], the subject of every ablation.
 	Schemes []string `json:"schemes,omitempty"`
 }
@@ -157,6 +163,25 @@ func hashJob(scheme string, s Spec, rounds, evalEvery int) (string, error) {
 		}
 		_, _ = h.Write(ext)
 	}
+	// The population fields joined later still (PR 7); same rule — only a
+	// spec that actually configures a population extends the hash, so
+	// population-free jobs keep their historical IDs.
+	if s.Population != 0 {
+		trace, err := env.CanonicalAvailTrace(s.AvailTrace)
+		if err != nil {
+			return "", fmt.Errorf("experiment: job identity: %w", err)
+		}
+		ext, err := json.Marshal(struct {
+			Population     int
+			SampleFraction float64
+			AvailTrace     string
+			ProfileMix     string
+		}{s.Population, s.SampleFraction, trace, s.DeviceProfileMix})
+		if err != nil {
+			return "", fmt.Errorf("experiment: encoding job identity extension: %w", err)
+		}
+		_, _ = h.Write(ext)
+	}
 	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
@@ -183,6 +208,11 @@ func canonicalizeSpec(s *Spec) error {
 	}
 	if _, err := env.CanonicalArch(s.Arch); err != nil {
 		return err
+	}
+	if s.Population > 0 {
+		if _, err := env.CanonicalAvailTrace(s.AvailTrace); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -275,6 +305,22 @@ func (g Grid) axes() []axis {
 				return err
 			}
 			j.Spec.Arch = name
+			return nil
+		})
+	add("pop", len(g.Axes.Populations),
+		func(i int) string { return fmt.Sprintf("%d", g.Axes.Populations[i]) },
+		func(j *Job, i int) error { j.Spec.Population = g.Axes.Populations[i]; return nil })
+	add("frac", len(g.Axes.SampleFractions),
+		func(i int) string { return fmt.Sprintf("%g", g.Axes.SampleFractions[i]) },
+		func(j *Job, i int) error { j.Spec.SampleFraction = g.Axes.SampleFractions[i]; return nil })
+	add("trace", len(g.Axes.AvailTraces),
+		func(i int) string { return g.Axes.AvailTraces[i] },
+		func(j *Job, i int) error {
+			name, err := env.CanonicalAvailTrace(g.Axes.AvailTraces[i])
+			if err != nil {
+				return err
+			}
+			j.Spec.AvailTrace = name
 			return nil
 		})
 	schemesAxis := g.Axes.Schemes

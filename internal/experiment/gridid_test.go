@@ -61,6 +61,12 @@ var goldenJobIDs = []string{
 	"noniid 25591a8afc47a2a5 noniid/alpha=1,scheme=fl",
 	"noniid 5f8b6fc577b1aa3b noniid/alpha=100,scheme=gsfl",
 	"noniid 1c4b3a7ff4f50155 noniid/alpha=100,scheme=fl",
+	"popsample 1bfd10ea69d3a332 popsample/groups=2,frac=0.05",
+	"popsample fa7a2962d7743858 popsample/groups=2,frac=0.1",
+	"popsample 1b3c2a6b5681ed5c popsample/groups=2,frac=0.25",
+	"popsample 7b291ef5f5175b86 popsample/groups=6,frac=0.05",
+	"popsample 1f02fb77106e1a2c popsample/groups=6,frac=0.1",
+	"popsample ad43faf87c3886c0 popsample/groups=6,frac=0.25",
 	"seeds 4f4917f2affe18bb seeds-gsfl/seed=1",
 	"seeds d152ea4a34c16ef0 seeds-gsfl/seed=1001",
 	"seeds 09a5ec72eb93dc0d seeds-gsfl/seed=2001",
@@ -143,5 +149,20 @@ func TestGridIDDefaultExtensionsKeepHistoricalHash(t *testing.T) {
 	mlp := id(func(s *Spec) { s.Arch = "mlp" })
 	if mlp == base {
 		t.Fatal("non-default arch must change the job ID")
+	}
+	// The population fields follow the same extension rule: absent they
+	// leave the historical bytes alone (pinned by the golden list above),
+	// present they must produce a new, stable, distinct ID.
+	pop := id(func(s *Spec) { s.Population = 120; s.SampleFraction = 0.1 })
+	if pop == base {
+		t.Fatal("a configured population must change the job ID")
+	}
+	pop2 := id(func(s *Spec) { s.Population = 120; s.SampleFraction = 0.1; s.AvailTrace = "always-on" })
+	if pop2 != pop {
+		t.Fatal("an explicit default trace must hash like the normalized empty trace")
+	}
+	frac := id(func(s *Spec) { s.Population = 120; s.SampleFraction = 0.25 })
+	if frac == pop {
+		t.Fatal("the sampling fraction must be part of the job ID")
 	}
 }

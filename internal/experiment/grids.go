@@ -109,6 +109,57 @@ func NonIIDGrid(spec Spec, alphas []float64, rounds, evalEvery int) Grid {
 	}
 }
 
+// PopSampleGrid crosses the per-round sampling fraction with the group
+// count over a persistent client population (PR 7): the population is a
+// fixed multiple of the slot count, members churn through the "onoff"
+// availability trace, and each cell trains GSFL on the cohorts the
+// population samples. Fractions are relative to the population, so at
+// the default scale (30 clients, 120 members) they span cohorts from a
+// handful of clients up to every slot.
+func PopSampleGrid(spec Spec, fractions []float64, groupCounts []int, rounds, evalEvery int) Grid {
+	spec.Population = popMembersPerSlot * spec.Clients
+	spec.AvailTrace = "onoff"
+	return Grid{
+		Name: "popsample", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{SampleFractions: fractions, Groups: groupCounts},
+	}
+}
+
+// popMembersPerSlot sizes the popsample population relative to the slot
+// count; with DefaultPopFractions the largest cohort exactly fills the
+// slots.
+const popMembersPerSlot = 4
+
+// DefaultPopFractions is the popsample study's sampling-fraction sweep.
+func DefaultPopFractions() []float64 { return []float64{0.05, 0.1, 0.25} }
+
+// PopSampleResult is one popsample cell's folded row.
+type PopSampleResult struct {
+	Fraction      float64
+	Population    int
+	Cohort        int
+	Groups        int
+	RoundLatency  float64
+	FinalAccuracy float64
+}
+
+// FoldPopSample derives the population-sampling study rows.
+func FoldPopSample(res []JobResult) []PopSampleResult {
+	out := make([]PopSampleResult, 0, len(res))
+	for _, r := range res {
+		s := r.Job.Spec
+		out = append(out, PopSampleResult{
+			Fraction:      s.SampleFraction,
+			Population:    s.Population,
+			Cohort:        s.CohortSize(),
+			Groups:        s.Groups,
+			RoundLatency:  lastLatency(r.Curve) / float64(r.Job.Rounds),
+			FinalAccuracy: r.Curve.FinalAccuracy(),
+		})
+	}
+	return out
+}
+
 // SeedSweepGrid reruns one scheme across k seeds spaced as the
 // historical seed-variance study spaced them.
 func SeedSweepGrid(spec Spec, scheme string, seeds, rounds, evalEvery int) Grid {
@@ -596,6 +647,25 @@ func GridExperiments(spec Spec, rounds, evalEvery int, target float64) []GridExp
 					})
 				}
 				return tbl.SaveCSV(filepath.Join(outDir, "ablation_noniid.csv"))
+			},
+		},
+		{
+			Name:  "popsample",
+			Grids: []Grid{PopSampleGrid(spec, DefaultPopFractions(), []int{2, 6}, rounds, evalEvery)},
+			Save: func(outDir string, res []JobResult) error {
+				tbl := trace.NewTable("popsample",
+					"fraction", "population", "cohort", "groups", "round_latency_s", "final_accuracy")
+				for _, x := range FoldPopSample(res) {
+					tbl.Add(trace.Row{
+						"fraction":        fmt.Sprintf("%g", x.Fraction),
+						"population":      x.Population,
+						"cohort":          x.Cohort,
+						"groups":          x.Groups,
+						"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
+						"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
+					})
+				}
+				return tbl.SaveCSV(filepath.Join(outDir, "popsample.csv"))
 			},
 		},
 		{

@@ -101,6 +101,10 @@ type Trainer struct {
 	capClient, capServer []model.Snapshot
 	aggClient, aggServer []model.Snapshot
 	aggW                 []float64
+
+	// popCaps is the population path's reusable capacity scratch for
+	// per-round cohort regrouping.
+	popCaps []float64
 }
 
 // New validates the environment and assembles a GSFL trainer.
@@ -171,6 +175,43 @@ func (t *Trainer) ServerStorageBytes() int64 {
 	return int64(t.ServerReplicaCount()) * t.globalServer.WireBytes()
 }
 
+// mountCohort wires one round's sampled population members onto the
+// physical slots: every binding's slot loader is re-pointed at the
+// member's data shard under the member's participation seed, the
+// cohort is regrouped (bindings are dense — binding i owns slot i —
+// so group member indices remain valid slot indices), and aggregation
+// weights are recomputed from the mounted shard sizes. The per-round
+// regrouping draws from the dedicated "pop-grouping" stream keyed by
+// round, leaving the classic path's "grouping" stream untouched.
+func (t *Trainer) mountCohort(binds []schemes.SlotBinding) {
+	env := t.env
+	for i := range binds {
+		b := &binds[i]
+		t.loaders[b.Slot].Reset(env.Train[b.Shard], b.LoaderSeed)
+	}
+	k := len(binds)
+	m := t.cfg.NumGroups
+	if m > k {
+		m = k
+	}
+	t.popCaps = t.popCaps[:0]
+	for i := range binds {
+		// Effective capacities: the population applied each member's
+		// device-profile speed to its slot before returning bindings, so
+		// compute-balanced grouping sees what this round's devices can do.
+		t.popCaps = append(t.popCaps, env.Fleet.Clients[binds[i].Slot].FLOPS)
+	}
+	t.groups = partition.Groups(k, m, t.cfg.Strategy, t.popCaps, env.Rng("pop-grouping", t.round))
+	t.weights = t.weights[:0]
+	for _, members := range t.groups {
+		w := 0.0
+		for _, ci := range members {
+			w += float64(env.Train[binds[ci].Shard].Len())
+		}
+		t.weights = append(t.weights, w)
+	}
+}
+
 // availableGroups applies per-round client dropout, returning the
 // surviving members of each group (same outer length as t.groups; a
 // fully dropped group has an empty inner slice) plus the participant
@@ -205,6 +246,17 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	env := t.env
 	env.Channel.AdvanceRound() // new fading stream + client mobility
 	t.round++
+	if env.Pop != nil {
+		binds, err := env.Pop.BeginRound(t.round)
+		if err != nil {
+			return nil, err
+		}
+		if len(binds) == 0 {
+			// Nobody available: the round is a no-op, like a full dropout.
+			return &simnet.Ledger{}, nil
+		}
+		t.mountCohort(binds)
+	}
 	groups, weights := t.availableGroups()
 
 	// Indices of groups with at least one available client this round.

@@ -3,6 +3,7 @@ package gsfl
 import (
 	"fmt"
 
+	"gsfl/internal/data"
 	"gsfl/internal/model"
 	"gsfl/internal/schemes"
 )
@@ -23,6 +24,12 @@ func init() {
 // (replica parameters are rewritten from the global halves every round,
 // so they are derived, not state), the per-client loaders, the round
 // counter (which keys the dropout stream), and the channel cursor.
+// Optimizer slots are captured over the full configured group count
+// (clientOpts), not t.groups, which the population path re-slices per
+// round. In population mode the loaders carry no cross-round state —
+// every round Resets them from the sampled bindings, which the
+// population replays deterministically on resume — so zero-value
+// states are stored to keep the checkpoint shape fixed.
 func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
 	st := &schemes.TrainerState{
 		Round:   t.round,
@@ -32,18 +39,22 @@ func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
 			t.globalServer.State(),
 		},
 	}
-	for g := range t.groups {
+	for g := range t.clientOpts {
 		st.Opts = append(st.Opts, t.clientOpts[g].State(), t.serverOpts[g].State())
 	}
-	for _, l := range t.loaders {
-		st.Loaders = append(st.Loaders, l.State())
+	if t.env.Pop != nil {
+		st.Loaders = make([]data.LoaderState, len(t.loaders))
+	} else {
+		for _, l := range t.loaders {
+			st.Loaders = append(st.Loaders, l.State())
+		}
 	}
 	return st, nil
 }
 
 // RestoreState implements schemes.Checkpointer.
 func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
-	if err := st.CheckCounts("gsfl", 2, 2*len(t.groups), len(t.loaders)); err != nil {
+	if err := st.CheckCounts("gsfl", 2, 2*len(t.clientOpts), len(t.loaders)); err != nil {
 		return err
 	}
 	client, err := model.SnapshotFromState(st.Models[0])
@@ -63,7 +74,7 @@ func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
 	}
 	t.globalClient = client.Clone()
 	t.globalServer = server.Clone()
-	for g := range t.groups {
+	for g := range t.clientOpts {
 		if err := t.clientOpts[g].Restore(st.Opts[2*g]); err != nil {
 			return fmt.Errorf("gsfl: group %d client optimizer: %w", g, err)
 		}
@@ -71,9 +82,11 @@ func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
 			return fmt.Errorf("gsfl: group %d server optimizer: %w", g, err)
 		}
 	}
-	for ci, l := range t.loaders {
-		if err := l.Restore(st.Loaders[ci]); err != nil {
-			return fmt.Errorf("gsfl: client %d loader: %w", ci, err)
+	if t.env.Pop == nil {
+		for ci, l := range t.loaders {
+			if err := l.Restore(st.Loaders[ci]); err != nil {
+				return fmt.Errorf("gsfl: client %d loader: %w", ci, err)
+			}
 		}
 	}
 	if err := t.env.Channel.Restore(st.Channel); err != nil {

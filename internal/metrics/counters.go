@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"sync"
 	"sync/atomic"
 )
@@ -104,6 +105,16 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	r.byName[name] = g
 	r.order = append(r.order, name)
 	return g
+}
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text exposition format — the shared implementation behind
+// every -metrics endpoint (the transport AP's and gsfl-sim's).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = r.WriteText(w)
+	})
 }
 
 // WriteText renders every metric in the Prometheus text exposition

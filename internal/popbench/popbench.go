@@ -1,0 +1,216 @@
+// Package popbench measures the population engine at deployment scale —
+// a 1,000,000-member population sampled a few hundred members per
+// round — and writes the memory footprint and per-round costs to a JSON
+// file (BENCH_pop.json at the repo root). The report is the bounded-
+// memory proof for the record-array design: the population's resident
+// storage is a few dozen bytes per member regardless of how many rounds
+// run, and the steady-state sampling path allocates nothing. The public
+// entry point is sweep.WritePopulationBench (what gsfl-bench -benchpop
+// calls).
+package popbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"gsfl/internal/experiment"
+	"gsfl/internal/parallel"
+	"gsfl/internal/schemes"
+)
+
+// Budget bounds the population's resident record storage at the
+// benchmark scale. 1M members at the ~30 B/member record layout plus
+// the event queue lands near 46 MiB; the budget leaves headroom without
+// tolerating a per-member pointer (8 more bytes per member would blow
+// it).
+const (
+	BudgetBytes     = 64 << 20
+	BudgetPerMember = 64.0
+)
+
+// Measurement is one measured operation (hotbench's shape, so the two
+// bench artifacts read alike).
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Iters       int     `json:"iters"`
+}
+
+// Report is the full -benchpop artifact.
+type Report struct {
+	Label     string `json:"label,omitempty"`
+	Generated string `json:"generated"`
+	Spec      string `json:"spec"`
+	// Members/Slots/Cohort are the population geometry under test.
+	Members int `json:"members"`
+	Slots   int `json:"slots"`
+	Cohort  int `json:"cohort"`
+	// BuildSeconds is the one-time cost of materializing the world,
+	// population records and availability event queue included.
+	BuildSeconds float64 `json:"build_seconds"`
+	// PopMemoryBytes is the population's resident record storage (the
+	// quantity BudgetBytes bounds); BytesPerMember divides it out.
+	PopMemoryBytes int64   `json:"pop_memory_bytes"`
+	BytesPerMember float64 `json:"bytes_per_member"`
+	// HeapAllocMB is the process heap after the build, for context.
+	HeapAllocMB float64                `json:"heap_alloc_mb"`
+	Results     map[string]Measurement `json:"results"`
+}
+
+// measureOp times f over iters iterations after warmup warm-up calls
+// and reports per-iteration wall time and heap traffic.
+func measureOp(warmup, iters int, f func()) Measurement {
+	for i := 0; i < warmup; i++ {
+		f()
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	n := float64(iters)
+	return Measurement{
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / n,
+		Iters:       iters,
+	}
+}
+
+// benchSpec is the deployment-scale configuration: a million-member
+// churning, profile-mixed population feeding 200 client slots, with a
+// deliberately small model so the measurement isolates the population
+// engine rather than the tensor kernels.
+func benchSpec() experiment.Spec {
+	spec := experiment.TestSpec()
+	spec.Clients = 200
+	spec.Groups = 20
+	spec.Arch = "mlp"
+	spec.ImageSize = 8
+	spec.TrainPerClient = 32
+	spec.TestPerClass = 2
+	spec.Hyper.Batch = 8
+	spec.Hyper.StepsPerClient = 1
+	spec.Device.N = spec.Clients
+	spec.Population = 1_000_000
+	spec.SampleFraction = 0.0002 // cohort 200 = every slot
+	spec.AvailTrace = "onoff"
+	spec.DeviceProfileMix = "low-end:0.25,baseline:0.5,high-end:0.25"
+	return spec
+}
+
+// popView is the introspection surface the benchmark needs from the
+// cohort attached to the world (implemented by pop.Population).
+type popView interface {
+	BeginRound(round int) ([]schemes.SlotBinding, error)
+	MemoryBytes() int64
+	Members() int
+	CohortTarget() int
+}
+
+// Write produces the population-scale report and writes it to path. It
+// fails — rather than recording a regression — when the population's
+// resident storage exceeds the byte budgets, so CI can gate on the
+// exit code alone.
+func Write(path, label string) error {
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+
+	spec := benchSpec()
+	report := &Report{
+		Label:     label,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Spec: fmt.Sprintf("gsfl population: %d members, %d slots, cohort %d, onoff trace, mixed profiles, mlp %dpx",
+			spec.Population, spec.Clients, spec.CohortSize(), spec.ImageSize),
+		Results: map[string]Measurement{},
+	}
+
+	// One-time build: dataset shards, fleet, channel, and the population
+	// records plus their availability event queue.
+	start := time.Now()
+	world, err := experiment.Build(spec)
+	if err != nil {
+		return err
+	}
+	report.BuildSeconds = time.Since(start).Seconds()
+	pv, ok := world.Pop.(popView)
+	if !ok {
+		return fmt.Errorf("popbench: the bench spec did not attach a population")
+	}
+	report.Members = pv.Members()
+	report.Slots = spec.Clients
+	report.Cohort = pv.CohortTarget()
+	report.PopMemoryBytes = pv.MemoryBytes()
+	report.BytesPerMember = float64(report.PopMemoryBytes) / float64(report.Members)
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	report.HeapAllocMB = float64(ms.HeapAlloc) / (1 << 20)
+
+	// Steady-state sampling: advance the availability clock and draw one
+	// cohort per round. This consumes the world's round counter, so the
+	// trainer below gets a fresh build. The record-array contract is
+	// allocs/op ≈ 0 here.
+	round := 0
+	report.Results["begin_round"] = measureOp(20, 200, func() {
+		round++
+		if _, err := pv.BeginRound(round); err != nil {
+			panic(err)
+		}
+	})
+
+	// Full GSFL rounds over a fresh million-member world: sampling,
+	// loader re-pointing, grouping, split training, aggregation.
+	tr, err := experiment.NewTrainer(spec, "gsfl")
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	report.Results["gsfl_round"] = measureOp(1, 4, func() {
+		if _, err := tr.Round(ctx); err != nil {
+			panic(err)
+		}
+	})
+
+	// The memory bound is the artifact's reason to exist; enforce it.
+	if report.PopMemoryBytes > BudgetBytes {
+		return fmt.Errorf("popbench: population storage %d bytes exceeds the %d-byte budget", report.PopMemoryBytes, int64(BudgetBytes))
+	}
+	if report.BytesPerMember > BudgetPerMember {
+		return fmt.Errorf("popbench: %.1f bytes/member exceeds the %.0f-byte budget", report.BytesPerMember, BudgetPerMember)
+	}
+
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchpop: wrote %s\n", path)
+	fmt.Printf("  members=%d cohort=%d storage=%.1fMiB (%.1f B/member) build=%.2fs\n",
+		report.Members, report.Cohort, float64(report.PopMemoryBytes)/(1<<20),
+		report.BytesPerMember, report.BuildSeconds)
+	for _, name := range []string{"begin_round", "gsfl_round"} {
+		m := report.Results[name]
+		fmt.Printf("  %-12s %12.0f ns/op %12.0f B/op %10.1f allocs/op\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	return nil
+}

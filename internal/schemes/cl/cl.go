@@ -48,6 +48,9 @@ func New(env *schemes.Env) (*Trainer, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
+	if env.Pop != nil {
+		return nil, fmt.Errorf("cl: population sampling is not supported (sequential schemes train the full client list; use gsfl, fl, or sfl)")
+	}
 	pooled := pool(env.Train)
 	t := &Trainer{
 		env:           env,

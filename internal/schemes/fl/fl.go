@@ -49,6 +49,11 @@ type Trainer struct {
 	// for FedAvg.
 	stepWS []schemes.StepWorkspace
 	caps   []model.Snapshot
+
+	// round counts completed rounds (keys the population's sampling
+	// stream); popW is the population path's per-round weight scratch.
+	round int
+	popW  []float64
 }
 
 // New validates the environment and assembles an FL trainer. The env's
@@ -91,7 +96,29 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	}
 	env := t.env
 	env.Channel.AdvanceRound() // new fading stream + client mobility
+	t.round++
 	n := env.Fleet.N()
+	weights := t.weights
+	if env.Pop != nil {
+		// Population mode: train only the sampled cohort. Bindings are
+		// dense (binding i owns slot i), so the round body below simply
+		// runs over the first n slots with per-round shard weights.
+		binds, err := env.Pop.BeginRound(t.round)
+		if err != nil {
+			return nil, err
+		}
+		if len(binds) == 0 {
+			return &simnet.Ledger{}, nil
+		}
+		t.popW = t.popW[:0]
+		for i := range binds {
+			b := &binds[i]
+			t.loaders[b.Slot].Reset(env.Train[b.Shard], b.LoaderSeed)
+			t.popW = append(t.popW, float64(env.Train[b.Shard].Len()))
+		}
+		n = len(binds)
+		weights = t.popW
+	}
 	all := make([]int, n)
 	for i := range all {
 		all[i] = i
@@ -136,10 +163,10 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 
 	round := simnet.MaxOf(clientLeds)
 
-	for ci := range t.locals {
+	for ci := 0; ci < n; ci++ {
 		t.caps[ci].CaptureFrom(t.locals[ci].Client)
 	}
-	agg.FedAvgInto(&t.global, t.caps, t.weights)
+	agg.FedAvgInto(&t.global, t.caps[:n], weights[:n])
 	schemes.AggregationLatency(env, n, t.global.ParamCount(), round)
 	return round, nil
 }
@@ -152,15 +179,26 @@ func (t *Trainer) Evaluate(ctx context.Context) (schemes.Eval, error) {
 
 // CaptureState implements schemes.Checkpointer. FL's persistent state
 // is the aggregated global model (local replicas are rewritten from it
-// every round), the per-client optimizers, and the loaders.
+// every round), the per-client optimizers, the loaders, and the round
+// counter (which keys the population sampling stream). In population
+// mode the loaders carry no cross-round state — every round Resets
+// them from the replayable sampled bindings — so zero-value states
+// keep the checkpoint shape fixed.
 func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
 	st := &schemes.TrainerState{
+		Round:   t.round,
 		Channel: t.env.Channel.State(),
 		Models:  []model.SnapshotState{t.global.State()},
 	}
 	for ci := range t.locals {
 		st.Opts = append(st.Opts, t.opts[ci].State())
-		st.Loaders = append(st.Loaders, t.loaders[ci].State())
+	}
+	if t.env.Pop != nil {
+		st.Loaders = make([]data.LoaderState, len(t.loaders))
+	} else {
+		for ci := range t.loaders {
+			st.Loaders = append(st.Loaders, t.loaders[ci].State())
+		}
 	}
 	return st, nil
 }
@@ -185,6 +223,9 @@ func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
 		if err := t.opts[ci].Restore(st.Opts[ci]); err != nil {
 			return fmt.Errorf("fl: client %d optimizer: %w", ci, err)
 		}
+		if t.env.Pop != nil {
+			continue // loaders are Reset from replayed bindings each round
+		}
 		if err := t.loaders[ci].Restore(st.Loaders[ci]); err != nil {
 			return fmt.Errorf("fl: client %d loader: %w", ci, err)
 		}
@@ -192,5 +233,6 @@ func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
 	if err := t.env.Channel.Restore(st.Channel); err != nil {
 		return fmt.Errorf("fl: channel: %w", err)
 	}
+	t.round = st.Round
 	return nil
 }

@@ -108,6 +108,51 @@ type Env struct {
 	Hyper Hyper
 	// Seed derives every RNG stream in the scheme (model init, loaders).
 	Seed int64
+	// Pop, when non-nil, is a client population behind the fleet's
+	// physical slots: each round the cohort-based schemes (gsfl, fl,
+	// sfl) call Pop.BeginRound and train only the returned slot
+	// bindings instead of the fixed client list. Train then holds the
+	// population's data shards (still len == Fleet.N(); members map to
+	// shards via SlotBinding.Shard). Nil means the classic fixed-client
+	// world — the paper's setting — with numerics untouched.
+	Pop Cohort
+}
+
+// SlotBinding mounts one sampled population member onto a physical
+// client slot for the duration of a round. Bindings returned by a
+// Cohort fill slots densely in order: binding i has Slot == i.
+type SlotBinding struct {
+	// Slot is the fleet/channel/loader index the member occupies.
+	Slot int
+	// Member is the population-wide member id (diagnostics only).
+	Member int64
+	// Shard indexes Env.Train: the member's data shard.
+	Shard int
+	// LoaderSeed seeds the slot loader's shuffle stream for this
+	// participation; it advances with the member's participation
+	// cursor, so a member that returns sees fresh batch orders.
+	LoaderSeed int64
+	// Speed is the member's device-profile multiplier; the cohort has
+	// already applied it to the slot's fleet entry when the bindings
+	// are returned.
+	Speed float64
+}
+
+// Cohort is the per-round sampling interface a population exposes to
+// the schemes. Implementations live above this package (gsfl/pop);
+// schemes only consume bindings.
+type Cohort interface {
+	// BeginRound advances the population to the given 1-based round and
+	// returns the sampled bindings. Rounds must be requested in
+	// increasing order; skipping ahead (a resumed run) replays the
+	// intermediate rounds internally so the availability and sampling
+	// streams stay aligned with the original run. An empty slice means
+	// no member was available; the round is a no-op.
+	BeginRound(round int) ([]SlotBinding, error)
+	// Identity is a stable description of the population's
+	// configuration, folded into checkpoint env fingerprints so a
+	// resume cannot silently continue under a different population.
+	Identity() string
 }
 
 // Validate reports structural errors in the environment.

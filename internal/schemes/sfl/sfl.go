@@ -49,6 +49,11 @@ type Trainer struct {
 	// aggregation (the agg inputs FedAvgInto consumes).
 	stepWS               []schemes.StepWorkspace
 	capClient, capServer []model.Snapshot
+
+	// round counts completed rounds (keys the population's sampling
+	// stream); popW is the population path's per-round weight scratch.
+	round int
+	popW  []float64
 }
 
 // New validates the environment and assembles a SplitFed trainer.
@@ -100,7 +105,29 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	}
 	env := t.env
 	env.Channel.AdvanceRound() // new fading stream + client mobility
+	t.round++
 	n := env.Fleet.N()
+	weights := t.weights
+	if env.Pop != nil {
+		// Population mode: train only the sampled cohort. Bindings are
+		// dense (binding i owns slot i), so the round body below simply
+		// runs over the first n slots with per-round shard weights.
+		binds, err := env.Pop.BeginRound(t.round)
+		if err != nil {
+			return nil, err
+		}
+		if len(binds) == 0 {
+			return &simnet.Ledger{}, nil
+		}
+		t.popW = t.popW[:0]
+		for i := range binds {
+			b := &binds[i]
+			t.loaders[b.Slot].Reset(env.Train[b.Shard], b.LoaderSeed)
+			t.popW = append(t.popW, float64(env.Train[b.Shard].Len()))
+		}
+		n = len(binds)
+		weights = t.popW
+	}
 	all := make([]int, n)
 	for i := range all {
 		all[i] = i
@@ -149,12 +176,12 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 
 	round := simnet.MaxOf(clientLeds)
 
-	for ci := range t.replicas {
+	for ci := 0; ci < n; ci++ {
 		t.capClient[ci].CaptureFrom(t.replicas[ci].Client)
 		t.capServer[ci].CaptureFrom(t.replicas[ci].Server)
 	}
-	agg.FedAvgInto(&t.globalClient, t.capClient, t.weights)
-	agg.FedAvgInto(&t.globalServer, t.capServer, t.weights)
+	agg.FedAvgInto(&t.globalClient, t.capClient[:n], weights[:n])
+	agg.FedAvgInto(&t.globalServer, t.capServer[:n], weights[:n])
 	schemes.AggregationLatency(env, n,
 		t.globalClient.ParamCount()+t.globalServer.ParamCount(), round)
 	return round, nil
@@ -169,10 +196,15 @@ func (t *Trainer) Evaluate(ctx context.Context) (schemes.Eval, error) {
 
 // CaptureState implements schemes.Checkpointer. SplitFed's persistent
 // state is the two aggregated global halves (per-client replicas are
-// rewritten from them every round), the per-client optimizer pairs, and
-// the loaders.
+// rewritten from them every round), the per-client optimizer pairs,
+// the loaders, and the round counter (which keys the population
+// sampling stream). In population mode the loaders carry no
+// cross-round state — every round Resets them from the replayable
+// sampled bindings — so zero-value states keep the checkpoint shape
+// fixed.
 func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
 	st := &schemes.TrainerState{
+		Round:   t.round,
 		Channel: t.env.Channel.State(),
 		Models: []model.SnapshotState{
 			t.globalClient.State(),
@@ -181,7 +213,13 @@ func (t *Trainer) CaptureState() (*schemes.TrainerState, error) {
 	}
 	for ci := range t.replicas {
 		st.Opts = append(st.Opts, t.clientOpts[ci].State(), t.serverOpts[ci].State())
-		st.Loaders = append(st.Loaders, t.loaders[ci].State())
+	}
+	if t.env.Pop != nil {
+		st.Loaders = make([]data.LoaderState, len(t.loaders))
+	} else {
+		for ci := range t.loaders {
+			st.Loaders = append(st.Loaders, t.loaders[ci].State())
+		}
 	}
 	return st, nil
 }
@@ -215,6 +253,9 @@ func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
 		if err := t.serverOpts[ci].Restore(st.Opts[2*ci+1]); err != nil {
 			return fmt.Errorf("sfl: client %d server-half optimizer: %w", ci, err)
 		}
+		if t.env.Pop != nil {
+			continue // loaders are Reset from replayed bindings each round
+		}
 		if err := t.loaders[ci].Restore(st.Loaders[ci]); err != nil {
 			return fmt.Errorf("sfl: client %d loader: %w", ci, err)
 		}
@@ -222,5 +263,6 @@ func (t *Trainer) RestoreState(st *schemes.TrainerState) error {
 	if err := t.env.Channel.Restore(st.Channel); err != nil {
 		return fmt.Errorf("sfl: channel: %w", err)
 	}
+	t.round = st.Round
 	return nil
 }

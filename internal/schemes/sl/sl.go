@@ -46,6 +46,9 @@ func New(env *schemes.Env) (*Trainer, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
+	if env.Pop != nil {
+		return nil, fmt.Errorf("sl: population sampling is not supported (sequential schemes train the full client list; use gsfl, fl, or sfl)")
+	}
 	t := &Trainer{
 		env:       env,
 		m:         env.Arch.NewSplit(env.Rng("init", 0), env.Cut),

@@ -1,0 +1,70 @@
+package simnet
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventQueueOrdering pops a shuffled event set and checks the
+// sequence is sorted by (Time, ID) — the determinism contract.
+func TestEventQueueOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var evs []Event
+	for i := 0; i < 500; i++ {
+		// Coarse times force plenty of ties to exercise the ID tie-break.
+		evs = append(evs, Event{Time: float64(rng.Intn(20)), ID: int64(i)})
+	}
+	rng.Shuffle(len(evs), func(i, j int) { evs[i], evs[j] = evs[j], evs[i] })
+
+	want := append([]Event(nil), evs...)
+	sort.Slice(want, func(i, j int) bool { return want[i].less(want[j]) })
+
+	// Half the events via bulk init, half via Push: both construction
+	// paths must agree.
+	q := NewEventQueue(append([]Event(nil), evs[:250]...))
+	for _, e := range evs[250:] {
+		q.Push(e)
+	}
+	for i := 0; q.Len() > 0; i++ {
+		if got := q.Pop(); got != want[i] {
+			t.Fatalf("pop %d: got %+v, want %+v", i, got, want[i])
+		}
+	}
+}
+
+// TestEventQueueInterleaved interleaves pushes and pops the way the
+// population's toggle loop does, checking the head is always minimal.
+func TestEventQueueInterleaved(t *testing.T) {
+	var q EventQueue
+	rng := rand.New(rand.NewSource(3))
+	prev := -1.0
+	for step := 0; step < 2000; step++ {
+		if q.Len() == 0 || rng.Intn(3) > 0 {
+			q.Push(Event{Time: prev + rng.Float64()*5, ID: int64(step)})
+			continue
+		}
+		e := q.Pop()
+		if e.Time < prev {
+			t.Fatalf("step %d: popped time %v after %v", step, e.Time, prev)
+		}
+		prev = e.Time
+	}
+}
+
+// TestEventQueueSteadyStateAllocs pins the pop/push cycle as
+// allocation-free once capacity is established.
+func TestEventQueueSteadyStateAllocs(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 1024; i++ {
+		q.Push(Event{Time: float64(i), ID: int64(i)})
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		e := q.Pop()
+		e.Time += 1000
+		q.Push(e)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state pop/push allocated %v times per cycle", allocs)
+	}
+}

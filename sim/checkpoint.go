@@ -50,6 +50,17 @@ func envFingerprint(env *Env) uint64 {
 	for i, d := range env.Train {
 		trainSizes[i] = d.Len()
 	}
+	popID := ""
+	caps := env.Fleet.Capacities()
+	if env.Pop != nil {
+		popID = env.Pop.Identity()
+		// The live fleet carries the current round's device-profile
+		// multipliers; fingerprint the pre-scaling capacities so a save
+		// mid-run and a fresh build hash the same world.
+		if bc, ok := env.Pop.(interface{ BaseCapacities() []float64 }); ok && bc.BaseCapacities() != nil {
+			caps = bc.BaseCapacities()
+		}
+	}
 	h := fnv.New64a()
 	// gob encoding of a fixed struct layout is deterministic.
 	_ = gob.NewEncoder(h).Encode(struct {
@@ -63,17 +74,19 @@ func envFingerprint(env *Env) uint64 {
 		Wireless      wireless.Config
 		TrainSizes    []int
 		TestLen       int
+		Population    string // Cohort.Identity(); "" without a population
 	}{
 		InShape:       env.Arch.InShape,
 		Cut:           env.Cut,
 		Hyper:         env.Hyper,
 		Seed:          env.Seed,
 		Allocator:     env.Alloc.Name(),
-		Capacities:    env.Fleet.Capacities(),
+		Capacities:    caps,
 		ServerSeconds: env.Fleet.Server.ComputeSeconds(1 << 30),
 		Wireless:      env.Channel.Config(),
 		TrainSizes:    trainSizes,
 		TestLen:       env.Test.Len(),
+		Population:    popID,
 	})
 	return h.Sum64()
 }

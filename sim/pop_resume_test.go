@@ -1,0 +1,131 @@
+package sim_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"gsfl/env"
+	"gsfl/sim"
+)
+
+// popResumeSpec is a deliberately hostile population configuration for
+// the checkpoint contract: members churn (onoff), devices are
+// heterogeneous (the fleet's FLOPS are rescaled every round), and only
+// a quarter of the population fits the slots.
+func popResumeSpec() env.Spec {
+	s := env.TestSpec()
+	s.Population = 4 * s.Clients
+	s.SampleFraction = 0.25
+	s.AvailTrace = "onoff"
+	s.DeviceProfileMix = "low-end:0.5,baseline:0.5"
+	s.Seed = 77
+	return s
+}
+
+// TestResumeEquivalencePopulation extends the checkpoint contract to
+// population-sampled runs: the population carries no serialized state —
+// a resume replays the sampling streams up to the checkpointed round —
+// so 8 straight rounds must stay bit-identical to 4 + resume + 4 on a
+// freshly built world, for every population-capable scheme.
+func TestResumeEquivalencePopulation(t *testing.T) {
+	spec := popResumeSpec()
+	opts, err := spec.SchemeOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(t *testing.T) *sim.Env {
+		t.Helper()
+		world, err := env.Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if world.Pop == nil {
+			t.Fatal("spec must attach a population")
+		}
+		return world
+	}
+	const (
+		total     = 8
+		ckptRound = 4
+	)
+	for _, scheme := range []string{"gsfl", "fl", "sfl"} {
+		t.Run(scheme, func(t *testing.T) {
+			tr, err := sim.New(scheme, build(t), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sim.NewRunner(tr, sim.WithRounds(total)).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+			tr2, err := sim.New(scheme, build(t), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sim.NewRunner(tr2,
+				sim.WithRounds(ckptRound),
+				sim.WithCheckpointEvery(ckptRound),
+				sim.WithCheckpointPath(ckpt),
+			).Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			runner, err := sim.Resume(ckpt, build(t), sim.WithRounds(total))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := runner.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(got.Points) != len(want.Points) {
+				t.Fatalf("resumed curve has %d points, want %d", len(got.Points), len(want.Points))
+			}
+			for i := range want.Points {
+				if got.Points[i] != want.Points[i] {
+					t.Fatalf("point %d diverged after resume:\n  straight: %+v\n  resumed:  %+v",
+						i, want.Points[i], got.Points[i])
+				}
+			}
+		})
+	}
+}
+
+// TestResumeRejectsPopulationMismatch: the env fingerprint includes the
+// population identity, so resuming a population checkpoint over a world
+// with different sampling parameters must be refused.
+func TestResumeRejectsPopulationMismatch(t *testing.T) {
+	spec := popResumeSpec()
+	opts, err := spec.SchemeOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	world, err := env.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.New("gsfl", world, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if _, err := sim.NewRunner(tr,
+		sim.WithRounds(2),
+		sim.WithCheckpointEvery(2),
+		sim.WithCheckpointPath(ckpt),
+	).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	other := spec
+	other.SampleFraction = 0.125
+	mismatched, err := env.Build(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Resume(ckpt, mismatched, sim.WithRounds(4)); err == nil {
+		t.Fatal("resume must reject a world with different population sampling")
+	}
+}

@@ -3,6 +3,7 @@ package sweep
 import (
 	"gsfl/internal/experiment"
 	"gsfl/internal/hotbench"
+	"gsfl/internal/popbench"
 	"gsfl/internal/trace"
 )
 
@@ -96,4 +97,14 @@ func RunAblationAllocation(spec Spec, rounds int) ([]AllocationResult, error) {
 // to a JSON report at path — gsfl-bench's -benchjson mode.
 func WriteHotPathBench(path, label string) error {
 	return hotbench.Write(path, label)
+}
+
+// WritePopulationBench measures the population engine at deployment
+// scale (a million-member churning population sampled a few hundred
+// members per round) and writes its memory footprint and per-round
+// costs to a JSON report at path — gsfl-bench's -benchpop mode. It
+// errors when the population's resident storage exceeds the record-
+// array byte budgets, so CI can gate on the exit code.
+func WritePopulationBench(path, label string) error {
+	return popbench.Write(path, label)
 }
