@@ -15,7 +15,9 @@
 //	quant    8-bit transfer ablation (Q)              -> ablation_quant.csv
 //	dropout  client-dropout robustness (D)            -> ablation_dropout.csv
 //	noniid   data-heterogeneity sweep (N)             -> ablation_noniid.csv
+//	popsample population-sampling study (PR 7)        -> popsample.csv
 //	seeds    seed-variance study (S)                  -> seed_variance.csv
+//	numeric  exact-vs-fast kernel comparison (PR 8)   -> numeric.csv
 //	validate analytic vs event-driven latency (V)     -> latency_model_validation.csv
 //	all      everything above
 //
@@ -54,7 +56,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gsfl-bench", flag.ContinueOnError)
 	var (
-		exp    = fs.String("exp", "all", "experiment: fig2a|fig2b|table1|table2|table3|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|popsample|seeds|validate|all")
+		exp    = fs.String("exp", "all", "experiment: fig2a|fig2b|table1|table2|table3|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|popsample|seeds|numeric|validate|all")
 		scale  = fs.String("scale", "test", "scale: test|medium|paper")
 		outDir = fs.String("out", "results", "output directory")
 		rounds = fs.Int("rounds", 0, "override training rounds (0 = scale default)")
@@ -62,6 +64,7 @@ func run(args []string) error {
 
 		benchJSON  = fs.String("benchjson", "", "measure the training hot path and write ns/B/allocs per op to this JSON file (skips experiments)")
 		benchPop   = fs.String("benchpop", "", "measure the million-member population engine and write its memory/latency report to this JSON file (skips experiments)")
+		benchCheck = fs.String("benchcheck", "", "compare the live GEMM hot path against the recorded gemm stage in this report (e.g. BENCH_hotpath.json); exit non-zero on >25% regression (skips experiments)")
 		benchLabel = fs.String("benchlabel", "", "label recorded in the -benchjson/-benchpop report (e.g. baseline, after)")
 	)
 	var env cliutil.EnvFlags
@@ -74,6 +77,9 @@ func run(args []string) error {
 	}
 	if *benchPop != "" {
 		return sweep.WritePopulationBench(*benchPop, *benchLabel)
+	}
+	if *benchCheck != "" {
+		return sweep.CheckHotPathBench(*benchCheck)
 	}
 	sc, err := cliutil.ParseScale(*scale)
 	if err != nil {

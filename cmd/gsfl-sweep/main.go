@@ -62,7 +62,7 @@ func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("gsfl-sweep", flag.ContinueOnError)
 	var (
 		gridFile  = fs.String("grid", "", "JSON grid file to sweep (mutually exclusive with -exp)")
-		exp       = fs.String("exp", "", "named experiment grid(s): fig2a|fig2b|table1|table2|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|popsample|seeds|all")
+		exp       = fs.String("exp", "", "named experiment grid(s): fig2a|fig2b|table1|table2|cutlayer|grouping|resalloc|pipeline|quant|dropout|noniid|popsample|seeds|numeric|all")
 		scale     = fs.String("scale", "test", "base spec scale: test|medium|paper")
 		outDir    = fs.String("out", "results/sweep", "store directory (manifest, curves, checkpoints)")
 		jobs      = fs.Int("jobs", 0, "jobs trained concurrently (0 = GOMAXPROCS)")

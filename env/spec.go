@@ -95,6 +95,14 @@ type Spec struct {
 	// DeviceProfiles); "" assigns every member the baseline profile.
 	// Only meaningful with Population set.
 	DeviceProfileMix string `json:"device_profile_mix,omitempty"`
+	// Numeric names the registered numeric mode the tensor kernels run
+	// under ("" = exact; see NumericModes). The default mode is
+	// bit-identical at any worker count; other modes (e.g. "fast", the
+	// reassociating FMA kernels) trade that for speed and are pinned by
+	// tolerance tests. Normalized folds an explicit "exact" back to "",
+	// so specs that never leave the default keep byte-identical JSON,
+	// job IDs, and checkpoint fingerprints.
+	Numeric string `json:"numeric,omitempty"`
 }
 
 // PaperSpec is the configuration of the paper's Section III: 30
@@ -162,6 +170,12 @@ func (s Spec) Normalized() Spec {
 		if s.SampleFraction == 0 {
 			s.SampleFraction = 1
 		}
+	}
+	// The numeric default normalizes the other way — to the empty
+	// string — so a spec that spells out "exact" hashes, marshals, and
+	// fingerprints identically to one that never mentions numerics.
+	if s.Numeric == DefaultNumericMode {
+		s.Numeric = ""
 	}
 	return s
 }
@@ -251,6 +265,9 @@ func (s Spec) Validate() error {
 	}
 	if err := s.validatePopulation(); err != nil {
 		return err
+	}
+	if _, err := CanonicalNumericMode(s.Numeric); err != nil {
+		return fmt.Errorf("env: Numeric: %w", err)
 	}
 	return nil
 }

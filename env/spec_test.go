@@ -82,6 +82,47 @@ func TestSpecNormalizedDefaults(t *testing.T) {
 	}
 }
 
+// TestSpecNumericByteStability pins the numeric field's inverse
+// normalization: the default mode is erased from both the normalized
+// spec and the JSON encoding, so every spec written before the field
+// existed — and every spec that spells the default explicitly —
+// produces the same bytes, hashes, and store entries.
+func TestSpecNumericByteStability(t *testing.T) {
+	plain := env.TestSpec()
+	explicit := env.TestSpec()
+	explicit.Numeric = env.DefaultNumericMode
+	if n := explicit.Normalized(); n.Numeric != "" {
+		t.Fatalf("Normalized kept the default numeric mode: %q", n.Numeric)
+	}
+	bufPlain, err := json.Marshal(plain.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufExplicit, err := json.Marshal(explicit.Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bufPlain) != string(bufExplicit) {
+		t.Fatalf("explicit default numeric mode changed the spec bytes:\n  %s\n  %s", bufPlain, bufExplicit)
+	}
+	if strings.Contains(string(bufPlain), "numeric") {
+		t.Fatalf("default-mode spec JSON must omit the numeric field: %s", bufPlain)
+	}
+
+	fast := env.TestSpec()
+	fast.Numeric = "fast"
+	if n := fast.Normalized(); n.Numeric != "fast" {
+		t.Fatalf("Normalized dropped a non-default numeric mode: %q", n.Numeric)
+	}
+	if err := fast.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fast.Numeric = "bogus"
+	if err := fast.Validate(); err == nil || !strings.Contains(err.Error(), "Numeric") {
+		t.Fatalf("Validate must reject unknown numeric modes, got %v", err)
+	}
+}
+
 // TestSpecValidate covers the eager field-specific validation Build
 // runs before constructing anything.
 func TestSpecValidate(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"gsfl/internal/metrics"
 	"gsfl/internal/schemes"
 	"gsfl/internal/simnet"
+	"gsfl/internal/tensor"
 	"gsfl/internal/wireless"
 	"gsfl/sim"
 )
@@ -61,6 +62,10 @@ type Axes struct {
 	Populations     []int     `json:"populations,omitempty"`
 	SampleFractions []float64 `json:"sample_fractions,omitempty"`
 	AvailTraces     []string  `json:"avail_traces,omitempty"`
+	// Numerics sweeps the registered numeric modes the kernels run
+	// under ("exact", "fast", …); the default-mode cell hashes exactly
+	// like a spec that never mentions numerics.
+	Numerics []string `json:"numerics,omitempty"`
 	// Schemes defaults to ["gsfl"], the subject of every ablation.
 	Schemes []string `json:"schemes,omitempty"`
 }
@@ -182,6 +187,20 @@ func hashJob(scheme string, s Spec, rounds, evalEvery int) (string, error) {
 		}
 		_, _ = h.Write(ext)
 	}
+	// The numeric mode (PR 8) extends the hash only when it is not the
+	// default, so every exact-mode job — the entire historical catalogue —
+	// keeps its historical ID.
+	numeric, err := env.CanonicalNumericMode(s.Numeric)
+	if err != nil {
+		return "", fmt.Errorf("experiment: job identity: %w", err)
+	}
+	if numeric != env.DefaultNumericMode {
+		ext, err := json.Marshal(struct{ Numeric string }{numeric})
+		if err != nil {
+			return "", fmt.Errorf("experiment: encoding job identity extension: %w", err)
+		}
+		_, _ = h.Write(ext)
+	}
 	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
@@ -213,6 +232,9 @@ func canonicalizeSpec(s *Spec) error {
 		if _, err := env.CanonicalAvailTrace(s.AvailTrace); err != nil {
 			return err
 		}
+	}
+	if _, err := env.CanonicalNumericMode(s.Numeric); err != nil {
+		return err
 	}
 	return nil
 }
@@ -323,6 +345,18 @@ func (g Grid) axes() []axis {
 			j.Spec.AvailTrace = name
 			return nil
 		})
+	add("numeric", len(g.Axes.Numerics),
+		func(i int) string { return g.Axes.Numerics[i] },
+		func(j *Job, i int) error {
+			name, err := env.CanonicalNumericMode(g.Axes.Numerics[i])
+			if err != nil {
+				return err
+			}
+			// canonicalizeSpec's Normalized folds the default back to "",
+			// so the exact-mode cell dedups against numeric-free grids.
+			j.Spec.Numeric = name
+			return nil
+		})
 	schemesAxis := g.Axes.Schemes
 	if len(schemesAxis) == 0 {
 		schemesAxis = []string{"gsfl"}
@@ -417,6 +451,14 @@ func resultObserver(res *JobResult) sim.RunOption {
 // the single job-execution path shared by the serial harness (RunGrid)
 // and the concurrent scheduler (gsfl/sweep).
 func RunJob(ctx context.Context, j Job, opts ...sim.RunOption) (JobResult, error) {
+	// The numeric mode is a process-global kernel switch: hold it for
+	// the job's duration so concurrent same-mode jobs proceed together
+	// while a mixed exact/fast grid serializes only at mode boundaries.
+	release, err := tensor.AcquireNumericMode(j.Spec.Numeric)
+	if err != nil {
+		return JobResult{}, fmt.Errorf("experiment: job %s: %w", j.Name, err)
+	}
+	defer release()
 	world, err := Build(j.Spec)
 	if err != nil {
 		return JobResult{}, fmt.Errorf("experiment: job %s: %w", j.Name, err)
@@ -451,6 +493,11 @@ func RunJob(ctx context.Context, j Job, opts ...sim.RunOption) (JobResult, error
 // identical. startRound reports how many rounds the checkpoint had
 // completed; callers must ensure prior covers exactly those rounds.
 func ResumeJob(ctx context.Context, j Job, ckptPath string, prior simnet.Ledger, priorTotal float64, opts ...sim.RunOption) (res JobResult, startRound int, err error) {
+	release, err := tensor.AcquireNumericMode(j.Spec.Numeric)
+	if err != nil {
+		return JobResult{}, 0, fmt.Errorf("experiment: job %s: %w", j.Name, err)
+	}
+	defer release()
 	world, err := Build(j.Spec)
 	if err != nil {
 		return JobResult{}, 0, fmt.Errorf("experiment: job %s: %w", j.Name, err)

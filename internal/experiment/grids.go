@@ -160,6 +160,46 @@ func FoldPopSample(res []JobResult) []PopSampleResult {
 	return out
 }
 
+// NumericGrid reruns the base GSFL cell under each registered numeric
+// mode (PR 8). The exact-mode cell normalizes to a numeric-free spec,
+// so it shares its job ID — and therefore its sweep-store entry — with
+// the historical catalogue; only non-default modes add cells.
+func NumericGrid(spec Spec, modes []string, rounds, evalEvery int) Grid {
+	return Grid{
+		Name: "numeric", Base: spec, Rounds: rounds, EvalEvery: evalEvery,
+		Axes: Axes{Numerics: modes},
+	}
+}
+
+// NumericResult is one numeric-mode cell's folded row.
+type NumericResult struct {
+	Mode          string
+	RoundLatency  float64
+	FinalAccuracy float64
+}
+
+// FoldNumeric derives the numeric-mode comparison rows. Both derived
+// columns are simulation-deterministic — simulated latency and final
+// accuracy, never host wall-clock — so the CSV stays byte-identical
+// across harness worker counts even though the cells ran under
+// different kernels.
+func FoldNumeric(res []JobResult) []NumericResult {
+	out := make([]NumericResult, 0, len(res))
+	for _, r := range res {
+		mode, err := env.CanonicalNumericMode(r.Job.Spec.Numeric)
+		if err != nil {
+			// The grid expansion already validated the name.
+			panic(fmt.Sprintf("experiment: fold numeric: %v", err))
+		}
+		out = append(out, NumericResult{
+			Mode:          mode,
+			RoundLatency:  lastLatency(r.Curve) / float64(r.Job.Rounds),
+			FinalAccuracy: r.Curve.FinalAccuracy(),
+		})
+	}
+	return out
+}
+
 // SeedSweepGrid reruns one scheme across k seeds spaced as the
 // historical seed-variance study spaced them.
 func SeedSweepGrid(spec Spec, scheme string, seeds, rounds, evalEvery int) Grid {
@@ -690,6 +730,22 @@ func GridExperiments(spec Spec, rounds, evalEvery int, target float64) []GridExp
 					})
 				}
 				return tbl.SaveCSV(filepath.Join(outDir, "seed_variance.csv"))
+			},
+		},
+		{
+			Name:  "numeric",
+			Grids: []Grid{NumericGrid(spec, env.NumericModes(), rounds, evalEvery)},
+			Save: func(outDir string, res []JobResult) error {
+				tbl := trace.NewTable("numeric-modes",
+					"numeric", "round_latency_s", "final_accuracy")
+				for _, x := range FoldNumeric(res) {
+					tbl.Add(trace.Row{
+						"numeric":         x.Mode,
+						"round_latency_s": fmt.Sprintf("%.4f", x.RoundLatency),
+						"final_accuracy":  fmt.Sprintf("%.4f", x.FinalAccuracy),
+					})
+				}
+				return tbl.SaveCSV(filepath.Join(outDir, "numeric.csv"))
 			},
 		},
 	}

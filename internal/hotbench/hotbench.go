@@ -118,6 +118,15 @@ func Write(path, label string) error {
 	b := tensor.New(256, 256).RandNormal(rng, 0, 1)
 	report.Results["matmul_256"] = measureOp(2, 20, func() { tensor.MatMul(a, b) })
 
+	// The same shape under the reassociating kernel (-numeric fast), so
+	// the report records both sides of the exact/fast trade.
+	release, err := tensor.AcquireNumericMode("fast")
+	if err != nil {
+		return err
+	}
+	report.Results["matmul_256_fast"] = measureOp(2, 20, func() { tensor.MatMul(a, b) })
+	release()
+
 	g := tensor.ConvGeom{InC: 8, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
 	const nImg = 16
 	src := make([]float64, nImg*g.ImageSize())
@@ -154,10 +163,64 @@ func Write(path, label string) error {
 		return err
 	}
 	fmt.Printf("benchjson: wrote %s\n", path)
-	for _, name := range []string{"gsfl_round", "matmul_256", "im2col_batch", "conv2d_fwd_bwd", "dense_fwd_bwd"} {
+	for _, name := range []string{"gsfl_round", "matmul_256", "matmul_256_fast", "im2col_batch", "conv2d_fwd_bwd", "dense_fwd_bwd"} {
 		m := report.Results[name]
 		fmt.Printf("  %-16s %12.0f ns/op %12.0f B/op %10.1f allocs/op\n",
 			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	return nil
+}
+
+// checkBudget is the Check regression allowance: the live matmul_256
+// may be at most this fraction over the recorded stage before Check
+// fails.
+const checkBudget = 0.25
+
+// Check measures the live 256³ matmul and compares it against the
+// "gemm" stage recorded in a committed multi-stage hot-path file
+// (BENCH_hotpath.json at the repo root), returning an error — and so a
+// non-zero gsfl-bench exit — when the live time regresses more than
+// checkBudget over the recording. CI runs it as a cheap perf ratchet on
+// the packed-GEMM engine.
+func Check(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("hotbench: reading recorded report: %w", err)
+	}
+	var file struct {
+		Gemm struct {
+			Results map[string]Measurement `json:"results"`
+		} `json:"gemm"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return fmt.Errorf("hotbench: parsing %s: %w", path, err)
+	}
+	rec, ok := file.Gemm.Results["matmul_256"]
+	if !ok {
+		return fmt.Errorf("hotbench: %s has no gemm-stage matmul_256 recording", path)
+	}
+
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.New(256, 256).RandNormal(rng, 0, 1)
+	b := tensor.New(256, 256).RandNormal(rng, 0, 1)
+	// Best of three samples: the minimum estimates what the kernel can
+	// do, which is what a ratchet compares — a single sample on a busy
+	// CI box can spike past the budget on scheduler noise alone.
+	live := measureOp(2, 20, func() { tensor.MatMul(a, b) })
+	for i := 0; i < 2; i++ {
+		if s := measureOp(2, 20, func() { tensor.MatMul(a, b) }); s.NsPerOp < live.NsPerOp {
+			live = s
+		}
+	}
+
+	limit := rec.NsPerOp * (1 + checkBudget)
+	fmt.Printf("benchcheck: matmul_256 live %.0f ns/op, recorded %.0f ns/op, limit %.0f ns/op (+%d%%)\n",
+		live.NsPerOp, rec.NsPerOp, limit, int(checkBudget*100))
+	if live.NsPerOp > limit {
+		return fmt.Errorf("hotbench: matmul_256 regressed: %.0f ns/op exceeds %.0f ns/op (recorded %.0f +%d%%)",
+			live.NsPerOp, limit, rec.NsPerOp, int(checkBudget*100))
 	}
 	return nil
 }

@@ -8,23 +8,27 @@ import (
 	"gsfl/internal/tensor"
 )
 
-// Conv2D is a 2-D convolution over NCHW inputs, implemented as im2col +
-// matrix multiply. Weights have shape (outC, inC*KH*KW); bias is (outC).
+// Conv2D is a 2-D convolution over NCHW inputs, implemented as implicit
+// GEMM: the forward product W @ im2col(x) and the weight-gradient
+// product dy @ im2col(x)ᵀ run on tensor's fused convolution kernels,
+// whose packing routines read the image directly through the im2col
+// index map — the column matrix is never materialized. Weights have
+// shape (outC, inC*KH*KW); bias is (outC).
 //
-// The forward pass unrolls the whole batch with tensor.Im2ColBatch and
-// then runs the per-sample weight matmuls with samples partitioned across
-// the parallel worker pool; each sample writes a disjoint slice of the
-// output, so results are bit-identical to the serial loop. The backward
-// pass parallelizes the per-sample column-gradient matmuls and the
-// tensor.Col2ImBatch scatter the same way, but accumulates dW and db
-// serially in sample order to keep gradient summation order — and hence
-// training numerics — exactly equal to a single-worker run.
+// The forward pass runs one fused kernel per sample with samples
+// partitioned across the parallel worker pool; each sample writes a
+// disjoint slice of the output, so results are bit-identical to the
+// serial loop. The backward pass parallelizes the per-sample
+// column-gradient matmuls (dcol = Wᵀ @ dy, still materialized because
+// tensor.Col2ImBatch scatters it back to image space) the same way, but
+// accumulates dW and db serially in sample order to keep gradient
+// summation order — and hence training numerics — exactly equal to a
+// single-worker run.
 //
-// All batch-shaped buffers (column matrices, output, gradients) live in
-// a lazily-sized workspace, as do the per-sample tensor headers the
-// parallel matmuls address them through and the two loop bodies handed
-// to parallel.For, so steady-state Forward/Backward calls allocate
-// nothing.
+// All batch-shaped buffers (output, gradients) live in a lazily-sized
+// workspace, as do the per-sample tensor headers the parallel kernels
+// address them through and the two loop bodies handed to parallel.For,
+// so steady-state Forward/Backward calls allocate nothing.
 type Conv2D struct {
 	InC, OutC int
 	KH, KW    int
@@ -44,7 +48,6 @@ type Conv2D struct {
 // convWorkspace is Conv2D's reusable buffer set plus the per-call
 // geometry the stored parallel-loop bodies read.
 type convWorkspace struct {
-	cols  tensor.Tensor // batched im2col matrices (N, colRows, spatial)
 	out   tensor.Tensor // forward output (N, outC, outH, outW)
 	dcols tensor.Tensor // batched column gradients
 	dx    tensor.Tensor // input gradient (N, C, H, W)
@@ -52,15 +55,16 @@ type convWorkspace struct {
 
 	// Per-sample headers aliasing slices of the batched buffers; sample i
 	// only ever touches index i, so the parallel loops stay disjoint.
-	colV, outV, dyV, dcolV []tensor.Tensor
+	outV, dyV, dcolV []tensor.Tensor
 
 	// Loop bodies handed to parallel.For, built once so the hot path does
 	// not re-create (and so re-allocate) closures every call.
 	fwdBody, bwdBody func(lo, hi int)
 
 	// Per-call parameters for the stored bodies.
-	spatial, colRows, colSize int
-	dy                        *tensor.Tensor
+	spatial, colRows, colSize, imgSize int
+	geom                               tensor.ConvGeom
+	x, dy                              *tensor.Tensor
 }
 
 // growHeaders returns hs with at least n zero-value tensor headers.
@@ -108,17 +112,19 @@ func (c *Conv2D) geomFor(x *tensor.Tensor) tensor.ConvGeom {
 	return g
 }
 
-// forwardSamples computes output samples [lo, hi): one weight matmul per
-// sample, written straight into the batched output, plus the bias add.
+// forwardSamples computes output samples [lo, hi): one fused
+// W @ im2col(x_i) kernel per sample, written straight into the batched
+// output, plus the bias add.
 func (c *Conv2D) forwardSamples(lo, hi int) {
 	ws := &c.ws
-	spatial, colRows, colSize := ws.spatial, ws.colRows, ws.colSize
+	spatial, imgSize := ws.spatial, ws.imgSize
 	outSize := c.OutC * spatial
 	for i := lo; i < hi; i++ {
-		col := ws.colV[i].SliceViewOf(&ws.cols, i*colSize, (i+1)*colSize, colRows, spatial)
-		// (outC × colRows) @ (colRows × spatial) -> (outC × spatial)
+		img := ws.x.Data[i*imgSize : (i+1)*imgSize]
+		// (outC × colRows) @ im2col -> (outC × spatial), column matrix
+		// read implicitly from the image.
 		out := ws.outV[i].SliceViewOf(&ws.out, i*outSize, (i+1)*outSize, c.OutC, spatial)
-		tensor.MatMulInto(out, c.w, col)
+		tensor.ConvMatMulInto(out, c.w, img, ws.geom)
 		for oc := 0; oc < c.OutC; oc++ {
 			bias := c.b.Data[oc]
 			row := out.Data[oc*spatial : (oc+1)*spatial]
@@ -141,18 +147,18 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	ws.spatial = outH * outW
 	ws.colRows = c.InC * c.KH * c.KW
 	ws.colSize = g.ColSize()
-
-	ws.cols.Ensure(n, ws.colRows, ws.spatial)
-	tensor.Im2ColBatch(ws.cols.Data, x.Data, n, g)
+	ws.imgSize = g.ImageSize()
+	ws.geom = g
+	ws.x = x
 
 	y := ws.out.Ensure(n, c.OutC, outH, outW)
 	if train {
 		c.x = x
 		c.geom = g
 	}
-	ws.colV = growHeaders(ws.colV, n)
 	ws.outV = growHeaders(ws.outV, n)
 	parallel.For(n, 1, ws.fwdBody)
+	ws.x = nil
 	return y
 }
 
@@ -165,7 +171,7 @@ func (c *Conv2D) backwardSamples(lo, hi int) {
 	for i := lo; i < hi; i++ {
 		dyMat := ws.dyV[i].SliceViewOf(ws.dy, i*outSize, (i+1)*outSize, c.OutC, spatial)
 		dcol := ws.dcolV[i].SliceViewOf(&ws.dcols, i*colSize, (i+1)*colSize, colRows, spatial)
-		tensor.MatMulTransAInto(dcol, c.w, dyMat)
+		tensor.MatMulTransAIntoOp("Conv2D backward dcol=Wᵀ@dy", dcol, c.w, dyMat)
 	}
 }
 
@@ -184,7 +190,8 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	ws.spatial = g.OutH() * g.OutW()
 	ws.colRows = c.InC * c.KH * c.KW
 	ws.colSize = g.ColSize()
-	spatial, colRows, colSize := ws.spatial, ws.colRows, ws.colSize
+	ws.imgSize = g.ImageSize()
+	spatial, colRows, imgSize := ws.spatial, ws.colRows, ws.imgSize
 	outSize := c.OutC * spatial
 
 	// dcol_i = Wᵀ @ dy_i for every sample, then one batched scatter back
@@ -205,9 +212,10 @@ func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
 	dwT := ws.dwT.Ensure(c.OutC, colRows)
 	for i := 0; i < n; i++ {
 		dyMat := ws.dyV[i].SliceViewOf(dy, i*outSize, (i+1)*outSize, c.OutC, spatial)
-		colMat := ws.colV[i].SliceViewOf(&ws.cols, i*colSize, (i+1)*colSize, colRows, spatial)
-		// dW += dy_mat @ colᵀ ; db += row sums of dy_mat.
-		c.dw.AddInPlace(tensor.MatMulTransBInto(dwT, dyMat, colMat))
+		img := c.x.Data[i*imgSize : (i+1)*imgSize]
+		// dW += dy_mat @ im2col(x_i)ᵀ (columns read implicitly from the
+		// cached input); db += row sums of dy_mat.
+		c.dw.AddInPlace(tensor.ConvMatMulTransBInto(dwT, dyMat, img, g))
 		for oc := 0; oc < c.OutC; oc++ {
 			s := 0.0
 			for _, v := range dyMat.Row(oc) {

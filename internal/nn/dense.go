@@ -56,7 +56,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.x = x
 	}
 	y := d.ws.out.Ensure(x.Dim(0), d.Out)
-	tensor.MatMulInto(y, x, d.w)
+	tensor.MatMulIntoOp("Dense forward y=x@W", y, x, d.w)
 	y.AddRowVector(d.b)
 	return y
 }
@@ -67,9 +67,9 @@ func (d *Dense) Backward(dy *tensor.Tensor) *tensor.Tensor {
 		panic("nn: Dense.Backward called before training-mode Forward")
 	}
 	// dW += xᵀ @ dy ; db += column sums of dy ; dx = dy @ Wᵀ.
-	d.dw.AddInPlace(tensor.MatMulTransAInto(d.ws.dwT.Ensure(d.In, d.Out), d.x, dy))
+	d.dw.AddInPlace(tensor.MatMulTransAIntoOp("Dense backward dW=xᵀ@dy", d.ws.dwT.Ensure(d.In, d.Out), d.x, dy))
 	d.db.AddInPlace(dy.SumRowsInto(&d.ws.dbT))
-	return tensor.MatMulTransBInto(d.ws.dx.Ensure(dy.Dim(0), d.In), dy, d.w)
+	return tensor.MatMulTransBIntoOp("Dense backward dx=dy@Wᵀ", d.ws.dx.Ensure(dy.Dim(0), d.In), dy, d.w)
 }
 
 // Params implements Layer.

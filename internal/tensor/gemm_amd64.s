@@ -1,0 +1,160 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// GEMM micro-kernels: one 4×8 (MR×NR) tile of C over the full k extent
+// of a packed A panel (k×4 interleaved) and packed B panel (k×8
+// interleaved). The tile lives in eight YMM accumulators (Y0–Y7); per k
+// step the kernel loads one B row (Y8/Y9) and broadcasts each of the
+// four A values, so every C element is a single accumulator updated in
+// ascending-k order — the determinism contract of the engine. C is
+// overwritten at the end; rows are ldc elements apart. k must be ≥ 1
+// (the loop is do-while shaped; the Go wrapper guards k == 0).
+
+// func ukernExact4x8(k int64, ap, bp, c *float64, ldc int64)
+//
+// Exact mode: multiply and add rounded separately (VMULPD + VADDPD),
+// bit-identical to the portable scalar kernel.
+TEXT ·ukernExact4x8(SB), NOSPLIT, $0-40
+	MOVQ k+0(FP), CX
+	MOVQ ap+8(FP), AX
+	MOVQ bp+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), SI
+	SHLQ $3, SI            // ldc in bytes
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+exact_loop:
+	VMOVUPD (BX), Y8       // b[0:4]
+	VMOVUPD 32(BX), Y9     // b[4:8]
+
+	VBROADCASTSD (AX), Y10
+	VMULPD Y8, Y10, Y11
+	VADDPD Y11, Y0, Y0
+	VMULPD Y9, Y10, Y12
+	VADDPD Y12, Y1, Y1
+
+	VBROADCASTSD 8(AX), Y13
+	VMULPD Y8, Y13, Y14
+	VADDPD Y14, Y2, Y2
+	VMULPD Y9, Y13, Y15
+	VADDPD Y15, Y3, Y3
+
+	VBROADCASTSD 16(AX), Y10
+	VMULPD Y8, Y10, Y11
+	VADDPD Y11, Y4, Y4
+	VMULPD Y9, Y10, Y12
+	VADDPD Y12, Y5, Y5
+
+	VBROADCASTSD 24(AX), Y13
+	VMULPD Y8, Y13, Y14
+	VADDPD Y14, Y6, Y6
+	VMULPD Y9, Y13, Y15
+	VADDPD Y15, Y7, Y7
+
+	ADDQ $32, AX           // next A row (MR doubles)
+	ADDQ $64, BX           // next B row (NR doubles)
+	DECQ CX
+	JNZ  exact_loop
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ SI, DI
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y3, 32(DI)
+	ADDQ SI, DI
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ SI, DI
+	VMOVUPD Y6, (DI)
+	VMOVUPD Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func ukernFast4x8(k int64, ap, bp, c *float64, ldc int64)
+//
+// Fast mode: the same tile with fused multiply-add — one rounding per
+// update instead of two. Only reachable through a Reassociate numeric
+// mode; pinned by tolerance tests, not bit-equality.
+TEXT ·ukernFast4x8(SB), NOSPLIT, $0-40
+	MOVQ k+0(FP), CX
+	MOVQ ap+8(FP), AX
+	MOVQ bp+16(FP), BX
+	MOVQ c+24(FP), DI
+	MOVQ ldc+32(FP), SI
+	SHLQ $3, SI
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+fast_loop:
+	VMOVUPD (BX), Y8
+	VMOVUPD 32(BX), Y9
+
+	VBROADCASTSD (AX), Y10
+	VFMADD231PD Y8, Y10, Y0
+	VFMADD231PD Y9, Y10, Y1
+
+	VBROADCASTSD 8(AX), Y11
+	VFMADD231PD Y8, Y11, Y2
+	VFMADD231PD Y9, Y11, Y3
+
+	VBROADCASTSD 16(AX), Y12
+	VFMADD231PD Y8, Y12, Y4
+	VFMADD231PD Y9, Y12, Y5
+
+	VBROADCASTSD 24(AX), Y13
+	VFMADD231PD Y8, Y13, Y6
+	VFMADD231PD Y9, Y13, Y7
+
+	ADDQ $32, AX
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  fast_loop
+
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ SI, DI
+	VMOVUPD Y2, (DI)
+	VMOVUPD Y3, 32(DI)
+	ADDQ SI, DI
+	VMOVUPD Y4, (DI)
+	VMOVUPD Y5, 32(DI)
+	ADDQ SI, DI
+	VMOVUPD Y6, (DI)
+	VMOVUPD Y7, 32(DI)
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

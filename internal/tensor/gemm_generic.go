@@ -1,0 +1,26 @@
+package tensor
+
+// ukernExactGeneric is the portable micro-kernel: one MR×NR tile,
+// ascending-k, one accumulator per element, multiply rounded separately
+// from add. It defines the bit-exact reference semantics of the default
+// numeric mode — the amd64 AVX2 exact kernel performs the identical
+// operation sequence per element and therefore produces identical bits.
+// On platforms without a vector kernel it also serves as the "fast"
+// kernel (there is nothing faster to reassociate for).
+func ukernExactGeneric(k int, ap, bp, c []float64, ldc int) {
+	var acc [gemmMR * gemmNR]float64
+	for kk := 0; kk < k; kk++ {
+		brow := bp[kk*gemmNR : kk*gemmNR+gemmNR]
+		arow := ap[kk*gemmMR : kk*gemmMR+gemmMR]
+		for r := 0; r < gemmMR; r++ {
+			av := arow[r]
+			crow := acc[r*gemmNR : r*gemmNR+gemmNR]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	for r := 0; r < gemmMR; r++ {
+		copy(c[r*ldc:r*ldc+gemmNR], acc[r*gemmNR:r*gemmNR+gemmNR])
+	}
+}

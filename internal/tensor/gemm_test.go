@@ -1,0 +1,284 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gsfl/internal/parallel"
+)
+
+// Tests for the packed GEMM engine. The exact-mode contract is bitwise:
+// every shape, every transpose variant, and both dispatch paths (the
+// packed engine and the small-shape scalar kernels) must reproduce a
+// naive single-accumulator ascending-k reference bit for bit — that is
+// the property the repo-wide determinism guarantee rests on.
+
+// naiveMatMul is the reference contract: dst = a @ b with one
+// accumulator per output element, ascending k, separate multiply then
+// add. a is (m×k), b is (k×n).
+func naiveMatMul(dst, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			dst[i*n+j] = s
+		}
+	}
+}
+
+// naiveTransA computes dst = atᵀ @ b with at stored (k×m).
+func naiveTransA(dst, at, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += at[p*m+i] * b[p*n+j]
+			}
+			dst[i*n+j] = s
+		}
+	}
+}
+
+// naiveTransB computes dst = a @ btᵀ with bt stored (n×k).
+func naiveTransB(dst, a, bt []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * bt[j*k+p]
+			}
+			dst[i*n+j] = s
+		}
+	}
+}
+
+// fillMixed fills buf with normal draws, zeroing roughly a third of the
+// entries — the post-ReLU sparsity pattern the old kernels special-cased
+// with a skip branch, so any +0/-0 or skip-dependence bug surfaces here.
+func fillMixed(rng *rand.Rand, buf []float64) {
+	for i := range buf {
+		if rng.Intn(3) == 0 {
+			buf[i] = 0
+		} else {
+			buf[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// requireBitEqual fails on the first element whose bits differ.
+func requireBitEqual(t *testing.T, what string, got, want []float64, m, k, n int) {
+	t.Helper()
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s (m=%d k=%d n=%d): element %d = %v (bits %016x), want %v (bits %016x)",
+				what, m, k, n, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestGEMMExhaustiveSmallShapes sweeps every (m,k,n) in 1..17 across all
+// three transpose variants and checks both the packed engine (called
+// directly, so shapes the dispatcher would route to the scalar kernels
+// still exercise the pack/micro-kernel path and its edge padding) and
+// the public dispatch against the naive reference, bit for bit. 17
+// crosses the MR=4/NR=8 tile edges and the flop floor, so full tiles,
+// ragged edges, and both dispatch decisions are all covered.
+func TestGEMMExhaustiveSmallShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const max = 17
+	a := make([]float64, max*max)
+	b := make([]float64, max*max)
+	got := make([]float64, max*max)
+	want := make([]float64, max*max)
+	for m := 1; m <= max; m++ {
+		for k := 1; k <= max; k++ {
+			for n := 1; n <= max; n++ {
+				fillMixed(rng, a[:m*k])
+				fillMixed(rng, b[:k*n])
+				naiveMatMul(want, a, b, m, k, n)
+				gemmInto(got, m, k, n, aSource{data: a, kind: aPlain}, bSource{data: b, kind: bPlain})
+				requireBitEqual(t, "gemm", got[:m*n], want[:m*n], m, k, n)
+				MatMulInto(FromSlice(got[:m*n], m, n), FromSlice(a[:m*k], m, k), FromSlice(b[:k*n], k, n))
+				requireBitEqual(t, "MatMulInto", got[:m*n], want[:m*n], m, k, n)
+
+				// at is (k×m): reuse a's buffer with the transposed fill.
+				fillMixed(rng, a[:k*m])
+				naiveTransA(want, a, b, m, k, n)
+				gemmInto(got, m, k, n, aSource{data: a, kind: aTransposed}, bSource{data: b, kind: bPlain})
+				requireBitEqual(t, "gemm transA", got[:m*n], want[:m*n], m, k, n)
+				MatMulTransAInto(FromSlice(got[:m*n], m, n), FromSlice(a[:k*m], k, m), FromSlice(b[:k*n], k, n))
+				requireBitEqual(t, "MatMulTransAInto", got[:m*n], want[:m*n], m, k, n)
+
+				// bt is (n×k).
+				fillMixed(rng, a[:m*k])
+				fillMixed(rng, b[:n*k])
+				naiveTransB(want, a, b, m, k, n)
+				gemmInto(got, m, k, n, aSource{data: a, kind: aPlain}, bSource{data: b, kind: bTransposed})
+				requireBitEqual(t, "gemm transB", got[:m*n], want[:m*n], m, k, n)
+				MatMulTransBInto(FromSlice(got[:m*n], m, n), FromSlice(a[:m*k], m, k), FromSlice(b[:n*k], n, k))
+				requireBitEqual(t, "MatMulTransBInto", got[:m*n], want[:m*n], m, k, n)
+			}
+		}
+	}
+}
+
+// TestGEMMZeroK pins the degenerate inner dimension: the engine must
+// fully overwrite dst with zeros, not leave stale values.
+func TestGEMMZeroK(t *testing.T) {
+	got := []float64{1, 2, 3, 4, 5, 6}
+	gemmInto(got, 2, 0, 3, aSource{kind: aPlain}, bSource{kind: bPlain})
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("k=0 output element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+// convGeoms are the shapes the fused-conv tests sweep: odd sizes,
+// strides, 1×1 kernels, zero padding, and one large-enough case that the
+// packed engine (not the scalar fallback) runs.
+var convGeoms = []ConvGeom{
+	{InC: 1, InH: 5, InW: 5, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+	{InC: 3, InH: 8, InW: 6, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1},
+	{InC: 2, InH: 7, InW: 7, KH: 5, KW: 5, StrideH: 1, StrideW: 1, PadH: 2, PadW: 2},
+	{InC: 1, InH: 4, InW: 4, KH: 1, KW: 1, StrideH: 1, StrideW: 1},
+	{InC: 3, InH: 9, InW: 9, KH: 3, KW: 3, StrideH: 2, StrideW: 1, PadH: 0, PadW: 1},
+	{InC: 4, InH: 16, InW: 16, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1},
+}
+
+// TestConvMatMulMatchesIm2Col checks the implicit-GEMM conv kernels
+// against the two-step reference they replaced — materialize the column
+// matrix with Im2Col, then run the naive GEMM over it — bit for bit, in
+// both the forward (W @ col) and weight-gradient (dy @ colᵀ) shapes.
+func TestConvMatMulMatchesIm2Col(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, g := range convGeoms {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("geom %+v: %v", g, err)
+		}
+		colRows := g.InC * g.KH * g.KW
+		spatial := g.OutH() * g.OutW()
+		img := make([]float64, g.ImageSize())
+		fillMixed(rng, img)
+		cols := make([]float64, g.ColSize())
+		Im2Col(cols, img, g)
+
+		for _, outC := range []int{3, 8} {
+			w := New(outC, colRows)
+			fillMixed(rng, w.Data)
+			want := make([]float64, outC*spatial)
+			naiveMatMul(want, w.Data, cols, outC, colRows, spatial)
+			got := ConvMatMulInto(New(outC, spatial), w, img, g)
+			requireBitEqual(t, "ConvMatMulInto", got.Data, want, outC, colRows, spatial)
+
+			dy := New(outC, spatial)
+			fillMixed(rng, dy.Data)
+			wantDW := make([]float64, outC*colRows)
+			naiveTransB(wantDW, dy.Data, cols, outC, spatial, colRows)
+			gotDW := ConvMatMulTransBInto(New(outC, colRows), dy, img, g)
+			requireBitEqual(t, "ConvMatMulTransBInto", gotDW.Data, wantDW, outC, spatial, colRows)
+		}
+	}
+}
+
+// TestFastModeToleranceAndWorkerDeterminism pins the reassociating
+// mode's two contracts: it stays within a tight tolerance of exact mode
+// (FMA changes only last-ulp rounding), and on one machine it is still
+// bit-identical across worker counts (the per-element instruction
+// sequence does not depend on how output rows are partitioned).
+func TestFastModeToleranceAndWorkerDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := New(48, 64).RandNormal(rng, 0, 1)
+	b := New(64, 40).RandNormal(rng, 0, 1)
+	exact := MatMulInto(New(48, 40), a, b)
+
+	release, err := AcquireNumericMode("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	fast1 := MatMulInto(New(48, 40), a, b)
+	if !AllClose(exact, fast1, 1e-10) {
+		t.Fatal("fast mode drifted beyond tolerance from exact mode")
+	}
+	parallel.SetWorkers(4)
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+	fastN := MatMulInto(New(48, 40), a, b)
+	requireBitEqual(t, "fast workers=4 vs workers=ambient", fastN.Data, fast1.Data, 48, 64, 40)
+}
+
+// FuzzPackedGEMM drives the packed index math (panel layouts, ragged
+// edge padding, im2col geometry walks) with fuzzed shapes and checks all
+// sources against the naive references bit for bit.
+func FuzzPackedGEMM(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(5), uint8(9))
+	f.Add(int64(7), uint8(4), uint8(16), uint8(8))
+	f.Add(int64(11), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(13), uint8(17), uint8(13), uint8(24))
+	f.Add(int64(17), uint8(63), uint8(2), uint8(63))
+	f.Fuzz(func(t *testing.T, seed int64, mm, kk, nn uint8) {
+		m := int(mm)%48 + 1
+		k := int(kk)%48 + 1
+		n := int(nn)%48 + 1
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float64, m*k)
+		b := make([]float64, k*n)
+		got := make([]float64, m*n)
+		want := make([]float64, m*n)
+
+		fillMixed(rng, a)
+		fillMixed(rng, b)
+		naiveMatMul(want, a, b, m, k, n)
+		gemmInto(got, m, k, n, aSource{data: a, kind: aPlain}, bSource{data: b, kind: bPlain})
+		requireBitEqual(t, "fuzz gemm", got, want, m, k, n)
+
+		at := make([]float64, k*m)
+		fillMixed(rng, at)
+		naiveTransA(want, at, b, m, k, n)
+		gemmInto(got, m, k, n, aSource{data: at, kind: aTransposed}, bSource{data: b, kind: bPlain})
+		requireBitEqual(t, "fuzz gemm transA", got, want, m, k, n)
+
+		bt := make([]float64, n*k)
+		fillMixed(rng, bt)
+		naiveTransB(want, a, bt, m, k, n)
+		gemmInto(got, m, k, n, aSource{data: a, kind: aPlain}, bSource{data: bt, kind: bTransposed})
+		requireBitEqual(t, "fuzz gemm transB", got, want, m, k, n)
+
+		// Exercise the im2col packers too: derive a small geometry from
+		// the fuzzed sizes and compare against the materialized reference.
+		g := ConvGeom{
+			InC: k%3 + 1, InH: m%10 + 3, InW: n%10 + 3,
+			KH: k%3 + 1, KW: n%3 + 1,
+			StrideH: m%2 + 1, StrideW: k%2 + 1,
+			PadH: n % 2, PadW: m % 2,
+		}
+		if g.Validate() != nil {
+			return
+		}
+		colRows := g.InC * g.KH * g.KW
+		spatial := g.OutH() * g.OutW()
+		img := make([]float64, g.ImageSize())
+		fillMixed(rng, img)
+		cols := make([]float64, g.ColSize())
+		Im2Col(cols, img, g)
+		outC := int(mm)%6 + 1
+		w := make([]float64, outC*colRows)
+		fillMixed(rng, w)
+		cGot := make([]float64, outC*spatial)
+		cWant := make([]float64, outC*spatial)
+		naiveMatMul(cWant, w, cols, outC, colRows, spatial)
+		gemmInto(cGot, outC, colRows, spatial, aSource{data: w, kind: aPlain}, bSource{data: img, kind: bIm2col, geom: g})
+		requireBitEqual(t, "fuzz conv", cGot, cWant, outC, colRows, spatial)
+
+		dy := make([]float64, outC*spatial)
+		fillMixed(rng, dy)
+		dwGot := make([]float64, outC*colRows)
+		dwWant := make([]float64, outC*colRows)
+		naiveTransB(dwWant, dy, cols, outC, spatial, colRows)
+		gemmInto(dwGot, outC, spatial, colRows, aSource{data: dy, kind: aPlain}, bSource{data: img, kind: bIm2colT, geom: g})
+		requireBitEqual(t, "fuzz conv transB", dwGot, dwWant, outC, spatial, colRows)
+	})
+}

@@ -182,6 +182,17 @@ func TestKernelsAllocFreeSerial(t *testing.T) {
 	testutil.MaxAllocs(t, "Im2ColBatch", 0, func() { Im2ColBatch(cols, src, 2, g) })
 	testutil.MaxAllocs(t, "Col2ImBatch", 0, func() { Col2ImBatch(src, cols, 2, g) })
 
+	// The fused conv kernels service their pack panels from packPool, so
+	// they must also be allocation-free once the pool is warm.
+	colRows, spatial := g.InC*g.KH*g.KW, g.OutH()*g.OutW()
+	w := New(8, colRows).RandNormal(rng, 0, 1)
+	img := src[:g.ImageSize()]
+	convDst := New(8, spatial)
+	testutil.MaxAllocs(t, "ConvMatMulInto", 0, func() { ConvMatMulInto(convDst, w, img, g) })
+	dy := New(8, spatial).RandNormal(rng, 0, 1)
+	dwDst := New(8, colRows)
+	testutil.MaxAllocs(t, "ConvMatMulTransBInto", 0, func() { ConvMatMulTransBInto(dwDst, dy, img, g) })
+
 	var ws, hdr Tensor
 	testutil.MaxAllocs(t, "Ensure", 0, func() { ws.Ensure(32, 24) })
 	testutil.MaxAllocs(t, "SliceViewOf", 0, func() { hdr.SliceViewOf(a, 0, 48, 1, 48) })

@@ -28,15 +28,14 @@ func grainRows(flopsPerRow int) int {
 // MatMul returns the matrix product a @ b for 2-D tensors.
 // a is (m×k), b is (k×n); the result is (m×n).
 //
-// The inner loops are ordered i-k-j so the innermost loop walks both the
-// output row and the b row contiguously — the standard cache-friendly
-// ikj schedule, which is 5-10x faster than the naive ijk order for the
-// matrix sizes the NN layers produce. Output rows are partitioned across
-// the parallel worker pool; every row is computed by exactly one worker
-// with the serial schedule, so results are bit-identical to a
-// single-worker run.
+// Layer-sized products run on the blocked, panel-packed GEMM engine
+// (gemm.go); small ones keep the scalar ikj schedule whose fork-join and
+// packing overhead they cannot amortize. Both paths accumulate every
+// output element in ascending-k order in a single accumulator and
+// partition output rows across the parallel worker pool, so results are
+// bit-identical to a single-worker run — and to each other.
 func MatMul(a, b *Tensor) *Tensor {
-	m, k, n := checkMatMul(a, b)
+	m, k, n := checkMatMul("MatMul", a, b)
 	out := New(m, n)
 	matMulInto(out.Data, a.Data, b.Data, m, k, n)
 	return out
@@ -44,27 +43,46 @@ func MatMul(a, b *Tensor) *Tensor {
 
 // MatMulInto computes dst = a @ b, reusing dst's storage. dst must be
 // (m×n) and must not alias a or b. It returns dst. After warmup it
-// performs no allocations in serial runs (see parallel.Inline).
+// performs no allocations in serial runs (see parallel.Inline; the GEMM
+// packing panels are pooled).
 func MatMulInto(dst, a, b *Tensor) *Tensor {
-	m, k, n := checkMatMul(a, b)
-	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
-	}
+	return MatMulIntoOp("MatMulInto", dst, a, b)
+}
+
+// MatMulIntoOp is MatMulInto with a caller-supplied operation name used
+// in panic messages, so a shape mismatch reports the layer and pass that
+// issued the kernel instead of the bare kernel name.
+func MatMulIntoOp(op string, dst, a, b *Tensor) *Tensor {
+	m, k, n := checkMatMul(op, a, b)
+	checkMatMulDst(op, dst, m, n)
 	matMulInto(dst.Data, a.Data, b.Data, m, k, n)
 	return dst
 }
 
-func checkMatMul(a, b *Tensor) (m, k, n int) {
+func checkMatMul(op string, a, b *Tensor) (m, k, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires 2-D tensors, got %v and %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s: requires 2-D operands, got a shape %v and b shape %v", op, a.shape, b.shape))
 	}
 	if a.shape[1] != b.shape[0] {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s: inner dimension mismatch: a is (%d×%d), b is (%d×%d); a@b needs a's %d columns to equal b's %d rows",
+			op, a.shape[0], a.shape[1], b.shape[0], b.shape[1], a.shape[1], b.shape[0]))
 	}
 	return a.shape[0], a.shape[1], b.shape[1]
 }
 
+// checkMatMulDst validates the destination of any matmul variant whose
+// logical product is (m×n).
+func checkMatMulDst(op string, dst *Tensor, m, n int) {
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s: dst shape %v, want (%d×%d)", op, dst.shape, m, n))
+	}
+}
+
 func matMulInto(dst, a, b []float64, m, k, n int) {
+	if gemmUsable(m, k, n) {
+		gemmInto(dst, m, k, n, aSource{data: a}, bSource{data: b})
+		return
+	}
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -102,7 +120,7 @@ func matMulRows(dst, a, b []float64, k, n, lo, hi int) {
 // element accumulates its k terms in ascending-k order on one worker, so
 // results are bit-identical to the serial schedule.
 func MatMulTransA(a, b *Tensor) *Tensor {
-	k, m, n := checkMatMulTransA(a, b)
+	k, m, n := checkMatMulTransA("MatMulTransA", a, b)
 	out := New(m, n)
 	matMulTransAInto(out.Data, a.Data, b.Data, k, m, n)
 	return out
@@ -111,27 +129,36 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 // MatMulTransAInto computes dst = aᵀ @ b, reusing dst's storage — the
 // allocation-free variant the layer backward passes use to write a
 // gradient straight into a reusable workspace buffer. dst must be (m×n),
-// must not alias a or b, and is zeroed first. It returns dst.
+// must not alias a or b, and is fully overwritten. It returns dst.
 func MatMulTransAInto(dst, a, b *Tensor) *Tensor {
-	k, m, n := checkMatMulTransA(a, b)
-	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTransAInto dst shape %v, want [%d %d]", dst.shape, m, n))
-	}
+	return MatMulTransAIntoOp("MatMulTransAInto", dst, a, b)
+}
+
+// MatMulTransAIntoOp is MatMulTransAInto with a caller-supplied
+// operation name for panic messages.
+func MatMulTransAIntoOp(op string, dst, a, b *Tensor) *Tensor {
+	k, m, n := checkMatMulTransA(op, a, b)
+	checkMatMulDst(op, dst, m, n)
 	matMulTransAInto(dst.Data, a.Data, b.Data, k, m, n)
 	return dst
 }
 
-func checkMatMulTransA(a, b *Tensor) (k, m, n int) {
+func checkMatMulTransA(op string, a, b *Tensor) (k, m, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransA requires 2-D tensors, got %v and %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s: requires 2-D operands, got a shape %v and b shape %v", op, a.shape, b.shape))
 	}
 	if a.shape[0] != b.shape[0] {
-		panic(fmt.Sprintf("tensor: MatMulTransA outer dimension mismatch %v x %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s: outer dimension mismatch: a is (%d×%d), b is (%d×%d); aᵀ@b needs a's %d rows to equal b's %d rows",
+			op, a.shape[0], a.shape[1], b.shape[0], b.shape[1], a.shape[0], b.shape[0]))
 	}
 	return a.shape[0], a.shape[1], b.shape[1]
 }
 
 func matMulTransAInto(dst, a, b []float64, k, m, n int) {
+	if gemmUsable(m, k, n) {
+		gemmInto(dst, m, k, n, aSource{data: a, kind: aTransposed}, bSource{data: b})
+		return
+	}
 	for i := range dst {
 		dst[i] = 0
 	}
@@ -169,36 +196,44 @@ func matMulTransARows(dst, a, b []float64, k, m, n, lo, hi int) {
 // transpose. Output rows are independent dot products, partitioned across
 // workers with bit-identical results.
 func MatMulTransB(a, b *Tensor) *Tensor {
-	m, k, n := checkMatMulTransB(a, b)
+	m, k, n := checkMatMulTransB("MatMulTransB", a, b)
 	out := New(m, n)
 	matMulTransBInto(out.Data, a.Data, b.Data, m, k, n)
 	return out
 }
 
 // MatMulTransBInto computes dst = a @ bᵀ, reusing dst's storage. dst must
-// be (m×n) and must not alias a or b; every element is overwritten (no
-// zeroing pass is needed — each output element is one full dot product).
+// be (m×n) and must not alias a or b; every element is overwritten.
 // It returns dst.
 func MatMulTransBInto(dst, a, b *Tensor) *Tensor {
-	m, k, n := checkMatMulTransB(a, b)
-	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTransBInto dst shape %v, want [%d %d]", dst.shape, m, n))
-	}
+	return MatMulTransBIntoOp("MatMulTransBInto", dst, a, b)
+}
+
+// MatMulTransBIntoOp is MatMulTransBInto with a caller-supplied
+// operation name for panic messages.
+func MatMulTransBIntoOp(op string, dst, a, b *Tensor) *Tensor {
+	m, k, n := checkMatMulTransB(op, a, b)
+	checkMatMulDst(op, dst, m, n)
 	matMulTransBInto(dst.Data, a.Data, b.Data, m, k, n)
 	return dst
 }
 
-func checkMatMulTransB(a, b *Tensor) (m, k, n int) {
+func checkMatMulTransB(op string, a, b *Tensor) (m, k, n int) {
 	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTransB requires 2-D tensors, got %v and %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s: requires 2-D operands, got a shape %v and b shape %v", op, a.shape, b.shape))
 	}
 	if a.shape[1] != b.shape[1] {
-		panic(fmt.Sprintf("tensor: MatMulTransB inner dimension mismatch %v x %v", a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: %s: inner dimension mismatch: a is (%d×%d), b is (%d×%d); a@bᵀ needs a's %d columns to equal b's %d columns",
+			op, a.shape[0], a.shape[1], b.shape[0], b.shape[1], a.shape[1], b.shape[1]))
 	}
 	return a.shape[0], a.shape[1], b.shape[0]
 }
 
 func matMulTransBInto(dst, a, b []float64, m, k, n int) {
+	if gemmUsable(m, k, n) {
+		gemmInto(dst, m, k, n, aSource{data: a}, bSource{data: b, kind: bTransposed})
+		return
+	}
 	grain := grainRows(2 * k * n)
 	if parallel.Inline(m, grain) {
 		matMulTransBRows(dst, a, b, k, n, 0, m)

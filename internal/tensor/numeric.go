@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// A NumericMode names one floating-point contract for the GEMM engine.
+//
+// The default "exact" mode keeps the repo-wide determinism guarantee:
+// every output element is accumulated in one accumulator, in ascending-k
+// order, with separate multiply-then-add rounding — bit-identical at any
+// worker count, on any platform, with or without vector hardware.
+//
+// A mode with Reassociate set is allowed to fuse multiplies into the
+// accumulate (FMA) and to reassociate partial sums inside the
+// micro-kernel. Results then differ from exact mode in the last few ulps
+// (and may differ across CPUs with different vector hardware), but they
+// are still deterministic on one machine at any worker count, because
+// the per-element instruction sequence does not depend on how output
+// rows are partitioned. Reassociating modes are pinned by golden-curve
+// tolerance tests rather than bit-equality.
+type NumericMode struct {
+	// Name is the registry key ("exact", "fast", ...).
+	Name string
+	// Reassociate permits FMA contraction and in-kernel reassociation.
+	Reassociate bool
+}
+
+// DefaultNumericMode is the name of the bit-identical default mode.
+const DefaultNumericMode = "exact"
+
+var (
+	numericMu    sync.Mutex
+	numericModes = map[string]NumericMode{}
+
+	// numericReassoc mirrors the current mode's Reassociate flag for the
+	// kernel hot path (read once per GEMM call, no lock).
+	numericReassoc atomic.Bool
+	// numericCurrent / numericAmbient are guarded by numericMu. Ambient
+	// is what SetNumericMode installed (the process-wide CLI choice);
+	// current may temporarily differ while AcquireNumericMode holds a
+	// job-scoped mode.
+	numericCurrent NumericMode
+	numericAmbient NumericMode
+)
+
+func init() {
+	exact := NumericMode{Name: DefaultNumericMode}
+	numericModes[exact.Name] = exact
+	numericModes["fast"] = NumericMode{Name: "fast", Reassociate: true}
+	numericCurrent = exact
+	numericAmbient = exact
+}
+
+// RegisterNumericMode adds a numeric mode to the registry. Registering a
+// name twice or registering the empty name panics — modes are wired at
+// init time and a clash is a programming error.
+func RegisterNumericMode(mode NumericMode) {
+	if mode.Name == "" {
+		panic("tensor: RegisterNumericMode with empty name")
+	}
+	numericMu.Lock()
+	defer numericMu.Unlock()
+	if _, dup := numericModes[mode.Name]; dup {
+		panic(fmt.Sprintf("tensor: numeric mode %q registered twice", mode.Name))
+	}
+	numericModes[mode.Name] = mode
+}
+
+// NumericModes returns the sorted names of all registered numeric modes.
+func NumericModes() []string {
+	numericMu.Lock()
+	defer numericMu.Unlock()
+	names := make([]string, 0, len(numericModes))
+	for name := range numericModes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CanonicalNumericMode resolves a mode token to its registered name. The
+// empty token means the default mode, so specs that never mention
+// numerics keep their byte-identical JSON and hashes.
+func CanonicalNumericMode(name string) (string, error) {
+	if name == "" {
+		return DefaultNumericMode, nil
+	}
+	numericMu.Lock()
+	defer numericMu.Unlock()
+	if _, ok := numericModes[name]; !ok {
+		return "", fmt.Errorf("tensor: unknown numeric mode %q (registered: %v)", name, numericNamesLocked())
+	}
+	return name, nil
+}
+
+func numericNamesLocked() []string {
+	names := make([]string, 0, len(numericModes))
+	for name := range numericModes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetNumericMode installs the process-wide numeric mode (the CLI
+// `-numeric` choice). It fails on unknown names and while a different
+// mode is held by AcquireNumericMode.
+func SetNumericMode(name string) error {
+	canon, err := CanonicalNumericMode(name)
+	if err != nil {
+		return err
+	}
+	numericMu.Lock()
+	defer numericMu.Unlock()
+	mode := numericModes[canon]
+	if acquireCount > 0 && numericCurrent.Name != mode.Name {
+		return fmt.Errorf("tensor: numeric mode %q is held by %d running job(s); cannot switch to %q",
+			numericCurrent.Name, acquireCount, mode.Name)
+	}
+	numericAmbient = mode
+	numericCurrent = mode
+	numericReassoc.Store(mode.Reassociate)
+	return nil
+}
+
+// CurrentNumericMode reports the numeric mode the kernels are running
+// under right now.
+func CurrentNumericMode() NumericMode {
+	numericMu.Lock()
+	defer numericMu.Unlock()
+	return numericCurrent
+}
+
+var (
+	acquireCount int
+	acquireCond  = sync.NewCond(&numericMu)
+)
+
+// AcquireNumericMode pins the process numeric mode to name for the
+// duration of one job and returns the release function. The mode is a
+// process-global kernel switch, so concurrent holders of the same mode
+// proceed together (a counting lock) while a holder of a different mode
+// blocks until the current holders release. This lets a sweep scheduler
+// run a mixed exact/fast grid with full concurrency inside each mode
+// and a barrier only at mode switches. When the last holder releases,
+// the ambient SetNumericMode choice is restored.
+func AcquireNumericMode(name string) (release func(), err error) {
+	canon, err := CanonicalNumericMode(name)
+	if err != nil {
+		return nil, err
+	}
+	numericMu.Lock()
+	defer numericMu.Unlock()
+	mode := numericModes[canon]
+	for acquireCount > 0 && numericCurrent.Name != mode.Name {
+		acquireCond.Wait()
+	}
+	acquireCount++
+	numericCurrent = mode
+	numericReassoc.Store(mode.Reassociate)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			numericMu.Lock()
+			acquireCount--
+			if acquireCount == 0 {
+				numericCurrent = numericAmbient
+				numericReassoc.Store(numericAmbient.Reassociate)
+				acquireCond.Broadcast()
+			}
+			numericMu.Unlock()
+		})
+	}, nil
+}

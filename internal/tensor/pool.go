@@ -67,6 +67,45 @@ func (p *Pool) Get(shape ...int) *Tensor {
 	return &Tensor{Data: buf, shape: append([]int(nil), shape...)}
 }
 
+// GetSlice returns a raw buffer of n float64s with unspecified
+// contents, reusing a pooled buffer when one of sufficient capacity is
+// available. It is the header-free, zero-fill-free variant of Get for
+// internal scratch (GEMM packing panels) whose every element is written
+// before it is read: steady-state GetSlice/PutSlice cycles allocate
+// nothing at all, not even a tensor header.
+func (p *Pool) GetSlice(n int) []float64 {
+	if n < 0 {
+		panic("tensor: Pool.GetSlice with negative size")
+	}
+	b := bucketFor(n)
+	var buf []float64
+	p.mu.Lock()
+	if free := p.buckets[b]; len(free) > 0 {
+		buf = free[len(free)-1]
+		p.buckets[b] = free[:len(free)-1]
+	}
+	p.mu.Unlock()
+	if buf == nil {
+		buf = make([]float64, n, 1<<b)
+	}
+	return buf[:n]
+}
+
+// PutSlice returns a buffer obtained from GetSlice to the pool. The
+// caller must not use buf afterwards.
+func (p *Pool) PutSlice(buf []float64) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:cap(buf)]
+	b := bits.Len(uint(cap(buf))) - 1
+	p.mu.Lock()
+	if len(p.buckets[b]) < poolBucketCap {
+		p.buckets[b] = append(p.buckets[b], buf)
+	}
+	p.mu.Unlock()
+}
+
 // Put returns t's backing buffer to the pool. t must not be used (nor
 // any view aliasing it) after Put. Tensors not obtained from Get are
 // accepted too; their capacity decides the bucket they join.

@@ -82,6 +82,50 @@ func BenchmarkMatMulInto64(b *testing.B) {
 	}
 }
 
+// BenchmarkGEMMExact256 times the packed engine's exact micro-kernel on
+// the hot-path shape (the same 256³ matmul BENCH_hotpath.json records).
+func BenchmarkGEMMExact256(b *testing.B) {
+	x, y := benchMatrices(256, 256, 256)
+	dst := New(256, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+// BenchmarkGEMMFast256 times the same shape under the reassociating
+// (FMA) kernel the "fast" numeric mode selects.
+func BenchmarkGEMMFast256(b *testing.B) {
+	release, err := AcquireNumericMode("fast")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer release()
+	x, y := benchMatrices(256, 256, 256)
+	dst := New(256, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, x, y)
+	}
+}
+
+// BenchmarkConvMatMul times the fused implicit-GEMM conv forward (never
+// materializing the column matrix) on a conv-layer-shaped operand.
+func BenchmarkConvMatMul(b *testing.B) {
+	g := ConvGeom{InC: 8, InH: 32, InW: 32, KH: 3, KW: 3, StrideH: 1, StrideW: 1, PadH: 1, PadW: 1}
+	rng := rand.New(rand.NewSource(4))
+	img := make([]float64, g.ImageSize())
+	for i := range img {
+		img[i] = rng.NormFloat64()
+	}
+	w := New(16, g.InC*g.KH*g.KW).RandNormal(rng, 0, 1)
+	dst := New(16, g.OutH()*g.OutW())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConvMatMulInto(dst, w, img, g)
+	}
+}
+
 func BenchmarkMatMulTransA(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	x := New(128, 64).RandNormal(rng, 0, 1)

@@ -99,6 +99,14 @@ func WriteHotPathBench(path, label string) error {
 	return hotbench.Write(path, label)
 }
 
+// CheckHotPathBench measures the live packed-GEMM matmul and errors
+// when it regresses more than 25% over the "gemm" stage recorded in the
+// committed hot-path report (BENCH_hotpath.json) — gsfl-bench's
+// -benchcheck mode, run by CI as a perf ratchet.
+func CheckHotPathBench(path string) error {
+	return hotbench.Check(path)
+}
+
 // WritePopulationBench measures the population engine at deployment
 // scale (a million-member churning population sampled a few hundred
 // members per round) and writes its memory footprint and per-round
