@@ -27,6 +27,7 @@ import (
 
 	"gsfl/cliutil"
 	"gsfl/env"
+	"gsfl/obs"
 )
 
 func main() {
@@ -59,6 +60,8 @@ func run(args []string) error {
 		metrics = fs.String("metrics", "", "serve transport counters over HTTP on this address (e.g. 127.0.0.1:9090)")
 		list    = fs.Bool("list", false, "list the registered extension points, then exit")
 	)
+	var obsFlags cliutil.ObsFlags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +84,10 @@ func run(args []string) error {
 		return err
 	}
 
+	tracer, obsStop, err := obsFlags.Start(obs.ClockWall)
+	if err != nil {
+		return err
+	}
 	ap, err := env.NewAP(*addr, env.APConfig{
 		Arch:           arch,
 		Cut:            *cut,
@@ -95,11 +102,17 @@ func run(args []string) error {
 		RoundDeadline:  *deadline,
 		Straggler:      *straggler,
 		MetricsAddr:    *metrics,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		return err
 	}
 	defer ap.Shutdown()
+	defer func() {
+		if err := obsStop(); err != nil {
+			fmt.Fprintln(os.Stderr, "gsfl-ap:", err)
+		}
+	}()
 
 	fmt.Printf("AP listening on %s, waiting for %d clients (groups %v)...\n",
 		ap.Addr(), *clients, groupAssign)
@@ -114,16 +127,27 @@ func run(args []string) error {
 	for r := 1; r <= *rounds; r++ {
 		stats, err := ap.Round()
 		if err != nil {
+			// Post-mortem: the flight recorder holds the recent round
+			// summaries and straggler events that led here.
+			fmt.Fprintln(os.Stderr, "gsfl-ap: flight recorder dump:")
+			ap.Flight().WriteTo(os.Stderr)
 			return err
 		}
 		l, a := ap.Evaluate()
 		fmt.Printf("round %3d  wall %8s  loss %7.4f  acc %6.2f%%  participants %d",
 			r, stats.Duration.Round(time.Millisecond), l, a*100, stats.Participants)
-		if stats.Stragglers > 0 || stats.Skipped > 0 || stats.Refilled > 0 {
+		faulted := stats.Stragglers > 0 || stats.Skipped > 0 || stats.Refilled > 0
+		if faulted {
 			fmt.Printf("  (stragglers %d, skipped %d, refilled %d)",
 				stats.Stragglers, stats.Skipped, stats.Refilled)
 		}
 		fmt.Println()
+		if stats.Stragglers > 0 {
+			// Straggler deadlines are the deployment's most actionable
+			// fault; dump the recorder so the operator sees who and why.
+			fmt.Fprintf(os.Stderr, "gsfl-ap: flight recorder after round %d:\n", r)
+			ap.Flight().WriteTo(os.Stderr)
+		}
 	}
 	return ap.Shutdown()
 }

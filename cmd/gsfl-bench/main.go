@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"gsfl/cliutil"
+	"gsfl/obs"
 	"gsfl/sim"
 	"gsfl/sweep"
 )
@@ -69,6 +70,8 @@ func run(args []string) error {
 	)
 	var env cliutil.EnvFlags
 	env.Register(fs)
+	var obsFlags cliutil.ObsFlags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,8 +112,17 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	tracer, obsStop, err := obsFlags.Start(obs.ClockWall)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := obsStop(); err != nil {
+			fmt.Fprintln(os.Stderr, "gsfl-bench:", err)
+		}
+	}()
 	if len(sel.Jobs) > 0 {
-		sched := &sweep.Scheduler{Jobs: *jobs, Workers: env.Workers}
+		sched := &sweep.Scheduler{Jobs: *jobs, Workers: env.Workers, Tracer: tracer}
 		start := time.Now()
 		results, err := sched.Run(context.Background(), sel.Jobs, nil)
 		if err != nil {

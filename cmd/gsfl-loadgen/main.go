@@ -29,6 +29,7 @@ import (
 
 	"gsfl/cliutil"
 	"gsfl/env"
+	"gsfl/obs"
 )
 
 func main() {
@@ -61,12 +62,18 @@ func run(args []string) error {
 		quiet     = fs.Bool("quiet", false, "suppress per-round progress on stderr")
 		list      = fs.Bool("list", false, "list the registered extension points, then exit")
 	)
+	var obsFlags cliutil.ObsFlags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		cliutil.PrintRegistries(os.Stdout)
 		return nil
+	}
+	tracer, obsStop, err := obsFlags.Start(obs.ClockWall)
+	if err != nil {
+		return err
 	}
 
 	cfg := env.LoadGenConfig{
@@ -85,6 +92,7 @@ func run(args []string) error {
 		SpareFrac:      *spareFrac,
 		Quantize:       *quant,
 		MetricsAddr:    *metrics,
+		Tracer:         tracer,
 	}
 	if !*quiet {
 		round := 0
@@ -99,6 +107,9 @@ func run(args []string) error {
 	}
 
 	rep, err := env.RunLoadGen(cfg)
+	if serr := obsStop(); serr != nil && err == nil {
+		err = serr
+	}
 	if err != nil {
 		return err
 	}

@@ -27,6 +27,7 @@ import (
 
 	"gsfl/cliutil"
 	"gsfl/env"
+	"gsfl/obs"
 	"gsfl/sim"
 )
 
@@ -65,13 +66,15 @@ func run(ctx context.Context, args []string) error {
 		ckpt      = fs.String("checkpoint", "", "checkpoint file path")
 		ckptEvery = fs.Int("checkpoint-every", 10, "rounds between checkpoints (with -checkpoint)")
 		resume    = fs.Bool("resume", false, "resume from the -checkpoint file (its scheme and options win over -scheme; the env flags must match the original run)")
-		metrics   = fs.String("metrics", "", "address serving the population gauges over HTTP (requires -population)")
+		metrics   = fs.String("metrics", "", "address serving run metrics (round/phase histograms, plus population gauges when -population is set) over HTTP")
 		list      = fs.Bool("list", false, "list the registered schemes, allocators, strategies, archs, and datasets, then exit")
 	)
 	var envFlags cliutil.EnvFlags
 	envFlags.Register(fs)
 	var popFlags cliutil.PopFlags
 	popFlags.Register(fs)
+	var obsFlags cliutil.ObsFlags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,18 +112,34 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	// -metrics serves the run's own histograms/counters; when a
+	// population is active its gauges are concatenated onto the same
+	// page (metric names are disjoint, so the exposition stays valid).
+	var runMetrics *sim.RunMetrics
 	if *metrics != "" {
-		pm, ok := world.Pop.(interface{ MetricsHandler() http.Handler })
-		if !ok {
-			return fmt.Errorf("-metrics needs an active population (set -population and -sample-fraction)")
+		runMetrics = sim.NewRunMetrics()
+		pm, _ := world.Pop.(interface{ MetricsHandler() http.Handler })
+		handler := func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			runMetrics.WriteText(w)
+			if pm != nil {
+				pm.MetricsHandler().ServeHTTP(w, r)
+			}
 		}
-		srv := &http.Server{Addr: *metrics, Handler: pm.MetricsHandler()}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", handler)
+		srv := &http.Server{Addr: *metrics, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "gsfl-sim: metrics endpoint:", err)
 			}
 		}()
 		defer srv.Close()
+	}
+
+	tracer, obsStop, err := obsFlags.Start(obs.ClockVirtual)
+	if err != nil {
+		return err
 	}
 
 	// Flags explicitly given on the command line; on resume, cadences
@@ -131,6 +150,12 @@ func run(ctx context.Context, args []string) error {
 	opts := []sim.RunOption{
 		sim.WithRounds(*rounds),
 		sim.WithWorkers(envFlags.Workers),
+	}
+	if tracer != nil {
+		opts = append(opts, sim.WithTracer(tracer))
+	}
+	if runMetrics != nil {
+		opts = append(opts, sim.WithObserver(runMetrics))
 	}
 	if !*resume || explicit["eval-every"] {
 		opts = append(opts, sim.WithEvalEvery(*evalEvery))
@@ -181,6 +206,11 @@ func run(ctx context.Context, args []string) error {
 	}
 
 	curve, err := runner.Run(ctx)
+	// Write the trace even after a failed run — a partial trace is
+	// exactly what a post-mortem needs.
+	if serr := obsStop(); serr != nil && err == nil {
+		err = serr
+	}
 	if err != nil {
 		return err
 	}

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"gsfl/cliutil"
+	"gsfl/obs"
 	"gsfl/sweep"
 )
 
@@ -74,6 +75,8 @@ func run(ctx context.Context, args []string) error {
 	)
 	var env cliutil.EnvFlags
 	env.Register(fs)
+	var obsFlags cliutil.ObsFlags
+	obsFlags.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,10 +138,15 @@ func run(ctx context.Context, args []string) error {
 	}
 	defer store.Close()
 
+	tracer, obsStop, err := obsFlags.Start(obs.ClockWall)
+	if err != nil {
+		return err
+	}
 	sched := &sweep.Scheduler{
 		Jobs:            *jobs,
 		Workers:         env.Workers,
 		CheckpointEvery: *ckptEvery,
+		Tracer:          tracer,
 	}
 	if !*quiet {
 		sched.Observers = append(sched.Observers, progressObserver(os.Stdout))
@@ -146,6 +154,10 @@ func run(ctx context.Context, args []string) error {
 
 	start := time.Now()
 	results, err := sched.Run(ctx, sel.Jobs, store)
+	// A partial trace of a failed sweep is still worth writing.
+	if serr := obsStop(); serr != nil && err == nil {
+		err = serr
+	}
 	if err != nil {
 		return err
 	}

@@ -272,6 +272,10 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 		return &simnet.Ledger{}, nil
 	}
 
+	// Tracing (nil when disabled): one lane per live group on the
+	// virtual clock, phase spans straight from the ledger adds.
+	rt := env.BeginRoundTrace("gsfl", t.round)
+
 	// --- Step 1: model distribution -----------------------------------
 	// Every live group replica is reset to the global halves. The first
 	// available client of each group downloads the client-side model; the
@@ -280,6 +284,7 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	firstClients := make([]int, len(live))
 	for li, g := range live {
 		groupLeds[g] = &simnet.Ledger{}
+		rt.Lane("group", g, groupLeds[g])
 		firstClients[li] = groups[g][0]
 		t.globalClient.Restore(t.replicas[g].Client)
 		t.globalServer.Restore(t.replicas[g].Server)
@@ -342,6 +347,7 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 		for ai, g := range activeGroups {
 			ci := activeClients[ai]
 			rep := t.replicas[g]
+			rt.BeginSlot(groupLeds[g], "client", ci)
 			if t.cfg.Pipelined {
 				if err := schemes.TurnLatency(env, rep, ci, env.Hyper.Batch, env.Hyper.StepsPerClient,
 					upAlloc[ai], downAlloc[ai], true, groupLeds[g]); err != nil {
@@ -361,6 +367,7 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 				groupLeds[g].Add(simnet.Relay,
 					env.Channel.TransferSeconds(ci, rep.ClientParamBytes(), upAlloc[ai], true))
 			}
+			rt.EndSlot(groupLeds[g])
 		}
 	}
 
@@ -370,6 +377,10 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 		leds = append(leds, groupLeds[g])
 	}
 	round := simnet.MaxOf(leds)
+	// Aggregation prices onto the critical-path ledger after the groups
+	// join; its spans belong on the AP's lane, starting where the
+	// slowest group finished.
+	rt.TailLane("ap", -1, round)
 
 	t.aggClient = t.aggClient[:0]
 	t.aggServer = t.aggServer[:0]
@@ -385,6 +396,7 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	agg.FedAvgInto(&t.globalServer, t.aggServer, t.aggW)
 	schemes.AggregationLatency(t.env, len(live),
 		t.globalClient.ParamCount()+t.globalServer.ParamCount(), round)
+	rt.End(round)
 	return round, nil
 }
 

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -56,13 +59,13 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Name returns the metric name.
 func (g *Gauge) Name() string { return g.name }
 
-// Registry holds a set of named counters and gauges and renders them in
-// the Prometheus text exposition format. Metrics are emitted in
-// registration order, so scrapes are byte-stable for a fixed value set.
+// Registry holds a set of named counters, gauges, and histograms and
+// renders them in the Prometheus text exposition format. Metrics are
+// emitted sorted by name, so scrapes are byte-stable for a fixed value
+// set regardless of registration order.
 type Registry struct {
 	mu     sync.Mutex
-	order  []string
-	byName map[string]any // *Counter or *Gauge
+	byName map[string]any // *Counter, *Gauge, or *Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -79,13 +82,12 @@ func (r *Registry) Counter(name, help string) *Counter {
 	if m, ok := r.byName[name]; ok {
 		c, ok := m.(*Counter)
 		if !ok {
-			panic(fmt.Sprintf("metrics: %s already registered as a gauge", name))
+			panic(fmt.Sprintf("metrics: %s already registered as a different metric type", name))
 		}
 		return c
 	}
 	c := &Counter{name: name, help: help}
 	r.byName[name] = c
-	r.order = append(r.order, name)
 	return c
 }
 
@@ -97,14 +99,33 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	if m, ok := r.byName[name]; ok {
 		g, ok := m.(*Gauge)
 		if !ok {
-			panic(fmt.Sprintf("metrics: %s already registered as a counter", name))
+			panic(fmt.Sprintf("metrics: %s already registered as a different metric type", name))
 		}
 		return g
 	}
 	g := &Gauge{name: name, help: help}
 	r.byName[name] = g
-	r.order = append(r.order, name)
 	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use with the given bucket upper bounds (see DefSecondsBuckets /
+// DefBytesBuckets). The buckets argument is ignored when the histogram
+// already exists; registering the same name as a different metric type
+// panics.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %s already registered as a different metric type", name))
+		}
+		return h
+	}
+	h := newHistogram(name, help, buckets)
+	r.byName[name] = h
+	return h
 }
 
 // Handler returns an http.Handler serving the registry in the
@@ -118,29 +139,69 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // WriteText renders every metric in the Prometheus text exposition
-// format (HELP, TYPE, value), in registration order.
+// format (HELP, TYPE, then samples), sorted by metric name. HELP text
+// is escaped per the format (backslash and newline).
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
-	names := append([]string(nil), r.order...)
-	metrics := make([]any, len(names))
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ms := make([]any, len(names))
 	for i, n := range names {
-		metrics[i] = r.byName[n]
+		ms[i] = r.byName[n]
 	}
 	r.mu.Unlock()
 
 	for i, name := range names {
-		var kind string
-		var help string
-		var val int64
-		switch m := metrics[i].(type) {
+		var err error
+		switch m := ms[i].(type) {
 		case *Counter:
-			kind, help, val = "counter", m.help, m.Value()
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				name, escapeHelp(m.help), name, name, m.Value())
 		case *Gauge:
-			kind, help, val = "gauge", m.help, m.Value()
+			_, err = fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+				name, escapeHelp(m.help), name, name, m.Value())
+		case *Histogram:
+			err = writeHistogramText(w, name, m)
 		}
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n", name, help, name, kind, name, val); err != nil {
+		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// writeHistogramText renders one histogram: cumulative buckets with le
+// labels (ending in +Inf), then _sum and _count.
+func writeHistogramText(w io.Writer, name string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n",
+		name, escapeHelp(h.help), name); err != nil {
+		return err
+	}
+	bounds, cum := h.Snapshot()
+	for i, b := range bounds {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n",
+			name, strconv.FormatFloat(b, 'g', -1, 64), cum[i]); err != nil {
+			return err
+		}
+	}
+	total := cum[len(cum)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+		name, strconv.FormatFloat(h.Sum(), 'g', -1, 64), name, total)
+	return err
+}
+
+// escapeHelp escapes a HELP string per the text exposition format:
+// backslash to \\ and newline to \n.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketsAndCounts(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x_seconds", "test", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+2+100; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	bounds, cum := h.Snapshot()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("Snapshot shape %d/%d", len(bounds), len(cum))
+	}
+	// le=0.01 inclusive: 0.005 and 0.01.
+	for i, want := range []int64{2, 3, 4, 6} {
+		if cum[i] != want {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, cum[i], want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "test", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	// 100 observations uniform in (0,1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.5 (interpolated from zero)", got)
+	}
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("p100 = %v, want 1", got)
+	}
+	// Push mass above the last bound: quantile clamps to it.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.99); got != 4 {
+		t.Fatalf("p99 with overflow mass = %v, want clamp to 4", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	mustPanic("empty buckets", func() { r.Histogram("a", "", nil) })
+	mustPanic("non-increasing", func() { r.Histogram("b", "", []float64{1, 1}) })
+	mustPanic("inf bucket", func() { r.Histogram("c", "", []float64{1, math.Inf(1)}) })
+	r.Counter("d", "")
+	mustPanic("type clash", func() { r.Histogram("d", "", []float64{1}) })
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("turn_seconds", "per-turn wall time", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.75)
+	h.Observe(30)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP turn_seconds per-turn wall time
+# TYPE turn_seconds histogram
+turn_seconds_bucket{le="0.5"} 1
+turn_seconds_bucket{le="1"} 2
+turn_seconds_bucket{le="+Inf"} 3
+turn_seconds_sum 31
+turn_seconds_count 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c_seconds", "", []float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-2000) > 1e-6 {
+		t.Fatalf("Sum = %v, want 2000", got)
+	}
+}

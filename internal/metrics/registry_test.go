@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Exposition-format line shapes, per the Prometheus text format spec:
+// HELP/TYPE comments, then samples `name{labels} value` with float
+// values (including NaN/+Inf and scientific notation).
+var (
+	helpRe   = regexp.MustCompile(`^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* [^\n]*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?) ?[0-9]*$`)
+)
+
+// checkExposition asserts every line of an exposition page parses under
+// the regexes above — the shape a Prometheus scraper accepts.
+func checkExposition(t *testing.T, page string) {
+	t.Helper()
+	if page == "" {
+		return
+	}
+	for i, line := range strings.Split(strings.TrimSuffix(page, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpRe.MatchString(line) {
+				t.Fatalf("line %d not a valid HELP line: %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			if !typeRe.MatchString(line) {
+				t.Fatalf("line %d not a valid TYPE line: %q", i+1, line)
+			}
+		case strings.HasPrefix(line, "#"):
+			// bare comments are legal
+		default:
+			if !sampleRe.MatchString(line) {
+				t.Fatalf("line %d not a valid sample: %q", i+1, line)
+			}
+		}
+	}
+}
+
+// TestExpositionConformance renders a full page — counters, gauges, a
+// histogram, awkward HELP strings — and runs it through the
+// parser-shaped regexes.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gsfl_rounds_total", "rounds served").Add(42)
+	r.Gauge("gsfl_clients_active", "clients with live\nconnections").Set(-3)
+	r.Counter("gsfl_weird_help_total", `path C:\tmp\x and a
+second line`).Inc()
+	h := r.Histogram("gsfl_turn_seconds", "turn wall time", DefSecondsBuckets)
+	h.Observe(0.003)
+	h.Observe(7.5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	page := sb.String()
+	checkExposition(t, page)
+	if !strings.Contains(page, `path C:\\tmp\\x and a\nsecond line`) {
+		t.Fatalf("HELP not escaped:\n%s", page)
+	}
+	if strings.Count(page, "\n# HELP")+1 != 4 {
+		t.Fatalf("expected 4 metric families:\n%s", page)
+	}
+}
+
+// TestExpositionSorted pins the stable ordering contract: output is
+// sorted by metric name no matter the registration order.
+func TestExpositionSorted(t *testing.T) {
+	page := func(names []string) string {
+		r := NewRegistry()
+		for _, n := range names {
+			r.Counter(n, "h").Inc()
+		}
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	names := []string{"zz_total", "aa_total", "mm_total", "bb_total"}
+	a := page(names)
+	shuffled := append([]string(nil), names...)
+	rand.New(rand.NewSource(1)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	if b := page(shuffled); a != b {
+		t.Fatalf("output depends on registration order:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.HasPrefix(a, "# HELP aa_total") {
+		t.Fatalf("output not name-sorted:\n%s", a)
+	}
+}
+
+// TestRegistryConcurrent hammers create-on-first-use registration,
+// metric updates, and text serving from many goroutines at once — the
+// AP registers metrics while its endpoint is being scraped. Run under
+// -race this is the registry's data-race gate.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter(fmt.Sprintf("ctr_%d_total", i%10), "h").Inc()
+				r.Gauge(fmt.Sprintf("g_%d", i%10), "h").Set(int64(i))
+				r.Histogram(fmt.Sprintf("h_%d_seconds", i%10), "h", DefSecondsBuckets).Observe(float64(i) / 100)
+				if i%20 == 0 {
+					if err := r.WriteText(io.Discard); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	checkExposition(t, rec.Body.String())
+	if got := r.Counter("ctr_0_total", "h").Value(); got != 8*20 {
+		t.Fatalf("ctr_0_total = %d, want 160", got)
+	}
+}
+
+// TestCurveAppendPanics covers every Append panic path plus the legal
+// boundary cases around them.
+func TestCurveAppendPanics(t *testing.T) {
+	grab := func(f func()) (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+		}()
+		f()
+		return ""
+	}
+
+	var c Curve
+	c.Append(Point{Round: 5, LatencySeconds: 2})
+	if msg := grab(func() { c.Append(Point{Round: 5, LatencySeconds: 3}) }); !strings.Contains(msg, "non-increasing round") {
+		t.Fatalf("equal round: panic = %q", msg)
+	}
+	if msg := grab(func() { c.Append(Point{Round: 4, LatencySeconds: 3}) }); !strings.Contains(msg, "non-increasing round") {
+		t.Fatalf("decreasing round: panic = %q", msg)
+	}
+	if msg := grab(func() { c.Append(Point{Round: 6, LatencySeconds: 1.9}) }); !strings.Contains(msg, "latency moved backward") {
+		t.Fatalf("backward latency: panic = %q", msg)
+	}
+	// Equal latency at a later round is legal (a zero-cost round).
+	if msg := grab(func() { c.Append(Point{Round: 6, LatencySeconds: 2}) }); msg != "" {
+		t.Fatalf("equal latency must not panic: %q", msg)
+	}
+	if len(c.Points) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(c.Points))
+	}
+	// First point is unconstrained (any round, any latency).
+	var first Curve
+	if msg := grab(func() { first.Append(Point{Round: 1, LatencySeconds: 0}) }); msg != "" {
+		t.Fatalf("first append must not panic: %q", msg)
+	}
+}

@@ -40,6 +40,9 @@ type Trainer struct {
 
 	// ws is the single training-step workspace (batch + loss gradient).
 	ws schemes.StepWorkspace
+
+	// round counts completed rounds (trace labels only).
+	round int
 }
 
 // New validates the environment and assembles a CL trainer. The pooled
@@ -84,7 +87,10 @@ func (t *Trainer) Name() string { return "cl" }
 // Round implements schemes.Trainer: N*StepsPerClient SGD steps on pooled
 // data, all on the edge server. Cancellation is honoured between steps.
 func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
+	t.round++
+	rt := t.env.BeginRoundTrace("cl", t.round)
 	led := &simnet.Ledger{}
+	rt.Lane("server", -1, led) // everything runs on the edge server
 	server := t.env.Fleet.Server
 	perSample := 3 * t.m.ServerFwdFLOPs() // cut 0: whole model is server-side
 	for s := 0; s < t.stepsPerRound; s++ {
@@ -95,6 +101,7 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 		t.ws.LocalStep(t.m.Server, t.opt, t.ws.Batch)
 		led.Add(simnet.ServerCompute, server.ComputeSeconds(perSample*int64(len(t.ws.Batch.Y))))
 	}
+	rt.End(led)
 	return led, nil
 }
 

@@ -126,7 +126,15 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	upAlloc := env.Alloc.Allocate(env.Channel, all, env.Channel.UplinkHz(), true)
 	downAlloc := env.Alloc.Allocate(env.Channel, all, env.Channel.DownlinkHz(), false)
 
+	// Tracing (nil when disabled): one virtual-clock lane per client.
+	// Lanes attach before the parallel section so the trace bookkeeping
+	// never races; span emission inside it stays per-lane.
+	rt := env.BeginRoundTrace("fl", t.round)
 	clientLeds := make([]*simnet.Ledger, n)
+	for ci := range clientLeds {
+		clientLeds[ci] = &simnet.Ledger{}
+		rt.Lane("client", ci, clientLeds[ci])
+	}
 	// Clients train concurrently — FL's defining parallelism, executed as
 	// real goroutines. Each client touches only its own local model,
 	// optimizer, and loader (t.global is read-only during the round), so
@@ -136,7 +144,7 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	// below.
 	parallel.For(n, 1, func(lo, hi int) {
 		for ci := lo; ci < hi; ci++ {
-			led := &simnet.Ledger{}
+			led := clientLeds[ci]
 			local := t.locals[ci]
 			ws := &t.stepWS[ci]
 			t.global.Restore(local.Client)
@@ -147,7 +155,6 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 				led.Add(simnet.ClientCompute,
 					dev.ComputeSeconds(3*local.ClientFwdFLOPs()*int64(len(ws.Batch.Y))))
 			}
-			clientLeds[ci] = led
 		}
 	})
 	// Price the global-model download and trained-model upload serially
@@ -162,12 +169,14 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	}
 
 	round := simnet.MaxOf(clientLeds)
+	rt.TailLane("ap", -1, round)
 
 	for ci := 0; ci < n; ci++ {
 		t.caps[ci].CaptureFrom(t.locals[ci].Client)
 	}
 	agg.FedAvgInto(&t.global, t.caps[:n], weights[:n])
 	schemes.AggregationLatency(env, n, t.global.ParamCount(), round)
+	rt.End(round)
 	return round, nil
 }
 

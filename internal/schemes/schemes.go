@@ -35,6 +35,7 @@ import (
 	"gsfl/internal/simnet"
 	"gsfl/internal/tensor"
 	"gsfl/internal/wireless"
+	"gsfl/obs"
 )
 
 // Hyper bundles the optimization hyperparameters shared by all schemes.
@@ -116,6 +117,12 @@ type Env struct {
 	// shards via SlotBinding.Shard). Nil means the classic fixed-client
 	// world — the paper's setting — with numerics untouched.
 	Pop Cohort
+	// Trace, when non-nil, receives execution spans for every round on
+	// the virtual clock: one lane per parallel ledger (group or client),
+	// phase spans for each latency-model contribution, and a round span
+	// on the critical path. Nil (the default) is free: the schemes'
+	// pricing paths pay one pointer check and allocate nothing.
+	Trace *obs.Tracer
 }
 
 // SlotBinding mounts one sampled population member onto a physical

@@ -135,7 +135,14 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	upAlloc := env.Alloc.Allocate(env.Channel, all, env.Channel.UplinkHz(), true)
 	downAlloc := env.Alloc.Allocate(env.Channel, all, env.Channel.DownlinkHz(), false)
 
+	// Tracing (nil when disabled): one virtual-clock lane per client,
+	// attached before the parallel section so bookkeeping never races.
+	rt := env.BeginRoundTrace("sfl", t.round)
 	clientLeds := make([]*simnet.Ledger, n)
+	for ci := range clientLeds {
+		clientLeds[ci] = &simnet.Ledger{}
+		rt.Lane("client", ci, clientLeds[ci])
+	}
 	batchSizes := make([][]int, n)
 	// All clients train concurrently against their own server replicas —
 	// SplitFed's maximal parallelism, executed as real goroutines. Each
@@ -154,7 +161,6 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 				sizes[s] = len(ws.Batch.Y)
 			}
 			batchSizes[ci] = sizes
-			clientLeds[ci] = &simnet.Ledger{}
 		}
 	})
 	// Latency pricing draws from the shared channel RNG, so it runs
@@ -175,6 +181,7 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	}
 
 	round := simnet.MaxOf(clientLeds)
+	rt.TailLane("ap", -1, round)
 
 	for ci := 0; ci < n; ci++ {
 		t.capClient[ci].CaptureFrom(t.replicas[ci].Client)
@@ -184,6 +191,7 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	agg.FedAvgInto(&t.globalServer, t.capServer[:n], weights[:n])
 	schemes.AggregationLatency(env, n,
 		t.globalClient.ParamCount()+t.globalServer.ParamCount(), round)
+	rt.End(round)
 	return round, nil
 }
 

@@ -39,6 +39,10 @@ type Trainer struct {
 	// ws is the single training-step workspace — SL trains one client at
 	// a time, so one replica's worth of scratch suffices.
 	ws schemes.StepWorkspace
+
+	// round counts completed rounds (trace labels only; SL has no
+	// round-keyed RNG streams).
+	round int
 }
 
 // New validates the environment and assembles an SL trainer.
@@ -71,7 +75,10 @@ func (t *Trainer) Name() string { return "sl" }
 func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 	env := t.env
 	env.Channel.AdvanceRound() // new fading stream + client mobility
+	t.round++
+	rt := env.BeginRoundTrace("sl", t.round)
 	led := &simnet.Ledger{}
+	rt.Lane("chain", -1, led) // one strictly sequential lane
 	n := env.Fleet.N()
 	up := env.Channel.UplinkHz() // sole active client: full budget
 	down := env.Channel.DownlinkHz()
@@ -79,6 +86,7 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		rt.BeginSlot(led, "client", ci)
 		for s := 0; s < env.Hyper.StepsPerClient; s++ {
 			t.loaders[ci].NextInto(&t.ws.Batch)
 			t.ws.SplitStep(t.m, t.clientOpt, t.serverOpt, t.ws.Batch, env.Hyper.QuantizeTransfers)
@@ -88,7 +96,9 @@ func (t *Trainer) Round(ctx context.Context) (*simnet.Ledger, error) {
 		// round's first client), always through the AP.
 		next := (ci + 1) % n
 		schemes.RelayLatency(env, t.m, ci, next, up, down, led)
+		rt.EndSlot(led)
 	}
+	rt.End(led)
 	return led, nil
 }
 

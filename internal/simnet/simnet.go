@@ -68,6 +68,10 @@ func Components() []Component {
 // empty ledger ready to use.
 type Ledger struct {
 	seconds [numComponents]float64
+	// onAdd, when set, observes every Add in order — the execution
+	// tracer's tap into the latency model. It never affects the totals;
+	// the disabled state is a single nil check on the pricing path.
+	onAdd func(Component, float64)
 }
 
 // Add records dt seconds against component c. Negative durations panic:
@@ -80,6 +84,16 @@ func (l *Ledger) Add(c Component, dt float64) {
 		panic(fmt.Sprintf("simnet: unknown component %d", int(c)))
 	}
 	l.seconds[c] += dt
+	if l.onAdd != nil {
+		l.onAdd(c, dt)
+	}
+}
+
+// Observe installs fn as the ledger's Add observer (nil detaches). The
+// observer sees each (component, dt) in pricing order; it must not
+// mutate the ledger.
+func (l *Ledger) Observe(fn func(Component, float64)) {
+	l.onAdd = fn
 }
 
 // Get returns the accumulated seconds for component c.
@@ -108,7 +122,9 @@ func (l *Ledger) Merge(other *Ledger) {
 
 // MaxOf returns a ledger representing parallel composition: the ledger
 // among ls with the largest total (the critical path). Component detail
-// of the chosen ledger is preserved so breakdowns stay meaningful.
+// of the chosen ledger is preserved so breakdowns stay meaningful; any
+// Add observer is NOT inherited (the copy starts a new lane in time,
+// so the winner's per-lane tap would misattribute later adds).
 // It panics on an empty slice.
 func MaxOf(ls []*Ledger) *Ledger {
 	if len(ls) == 0 {
@@ -121,6 +137,7 @@ func MaxOf(ls []*Ledger) *Ledger {
 		}
 	}
 	cp := *best
+	cp.onAdd = nil
 	return &cp
 }
 

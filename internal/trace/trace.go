@@ -1,5 +1,10 @@
 // Package trace writes experiment results as CSV and JSON so figure
 // series can be regenerated, diffed, and plotted outside Go.
+//
+// Despite the name, this package is about figure data — accuracy and
+// latency curves — not execution tracing. Round-lifecycle execution
+// traces (spans, phase timings, Chrome trace_event JSON for Perfetto)
+// live in the public gsfl/obs package.
 package trace
 
 import (

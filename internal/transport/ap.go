@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"gsfl/internal/quantize"
 	"gsfl/internal/schemes"
 	"gsfl/internal/tensor"
+	"gsfl/obs"
 )
 
 // registerTimeout bounds how long a fresh connection may take to present
@@ -80,6 +82,29 @@ type APConfig struct {
 	// MetricsAddr, when non-empty, serves the AP's operational counters
 	// in Prometheus text format at GET /metrics on this address.
 	MetricsAddr string
+	// Tracer, when non-nil, records wall-clock execution spans: one lane
+	// per group (turn spans wrapping the per-step wire/compute phases),
+	// one "rounds" lane, straggler markers. Nil leaves tracing disabled
+	// at the cost of one pointer check per span site.
+	Tracer *obs.Tracer
+}
+
+// Wire-phase names, shared by the trace spans and the latency
+// histograms (dashes become underscores in metric names). Constants so
+// the hot path never formats strings.
+const (
+	phaseWriteTrain    = "write-train"
+	phaseReadSmashed   = "read-smashed"
+	phaseServerCompute = "server-compute"
+	phaseWriteGradient = "write-gradient"
+	phaseReadReturn    = "read-return"
+)
+
+// phaseNames lists the turn phases in wire order — the iteration order
+// for quantile summaries and reports.
+var phaseNames = []string{
+	phaseWriteTrain, phaseReadSmashed, phaseServerCompute,
+	phaseWriteGradient, phaseReadReturn,
 }
 
 // newOptimizer mirrors schemes.Env.NewOptimizer for the transport
@@ -143,6 +168,10 @@ type groupRT struct {
 	pool     tensor.Pool
 	deq      tensor.Tensor
 	qGrad    quantize.Quantized
+
+	// track is the group's trace lane (nil when tracing is disabled),
+	// bound at construction so round paths never format lane names.
+	track *obs.Track
 }
 
 // AP is the listening access point. It owns the global model halves, one
@@ -168,6 +197,16 @@ type AP struct {
 	mLeft       *metrics.Counter
 	mActive     *metrics.Gauge
 	mLastRound  *metrics.Gauge
+	hRound      *metrics.Histogram
+	hPhase      map[string]*metrics.Histogram // keyed by phaseNames
+	hFrameIn    *metrics.Histogram
+	hFrameOut   *metrics.Histogram
+
+	// tracer/roundTrack record execution spans (nil-safe no-ops when
+	// disabled); flight is the always-on post-mortem ring buffer.
+	tracer     *obs.Tracer
+	roundTrack *obs.Track
+	flight     *obs.FlightRecorder
 
 	mu       sync.Mutex
 	members  [][]int // mutable copy of cfg.Groups, refilled over time
@@ -286,6 +325,21 @@ func NewAPListener(ln net.Listener, cfg APConfig) (*AP, error) {
 	ap.mLeft = ap.reg.Counter("gsfl_clients_left_total", "Registered clients whose connections closed.")
 	ap.mActive = ap.reg.Gauge("gsfl_clients_active", "Currently registered clients.")
 	ap.mLastRound = ap.reg.Gauge("gsfl_round_millis", "Wall-clock duration of the last round in milliseconds.")
+	ap.hRound = ap.reg.Histogram("gsfl_round_seconds",
+		"Wall-clock round latency.", metrics.DefSecondsBuckets)
+	ap.hPhase = make(map[string]*metrics.Histogram, len(phaseNames))
+	for _, ph := range phaseNames {
+		name := "gsfl_phase_" + strings.ReplaceAll(ph, "-", "_") + "_seconds"
+		ap.hPhase[ph] = ap.reg.Histogram(name,
+			"Wall-clock latency of the "+ph+" turn phase.", metrics.DefSecondsBuckets)
+	}
+	ap.hFrameIn = ap.reg.Histogram("gsfl_frame_read_bytes",
+		"Size of framed messages read from clients.", metrics.DefBytesBuckets)
+	ap.hFrameOut = ap.reg.Histogram("gsfl_frame_write_bytes",
+		"Size of framed messages written to clients.", metrics.DefBytesBuckets)
+	ap.tracer = cfg.Tracer
+	ap.roundTrack = cfg.Tracer.Lane("ap", "rounds")
+	ap.flight = obs.NewFlightRecorder(0)
 
 	ap.members = make([][]int, len(cfg.Groups))
 	for g, mem := range cfg.Groups {
@@ -301,6 +355,7 @@ func NewAPListener(ln net.Listener, cfg APConfig) (*AP, error) {
 		ap.groupRTs[g] = &groupRT{
 			server: rep.Server,
 			opt:    newOptimizer(cfg.LR, cfg.Momentum, cfg.ClipNorm, cfg.LRDecayFactor, cfg.LRDecayEvery),
+			track:  cfg.Tracer.Lane("ap", fmt.Sprintf("group %d", g)),
 		}
 	}
 
@@ -319,6 +374,40 @@ func (ap *AP) Addr() string { return ap.ln.Addr().String() }
 
 // Metrics returns the AP's operational counter registry.
 func (ap *AP) Metrics() *metrics.Registry { return ap.reg }
+
+// Flight returns the AP's always-on flight recorder: a bounded ring of
+// round summaries, straggler events, and refills, dumped post-mortem
+// when a round errors or stragglers spike.
+func (ap *AP) Flight() *obs.FlightRecorder { return ap.flight }
+
+// PhaseQuantiles summarizes the per-phase wall-latency histograms,
+// keyed by phase name ("write-train", "read-smashed", ...). Phases
+// with no observations are omitted.
+func (ap *AP) PhaseQuantiles() map[string]PhaseQuantiles {
+	out := make(map[string]PhaseQuantiles, len(phaseNames))
+	for _, ph := range phaseNames {
+		h := ap.hPhase[ph]
+		if h.Count() == 0 {
+			continue
+		}
+		out[ph] = PhaseQuantiles{
+			Count: h.Count(),
+			P50MS: h.Quantile(0.50) * 1000,
+			P95MS: h.Quantile(0.95) * 1000,
+			P99MS: h.Quantile(0.99) * 1000,
+		}
+	}
+	return out
+}
+
+// PhaseQuantiles is one wire phase's latency summary, estimated from
+// its histogram (bucket-interpolated, Prometheus-style).
+type PhaseQuantiles struct {
+	Count int64   `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
 
 // MetricsAddr returns the address the metrics endpoint listens on, or ""
 // when disabled.
@@ -379,8 +468,14 @@ func (ap *AP) register(conn net.Conn) {
 	defer ap.regWG.Done()
 	conn.SetReadDeadline(time.Now().Add(registerTimeout))
 	fc := newFrameConn(conn, ap.cfg.MaxFrameBytes)
-	fc.onRead = func(n int) { ap.mBytesIn.Add(int64(n)) }
-	fc.onWrite = func(n int) { ap.mBytesOut.Add(int64(n)) }
+	fc.onRead = func(n int) {
+		ap.mBytesIn.Add(int64(n))
+		ap.hFrameIn.Observe(float64(n))
+	}
+	fc.onWrite = func(n int) {
+		ap.mBytesOut.Add(int64(n))
+		ap.hFrameOut.Observe(float64(n))
+	}
 
 	kind, payload, err := fc.readFrame()
 	var hello helloMsg
@@ -560,10 +655,12 @@ func (ap *AP) Round() (RoundStats, error) {
 	if ap.cfg.RoundDeadline > 0 {
 		deadline = start.Add(ap.cfg.RoundDeadline)
 	}
+	roundSpan := ap.roundTrack.BeginWall(ap.roundTrack.Labelf("round %d", stats.Round), "round")
 
 	// Step 1 + 2: distribute and train, groups concurrent. Each group
 	// goroutine touches only group-owned state; the chain starts from the
 	// shared global snapshots, which are read-only until aggregation.
+	// Trace-wise each goroutine owns its group's lane for the round.
 	results := make([]groupResult, len(plans))
 	var wg sync.WaitGroup
 	for g := range plans {
@@ -573,7 +670,7 @@ func (ap *AP) Round() (RoundStats, error) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			ap.runGroup(ap.groupRTs[g], plans[g], deadline, &results[g])
+			ap.runGroup(ap.groupRTs[g], plans[g], deadline, &results[g], stats.Round)
 		}(g)
 	}
 	wg.Wait()
@@ -604,13 +701,22 @@ func (ap *AP) Round() (RoundStats, error) {
 	ap.mRounds.Inc()
 	stats.Duration = time.Since(start)
 	ap.mLastRound.Set(stats.Duration.Milliseconds())
+	ap.hRound.Observe(stats.Duration.Seconds())
+	if ap.roundTrack.On() {
+		roundSpan.EndNote(ap.roundTrack.Labelf("%d participants, %d stragglers, %d skipped",
+			stats.Participants, stats.Stragglers, stats.Skipped))
+	}
+	ap.flight.Notef("round %d: %d participants, %d stragglers, %d skipped, %d refilled, %s",
+		stats.Round, stats.Participants, stats.Stragglers, stats.Skipped, stats.Refilled,
+		stats.Duration.Round(time.Millisecond))
 	return stats, nil
 }
 
 // runGroup executes Step 2 for one group: sequential split training
 // through its slots, relaying the turn state via this AP. res.state
 // holds the chain state on entry and the final chain state on return.
-func (ap *AP) runGroup(rt *groupRT, plan []turnSlot, deadline time.Time, res *groupResult) {
+func (ap *AP) runGroup(rt *groupRT, plan []turnSlot, deadline time.Time, res *groupResult, round int) {
+	tk := rt.track
 	for _, slot := range plan {
 		if slot.cc == nil {
 			res.skipped++
@@ -622,12 +728,18 @@ func (ap *AP) runGroup(rt *groupRT, plan []turnSlot, deadline time.Time, res *gr
 			// wrong — skip the slot but keep its connection, so one
 			// stalled peer cannot evict a whole group's healthy fleet.
 			res.skipped++
+			tk.WallInstant("skipped", "fault", tk.Labelf("client %d: round budget exhausted", slot.id))
 			continue
 		}
+		turn := tk.BeginWall(tk.Labelf("client %d", slot.id), "turn")
 		handed := res.state
 		if err := ap.runTurn(rt, slot.cc, &res.state, deadline); err != nil {
 			// Straggler: kill the connection, patch the chain, continue.
 			res.stragglers++
+			if tk.On() {
+				turn.EndNote("straggler: " + err.Error())
+			}
+			ap.flight.Notef("round %d: client %d straggled: %v", round, slot.id, err)
 			next, counted := ap.policy(&handed, slot.cc.lastGood)
 			res.state = *next
 			if counted {
@@ -636,9 +748,20 @@ func (ap *AP) runGroup(rt *groupRT, plan []turnSlot, deadline time.Time, res *gr
 			ap.drop(slot.cc)
 			continue
 		}
+		turn.End()
 		res.participants++
 		res.weight += slot.cc.samples
 	}
+}
+
+// phase closes one wire-phase interval: it feeds the phase's wall
+// latency histogram and, when the group lane is live, records the span.
+// Only successful phases are observed — a failed read or write becomes
+// a straggler note, not a latency sample.
+func (ap *AP) phase(tk *obs.Track, name string, start time.Time) {
+	d := time.Since(start)
+	ap.hPhase[name].Observe(d.Seconds())
+	tk.WallSpanAt(name, "phase", start, d)
 }
 
 // runTurn drives one client's training turn. On success the chain state
@@ -647,11 +770,15 @@ func (ap *AP) runGroup(rt *groupRT, plan []turnSlot, deadline time.Time, res *gr
 // untouched and reports the error for straggler handling.
 func (ap *AP) runTurn(rt *groupRT, cc *clientConn, chain *TurnState, deadline time.Time) error {
 	lossFn := loss.SoftmaxCrossEntropy{}
+	tk := rt.track
+	at := time.Now()
 	cc.conn.SetWriteDeadline(deadline)
 	if err := cc.fc.writeTrain(ap.cfg.StepsPerClient, chain); err != nil {
 		return err
 	}
+	ap.phase(tk, phaseWriteTrain, at)
 	for s := 0; s < ap.cfg.StepsPerClient; s++ {
+		at = time.Now()
 		cc.conn.SetReadDeadline(deadline)
 		kind, payload, err := cc.fc.readFrame()
 		if err != nil {
@@ -679,13 +806,17 @@ func (ap *AP) runTurn(rt *groupRT, cc *clientConn, chain *TurnState, deadline ti
 			}
 			return fmt.Errorf("transport: client %d: %w", cc.id, err)
 		}
+		ap.phase(tk, phaseReadSmashed, at)
 
 		// Server-side forward + loss + backward, then return the cut
 		// gradient — the same op sequence as the simulator's SplitStep.
+		at = time.Now()
 		logits := rt.server.Forward(serverIn, true)
 		lossFn.EvalInto(logits, ys, &rt.lossGrad)
 		rt.server.ZeroGrads()
 		dSmashed := rt.server.Backward(&rt.lossGrad)
+		ap.phase(tk, phaseServerCompute, at)
+		at = time.Now()
 		cc.conn.SetWriteDeadline(deadline)
 		var werr error
 		if ap.cfg.Quantize {
@@ -694,6 +825,13 @@ func (ap *AP) runTurn(rt *groupRT, cc *clientConn, chain *TurnState, deadline ti
 		} else {
 			werr = cc.fc.writeGradient(dSmashed, nil)
 		}
+		if werr == nil {
+			ap.phase(tk, phaseWriteGradient, at)
+		}
+		// The optimizer step deliberately runs after the gradient is on
+		// the wire (it overlaps the client's backward pass) and stays
+		// unattributed in the phase breakdown — it is slack, not a leg of
+		// the wire round trip.
 		rt.opt.Step(rt.server.Params(), rt.server.Grads(), rt.server.DecayMask())
 		if acts != nil {
 			rt.pool.Put(acts)
@@ -702,6 +840,7 @@ func (ap *AP) runTurn(rt *groupRT, cc *clientConn, chain *TurnState, deadline ti
 			return werr
 		}
 	}
+	at = time.Now()
 	cc.conn.SetReadDeadline(deadline)
 	kind, payload, err := cc.fc.readFrame()
 	if err != nil {
@@ -717,6 +856,7 @@ func (ap *AP) runTurn(rt *groupRT, cc *clientConn, chain *TurnState, deadline ti
 	if err := ap.checkModel(st.Model); err != nil {
 		return fmt.Errorf("transport: client %d returned %w", cc.id, err)
 	}
+	ap.phase(tk, phaseReadReturn, at)
 	*chain = st
 	cc.lastGood = &st
 	return nil

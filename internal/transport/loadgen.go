@@ -13,6 +13,7 @@ import (
 	"gsfl/internal/quantize"
 	"gsfl/internal/tensor"
 	"gsfl/internal/testutil/faultconn"
+	"gsfl/obs"
 )
 
 // This file is the load generator: one AP plus thousands of synthetic
@@ -65,6 +66,9 @@ type LoadGenConfig struct {
 	Quantize bool
 	// MetricsAddr, when non-empty, exposes the AP's metrics endpoint.
 	MetricsAddr string
+	// Tracer, when non-nil, records the AP's wall-clock execution spans
+	// for the run (see APConfig.Tracer).
+	Tracer *obs.Tracer
 	// OnRound, when non-nil, observes each round's stats as it completes.
 	OnRound func(RoundStats)
 }
@@ -94,6 +98,12 @@ type LoadGenReport struct {
 	RefilledTotal            int     `json:"refilled_total"`
 	BytesRead                int64   `json:"bytes_read"`
 	BytesWritten             int64   `json:"bytes_written"`
+	// StragglerRate is stragglers over attempted turns
+	// (participants + stragglers).
+	StragglerRate float64 `json:"straggler_rate"`
+	// Phases breaks the sustained turn latency down by wire phase,
+	// estimated from the AP's per-phase histograms.
+	Phases map[string]PhaseQuantiles `json:"phases"`
 }
 
 // loadgenArch is the synthetic task the load fleet trains: a small MLP
@@ -204,6 +214,7 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 		RoundDeadline: cfg.RoundDeadline,
 		Straggler:     cfg.Straggler,
 		MetricsAddr:   cfg.MetricsAddr,
+		Tracer:        cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -294,6 +305,10 @@ func RunLoadGen(cfg LoadGenConfig) (*LoadGenReport, error) {
 	rep.SustainedClientsPerRound = float64(rep.ParticipantsTotal) / float64(cfg.Rounds)
 	rep.BytesRead = ap.mBytesIn.Value()
 	rep.BytesWritten = ap.mBytesOut.Value()
+	if attempted := rep.ParticipantsTotal + rep.StragglersTotal; attempted > 0 {
+		rep.StragglerRate = float64(rep.StragglersTotal) / float64(attempted)
+	}
+	rep.Phases = ap.PhaseQuantiles()
 
 	err = ap.Shutdown()
 	closeAll()

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gsfl/obs"
+)
+
+// TestRoundTracing runs a healthy fleet with a wall-clock tracer and
+// checks the trace holds round, turn, and per-phase spans on the
+// expected lanes.
+func TestRoundTracing(t *testing.T) {
+	tr := obs.New(obs.ClockWall)
+	ap, stop, errs := launchWorld(t, 4, 2, 2, func(cfg *APConfig) { cfg.Tracer = tr })
+	for r := 0; r < 3; r++ {
+		if _, err := ap.Round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop()
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("client error: %v", err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.OtherData["clock"] != "wall" {
+		t.Fatalf("clock metadata %q, want wall", file.OtherData["clock"])
+	}
+	byCat := map[string]int{}
+	for _, e := range file.TraceEvents {
+		byCat[e.Cat]++
+	}
+	if byCat["round"] != 3 {
+		t.Fatalf("%d round spans, want 3", byCat["round"])
+	}
+	if byCat["turn"] != 3*4 {
+		t.Fatalf("%d turn spans, want %d", byCat["turn"], 3*4)
+	}
+	// Every turn emits write-train + steps*(read-smashed, server-compute,
+	// write-gradient) + read-return phase spans.
+	wantPhases := 3 * 4 * (1 + 2*3 + 1)
+	if byCat["phase"] != wantPhases {
+		t.Fatalf("%d phase spans, want %d", byCat["phase"], wantPhases)
+	}
+	names := map[string]bool{}
+	for _, e := range file.TraceEvents {
+		if e.Cat == "phase" {
+			names[e.Name] = true
+		}
+	}
+	for _, ph := range phaseNames {
+		if !names[ph] {
+			t.Fatalf("no %q phase span in trace (saw %v)", ph, names)
+		}
+	}
+}
+
+// TestPhaseHistogramsAndFlight checks that phase histograms and the
+// flight recorder populate on an untraced (tracer-less) run — both are
+// always on.
+func TestPhaseHistogramsAndFlight(t *testing.T) {
+	ap, stop, errs := launchWorld(t, 4, 2, 2)
+	for r := 0; r < 2; r++ {
+		if _, err := ap.Round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pq := ap.PhaseQuantiles()
+	for _, ph := range phaseNames {
+		q, ok := pq[ph]
+		if !ok {
+			t.Fatalf("phase %q missing from quantiles %v", ph, pq)
+		}
+		if q.Count == 0 || q.P50MS < 0 || q.P99MS < q.P50MS {
+			t.Fatalf("phase %q has implausible quantiles %+v", ph, q)
+		}
+	}
+	// The read-smashed phase fires steps times per turn, the return leg
+	// once.
+	if pq[phaseReadSmashed].Count != 2*pq[phaseReadReturn].Count {
+		t.Fatalf("read-smashed count %d, want 2x read-return count %d",
+			pq[phaseReadSmashed].Count, pq[phaseReadReturn].Count)
+	}
+
+	var fb bytes.Buffer
+	if _, err := ap.Flight().WriteTo(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fb.String(), "round 2: 4 participants") {
+		t.Fatalf("flight recorder missing round summary:\n%s", fb.String())
+	}
+
+	// The exposition page renders the histograms.
+	var mb bytes.Buffer
+	if err := ap.Metrics().WriteText(&mb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"gsfl_phase_read_smashed_seconds_bucket{le=\"+Inf\"}",
+		"gsfl_round_seconds_count 2",
+		"gsfl_frame_read_bytes_sum",
+	} {
+		if !strings.Contains(mb.String(), want) {
+			t.Fatalf("metrics page missing %q:\n%s", want, mb.String())
+		}
+	}
+
+	stop()
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("client error: %v", err)
+		}
+	}
+}

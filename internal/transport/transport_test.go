@@ -19,8 +19,9 @@ import (
 
 // launchWorld starts an AP plus one goroutine per client on localhost
 // and returns the AP, a shutdown func, and an error channel collecting
-// client Run results.
-func launchWorld(t *testing.T, nClients, nGroups, steps int) (*AP, func(), chan error) {
+// client Run results. tweak functions adjust the AP config before it
+// launches.
+func launchWorld(t *testing.T, nClients, nGroups, steps int, tweak ...func(*APConfig)) (*AP, func(), chan error) {
 	t.Helper()
 	arch := model.MLP(schemestest.BlobDim, 16, schemestest.BlobClasses)
 	cut := model.MLPDefaultCut
@@ -31,7 +32,7 @@ func launchWorld(t *testing.T, nClients, nGroups, steps int) (*AP, func(), chan 
 	test := schemestest.Blobs(200, 0.6, rand.New(rand.NewSource(3)))
 
 	groups := partition.Groups(nClients, nGroups, partition.GroupRoundRobin, nil, nil)
-	ap, err := NewAP("127.0.0.1:0", APConfig{
+	cfg := APConfig{
 		Arch:           arch,
 		Cut:            cut,
 		Groups:         groups,
@@ -40,7 +41,11 @@ func launchWorld(t *testing.T, nClients, nGroups, steps int) (*AP, func(), chan 
 		Momentum:       0.9,
 		Test:           test,
 		Seed:           7,
-	})
+	}
+	for _, f := range tweak {
+		f(&cfg)
+	}
+	ap, err := NewAP("127.0.0.1:0", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent is one record in the Chrome trace_event JSON format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the object-form trace container: an event array plus
+// metadata identifying the clock domain.
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData"`
+}
+
+// WriteJSON serializes the trace as Chrome trace_event JSON. Call it
+// after the traced run has finished — it snapshots tracks under the
+// tracer lock but does not synchronize with concurrent span emission.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tracks := make([]*Track, len(t.tracks))
+	copy(tracks, t.tracks)
+	clock := t.clock
+	t.mu.Unlock()
+
+	n := 0
+	for _, tk := range tracks {
+		n += len(tk.events) + 2 // + process_name/thread_name metadata
+	}
+	evs := make([]chromeEvent, 0, n)
+
+	// Metadata first: name the process groups and lanes, and pin lane
+	// order to creation order (groups appear in index order, not in the
+	// viewer's default name sort).
+	seenPid := map[int]bool{}
+	for _, tk := range tracks {
+		if !seenPid[tk.pid] {
+			seenPid[tk.pid] = true
+			evs = append(evs, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: tk.pid,
+				Args: map[string]any{"name": tk.process},
+			})
+		}
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: tk.pid, Tid: tk.tid,
+			Args: map[string]any{"name": tk.thread},
+		})
+		evs = append(evs, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: tk.pid, Tid: tk.tid,
+			Args: map[string]any{"sort_index": tk.tid},
+		})
+	}
+	for _, tk := range tracks {
+		for _, e := range tk.events {
+			ce := chromeEvent{
+				Name: e.name, Cat: e.cat, Ts: e.ts * 1e6,
+				Pid: tk.pid, Tid: tk.tid,
+			}
+			switch e.ph {
+			case 'X':
+				ce.Ph = "X"
+				d := e.dur * 1e6
+				ce.Dur = &d
+			case 'i':
+				ce.Ph = "i"
+				ce.S = "t" // thread-scoped instant
+			default:
+				continue
+			}
+			if e.note != "" {
+				ce.Args = map[string]any{"note": e.note}
+			}
+			evs = append(evs, ce)
+		}
+	}
+	// Stable output: viewers don't require time order, but deterministic
+	// files diff cleanly and make the CI schema check reproducible.
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Ts != evs[j].Ts {
+			return evs[i].Ts < evs[j].Ts
+		}
+		if evs[i].Pid != evs[j].Pid {
+			return evs[i].Pid < evs[j].Pid
+		}
+		return evs[i].Tid < evs[j].Tid
+	})
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{
+		TraceEvents:     evs,
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]string{
+			"clock": string(clock),
+			"tool":  "gsfl/obs",
+		},
+	})
+}
+
+// WriteFile writes the trace to path (see WriteJSON).
+func (t *Tracer) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create trace file: %w", err)
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: close trace file: %w", err)
+	}
+	return nil
+}
+
+// EventCount returns the number of recorded span/instant events across
+// all tracks (metadata excluded). Mainly for tests and end-of-run logs.
+func (t *Tracer) EventCount() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, tk := range t.tracks {
+		n += len(tk.events)
+	}
+	return n
+}

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNilTracerIsFree pins the disabled fast path: every call through a
+// nil tracer/track must be a no-op with zero allocations — the property
+// that lets the schemes and transport hot paths stay instrumented
+// without perturbing their MaxAllocs budgets.
+func TestNilTracerIsFree(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(100, func() {
+		if tr.On() {
+			t.Fatal("nil tracer reports On")
+		}
+		tk := tr.Lane("p", "t")
+		if tk.On() {
+			t.Fatal("nil track reports On")
+		}
+		tk.Seek(1)
+		tk.Span("s", "c", 2)
+		tk.SpanAt("s", "c", 0, 1)
+		tk.Begin("b", "c")
+		tk.End()
+		tk.Instant("i", "c", "")
+		sp := tk.BeginWall("w", "c")
+		sp.End()
+		sp.EndNote("n")
+		tk.WallSpanAt("w", "c", time.Time{}, 0)
+		tk.WallInstant("w", "c", "")
+		tr.Advance(1)
+		_ = tr.Now()
+		_ = tr.Clock()
+		_ = tr.EventCount()
+		if err := tr.WriteJSON(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestVirtualSpansAndCursor(t *testing.T) {
+	tr := New(ClockVirtual)
+	tk := tr.Lane("sim", "group 0")
+	tk.Seek(10)
+	tk.Begin("client 3", "client")
+	tk.Span("client-compute", "phase", 2)
+	tk.Span("uplink", "phase", 0.5)
+	tk.End()
+	if got := tk.Cursor(); got != 12.5 {
+		t.Fatalf("cursor = %v, want 12.5", got)
+	}
+	if n := tr.EventCount(); n != 3 {
+		t.Fatalf("EventCount = %d, want 3", n)
+	}
+	if now := tr.Advance(12.5); now != 12.5 {
+		t.Fatalf("Advance = %v, want 12.5", now)
+	}
+	if now := tr.Now(); now != 12.5 {
+		t.Fatalf("Now = %v, want 12.5", now)
+	}
+}
+
+func TestLaneIdentityAndPids(t *testing.T) {
+	tr := New(ClockVirtual)
+	a := tr.Lane("sim", "group 0")
+	b := tr.Lane("sim", "group 0")
+	if a != b {
+		t.Fatal("Lane must return the same track for the same name")
+	}
+	c := tr.Lane("sim", "group 1")
+	d := tr.Lane("ap", "rounds")
+	if a.pid != c.pid {
+		t.Fatal("tracks in the same process must share a pid")
+	}
+	if a.pid == d.pid {
+		t.Fatal("tracks in different processes must not share a pid")
+	}
+	if a.tid == c.tid {
+		t.Fatal("distinct lanes must get distinct tids")
+	}
+}
+
+// TestChromeJSONShape validates the exported file against the
+// trace_event schema essentials: an object with a traceEvents array
+// whose entries carry name/ph/ts/pid/tid, complete events a dur,
+// metadata naming every lane, and clock metadata in otherData.
+func TestChromeJSONShape(t *testing.T) {
+	tr := New(ClockVirtual)
+	tk := tr.Lane("sim", "rounds")
+	tk.Span("round 1", "round", 3)
+	tk.Instant("eval", "eval", "acc=0.5")
+	g := tr.Lane("sim", "group 0")
+	g.Seek(0)
+	g.Span("uplink", "phase", 1.5)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any  `json:"traceEvents"`
+		OtherData   map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.OtherData["clock"] != "virtual" {
+		t.Fatalf("otherData.clock = %q, want virtual", file.OtherData["clock"])
+	}
+	var spans, instants, threadNames int
+	for _, e := range file.TraceEvents {
+		for _, k := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := e[k]; !ok {
+				t.Fatalf("event missing %q: %v", k, e)
+			}
+		}
+		switch e["ph"] {
+		case "X":
+			if _, ok := e["dur"]; !ok {
+				t.Fatalf("complete event missing dur: %v", e)
+			}
+			spans++
+		case "i":
+			instants++
+		case "M":
+			if e["name"] == "thread_name" {
+				threadNames++
+			}
+		}
+	}
+	if spans != 2 || instants != 1 {
+		t.Fatalf("got %d spans, %d instants; want 2, 1", spans, instants)
+	}
+	if threadNames != 2 {
+		t.Fatalf("got %d thread_name metadata events, want 2", threadNames)
+	}
+	// round 1 spans [0s,3s] → ts 0µs dur 3e6µs on the virtual clock.
+	if !strings.Contains(buf.String(), `"dur":3000000`) {
+		t.Fatalf("expected 3s span as 3000000µs in %s", buf.String())
+	}
+}
+
+func TestWallSpans(t *testing.T) {
+	tr := New(ClockWall)
+	tk := tr.Lane("ap", "group 0")
+	sp := tk.BeginWall("turn", "turn")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tk.WallInstant("straggler", "fault", "client 3: deadline")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, e := range file.TraceEvents {
+		if e.Ph == "X" && e.Name == "turn" {
+			found = true
+			if e.Dur == nil || *e.Dur < 500 { // at least 0.5ms in µs
+				t.Fatalf("turn span dur = %v, want >= 500µs", e.Dur)
+			}
+			if e.Ts < 0 {
+				t.Fatalf("turn span ts = %v, want >= 0", e.Ts)
+			}
+		}
+		if e.Ph == "i" && e.Name == "straggler" {
+			if e.Args["note"] != "client 3: deadline" {
+				t.Fatalf("instant note = %v", e.Args)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no turn span in trace")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	tr := New(ClockVirtual)
+	tr.Lane("sim", "rounds").Span("round 1", "round", 1)
+	path := t.TempDir() + "/trace.json"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var nilTr *Tracer
+	if err := nilTr.WriteFile(path + ".none"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnbalancedEndIgnored(t *testing.T) {
+	tr := New(ClockVirtual)
+	tk := tr.Lane("sim", "x")
+	tk.End() // must not panic
+	if n := tr.EventCount(); n != 0 {
+		t.Fatalf("EventCount = %d, want 0", n)
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// FlightRecorder is a bounded in-memory ring of timestamped notes —
+// cheap enough to leave on in production, dumped only when something
+// goes wrong (a straggler deadline fires, a round errors out) so the
+// events leading up to the failure are on hand. All methods are safe
+// for concurrent use and nil-receiver-safe.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	buf   []FlightEntry
+	next  int
+	total uint64
+}
+
+// FlightEntry is one recorded note.
+type FlightEntry struct {
+	Wall time.Time
+	Text string
+}
+
+// NewFlightRecorder returns a recorder keeping the most recent n notes
+// (n <= 0 picks a default of 256).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = 256
+	}
+	return &FlightRecorder{buf: make([]FlightEntry, 0, n)}
+}
+
+// Note records text with the current wall time.
+func (r *FlightRecorder) Note(text string) {
+	if r == nil {
+		return
+	}
+	e := FlightEntry{Wall: time.Now(), Text: text}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Notef records a formatted note. The format runs only when the
+// recorder is non-nil, so disabled call sites pay a single branch.
+func (r *FlightRecorder) Notef(format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Note(fmt.Sprintf(format, args...))
+}
+
+// Entries returns the retained notes, oldest first.
+func (r *FlightRecorder) Entries() []FlightEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightEntry, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Total returns how many notes were ever recorded (including those the
+// ring has since overwritten).
+func (r *FlightRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// WriteTo dumps the retained notes, oldest first, one per line with
+// wall timestamps — the forensic record attached to a failure report.
+func (r *FlightRecorder) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	entries := r.Entries()
+	var total int64
+	dropped := r.Total() - uint64(len(entries))
+	if dropped > 0 {
+		n, err := fmt.Fprintf(w, "flight recorder: %d earlier entries overwritten\n", dropped)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, e := range entries {
+		n, err := fmt.Fprintf(w, "%s %s\n", e.Wall.Format("15:04:05.000"), e.Text)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

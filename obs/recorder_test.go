@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRing(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Notef("note %d", i)
+	}
+	got := r.Entries()
+	if len(got) != 4 {
+		t.Fatalf("len(Entries) = %d, want 4", len(got))
+	}
+	for i, e := range got {
+		want := "note " + string(rune('6'+i))
+		if e.Text != want {
+			t.Fatalf("entry %d = %q, want %q", i, e.Text, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "6 earlier entries overwritten") {
+		t.Fatalf("dump missing overwrite banner:\n%s", out)
+	}
+	if !strings.Contains(out, "note 9") || strings.Contains(out, "note 5") {
+		t.Fatalf("dump has wrong window:\n%s", out)
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var r *FlightRecorder
+	r.Notef("x %d", 1) // no-op; the variadic slice may itself allocate
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Note("x")
+		if r.Entries() != nil {
+			t.Fatal("nil recorder returned entries")
+		}
+		if r.Total() != 0 {
+			t.Fatal("nil recorder has total")
+		}
+		if _, err := r.WriteTo(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil recorder allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	r := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Notef("g%d n%d", g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("Total = %d, want 800", r.Total())
+	}
+	if len(r.Entries()) != 64 {
+		t.Fatalf("retained %d, want 64", len(r.Entries()))
+	}
+}

@@ -1,0 +1,121 @@
+package sim_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"gsfl/internal/schemes/schemestest"
+	"gsfl/obs"
+	"gsfl/sim"
+)
+
+// runCurve runs a fresh gsfl trainer for rounds rounds with the given
+// extra options and returns the curve.
+func runCurve(t *testing.T, seed int64, rounds int, extra ...sim.RunOption) *sim.Curve {
+	t.Helper()
+	tr, err := sim.New("gsfl", schemestest.NewEnv(seed, 4, 30), sim.Options{Groups: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ropts := append([]sim.RunOption{sim.WithRounds(rounds)}, extra...)
+	curve, err := sim.NewRunner(tr, ropts...).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return curve
+}
+
+// TestTracingDoesNotPerturbCurves is the zero-interference contract:
+// attaching a tracer must leave every curve point bit-identical.
+func TestTracingDoesNotPerturbCurves(t *testing.T) {
+	plain := runCurve(t, 21, 3)
+	traced := runCurve(t, 21, 3, sim.WithTracer(obs.New(obs.ClockVirtual)))
+	if len(plain.Points) != len(traced.Points) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(plain.Points), len(traced.Points))
+	}
+	for i := range plain.Points {
+		if plain.Points[i] != traced.Points[i] {
+			t.Fatalf("point %d differs with tracing: %+v vs %+v", i, plain.Points[i], traced.Points[i])
+		}
+	}
+}
+
+// TestVirtualTraceShape checks the simulator trace: round spans on the
+// scheme's rounds lane, group lanes with client slots and phase spans,
+// eval instants, all priced on the virtual clock.
+func TestVirtualTraceShape(t *testing.T) {
+	tr := obs.New(obs.ClockVirtual)
+	curve := runCurve(t, 22, 2, sim.WithTracer(tr))
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		OtherData map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if file.OtherData["clock"] != "virtual" {
+		t.Fatalf("clock metadata %q, want virtual", file.OtherData["clock"])
+	}
+	byCat := map[string]int{}
+	var roundVirtualUS float64
+	for _, e := range file.TraceEvents {
+		byCat[e.Cat]++
+		if e.Cat == "round" {
+			roundVirtualUS += e.Dur
+		}
+	}
+	if byCat["round"] != 2 {
+		t.Fatalf("%d round spans, want 2", byCat["round"])
+	}
+	if byCat["slot"] == 0 || byCat["phase"] == 0 {
+		t.Fatalf("trace missing slot/phase spans: %v", byCat)
+	}
+	if byCat["eval"] != 2 {
+		t.Fatalf("%d eval instants, want 2", byCat["eval"])
+	}
+	// The round spans must sum to the curve's final virtual elapsed time
+	// (ts/dur are microseconds).
+	wantUS := curve.Points[len(curve.Points)-1].LatencySeconds * 1e6
+	if math.Abs(roundVirtualUS-wantUS) > 1 {
+		t.Fatalf("round spans sum to %v µs, curve says %v µs", roundVirtualUS, wantUS)
+	}
+}
+
+// TestRunMetricsObserver drives RunMetrics through a short run and
+// checks the exposition page it serves.
+func TestRunMetricsObserver(t *testing.T) {
+	m := sim.NewRunMetrics()
+	runCurve(t, 23, 3, sim.WithObserver(m), sim.WithEvalEvery(2))
+
+	var buf bytes.Buffer
+	if err := m.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		"gsfl_sim_rounds_total 3",
+		"gsfl_sim_evals_total 2", // rounds 2 and 3 (final always evaluates)
+		"gsfl_sim_round_virtual_seconds_count 3",
+		"gsfl_sim_phase_uplink_virtual_seconds_bucket",
+		"gsfl_sim_last_accuracy_ppm",
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("metrics page missing %q:\n%s", want, page)
+		}
+	}
+}

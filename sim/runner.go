@@ -8,6 +8,7 @@ import (
 	"gsfl/internal/metrics"
 	"gsfl/internal/parallel"
 	"gsfl/internal/schemes"
+	"gsfl/obs"
 )
 
 // RoundEvent is the structured progress report the Runner streams to
@@ -95,6 +96,17 @@ func WithCheckpointPath(path string) RunOption {
 	return func(r *Runner) { r.ckptPath = path }
 }
 
+// WithTracer attaches an execution tracer (gsfl/obs) to the run. For
+// trainers constructed by sim.New the tracer is installed into the
+// environment, so every round's latency pricing emits virtual-clock
+// phase spans (round → group/client lane → phase); the Runner
+// additionally marks evaluations on each scheme's "eval" lane. A nil
+// tracer — or omitting the option — leaves the run on the zero-cost
+// disabled path.
+func WithTracer(t *obs.Tracer) RunOption {
+	return func(r *Runner) { r.tracer = t }
+}
+
 // Runner drives one trainer for a configured number of rounds,
 // streaming RoundEvents and optionally checkpointing. Create with
 // NewRunner or Resume; a Runner runs once.
@@ -106,6 +118,7 @@ type Runner struct {
 	workers   *int
 	ckptEvery int
 	ckptPath  string
+	tracer    *obs.Tracer
 
 	// Resume state: rounds already completed, their cumulative latency,
 	// and the curve points they produced.
@@ -182,6 +195,17 @@ func (r *Runner) Run(ctx context.Context) (*Curve, error) {
 	if r.workers != nil {
 		parallel.SetWorkers(*r.workers)
 	}
+	if r.tracer.On() {
+		if st, ok := r.trainer.(*SchemeTrainer); ok {
+			st.env.Trace = r.tracer
+		}
+		// On resume, fast-forward the virtual clock to where the
+		// checkpointed run left off so new spans land after the (absent)
+		// earlier rounds rather than on top of them.
+		if gap := r.startElapsed - r.tracer.Now(); gap > 0 {
+			r.tracer.Advance(gap)
+		}
+	}
 	curve := &Curve{Scheme: r.trainer.Name(), Points: append([]Point(nil), r.priorPoints...)}
 	elapsed := r.startElapsed
 	for round := r.startRound + 1; round <= r.rounds; round++ {
@@ -211,6 +235,12 @@ func (r *Runner) Run(ctx context.Context) (*Curve, error) {
 			curve.Append(metrics.Point{
 				Round: round, LatencySeconds: elapsed, Loss: e.Loss, Accuracy: e.Accuracy,
 			})
+			if r.tracer.On() {
+				lane := r.tracer.Lane(r.trainer.Name(), "eval")
+				lane.Seek(elapsed)
+				lane.Instant("eval", "eval",
+					fmt.Sprintf("round %d acc=%.4f loss=%.4f", round, e.Accuracy, e.Loss))
+			}
 		}
 		if r.ckptEvery > 0 && (round%r.ckptEvery == 0 || round == r.rounds) {
 			if err := r.saveCheckpoint(round, elapsed, curve); err != nil {

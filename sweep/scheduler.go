@@ -10,6 +10,7 @@ import (
 	"gsfl/internal/experiment"
 	"gsfl/internal/parallel"
 	"gsfl/internal/simnet"
+	"gsfl/obs"
 	"gsfl/sim"
 )
 
@@ -100,6 +101,12 @@ type Scheduler struct {
 	CheckpointEvery int
 	// Observers receive progress events.
 	Observers []Observer
+	// Tracer, when non-nil, records one wall-clock track per executed
+	// job under the "sweep" process: a span covering the job's run,
+	// per-round child spans sized by the rounds' host cost, and resume
+	// markers. Skipped jobs leave no track. Nil disables tracing at zero
+	// cost.
+	Tracer *obs.Tracer
 }
 
 // Run executes the jobs and returns their results in input order.
@@ -218,6 +225,14 @@ func (s *Scheduler) runOne(ctx context.Context, j Job, idx, total int, store *St
 		}
 	}
 
+	// The job's wall-clock trace lane. Each unique job executes exactly
+	// once, in one worker goroutine, so the track has a single owner; the
+	// deferred End records the job span even when the job fails — the
+	// attempt's duration is exactly what a post-mortem wants.
+	tk := s.Tracer.Lane("sweep", j.Name)
+	jobSpan := tk.BeginWall(j.Name, "job")
+	defer jobSpan.End()
+
 	// The event-forwarding (and, with checkpointing, progress-writing)
 	// observer. prior seeds the cumulative accumulators on resume.
 	var opts []sim.RunOption
@@ -243,6 +258,10 @@ func (s *Scheduler) runOne(ctx context.Context, j Job, idx, total int, store *St
 				// A failed progress write only costs resume work for this
 				// job; the run itself is unaffected.
 				_ = store.SaveProgress(j, progress{Round: e.Round, Components: comp, TotalSeconds: totalSec})
+			}
+			if tk.On() {
+				d := time.Duration(e.HostSeconds * float64(time.Second))
+				tk.WallSpanAt(tk.Labelf("round %d", e.Round), "round", time.Now().Add(-d), d)
 			}
 			emit(Event{
 				Kind: JobRound, Job: j, Index: idx, Total: total,
@@ -276,6 +295,9 @@ func (s *Scheduler) runOne(ctx context.Context, j Job, idx, total int, store *St
 				ropts := append([]sim.RunOption{makeObserver(prior)}, opts...)
 				emit(Event{Kind: JobStarted, Job: j, Index: idx, Total: total, Rounds: j.Rounds})
 				emit(Event{Kind: JobResumed, Job: j, Index: idx, Total: total, Round: ckptRound, Rounds: j.Rounds})
+				if tk.On() {
+					tk.WallInstant("resume", "job", tk.Labelf("from round %d", ckptRound))
+				}
 				res, startRound, err = experiment.ResumeJob(ctx, j, store.CheckpointPath(j),
 					priorLedger(prior), prior.TotalSeconds, ropts...)
 				if err != nil {

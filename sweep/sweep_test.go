@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"gsfl/internal/experiment"
+	"gsfl/internal/simnet"
 	"gsfl/sweep"
 )
 
@@ -93,8 +94,13 @@ func TestSchedulerDeterministicAcrossJobCounts(t *testing.T) {
 	}
 	for i := range r1 {
 		a, b := r1[i], r8[i]
-		if a.Job.ID != b.Job.ID || a.TotalSeconds != b.TotalSeconds || a.Ledger != b.Ledger {
+		if a.Job.ID != b.Job.ID || a.TotalSeconds != b.TotalSeconds {
 			t.Fatalf("result %d differs: %+v vs %+v", i, a, b)
+		}
+		for _, c := range simnet.Components() {
+			if a.Ledger.Get(c) != b.Ledger.Get(c) {
+				t.Fatalf("result %d %s seconds differ: %v vs %v", i, c, a.Ledger.Get(c), b.Ledger.Get(c))
+			}
 		}
 		if len(a.Curve.Points) != len(b.Curve.Points) {
 			t.Fatalf("result %d curve lengths differ", i)
