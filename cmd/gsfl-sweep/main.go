@@ -29,23 +29,36 @@
 //	  }
 //	}
 //
+// A sweep can also run distributed (gsfl/fleet): -serve turns this
+// process into the coordinator — it owns the store and leases jobs to
+// pull-based workers over TCP — and -worker joins a coordinator and
+// executes leased jobs, streaming checkpoints back so a killed worker's
+// job resumes bit-identically elsewhere. The compacted store bytes are
+// identical to a single-process run of the same grid.
+//
 // Examples:
 //
 //	gsfl-sweep -exp fig2a -scale test -jobs 4 -out results/sweep
 //	gsfl-sweep -grid grid.json -jobs 8 -resume
 //	gsfl-sweep -exp all -scale medium -jobs 4 -checkpoint-every 5
+//	gsfl-sweep -exp fig2a -serve :7070 -out results/fleet
+//	gsfl-sweep -worker host:7070 -name rack3
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"gsfl/cliutil"
+	"gsfl/fleet"
 	"gsfl/obs"
 	"gsfl/sweep"
 )
@@ -72,6 +85,12 @@ func run(ctx context.Context, args []string) error {
 		ckptEvery = fs.Int("checkpoint-every", 2, "rounds between in-flight job checkpoints (0 disables mid-job resume)")
 		quiet     = fs.Bool("quiet", false, "suppress per-job progress lines")
 		list      = fs.Bool("list", false, "list the registered schemes, allocators, strategies, archs, and datasets, then exit")
+
+		serveAddr   = fs.String("serve", "", "run as fleet coordinator on this address (host:port; port 0 picks one) instead of training in-process")
+		workerAddr  = fs.String("worker", "", "run as a fleet worker against the coordinator at this address (ignores grid/store flags)")
+		leaseTTL    = fs.Duration("lease", fleet.DefaultLeaseTTL, "fleet lease TTL: a worker silent this long has its job reassigned (serve mode)")
+		workerName  = fs.String("name", "", "fleet worker display name (worker mode; default worker-<pid>)")
+		metricsAddr = fs.String("metrics", "", "serve fleet Prometheus metrics on this address (serve mode)")
 	)
 	var env cliutil.EnvFlags
 	env.Register(fs)
@@ -83,6 +102,12 @@ func run(ctx context.Context, args []string) error {
 	if *list {
 		cliutil.PrintRegistries(os.Stdout)
 		return nil
+	}
+	if *workerAddr != "" {
+		if *serveAddr != "" {
+			return fmt.Errorf("-serve and -worker are mutually exclusive")
+		}
+		return runWorker(ctx, *workerAddr, *workerName, *quiet)
 	}
 	if (*gridFile == "") == (*exp == "") {
 		return fmt.Errorf("choose exactly one of -grid or -exp")
@@ -142,18 +167,27 @@ func run(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	sched := &sweep.Scheduler{
-		Jobs:            *jobs,
-		Workers:         env.Workers,
-		CheckpointEvery: *ckptEvery,
-		Tracer:          tracer,
-	}
-	if !*quiet {
-		sched.Observers = append(sched.Observers, progressObserver(os.Stdout))
-	}
 
 	start := time.Now()
-	results, err := sched.Run(ctx, sel.Jobs, store)
+	var results []sweep.JobResult
+	if *serveAddr != "" {
+		results, err = serveFleet(ctx, *serveAddr, *metricsAddr, sel.Jobs, store, fleet.Config{
+			LeaseTTL:        *leaseTTL,
+			CheckpointEvery: *ckptEvery,
+			Tracer:          tracer,
+		}, *quiet)
+	} else {
+		sched := &sweep.Scheduler{
+			Jobs:            *jobs,
+			Workers:         env.Workers,
+			CheckpointEvery: *ckptEvery,
+			Tracer:          tracer,
+		}
+		if !*quiet {
+			sched.Observers = append(sched.Observers, progressObserver(os.Stdout))
+		}
+		results, err = sched.Run(ctx, sel.Jobs, store)
+	}
 	// A partial trace of a failed sweep is still worth writing.
 	if serr := obsStop(); serr != nil && err == nil {
 		err = serr
@@ -166,6 +200,77 @@ func run(ctx context.Context, args []string) error {
 
 	return sel.Save(*outDir, results, func(name string, cells int) {
 		fmt.Printf("%-10s folded (%d cells)\n", name, cells)
+	})
+}
+
+// runWorker joins a fleet coordinator and executes leased jobs until
+// drained (sweep complete) or interrupted.
+func runWorker(ctx context.Context, addr, name string, quiet bool) error {
+	logf := func(string, ...any) {}
+	if !quiet {
+		logf = func(format string, args ...any) {
+			fmt.Printf("worker: "+format+"\n", args...)
+		}
+	}
+	err := fleet.RunWorker(ctx, fleet.WorkerConfig{Addr: addr, Name: name, Logf: logf})
+	if errors.Is(err, context.Canceled) {
+		return nil // ^C is an orderly exit, not a failure
+	}
+	return err
+}
+
+// serveFleet runs the coordinator side of a distributed sweep: lease
+// jobs to workers, persist their checkpoints and results, block until
+// the store is complete and compacted.
+func serveFleet(ctx context.Context, addr, metricsAddr string, jobs []sweep.Job, store *sweep.Store, cfg fleet.Config, quiet bool) ([]sweep.JobResult, error) {
+	if !quiet {
+		cfg.Observers = append(cfg.Observers, fleetProgressObserver(os.Stdout))
+	}
+	c, err := fleet.Serve(addr, jobs, store, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	fmt.Printf("coordinator on %s: %d jobs, lease %v, checkpoint every %d rounds\n",
+		c.Addr(), len(jobs), cfg.LeaseTTL, cfg.CheckpointEvery)
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		srv := &http.Server{Handler: c.MetricsHandler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("fleet metrics on http://%s/\n", ln.Addr())
+	}
+	return c.Wait(ctx)
+}
+
+// fleetProgressObserver renders one line per coordinator event.
+// Checkpoint uploads are deliberately silent — at tight cadences they
+// would drown the lease lifecycle.
+func fleetProgressObserver(w *os.File) fleet.Observer {
+	return fleet.ObserverFunc(func(e fleet.Event) {
+		switch e.Kind {
+		case fleet.WorkerJoined:
+			fmt.Fprintf(w, "[%3d/%d] join    %s\n", e.Done, e.Total, e.Worker)
+		case fleet.WorkerLeft:
+			fmt.Fprintf(w, "[%3d/%d] leave   %s\n", e.Done, e.Total, e.Worker)
+		case fleet.JobLeased:
+			if e.Round > 0 {
+				fmt.Fprintf(w, "[%3d/%d] lease   %s -> %s (resume after round %d)\n", e.Done, e.Total, e.Job.Name, e.Worker, e.Round)
+			} else {
+				fmt.Fprintf(w, "[%3d/%d] lease   %s -> %s\n", e.Done, e.Total, e.Job.Name, e.Worker)
+			}
+		case fleet.JobReassigned:
+			fmt.Fprintf(w, "[%3d/%d] requeue %s (was %s, round %d)\n", e.Done, e.Total, e.Job.Name, e.Worker, e.Round)
+		case fleet.JobRecorded:
+			fmt.Fprintf(w, "[%3d/%d] done    %s on %s\n", e.Done, e.Total, e.Job.Name, e.Worker)
+		case fleet.JobFailed:
+			fmt.Fprintf(w, "[%3d/%d] FAIL    %s on %s: %v\n", e.Done, e.Total, e.Job.Name, e.Worker, e.Err)
+		case fleet.SweepCompleted:
+			fmt.Fprintf(w, "[%3d/%d] sweep complete\n", e.Done, e.Total)
+		}
 	})
 }
 
@@ -270,6 +375,13 @@ func progressObserver(w *os.File) sweep.Observer {
 			fmt.Fprintf(w, "[%3d/%d] done   %s in %.2fs%s\n", e.Index+1, e.Total, e.Job.Name, e.HostSeconds, eta(e.Total))
 		case sweep.JobSkipped:
 			delete(pendingRounds, e.Job.ID)
+			// Seed the rate estimate from the skipped job's recorded host
+			// time (when the store still has it), so a resumed sweep's ETA
+			// starts from the completed work instead of from zero.
+			if e.HostSeconds > 0 {
+				execRounds += e.Job.Rounds
+				execHost += e.HostSeconds
+			}
 			fmt.Fprintf(w, "[%3d/%d] skip   %s (already in manifest)\n", e.Index+1, e.Total, e.Job.Name)
 		case sweep.JobFailed:
 			fmt.Fprintf(w, "[%3d/%d] FAIL   %s: %v\n", e.Index+1, e.Total, e.Job.Name, e.Err)

@@ -27,10 +27,15 @@
 // churned by registered availability traces and device-profile mixes,
 // from which each round deterministically samples a cohort onto the
 // Spec's client slots — configured through env.Spec's Population
-// fields and swept like any other axis. The shared CLI flag vocabulary
+// fields and swept like any other axis. The fleet plane in gsfl/fleet
+// distributes a sweep across processes and machines: a coordinator
+// owns the Store and leases jobs to pull-based workers over the
+// transport wire, with lease expiry, zombie fencing, and
+// checkpoint-sidecar handoff keeping the compacted store byte-identical
+// for any worker count or kill schedule. The shared CLI flag vocabulary
 // lives in gsfl/cliutil, built on the public API alone; env, sim,
-// sweep, and pop are the only packages allowed to import gsfl/internal
-// (enforced by a CI grep and env/boundary_test.go).
+// sweep, pop, and fleet are the only packages allowed to import
+// gsfl/internal (enforced by a CI grep and env/boundary_test.go).
 //
 // The implementation lives under internal/: a tensor and neural-network
 // training framework (internal/tensor, internal/nn, internal/loss,
@@ -55,7 +60,8 @@
 // population report),
 // cmd/gsfl-sweep runs named or custom experiment grids through the
 // sweep engine (concurrent, resumable, kill-safe; grid files may patch
-// any env.Spec field), cmd/gsfl-datagen renders synthetic GTSRB
+// any env.Spec field; -serve/-worker fan the grid across machines
+// through gsfl/fleet), cmd/gsfl-datagen renders synthetic GTSRB
 // samples, and cmd/gsfl-ap with cmd/gsfl-client run GSFL as real TCP
 // processes — all of them, like the examples, built exclusively on the
 // public packages. internal/benchmarks exposes one testing.B benchmark

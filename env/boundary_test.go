@@ -11,8 +11,8 @@ import (
 
 // TestNoInternalImportsOutsideShims enforces the public-surface
 // contract this package exists for: outside gsfl/internal, only the
-// four sanctioned shim packages — gsfl/env, gsfl/sim, gsfl/sweep,
-// gsfl/pop — may
+// sanctioned shim packages — gsfl/env, gsfl/sim, gsfl/sweep, gsfl/pop,
+// gsfl/fleet — may
 // import gsfl/internal/... . Commands, examples, and cliutil must build
 // entirely on the public API (their non-test sources and their tests
 // alike, except the shims' own tests, which may reach behind the
@@ -20,7 +20,7 @@ import (
 // grep so a violation fails fast even when tests are skipped.
 func TestNoInternalImportsOutsideShims(t *testing.T) {
 	root := ".." // this test lives in <repo>/env
-	sanctioned := map[string]bool{"env": true, "sim": true, "sweep": true, "pop": true}
+	sanctioned := map[string]bool{"env": true, "sim": true, "sweep": true, "pop": true, "fleet": true}
 
 	fset := token.NewFileSet()
 	var violations []string

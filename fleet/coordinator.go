@@ -1,0 +1,637 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"gsfl/internal/metrics"
+	"gsfl/internal/transport"
+	"gsfl/obs"
+	"gsfl/sim"
+	"gsfl/sweep"
+)
+
+// Config parameterizes a coordinator. The zero value of every optional
+// field is usable: defaults fill the cadences, the frame cap, and the
+// metrics registry.
+type Config struct {
+	// LeaseTTL is how long a lease survives without any message from
+	// its holder (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Retry is the poll interval handed to workers when all remaining
+	// jobs are leased (default DefaultRetry).
+	Retry time.Duration
+	// CheckpointEvery is the mid-job checkpoint cadence, in rounds,
+	// every worker must follow (0 disables mid-job handoff; a killed
+	// job then restarts from scratch on its next worker).
+	CheckpointEvery int
+	// MaxFrame caps a single frame's payload (0 = the transport
+	// default). Checkpoint uploads carry whole model states.
+	MaxFrame int
+	// Observers receive coordinator events.
+	Observers []Observer
+	// Tracer, when non-nil, records one wall-clock track per worker
+	// (lane "fleet"/<worker>): a span per leased job plus instants for
+	// joins, reassignments, and failures. Nil disables tracing.
+	Tracer *obs.Tracer
+}
+
+// jobState tracks one unique job through the lease lifecycle.
+type jobState struct {
+	idx  int
+	job  sweep.Job
+	done bool
+
+	leased    bool
+	worker    string // display name of the leaseholder
+	connID    uint64 // fencing: which connection holds the lease
+	nonce     uint64 // fencing: which grant the lease belongs to
+	deadline  time.Time
+	grantedAt time.Time
+	round     int // last checkpointed round
+}
+
+// Coordinator owns the sweep store and leases jobs to fleet workers.
+// Create one with Serve; it accepts connections until Close.
+type Coordinator struct {
+	cfg      Config
+	store    *sweep.Store
+	jobs     []sweep.Job // the caller's list, duplicates included
+	unique   []sweep.Job
+	indexOf  map[string]int
+	fp       uint64
+	listener net.Listener
+
+	reg           *metrics.Registry
+	mWorkers      *metrics.Gauge
+	mPending      *metrics.Gauge
+	mLeased       *metrics.Gauge
+	mDone         *metrics.Gauge
+	mGranted      *metrics.Counter
+	mReassigned   *metrics.Counter
+	mResults      *metrics.Counter
+	mStale        *metrics.Counter
+	mLeaseSeconds *metrics.Histogram
+	mCkptBytes    *metrics.Histogram
+
+	mu       sync.Mutex
+	states   []*jobState
+	byID     map[string]*jobState
+	conns    map[uint64]net.Conn // open worker connections, for Close
+	doneN    int
+	workers  int
+	nextConn uint64
+	nonces   uint64
+	firstErr error
+	finished bool // results recorded + store compacted (or sweep failed)
+	doneCh   chan struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts a coordinator listening on addr ("host:port"; port 0
+// picks a free one — see Addr). The store must be open and exclusive to
+// this process; jobs are deduplicated by content ID exactly like the
+// in-process Scheduler, and already-recorded jobs count as done
+// immediately.
+func Serve(addr string, jobs []sweep.Job, store *sweep.Store, cfg Config) (*Coordinator, error) {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Retry <= 0 {
+		cfg.Retry = DefaultRetry
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		store:   store,
+		jobs:    jobs,
+		indexOf: map[string]int{},
+		byID:    map[string]*jobState{},
+		conns:   map[uint64]net.Conn{},
+		doneCh:  make(chan struct{}),
+		reg:     metrics.NewRegistry(),
+	}
+	for _, j := range jobs {
+		if j.ID == "" {
+			return nil, fmt.Errorf("fleet: job %q has no ID (expand jobs via Grid.Jobs)", j.Name)
+		}
+		if _, ok := c.indexOf[j.ID]; ok {
+			continue
+		}
+		st := &jobState{idx: len(c.unique), job: j}
+		c.indexOf[j.ID] = st.idx
+		c.unique = append(c.unique, j)
+		c.states = append(c.states, st)
+		c.byID[j.ID] = st
+	}
+	// Resume: anything already in the manifest is done.
+	for _, st := range c.states {
+		if _, ok := store.Lookup(st.job.ID); ok {
+			st.done = true
+			c.doneN++
+		}
+	}
+	h := fnv.New64a()
+	for _, j := range c.unique {
+		_, _ = h.Write([]byte(j.ID))
+	}
+	c.fp = h.Sum64()
+
+	c.mWorkers = c.reg.Gauge("gsfl_fleet_workers", "Connected fleet workers.")
+	c.mPending = c.reg.Gauge("gsfl_fleet_jobs_pending", "Unique jobs not yet leased or done.")
+	c.mLeased = c.reg.Gauge("gsfl_fleet_jobs_leased", "Unique jobs currently leased to workers.")
+	c.mDone = c.reg.Gauge("gsfl_fleet_jobs_done", "Unique jobs recorded in the store.")
+	c.mGranted = c.reg.Counter("gsfl_fleet_leases_granted_total", "Job leases granted to workers.")
+	c.mReassigned = c.reg.Counter("gsfl_fleet_leases_reassigned_total", "Leases revoked after expiry or worker disconnect.")
+	c.mResults = c.reg.Counter("gsfl_fleet_results_total", "Job results accepted and recorded.")
+	c.mStale = c.reg.Counter("gsfl_fleet_stale_messages_total", "Messages fenced off by a stale lease nonce.")
+	c.mLeaseSeconds = c.reg.Histogram("gsfl_fleet_lease_seconds", "Wall-clock from lease grant to recorded result.", metrics.DefSecondsBuckets)
+	c.mCkptBytes = c.reg.Histogram("gsfl_fleet_checkpoint_bytes", "Checkpoint payload sizes uploaded by workers.", metrics.DefBytesBuckets)
+	c.gaugesLocked()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: listen %s: %w", addr, err)
+	}
+	c.listener = ln
+	// A sweep that is already fully recorded needs no workers.
+	c.mu.Lock()
+	c.maybeFinishLocked()
+	c.mu.Unlock()
+
+	c.wg.Add(2)
+	go c.acceptLoop()
+	go c.reaperLoop()
+	return c, nil
+}
+
+// Addr returns the coordinator's bound listen address.
+func (c *Coordinator) Addr() net.Addr { return c.listener.Addr() }
+
+// MetricsHandler exposes the fleet registry in Prometheus text format.
+func (c *Coordinator) MetricsHandler() http.Handler { return c.reg.Handler() }
+
+// Wait blocks until every unique job is recorded and the store
+// compacted (returning results fanned out to the caller's job order,
+// like Scheduler.Run), the sweep fails, or ctx is cancelled.
+func (c *Coordinator) Wait(ctx context.Context) ([]sweep.JobResult, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.doneCh:
+	}
+	c.mu.Lock()
+	err := c.firstErr
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sweep.JobResult, len(c.jobs))
+	for i, j := range c.jobs {
+		res, ok := c.store.Result(j)
+		if !ok {
+			return nil, fmt.Errorf("fleet: job %s completed but missing from store", j.Name)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// Close stops accepting and tears down every worker connection. Safe
+// to call more than once. Connected workers get a short grace period to
+// pull their drain reply and disconnect themselves — a worker that
+// outlives a completed sweep should exit cleanly, not with a dial
+// error — before any stragglers are cut off.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	if c.firstErr == nil && !c.finished {
+		c.firstErr = errors.New("fleet: coordinator closed before sweep completed")
+	}
+	c.finishLocked()
+	c.mu.Unlock()
+	if already {
+		return nil
+	}
+	err := c.listener.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c.mu.Lock()
+		if c.workers == 0 || time.Now().After(deadline) {
+			// Unblock handler goroutines parked in ReadFrame on any
+			// remaining connections, or the Wait below never returns.
+			for _, conn := range c.conns {
+				conn.Close()
+			}
+			c.mu.Unlock()
+			break
+		}
+		c.mu.Unlock()
+		time.Sleep(10 * time.Millisecond)
+	}
+	c.wg.Wait()
+	return err
+}
+
+// gaugesLocked refreshes the job gauges from the lease table.
+func (c *Coordinator) gaugesLocked() {
+	var pending, leased int64
+	for _, st := range c.states {
+		switch {
+		case st.done:
+		case st.leased:
+			leased++
+		default:
+			pending++
+		}
+	}
+	c.mPending.Set(pending)
+	c.mLeased.Set(leased)
+	c.mDone.Set(int64(c.doneN))
+}
+
+func (c *Coordinator) emitLocked(e Event) {
+	e.Done, e.Total = c.doneN, len(c.unique)
+	for _, o := range c.cfg.Observers {
+		o.OnEvent(e)
+	}
+}
+
+// finishLocked closes doneCh exactly once.
+func (c *Coordinator) finishLocked() {
+	select {
+	case <-c.doneCh:
+	default:
+		close(c.doneCh)
+	}
+}
+
+// maybeFinishLocked compacts and completes when the last job lands.
+func (c *Coordinator) maybeFinishLocked() {
+	if c.finished || c.firstErr != nil || c.doneN != len(c.unique) {
+		return
+	}
+	if err := c.store.Compact(c.unique); err != nil {
+		c.firstErr = err
+	}
+	c.finished = true
+	c.emitLocked(Event{Kind: SweepCompleted})
+	c.finishLocked()
+}
+
+func (c *Coordinator) failLocked(err error) {
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.finished = true
+	c.finishLocked()
+}
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	var conns sync.WaitGroup
+	defer conns.Wait()
+	for {
+		conn, err := c.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			c.handle(conn)
+		}()
+	}
+}
+
+// reaperLoop expires leases whose holders went silent.
+func (c *Coordinator) reaperLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.doneCh:
+			return
+		case now := <-tick.C:
+			c.mu.Lock()
+			for _, st := range c.states {
+				if st.leased && !st.done && now.After(st.deadline) {
+					c.releaseLocked(st, "lease expired")
+				}
+			}
+			c.gaugesLocked()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// releaseLocked returns a leased job to the pending pool. The nonce
+// advance fences every in-flight message from the old holder.
+func (c *Coordinator) releaseLocked(st *jobState, why string) {
+	if !st.leased {
+		return
+	}
+	st.leased = false
+	c.nonces++
+	st.nonce = c.nonces // invalidate the old grant
+	c.mReassigned.Inc()
+	if tk := c.cfg.Tracer.Lane("fleet", st.worker); tk.On() {
+		tk.WallInstant("reassign "+st.job.Name, "lease", why)
+	}
+	c.emitLocked(Event{Kind: JobReassigned, Worker: st.worker, Job: st.job, Round: st.round})
+}
+
+// handle runs one worker connection to completion.
+func (c *Coordinator) handle(conn net.Conn) {
+	defer conn.Close()
+	fc := transport.NewFleetConn(conn, c.cfg.MaxFrame)
+
+	// Handshake: the first frame must be a worker hello.
+	kind, payload, err := fc.ReadFrame()
+	if err != nil || kind != transport.FrameFleetHello {
+		return
+	}
+	hello, err := transport.DecodeFleetHello(payload)
+	if err != nil {
+		return
+	}
+	// Worker display names need not be unique; fencing uses connID.
+	// Track emission for this worker's obs lane is serialized under
+	// c.mu, because the reaper and other connections may also stamp it.
+	worker := hello.Worker
+	tk := c.cfg.Tracer.Lane("fleet", worker)
+	c.mu.Lock()
+	c.nextConn++
+	connID := c.nextConn
+	c.conns[connID] = conn
+	c.workers++
+	c.mWorkers.Set(int64(c.workers))
+	closed := c.closed
+	if tk.On() {
+		tk.WallInstant("join", "worker", fmt.Sprintf("pid %d", hello.PID))
+	}
+	c.emitLocked(Event{Kind: WorkerJoined, Worker: worker})
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+
+	defer func() {
+		c.mu.Lock()
+		delete(c.conns, connID)
+		c.workers--
+		c.mWorkers.Set(int64(c.workers))
+		// A dropped connection releases its leases immediately — no need
+		// to wait out the TTL.
+		for _, st := range c.states {
+			if st.leased && !st.done && st.connID == connID {
+				c.releaseLocked(st, "worker disconnected")
+			}
+		}
+		c.gaugesLocked()
+		c.emitLocked(Event{Kind: WorkerLeft, Worker: worker})
+		c.mu.Unlock()
+	}()
+
+	if err := fc.WriteWelcome(transport.FleetWelcome{
+		Fingerprint:     c.fp,
+		Jobs:            len(c.unique),
+		LeaseMillis:     int(c.cfg.LeaseTTL / time.Millisecond),
+		RetryMillis:     int(c.cfg.Retry / time.Millisecond),
+		CheckpointEvery: c.cfg.CheckpointEvery,
+	}); err != nil {
+		return
+	}
+
+	for {
+		kind, payload, err := fc.ReadFrame()
+		if err != nil {
+			return // EOF or broken conn; the deferred release handles leases
+		}
+		switch kind {
+		case transport.FrameFleetLease:
+			if _, err := transport.DecodeFleetLease(payload); err != nil {
+				return
+			}
+			if err := c.grantLease(fc, tk, worker, connID); err != nil {
+				return
+			}
+		case transport.FrameFleetProgress:
+			msg, err := transport.DecodeFleetProgress(payload)
+			if err != nil {
+				return
+			}
+			if err := fc.WriteAck(transport.FleetAck{OK: c.applyProgress(worker, connID, msg)}); err != nil {
+				return
+			}
+		case transport.FrameFleetResult:
+			msg, err := transport.DecodeFleetResult(payload)
+			if err != nil {
+				return
+			}
+			ok, rerr := c.applyResult(tk, worker, connID, msg)
+			if rerr != nil {
+				return
+			}
+			if err := fc.WriteAck(transport.FleetAck{OK: ok}); err != nil {
+				return
+			}
+		case transport.FrameFleetHeartbeat:
+			msg, err := transport.DecodeFleetHeartbeat(payload)
+			if err != nil {
+				return
+			}
+			if err := fc.WriteAck(transport.FleetAck{OK: c.renewLease(connID, msg.JobID)}); err != nil {
+				return
+			}
+		default:
+			return // protocol violation
+		}
+	}
+}
+
+// grantLease answers one lease request: a job grant (with checkpoint
+// handoff when a usable one exists), a wait, or a drain.
+func (c *Coordinator) grantLease(fc *transport.FleetConn, tk *obs.Track, worker string, connID uint64) error {
+	c.mu.Lock()
+	if c.finished || c.firstErr != nil || c.closed {
+		c.mu.Unlock()
+		return fc.WriteLease(transport.FleetLease{Status: transport.LeaseDrain})
+	}
+	var st *jobState
+	for _, s := range c.states {
+		if !s.done && !s.leased {
+			st = s
+			break
+		}
+	}
+	if st == nil {
+		c.mu.Unlock()
+		return fc.WriteLease(transport.FleetLease{
+			Status:      transport.LeaseWait,
+			RetryMillis: int(c.cfg.Retry / time.Millisecond),
+		})
+	}
+
+	// Checkpoint handoff: attach the previous holder's uploaded state
+	// when it passes the same soundness check the Scheduler applies
+	// (checkpoint and progress sidecar agree on scheme and round).
+	j := st.job
+	var progJSON, ckpt []byte
+	handoffRound := 0
+	if c.cfg.CheckpointEvery > 0 && c.store.HasCheckpoint(j) {
+		prior, ok := c.store.LoadProgress(j)
+		scheme, ckptRound, peekErr := sim.PeekCheckpoint(c.store.CheckpointPath(j))
+		if ok && peekErr == nil && scheme == j.Scheme && ckptRound == prior.Round && ckptRound < j.Rounds {
+			if data, ok := c.store.ReadCheckpoint(j); ok {
+				if buf, err := json.Marshal(prior); err == nil {
+					progJSON, ckpt = buf, data
+					handoffRound = prior.Round
+				}
+			}
+		}
+		if ckpt == nil {
+			c.store.DropTransient(j)
+		}
+	}
+
+	jobJSON, err := sweep.MarshalJobWire(j)
+	if err != nil {
+		c.failLocked(fmt.Errorf("fleet: encoding job %s: %w", j.Name, err))
+		c.mu.Unlock()
+		return fc.WriteLease(transport.FleetLease{Status: transport.LeaseDrain})
+	}
+	st.leased = true
+	st.worker = worker
+	st.connID = connID
+	c.nonces++
+	st.nonce = c.nonces
+	st.grantedAt = time.Now()
+	st.deadline = st.grantedAt.Add(c.cfg.LeaseTTL)
+	st.round = handoffRound
+	c.mGranted.Inc()
+	c.gaugesLocked()
+	tk.WallInstant("lease "+j.Name, "lease", fmt.Sprintf("from round %d", handoffRound))
+	c.emitLocked(Event{Kind: JobLeased, Worker: worker, Job: j, Round: handoffRound})
+	c.mu.Unlock()
+
+	return fc.WriteLease(transport.FleetLease{
+		Status:   transport.LeaseGrant,
+		JobID:    j.ID,
+		Job:      jobJSON,
+		Progress: progJSON,
+		Ckpt:     ckpt,
+	})
+}
+
+// leaseOfLocked returns the job state iff connID currently holds its
+// lease. Stale holders (expired, reassigned, or already-done jobs) get
+// nil — their messages are fenced, not applied.
+func (c *Coordinator) leaseOfLocked(connID uint64, jobID string) *jobState {
+	st, ok := c.byID[jobID]
+	if !ok || st.done || !st.leased || st.connID != connID {
+		return nil
+	}
+	return st
+}
+
+// applyProgress persists a checkpoint upload and renews the lease.
+// Returns false when the sender no longer holds the lease.
+func (c *Coordinator) applyProgress(worker string, connID uint64, msg transport.FleetProgress) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.leaseOfLocked(connID, msg.JobID)
+	if st == nil {
+		c.mStale.Inc()
+		return false
+	}
+	var p sweep.Progress
+	if err := json.Unmarshal(msg.Progress, &p); err != nil || p.Round != msg.Round {
+		c.mStale.Inc()
+		return false
+	}
+	// Checkpoint first, then the sidecar — the same write order the
+	// Scheduler's resume-soundness rule assumes.
+	if err := c.store.WriteCheckpoint(st.job, msg.Ckpt); err != nil {
+		return false
+	}
+	if err := c.store.SaveProgress(st.job, p); err != nil {
+		return false
+	}
+	st.round = msg.Round
+	st.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	c.mCkptBytes.Observe(float64(len(msg.Ckpt)))
+	c.emitLocked(Event{Kind: JobProgressed, Worker: worker, Job: st.job, Round: msg.Round})
+	return true
+}
+
+// applyResult records a completed job (or aborts the sweep on a worker
+// failure). Results are accepted from any current leaseholder; a
+// zombie's duplicate result for an already-done job is acked OK —
+// results are bit-identical by contract, so the first write stands.
+func (c *Coordinator) applyResult(tk *obs.Track, worker string, connID uint64, msg transport.FleetResult) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.byID[msg.JobID]
+	if !ok {
+		c.mStale.Inc()
+		return false, nil
+	}
+	if st.done {
+		return true, nil // duplicate finish from a fenced zombie
+	}
+	if cur := c.leaseOfLocked(connID, msg.JobID); cur == nil {
+		c.mStale.Inc()
+		return false, nil
+	}
+	if msg.Failed {
+		err := fmt.Errorf("fleet: job %s failed on %s: %s", st.job.Name, worker, msg.Body)
+		c.emitLocked(Event{Kind: JobFailed, Worker: worker, Job: st.job, Err: err})
+		c.failLocked(err)
+		return true, nil
+	}
+	var parts sweep.ResultParts
+	if err := json.Unmarshal(msg.Body, &parts); err != nil {
+		c.failLocked(fmt.Errorf("fleet: decoding result for %s: %w", st.job.Name, err))
+		return false, nil
+	}
+	if err := c.store.Record(sweep.ResultFrom(st.job, parts)); err != nil {
+		c.failLocked(err)
+		return false, nil
+	}
+	_ = c.store.RecordTiming(st.job.ID, msg.HostSeconds)
+	st.done = true
+	st.leased = false
+	c.doneN++
+	c.mResults.Inc()
+	c.mLeaseSeconds.Observe(time.Since(st.grantedAt).Seconds())
+	tk.WallSpanAt(st.job.Name, "job", st.grantedAt, time.Since(st.grantedAt))
+	c.gaugesLocked()
+	c.emitLocked(Event{Kind: JobRecorded, Worker: worker, Job: st.job})
+	c.maybeFinishLocked()
+	return true, nil
+}
+
+// renewLease extends a heartbeating holder's deadline. Returns false
+// when the lease is gone (the worker must abandon the job).
+func (c *Coordinator) renewLease(connID uint64, jobID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.leaseOfLocked(connID, jobID)
+	if st == nil {
+		c.mStale.Inc()
+		return false
+	}
+	st.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	return true
+}

@@ -1,0 +1,445 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"gsfl/fleet"
+	"gsfl/internal/experiment"
+	"gsfl/internal/transport"
+	"gsfl/sweep"
+)
+
+const (
+	workerEnvAddr = "GSFL_FLEET_TEST_WORKER"
+	workerEnvName = "GSFL_FLEET_TEST_NAME"
+)
+
+// TestMain doubles as the worker entry point for the multi-process
+// tests: when workerEnvAddr names a coordinator, the re-exec'd test
+// binary runs a fleet worker to completion instead of the test suite.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv(workerEnvAddr); addr != "" {
+		err := fleet.RunWorker(context.Background(), fleet.WorkerConfig{
+			Addr: addr,
+			Name: os.Getenv(workerEnvName),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fleet test worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// testGrid is a small 2x2 grid over the CI spec: 4 jobs, 3 rounds each.
+func testGrid() sweep.Grid {
+	return sweep.Grid{
+		Name: "t", Base: experiment.TestSpec(), Rounds: 3, EvalEvery: 1,
+		Axes: sweep.Axes{
+			Groups:  []int{1, 2},
+			Schemes: []string{"gsfl", "sl"},
+		},
+	}
+}
+
+func jobsOf(t *testing.T, g sweep.Grid) []sweep.Job {
+	t.Helper()
+	jobs, err := g.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// referenceTree runs the grid through the in-process Scheduler at
+// Jobs=1 — the determinism contract's ground truth — and returns the
+// resulting store as path->content.
+func referenceTree(t *testing.T, jobs []sweep.Job) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := sweep.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	sched := &sweep.Scheduler{Jobs: 1, CheckpointEvery: 1}
+	if _, err := sched.Run(context.Background(), jobs, store); err != nil {
+		t.Fatal(err)
+	}
+	return readTree(t, dir)
+}
+
+// readTree returns path->content for every file under dir.
+func readTree(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			return err
+		}
+		out[rel] = string(buf)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func requireSameTree(t *testing.T, want, got map[string]string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("store file counts differ: got %d, want %d (got %v)", len(got), len(want), keys(got))
+	}
+	for path, body := range want {
+		if got[path] != body {
+			t.Fatalf("store file %s differs from the single-process reference", path)
+		}
+	}
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// workerOK filters the expected shutdown paths of an in-process worker:
+// a drained worker returns nil, a cancelled one its context error.
+func workerOK(err error) bool {
+	return err == nil || errors.Is(err, context.Canceled)
+}
+
+// TestFleetByteIdenticalToSingleProcess is the distributed half of the
+// determinism contract: a grid swept by a coordinator and two
+// in-process workers leaves a store byte-identical to a Jobs=1
+// single-process run, and Wait fans results out to the caller's job
+// order just like Scheduler.Run.
+func TestFleetByteIdenticalToSingleProcess(t *testing.T) {
+	jobs := jobsOf(t, testGrid())
+	want := referenceTree(t, jobs)
+
+	dir := t.TempDir()
+	store, err := sweep.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	c, err := fleet.Serve("127.0.0.1:0", jobs, store, fleet.Config{CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fleet.RunWorker(ctx, fleet.WorkerConfig{
+				Addr: c.Addr().String(), Name: fmt.Sprintf("w%d", i),
+			})
+		}(i)
+	}
+
+	wctx, wcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer wcancel()
+	results, err := c.Wait(wctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	wg.Wait()
+	for i, werr := range errs {
+		if !workerOK(werr) {
+			t.Fatalf("worker %d: %v", i, werr)
+		}
+	}
+
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	for i, res := range results {
+		if res.Job.ID != jobs[i].ID {
+			t.Fatalf("result %d is job %s, want %s", i, res.Job.ID, jobs[i].ID)
+		}
+	}
+	requireSameTree(t, want, readTree(t, dir))
+}
+
+func workerCmd(addr, name string) *exec.Cmd {
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), workerEnvAddr+"="+addr, workerEnvName+"="+name)
+	cmd.Stderr = os.Stderr
+	return cmd
+}
+
+// TestFleetKillAndRejoinByteIdentical is the acceptance test: a worker
+// process is SIGKILLed mid-job (deterministically — coordinator events
+// fire before the ack frame, so the kill lands while the worker blocks
+// on its first checkpoint upload), a replacement process joins, resumes
+// the orphaned job from its uploaded checkpoint, and the final store is
+// byte-identical to an uninterrupted single-process run.
+func TestFleetKillAndRejoinByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	jobs := jobsOf(t, testGrid())
+	want := referenceTree(t, jobs)
+
+	dir := t.TempDir()
+	store, err := sweep.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	var (
+		mu       sync.Mutex
+		victim   *os.Process
+		killOnce sync.Once
+		killed   = make(chan struct{})
+		handoffs int
+	)
+	observer := fleet.ObserverFunc(func(e fleet.Event) {
+		switch e.Kind {
+		case fleet.JobProgressed:
+			// First checkpoint persisted: kill its worker before the ack
+			// goes out. The worker dies mid-job, every time.
+			killOnce.Do(func() {
+				mu.Lock()
+				p := victim
+				mu.Unlock()
+				if p != nil {
+					p.Kill()
+				}
+				close(killed)
+			})
+		case fleet.JobLeased:
+			if e.Round > 0 {
+				mu.Lock()
+				handoffs++
+				mu.Unlock()
+			}
+		}
+	})
+
+	c, err := fleet.Serve("127.0.0.1:0", jobs, store, fleet.Config{
+		LeaseTTL:        10 * time.Second,
+		CheckpointEvery: 1,
+		Observers:       []fleet.Observer{observer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	w1 := workerCmd(c.Addr().String(), "victim")
+	if err := w1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	victim = w1.Process
+	mu.Unlock()
+
+	select {
+	case <-killed:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("no checkpoint upload arrived; worker never progressed")
+	}
+	_ = w1.Wait() // reap; a SIGKILLed process reports an error by design
+
+	w2 := workerCmd(c.Addr().String(), "rejoin")
+	if err := w2.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	wctx, wcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer wcancel()
+	results, err := c.Wait(wctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Wait(); err != nil {
+		t.Fatalf("rejoined worker exited abnormally: %v", err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+	mu.Lock()
+	resumed := handoffs
+	mu.Unlock()
+	if resumed == 0 {
+		t.Fatal("no lease carried a checkpoint handoff — the killed job was not resumed mid-flight")
+	}
+	requireSameTree(t, want, readTree(t, dir))
+}
+
+// TestFleetLeaseExpiryReassigns covers the silent-failure path the
+// kill test cannot: a worker that holds its connection open but stops
+// heartbeating (a hung process, a one-way partition). Its lease must
+// expire, the job reassign, and every later message from the zombie be
+// fenced with a failed ack.
+func TestFleetLeaseExpiryReassigns(t *testing.T) {
+	jobs := jobsOf(t, testGrid())
+	dir := t.TempDir()
+	store, err := sweep.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	reassigned := make(chan struct{}, len(jobs))
+	observer := fleet.ObserverFunc(func(e fleet.Event) {
+		if e.Kind == fleet.JobReassigned {
+			select {
+			case reassigned <- struct{}{}:
+			default:
+			}
+		}
+	})
+	c, err := fleet.Serve("127.0.0.1:0", jobs, store, fleet.Config{
+		LeaseTTL:        250 * time.Millisecond,
+		CheckpointEvery: 1,
+		Observers:       []fleet.Observer{observer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The zombie: takes a lease, then goes silent without disconnecting.
+	conn, err := net.Dial("tcp", c.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fc := transport.NewFleetConn(conn, 0)
+	if err := fc.WriteHello(transport.FleetHello{Worker: "zombie", PID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err := fc.ReadFrame()
+	if err != nil || kind != transport.FrameFleetHello {
+		t.Fatalf("welcome: kind %d err %v", kind, err)
+	}
+	if _, err := transport.DecodeFleetWelcome(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.WriteLeaseRequest(); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err = fc.ReadFrame()
+	if err != nil || kind != transport.FrameFleetLease {
+		t.Fatalf("lease reply: kind %d err %v", kind, err)
+	}
+	lease, err := transport.DecodeFleetLease(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Status != transport.LeaseGrant {
+		t.Fatalf("lease status %d, want grant", lease.Status)
+	}
+
+	select {
+	case <-reassigned:
+	case <-time.After(10 * time.Second):
+		t.Fatal("silent worker's lease never expired")
+	}
+
+	// The fence: the zombie's heartbeat for its revoked lease must be
+	// answered, but with OK=false.
+	if err := fc.WriteHeartbeat(transport.FleetHeartbeat{JobID: lease.JobID, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	kind, payload, err = fc.ReadFrame()
+	if err != nil || kind != transport.FrameFleetHeartbeat {
+		t.Fatalf("heartbeat ack: kind %d err %v", kind, err)
+	}
+	ack, err := transport.DecodeFleetAck(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.OK {
+		t.Fatal("heartbeat on an expired lease renewed it")
+	}
+	conn.Close()
+
+	// A live worker finishes the sweep, the zombie's job included.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- fleet.RunWorker(ctx, fleet.WorkerConfig{Addr: c.Addr().String(), Name: "live"})
+	}()
+	wctx, wcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer wcancel()
+	results, err := c.Wait(wctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if werr := <-done; !workerOK(werr) {
+		t.Fatalf("live worker: %v", werr)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+}
+
+// TestFleetResumesCompletedStore: serving a grid over a store that
+// already holds every result completes immediately, without workers.
+func TestFleetResumesCompletedStore(t *testing.T) {
+	jobs := jobsOf(t, testGrid())
+	dir := t.TempDir()
+	store, err := sweep.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&sweep.Scheduler{Jobs: 2}).Run(context.Background(), jobs, store); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	store2, err := sweep.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	c, err := fleet.Serve("127.0.0.1:0", jobs, store2, fleet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	wctx, wcancel := context.WithTimeout(context.Background(), time.Minute)
+	defer wcancel()
+	results, err := c.Wait(wctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(jobs))
+	}
+}

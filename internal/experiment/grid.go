@@ -204,6 +204,15 @@ func hashJob(scheme string, s Spec, rounds, evalEvery int) (string, error) {
 	return fmt.Sprintf("%016x", h.Sum64()), nil
 }
 
+// RehashJob recomputes a job's content-hash ID from its fields — the
+// integrity check a fleet worker runs on a job received over the wire:
+// a decoded job whose recomputed hash differs from its claimed ID was
+// corrupted (or built by a coordinator with drifted identity rules) and
+// must not execute under the claimed identity.
+func RehashJob(j Job) (string, error) {
+	return hashJob(j.Scheme, j.Spec, j.Rounds, j.EvalEvery)
+}
+
 // canonicalizeSpec rewrites the spec's extension names to their
 // canonical registry forms (empty strategy/dataset/arch to defaults,
 // aliases like "propfair" to "proportional-fair"). An empty allocator

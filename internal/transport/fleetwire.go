@@ -1,0 +1,527 @@
+package transport
+
+// This file defines the fleet job plane's wire format — the frames a
+// sweep coordinator and its pull-based workers exchange (gsfl/fleet) —
+// layered on the same length-prefixed binary framing as the tensor
+// frames above. The protocol is strictly request/response and always
+// worker-initiated:
+//
+//	hello     worker -> coord   registration (role=worker)
+//	hello     coord  -> worker  welcome: grid fingerprint, lease/ckpt config
+//	lease     worker -> coord   empty payload: "give me a job"
+//	lease     coord  -> worker  grant (job + optional checkpoint handoff),
+//	                            wait (all jobs leased; poll again), or
+//	                            drain (sweep complete; disconnect)
+//	progress  worker -> coord   checkpoint upload at a round boundary
+//	result    worker -> coord   completed (or failed) job
+//	heartbeat worker -> coord   lease keepalive between checkpoints
+//	heartbeat coord  -> worker  ack for progress/result/heartbeat; the
+//	                            OK flag is the lease-validity signal
+//
+// Frame payloads (str := u32 len | bytes; blob := u32 len | bytes):
+//
+//	fleetHello(worker) := u32 magic | u16 fleetVersion | u8 role=0 |
+//	                      str worker | u64 pid
+//	fleetHello(coord)  := u32 magic | u16 fleetVersion | u8 role=1 |
+//	                      u64 fingerprint | u32 jobs |
+//	                      u32 leaseMillis | u32 retryMillis | u32 ckptEvery
+//	lease(request)     := (empty)
+//	lease(reply)       := u8 status | status=grant: str jobID | blob job |
+//	                      blob progress | blob ckpt
+//	                    | status=wait: u32 retryMillis
+//	                    | status=drain: (nothing)
+//	progress           := str jobID | u32 round | f64 hostSeconds |
+//	                      blob progress | blob ckpt
+//	result             := str jobID | u8 failed | f64 hostSeconds | blob body
+//	heartbeat(worker)  := u8 role=0 | str jobID | u32 round
+//	heartbeat(coord)   := u8 role=1 | u8 flags (bit0 = lease valid)
+//
+// Job, progress, and result bodies are JSON (Go's float64 encoding
+// round-trips exactly, so the determinism contract survives the wire);
+// checkpoint blobs are the sim checkpoint files verbatim. Every decoder
+// validates claimed lengths against the remaining payload before
+// allocating, exactly like the tensor decoders, and every fleet frame
+// is seeded into FuzzDecodeFrame.
+
+import (
+	"fmt"
+	"net"
+)
+
+// Fleet frame kinds, continuing the numbering after the tensor frames
+// (a gap is left so future tensor-plane frames don't collide).
+const (
+	FrameFleetHello     byte = 16
+	FrameFleetLease     byte = 17
+	FrameFleetProgress  byte = 18
+	FrameFleetResult    byte = 19
+	FrameFleetHeartbeat byte = 20
+)
+
+// fleetVersion guards coordinator/worker protocol compatibility
+// independently of the tensor-plane wireVersion.
+const fleetVersion = 1
+
+// Lease reply statuses.
+const (
+	// LeaseGrant carries a job (and possibly a checkpoint handoff).
+	LeaseGrant byte = 1
+	// LeaseWait means every remaining job is leased out; poll again.
+	LeaseWait byte = 2
+	// LeaseDrain means the sweep is complete; disconnect.
+	LeaseDrain byte = 3
+)
+
+// Hello roles.
+const (
+	fleetRoleWorker byte = 0
+	fleetRoleCoord  byte = 1
+)
+
+// maxFleetNameLen bounds worker names and job IDs on the wire.
+const maxFleetNameLen = 1024
+
+// FleetHello is a worker's registration frame.
+type FleetHello struct {
+	Worker string
+	PID    uint64
+}
+
+// FleetWelcome is the coordinator's reply: the grid fingerprint (an
+// FNV-64a over the unique job IDs, for logs and sanity checks), the
+// total unique job count, and the lease/checkpoint cadences every
+// worker must follow.
+type FleetWelcome struct {
+	Fingerprint     uint64
+	Jobs            int
+	LeaseMillis     int
+	RetryMillis     int
+	CheckpointEvery int
+}
+
+// FleetLease is a lease reply. Status is LeaseGrant, LeaseWait, or
+// LeaseDrain; the job fields are set only on a grant. Progress and Ckpt
+// carry a checkpoint handoff (both empty for a fresh job): the sweep
+// progress sidecar JSON and the sim checkpoint file of a previous
+// partial execution, which the worker resumes bit-identically.
+type FleetLease struct {
+	Status      byte
+	JobID       string
+	Job         []byte
+	Progress    []byte
+	Ckpt        []byte
+	RetryMillis int
+}
+
+// FleetProgress is a worker's checkpoint upload after a round boundary:
+// the progress sidecar JSON plus the sim checkpoint bytes, which the
+// coordinator persists into the store so the job survives both worker
+// and coordinator kills.
+type FleetProgress struct {
+	JobID       string
+	Round       int
+	HostSeconds float64
+	Progress    []byte
+	Ckpt        []byte
+}
+
+// FleetResult reports a finished job: the result parts JSON on success,
+// or an error string when Failed.
+type FleetResult struct {
+	JobID       string
+	Failed      bool
+	HostSeconds float64
+	Body        []byte
+}
+
+// FleetHeartbeat is a worker's lease keepalive.
+type FleetHeartbeat struct {
+	JobID string
+	Round int
+}
+
+// FleetAck is the coordinator's reply to progress, result, and
+// heartbeat frames. OK reports that the worker still holds the lease
+// (respectively, that the result was accepted); on false the worker
+// must abandon the job and request a new lease.
+type FleetAck struct {
+	OK bool
+}
+
+// --- encoding helpers ---------------------------------------------------
+
+func (e *wireEnc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *wireEnc) blob(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// --- decoding helpers ---------------------------------------------------
+
+// str reads a length-prefixed string bounded by maxFleetNameLen.
+func (d *wireDec) str() string {
+	n := int(d.u32())
+	if d.err != nil {
+		return ""
+	}
+	if n > maxFleetNameLen {
+		d.fail("string length %d exceeds %d", n, maxFleetNameLen)
+		return ""
+	}
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// blob reads a length-prefixed byte string. The returned slice is a
+// copy, so it survives the connection's read-buffer reuse.
+func (d *wireDec) blob() []byte {
+	n := int(d.u32())
+	if d.err != nil || !d.need(n) {
+		return nil
+	}
+	b := append([]byte(nil), d.b[d.off:d.off+n]...)
+	d.off += n
+	return b
+}
+
+// --- message codecs -----------------------------------------------------
+
+func decodeFleetRole(d *wireDec, want byte, what string) bool {
+	if magic := d.u32(); d.err == nil && magic != wireMagic {
+		d.fail("bad fleet hello magic %#x", magic)
+	}
+	if v := d.u16(); d.err == nil && v != fleetVersion {
+		d.fail("fleet protocol version %d, want %d", v, fleetVersion)
+	}
+	if role := d.u8(); d.err == nil && role != want {
+		d.fail("fleet hello role %d is not a %s", role, what)
+	}
+	return d.err == nil
+}
+
+// DecodeFleetHello decodes a worker registration frame.
+func DecodeFleetHello(p []byte) (FleetHello, error) {
+	d := wireDec{b: p}
+	if !decodeFleetRole(&d, fleetRoleWorker, "worker hello") {
+		return FleetHello{}, d.err
+	}
+	h := FleetHello{Worker: d.str(), PID: d.u64()}
+	if err := d.finish(); err != nil {
+		return FleetHello{}, err
+	}
+	if h.Worker == "" {
+		return FleetHello{}, fmt.Errorf("transport: fleet hello with empty worker name")
+	}
+	return h, nil
+}
+
+// DecodeFleetWelcome decodes a coordinator welcome frame.
+func DecodeFleetWelcome(p []byte) (FleetWelcome, error) {
+	d := wireDec{b: p}
+	if !decodeFleetRole(&d, fleetRoleCoord, "coordinator welcome") {
+		return FleetWelcome{}, d.err
+	}
+	w := FleetWelcome{
+		Fingerprint:     d.u64(),
+		Jobs:            int(d.u32()),
+		LeaseMillis:     int(d.u32()),
+		RetryMillis:     int(d.u32()),
+		CheckpointEvery: int(d.u32()),
+	}
+	if err := d.finish(); err != nil {
+		return FleetWelcome{}, err
+	}
+	if w.LeaseMillis <= 0 || w.RetryMillis <= 0 {
+		return FleetWelcome{}, fmt.Errorf("transport: fleet welcome with non-positive cadences (lease %dms, retry %dms)", w.LeaseMillis, w.RetryMillis)
+	}
+	return w, nil
+}
+
+// DecodeFleetLease decodes a lease frame. An empty payload is the
+// worker's request; otherwise it is the coordinator's reply.
+func DecodeFleetLease(p []byte) (FleetLease, error) {
+	if len(p) == 0 {
+		return FleetLease{}, nil // request
+	}
+	d := wireDec{b: p}
+	l := FleetLease{Status: d.u8()}
+	switch l.Status {
+	case LeaseGrant:
+		l.JobID = d.str()
+		l.Job = d.blob()
+		l.Progress = d.blob()
+		l.Ckpt = d.blob()
+	case LeaseWait:
+		l.RetryMillis = int(d.u32())
+		if d.err == nil && l.RetryMillis <= 0 {
+			d.fail("lease wait with retry %dms", l.RetryMillis)
+		}
+	case LeaseDrain:
+	default:
+		d.fail("unknown lease status %d", l.Status)
+	}
+	if err := d.finish(); err != nil {
+		return FleetLease{}, err
+	}
+	if l.Status == LeaseGrant {
+		if l.JobID == "" {
+			return FleetLease{}, fmt.Errorf("transport: lease grant with empty job id")
+		}
+		if len(l.Job) == 0 {
+			return FleetLease{}, fmt.Errorf("transport: lease grant with empty job body")
+		}
+	}
+	return l, nil
+}
+
+// DecodeFleetProgress decodes a checkpoint-upload frame.
+func DecodeFleetProgress(p []byte) (FleetProgress, error) {
+	d := wireDec{b: p}
+	m := FleetProgress{JobID: d.str(), Round: int(d.u32()), HostSeconds: d.f64()}
+	m.Progress = d.blob()
+	m.Ckpt = d.blob()
+	if err := d.finish(); err != nil {
+		return FleetProgress{}, err
+	}
+	if m.JobID == "" {
+		return FleetProgress{}, fmt.Errorf("transport: progress frame with empty job id")
+	}
+	if m.Round <= 0 {
+		return FleetProgress{}, fmt.Errorf("transport: progress frame at round %d", m.Round)
+	}
+	return m, nil
+}
+
+// DecodeFleetResult decodes a job-completion frame.
+func DecodeFleetResult(p []byte) (FleetResult, error) {
+	d := wireDec{b: p}
+	m := FleetResult{JobID: d.str()}
+	switch f := d.u8(); f {
+	case 0:
+	case 1:
+		m.Failed = true
+	default:
+		d.fail("result frame failure flag %d", f)
+	}
+	m.HostSeconds = d.f64()
+	m.Body = d.blob()
+	if err := d.finish(); err != nil {
+		return FleetResult{}, err
+	}
+	if m.JobID == "" {
+		return FleetResult{}, fmt.Errorf("transport: result frame with empty job id")
+	}
+	return m, nil
+}
+
+// DecodeFleetHeartbeat decodes a worker keepalive frame.
+func DecodeFleetHeartbeat(p []byte) (FleetHeartbeat, error) {
+	d := wireDec{b: p}
+	if role := d.u8(); d.err == nil && role != fleetRoleWorker {
+		d.fail("heartbeat role %d is not a worker keepalive", role)
+	}
+	m := FleetHeartbeat{JobID: d.str(), Round: int(d.u32())}
+	if err := d.finish(); err != nil {
+		return FleetHeartbeat{}, err
+	}
+	if m.JobID == "" {
+		return FleetHeartbeat{}, fmt.Errorf("transport: heartbeat with empty job id")
+	}
+	return m, nil
+}
+
+// DecodeFleetAck decodes a coordinator ack (heartbeat kind, role=coord).
+func DecodeFleetAck(p []byte) (FleetAck, error) {
+	d := wireDec{b: p}
+	if role := d.u8(); d.err == nil && role != fleetRoleCoord {
+		d.fail("heartbeat role %d is not a coordinator ack", role)
+	}
+	flags := d.u8()
+	if err := d.finish(); err != nil {
+		return FleetAck{}, err
+	}
+	return FleetAck{OK: flags&1 != 0}, nil
+}
+
+// decodeFleetHeartbeatAny dispatches a heartbeat-kind payload by role —
+// the fuzz entry point for both directions.
+func decodeFleetHeartbeatAny(p []byte) error {
+	if len(p) > 0 && p[0] == fleetRoleCoord {
+		_, err := DecodeFleetAck(p)
+		return err
+	}
+	_, err := DecodeFleetHeartbeat(p)
+	return err
+}
+
+// decodeFleetHelloAny dispatches a hello-kind payload by role.
+func decodeFleetHelloAny(p []byte) error {
+	// The role byte sits after the u32 magic and u16 version.
+	if len(p) > 6 && p[6] == fleetRoleCoord {
+		_, err := DecodeFleetWelcome(p)
+		return err
+	}
+	_, err := DecodeFleetHello(p)
+	return err
+}
+
+// decodeFleetFrame dispatches a fleet payload through its kind's
+// decoder, discarding the result — the fuzz surface for the job plane,
+// exercising exactly what the coordinator and workers run on untrusted
+// input.
+func decodeFleetFrame(kind byte, p []byte) error {
+	switch kind {
+	case FrameFleetHello:
+		return decodeFleetHelloAny(p)
+	case FrameFleetLease:
+		_, err := DecodeFleetLease(p)
+		return err
+	case FrameFleetProgress:
+		_, err := DecodeFleetProgress(p)
+		return err
+	case FrameFleetResult:
+		_, err := DecodeFleetResult(p)
+		return err
+	case FrameFleetHeartbeat:
+		return decodeFleetHeartbeatAny(p)
+	default:
+		return fmt.Errorf("transport: unknown fleet frame kind %d", kind)
+	}
+}
+
+// --- FleetConn ----------------------------------------------------------
+
+// FleetConn frames one coordinator/worker connection. Like the tensor
+// plane's frameConn it is single-buffer in each direction and strictly
+// request/response; unlike it, both the frame kinds and the codec
+// surface are exported, because the job plane lives in gsfl/fleet
+// rather than in this package.
+type FleetConn struct {
+	fc *frameConn
+}
+
+// NewFleetConn frames c with the given payload cap (<= 0 uses
+// DefaultMaxFrameBytes — checkpoint handoffs carry whole model states,
+// so the cap stays generous).
+func NewFleetConn(c net.Conn, maxFrame int) *FleetConn {
+	return &FleetConn{fc: newFrameConn(c, maxFrame)}
+}
+
+// Conn returns the underlying connection (for deadlines and Close).
+func (f *FleetConn) Conn() net.Conn { return f.fc.c }
+
+// Close closes the underlying connection.
+func (f *FleetConn) Close() error { return f.fc.c.Close() }
+
+// ReadFrame returns the next frame's kind and payload. The payload is
+// valid until the next ReadFrame call; the Decode* functions copy any
+// byte strings they return.
+func (f *FleetConn) ReadFrame() (byte, []byte, error) { return f.fc.readFrame() }
+
+// WriteHello sends a worker registration.
+func (f *FleetConn) WriteHello(h FleetHello) error {
+	e := &f.fc.enc
+	e.begin(FrameFleetHello)
+	e.u32(wireMagic)
+	e.u16(fleetVersion)
+	e.u8(fleetRoleWorker)
+	e.str(h.Worker)
+	e.u64(h.PID)
+	return f.fc.flush()
+}
+
+// WriteWelcome sends the coordinator's hello reply.
+func (f *FleetConn) WriteWelcome(w FleetWelcome) error {
+	e := &f.fc.enc
+	e.begin(FrameFleetHello)
+	e.u32(wireMagic)
+	e.u16(fleetVersion)
+	e.u8(fleetRoleCoord)
+	e.u64(w.Fingerprint)
+	e.u32(uint32(w.Jobs))
+	e.u32(uint32(w.LeaseMillis))
+	e.u32(uint32(w.RetryMillis))
+	e.u32(uint32(w.CheckpointEvery))
+	return f.fc.flush()
+}
+
+// WriteLeaseRequest sends the worker's empty-payload job request.
+func (f *FleetConn) WriteLeaseRequest() error {
+	f.fc.enc.begin(FrameFleetLease)
+	return f.fc.flush()
+}
+
+// WriteLease sends a lease reply.
+func (f *FleetConn) WriteLease(l FleetLease) error {
+	e := &f.fc.enc
+	e.begin(FrameFleetLease)
+	e.u8(l.Status)
+	switch l.Status {
+	case LeaseGrant:
+		e.str(l.JobID)
+		e.blob(l.Job)
+		e.blob(l.Progress)
+		e.blob(l.Ckpt)
+	case LeaseWait:
+		e.u32(uint32(l.RetryMillis))
+	}
+	return f.fc.flush()
+}
+
+// WriteProgress sends a checkpoint upload.
+func (f *FleetConn) WriteProgress(m FleetProgress) error {
+	e := &f.fc.enc
+	e.begin(FrameFleetProgress)
+	e.str(m.JobID)
+	e.u32(uint32(m.Round))
+	e.f64(m.HostSeconds)
+	e.blob(m.Progress)
+	e.blob(m.Ckpt)
+	return f.fc.flush()
+}
+
+// WriteResult sends a job completion.
+func (f *FleetConn) WriteResult(m FleetResult) error {
+	e := &f.fc.enc
+	e.begin(FrameFleetResult)
+	e.str(m.JobID)
+	if m.Failed {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.f64(m.HostSeconds)
+	e.blob(m.Body)
+	return f.fc.flush()
+}
+
+// WriteHeartbeat sends a worker keepalive.
+func (f *FleetConn) WriteHeartbeat(m FleetHeartbeat) error {
+	e := &f.fc.enc
+	e.begin(FrameFleetHeartbeat)
+	e.u8(fleetRoleWorker)
+	e.str(m.JobID)
+	e.u32(uint32(m.Round))
+	return f.fc.flush()
+}
+
+// WriteAck sends a coordinator ack.
+func (f *FleetConn) WriteAck(a FleetAck) error {
+	e := &f.fc.enc
+	e.begin(FrameFleetHeartbeat)
+	e.u8(fleetRoleCoord)
+	var flags byte
+	if a.OK {
+		flags |= 1
+	}
+	e.u8(flags)
+	return f.fc.flush()
+}

@@ -1,0 +1,378 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+)
+
+// testLeaseGrant is a representative grant with a checkpoint handoff.
+func testLeaseGrant() FleetLease {
+	return FleetLease{
+		Status:   LeaseGrant,
+		JobID:    "a1b2c3d4e5f60718",
+		Job:      []byte(`{"name":"fig2a/gsfl-g4","rounds":6}`),
+		Progress: []byte(`{"round":4,"total_seconds":12.5}`),
+		Ckpt:     bytes.Repeat([]byte{0xAB, 0xCD}, 512),
+	}
+}
+
+// fleetPipe returns two FleetConns joined by an in-memory pipe.
+func fleetPipe(t *testing.T, maxFrame int) (*FleetConn, *FleetConn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return NewFleetConn(a, maxFrame), NewFleetConn(b, maxFrame)
+}
+
+// sendRecv runs write on one end and returns the frame the other reads.
+func sendRecv(t *testing.T, w, r *FleetConn, write func() error) (byte, []byte) {
+	t.Helper()
+	errc := make(chan error, 1)
+	go func() { errc <- write() }()
+	kind, payload, err := r.ReadFrame()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Copy: the buffer is only valid until the next ReadFrame.
+	return kind, append([]byte(nil), payload...)
+}
+
+func TestFleetHelloRoundTrip(t *testing.T) {
+	w, r := fleetPipe(t, 0)
+	kind, p := sendRecv(t, w, r, func() error {
+		return w.WriteHello(FleetHello{Worker: "worker-3", PID: 4321})
+	})
+	if kind != FrameFleetHello {
+		t.Fatalf("kind %d", kind)
+	}
+	h, err := DecodeFleetHello(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Worker != "worker-3" || h.PID != 4321 {
+		t.Fatalf("decoded %+v", h)
+	}
+}
+
+func TestFleetWelcomeRoundTrip(t *testing.T) {
+	w, r := fleetPipe(t, 0)
+	want := FleetWelcome{Fingerprint: 0xDEADBEEFCAFE, Jobs: 65, LeaseMillis: 15000, RetryMillis: 250, CheckpointEvery: 2}
+	kind, p := sendRecv(t, w, r, func() error { return w.WriteWelcome(want) })
+	if kind != FrameFleetHello {
+		t.Fatalf("kind %d", kind)
+	}
+	got, err := DecodeFleetWelcome(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("decoded %+v, want %+v", got, want)
+	}
+	// A welcome payload must not decode as a worker hello, and vice versa.
+	if _, err := DecodeFleetHello(p); err == nil {
+		t.Fatal("welcome decoded as worker hello")
+	}
+}
+
+func TestFleetLeaseRoundTrip(t *testing.T) {
+	w, r := fleetPipe(t, 0)
+
+	// Request: empty payload.
+	kind, p := sendRecv(t, w, r, w.WriteLeaseRequest)
+	if kind != FrameFleetLease || len(p) != 0 {
+		t.Fatalf("request kind %d payload %d bytes", kind, len(p))
+	}
+	if l, err := DecodeFleetLease(p); err != nil || l.Status != 0 {
+		t.Fatalf("request decoded %+v, %v", l, err)
+	}
+
+	// Grant with checkpoint handoff.
+	want := testLeaseGrant()
+	_, p = sendRecv(t, r, w, func() error { return r.WriteLease(want) })
+	got, err := DecodeFleetLease(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != LeaseGrant || got.JobID != want.JobID ||
+		!bytes.Equal(got.Job, want.Job) || !bytes.Equal(got.Progress, want.Progress) ||
+		!bytes.Equal(got.Ckpt, want.Ckpt) {
+		t.Fatalf("grant changed in transit: %+v", got)
+	}
+
+	// Fresh-job grant: empty progress and checkpoint blobs survive.
+	fresh := FleetLease{Status: LeaseGrant, JobID: "id", Job: []byte(`{}`)}
+	_, p = sendRecv(t, r, w, func() error { return r.WriteLease(fresh) })
+	if got, err = DecodeFleetLease(p); err != nil || len(got.Ckpt) != 0 || len(got.Progress) != 0 {
+		t.Fatalf("fresh grant decoded %+v, %v", got, err)
+	}
+
+	// Wait and drain.
+	_, p = sendRecv(t, r, w, func() error {
+		return r.WriteLease(FleetLease{Status: LeaseWait, RetryMillis: 300})
+	})
+	if got, err = DecodeFleetLease(p); err != nil || got.Status != LeaseWait || got.RetryMillis != 300 {
+		t.Fatalf("wait decoded %+v, %v", got, err)
+	}
+	_, p = sendRecv(t, r, w, func() error {
+		return r.WriteLease(FleetLease{Status: LeaseDrain})
+	})
+	if got, err = DecodeFleetLease(p); err != nil || got.Status != LeaseDrain {
+		t.Fatalf("drain decoded %+v, %v", got, err)
+	}
+}
+
+func TestFleetProgressRoundTrip(t *testing.T) {
+	w, r := fleetPipe(t, 0)
+	want := FleetProgress{
+		JobID:       "a1b2c3d4e5f60718",
+		Round:       4,
+		HostSeconds: 3.14159,
+		Progress:    []byte(`{"round":4}`),
+		Ckpt:        bytes.Repeat([]byte{7}, 100),
+	}
+	kind, p := sendRecv(t, w, r, func() error { return w.WriteProgress(want) })
+	if kind != FrameFleetProgress {
+		t.Fatalf("kind %d", kind)
+	}
+	got, err := DecodeFleetProgress(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobID != want.JobID || got.Round != want.Round || got.HostSeconds != want.HostSeconds ||
+		!bytes.Equal(got.Progress, want.Progress) || !bytes.Equal(got.Ckpt, want.Ckpt) {
+		t.Fatalf("progress changed in transit: %+v", got)
+	}
+}
+
+func TestFleetResultRoundTrip(t *testing.T) {
+	w, r := fleetPipe(t, 0)
+	ok := FleetResult{JobID: "id1", HostSeconds: 2.5, Body: []byte(`{"total_seconds":9.75}`)}
+	_, p := sendRecv(t, w, r, func() error { return w.WriteResult(ok) })
+	got, err := DecodeFleetResult(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Failed || got.JobID != "id1" || got.HostSeconds != 2.5 || !bytes.Equal(got.Body, ok.Body) {
+		t.Fatalf("result changed in transit: %+v", got)
+	}
+	failed := FleetResult{JobID: "id2", Failed: true, Body: []byte("env build: bad arch")}
+	_, p = sendRecv(t, w, r, func() error { return w.WriteResult(failed) })
+	if got, err = DecodeFleetResult(p); err != nil || !got.Failed || string(got.Body) != "env build: bad arch" {
+		t.Fatalf("failed result decoded %+v, %v", got, err)
+	}
+}
+
+func TestFleetHeartbeatAndAckRoundTrip(t *testing.T) {
+	w, r := fleetPipe(t, 0)
+	kind, p := sendRecv(t, w, r, func() error {
+		return w.WriteHeartbeat(FleetHeartbeat{JobID: "id", Round: 3})
+	})
+	if kind != FrameFleetHeartbeat {
+		t.Fatalf("kind %d", kind)
+	}
+	hb, err := DecodeFleetHeartbeat(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.JobID != "id" || hb.Round != 3 {
+		t.Fatalf("heartbeat %+v", hb)
+	}
+	// A worker keepalive must not parse as a coordinator ack.
+	if _, err := DecodeFleetAck(p); err == nil {
+		t.Fatal("keepalive decoded as ack")
+	}
+
+	for _, okFlag := range []bool{true, false} {
+		_, p = sendRecv(t, r, w, func() error { return r.WriteAck(FleetAck{OK: okFlag}) })
+		ack, err := DecodeFleetAck(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.OK != okFlag {
+			t.Fatalf("ack OK=%v, want %v", ack.OK, okFlag)
+		}
+	}
+}
+
+// TestFleetBlobsDoNotAliasReadBuffer pins the copy-out contract: decoded
+// blobs must survive the connection's read-buffer reuse on the next
+// frame.
+func TestFleetBlobsDoNotAliasReadBuffer(t *testing.T) {
+	w, r := fleetPipe(t, 0)
+	first := testLeaseGrant()
+	_, p := sendRecv(t, w, r, func() error { return w.WriteLease(first) })
+	got, err := DecodeFleetLease(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the read buffer with a different frame of the same size.
+	second := testLeaseGrant()
+	for i := range second.Ckpt {
+		second.Ckpt[i] = 0x11
+	}
+	sendRecv(t, w, r, func() error { return w.WriteLease(second) })
+	if !bytes.Equal(got.Ckpt, first.Ckpt) {
+		t.Fatal("decoded checkpoint blob aliases the connection read buffer")
+	}
+}
+
+func TestFleetDecodersRejectHostileInput(t *testing.T) {
+	grantPayload := func() []byte {
+		var e wireEnc
+		e.begin(FrameFleetLease)
+		l := testLeaseGrant()
+		e.u8(l.Status)
+		e.str(l.JobID)
+		e.blob(l.Job)
+		e.blob(l.Progress)
+		e.blob(l.Ckpt)
+		return append([]byte(nil), e.finish()[frameHeaderLen:]...)
+	}()
+	cases := []struct {
+		name string
+		kind byte
+		p    []byte
+	}{
+		{"hello empty", FrameFleetHello, nil},
+		{"hello bad magic", FrameFleetHello, []byte{0xEF, 0xBE, 0xAD, 0xDE, 1, 0, 0}},
+		{"hello bad version", FrameFleetHello, []byte{0x4C, 0x46, 0x53, 0x47, 99, 0, 0}},
+		{"hello bad role", FrameFleetHello, []byte{0x4C, 0x46, 0x53, 0x47, 1, 0, 7}},
+		{"hello empty worker name", FrameFleetHello, []byte{0x4C, 0x46, 0x53, 0x47, 1, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8}},
+		// str length claims 64 KiB in a near-empty payload: must error
+		// before allocating.
+		{"hello name flood", FrameFleetHello, []byte{0x4C, 0x46, 0x53, 0x47, 1, 0, 0, 0xFF, 0xFF, 0, 0}},
+		{"welcome truncated", FrameFleetHello, []byte{0x4C, 0x46, 0x53, 0x47, 1, 0, 1, 9}},
+		{"welcome zero cadence", FrameFleetHello, append([]byte{0x4C, 0x46, 0x53, 0x47, 1, 0, 1}, make([]byte, 24)...)},
+		{"lease unknown status", FrameFleetLease, []byte{9}},
+		{"lease truncated grant", FrameFleetLease, grantPayload[:len(grantPayload)/2]},
+		{"lease trailing garbage", FrameFleetLease, append(append([]byte(nil), grantPayload...), 0xFF)},
+		{"lease empty job id", FrameFleetLease, []byte{LeaseGrant, 0, 0, 0, 0, 1, 0, 0, 0, 'x', 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"lease wait zero retry", FrameFleetLease, []byte{LeaseWait, 0, 0, 0, 0}},
+		{"lease drain trailing", FrameFleetLease, []byte{LeaseDrain, 1}},
+		// blob length claims ~2 GiB backed by nothing: must error, not
+		// allocate.
+		{"lease ckpt flood", FrameFleetLease, []byte{LeaseGrant, 2, 0, 0, 0, 'i', 'd', 1, 0, 0, 0, 'x', 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F}},
+		{"progress empty", FrameFleetProgress, nil},
+		{"progress zero round", FrameFleetProgress, []byte{2, 0, 0, 0, 'i', 'd', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"result empty", FrameFleetResult, nil},
+		{"result bad flag", FrameFleetResult, []byte{2, 0, 0, 0, 'i', 'd', 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"heartbeat empty", FrameFleetHeartbeat, nil},
+		{"heartbeat bad role", FrameFleetHeartbeat, []byte{9, 0}},
+		{"heartbeat empty job id", FrameFleetHeartbeat, []byte{0, 0, 0, 0, 0, 0, 0, 0, 0}},
+		{"ack truncated", FrameFleetHeartbeat, []byte{1}},
+		{"ack trailing", FrameFleetHeartbeat, []byte{1, 1, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := decodeFrame(tc.kind, tc.p); err == nil {
+				t.Fatal("hostile payload accepted")
+			}
+		})
+	}
+}
+
+func TestFleetConnRejectsOversizePayload(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	sender := NewFleetConn(a, 0)
+	receiver := NewFleetConn(b, 64) // tiny cap on the receiving side
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- sender.WriteLease(testLeaseGrant())
+	}()
+	if _, _, err := receiver.ReadFrame(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read err %v, want ErrFrameTooLarge", err)
+	}
+	a.Close() // release the blocked writer
+	<-errc
+
+	// The cap also applies on the encode side.
+	big := NewFleetConn(a, 16)
+	if err := big.WriteLease(testLeaseGrant()); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write err %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFleetConnSurfacesShortWrite(t *testing.T) {
+	fc := NewFleetConn(&shortWriteConn{}, 0)
+	if err := fc.WriteLeaseRequest(); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err %v, want ErrShortWrite", err)
+	}
+}
+
+// fleetFuzzSeeds feeds one well-formed frame of every fleet message into
+// FuzzDecodeFrame's corpus (the shared addFrame helper also seeds the
+// half-truncated and trailing-byte variants).
+func fleetFuzzSeeds(addFrame func(build func(e *wireEnc))) {
+	addFrame(func(e *wireEnc) {
+		e.begin(FrameFleetHello)
+		e.u32(wireMagic)
+		e.u16(fleetVersion)
+		e.u8(fleetRoleWorker)
+		e.str("worker-1")
+		e.u64(99)
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(FrameFleetHello)
+		e.u32(wireMagic)
+		e.u16(fleetVersion)
+		e.u8(fleetRoleCoord)
+		e.u64(0xFEEDFACE)
+		e.u32(65)
+		e.u32(15000)
+		e.u32(250)
+		e.u32(2)
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(FrameFleetLease)
+		l := testLeaseGrant()
+		e.u8(l.Status)
+		e.str(l.JobID)
+		e.blob(l.Job)
+		e.blob(l.Progress)
+		e.blob(l.Ckpt)
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(FrameFleetLease)
+		e.u8(LeaseWait)
+		e.u32(250)
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(FrameFleetLease)
+		e.u8(LeaseDrain)
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(FrameFleetProgress)
+		e.str("a1b2c3d4")
+		e.u32(4)
+		e.f64(3.25)
+		e.blob([]byte(`{"round":4}`))
+		e.blob([]byte{1, 2, 3, 4})
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(FrameFleetResult)
+		e.str("a1b2c3d4")
+		e.u8(0)
+		e.f64(9.5)
+		e.blob([]byte(`{"total_seconds":1.5}`))
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(FrameFleetHeartbeat)
+		e.u8(fleetRoleWorker)
+		e.str("a1b2c3d4")
+		e.u32(3)
+	})
+	addFrame(func(e *wireEnc) {
+		e.begin(FrameFleetHeartbeat)
+		e.u8(fleetRoleCoord)
+		e.u8(1)
+	})
+}

@@ -531,6 +531,8 @@ func decodeFrame(kind byte, p []byte) error {
 			return fmt.Errorf("transport: shutdown frame carries %d payload bytes", len(p))
 		}
 		return nil
+	case FrameFleetHello, FrameFleetLease, FrameFleetProgress, FrameFleetResult, FrameFleetHeartbeat:
+		return decodeFleetFrame(kind, p)
 	default:
 		return fmt.Errorf("transport: unknown frame kind %d", kind)
 	}

@@ -338,6 +338,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(byte(0), []byte{})
 	f.Add(byte(255), []byte{0xFF, 0xFF, 0xFF, 0xFF})
 
+	// The fleet job plane's frames (hello/lease/progress/result/heartbeat)
+	// share this fuzz target; their seeds live next to their codecs.
+	fleetFuzzSeeds(addFrame)
+
 	f.Fuzz(func(t *testing.T, kind byte, payload []byte) {
 		_ = decodeFrame(kind, payload)
 	})

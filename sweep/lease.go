@@ -1,0 +1,232 @@
+package sweep
+
+// Leased execution: the pieces the fleet job plane (gsfl/fleet) needs
+// to run one store-less job on a remote worker while keeping the
+// determinism contract. The coordinator owns the Store; a worker gets a
+// Job (and possibly a checkpoint handoff) over the wire, executes it
+// with RunLeased against a scratch directory, streams checkpoints back
+// through a callback, and ships the result home as ResultParts. All
+// cross-process payloads are JSON: Go's float64 encoding round-trips
+// exactly, so a result reconstructed on the coordinator is bit-equal to
+// one computed in-process.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gsfl/internal/experiment"
+	"gsfl/internal/metrics"
+	"gsfl/internal/simnet"
+	"gsfl/sim"
+)
+
+// wireJob is a Job's cross-process encoding. Job.Spec is json:"-" (a
+// spec has no place in manifests), so the fleet wire spells it out
+// explicitly.
+type wireJob struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Scheme    string `json:"scheme"`
+	Rounds    int    `json:"rounds"`
+	EvalEvery int    `json:"eval_every"`
+	Spec      Spec   `json:"spec"`
+}
+
+// MarshalJobWire encodes a job, spec included, for the fleet wire.
+func MarshalJobWire(j Job) ([]byte, error) {
+	return json.Marshal(wireJob{
+		ID: j.ID, Name: j.Name, Scheme: j.Scheme,
+		Rounds: j.Rounds, EvalEvery: j.EvalEvery, Spec: j.Spec,
+	})
+}
+
+// UnmarshalJobWire decodes a job received over the fleet wire and
+// verifies its integrity by recomputing the content-hash ID: a job
+// whose bytes do not hash to the ID it claims must not execute under
+// that identity.
+func UnmarshalJobWire(data []byte) (Job, error) {
+	var w wireJob
+	if err := json.Unmarshal(data, &w); err != nil {
+		return Job{}, fmt.Errorf("sweep: decoding wire job: %w", err)
+	}
+	j := Job{ID: w.ID, Name: w.Name, Scheme: w.Scheme, Rounds: w.Rounds, EvalEvery: w.EvalEvery, Spec: w.Spec}
+	id, err := experiment.RehashJob(j)
+	if err != nil {
+		return Job{}, fmt.Errorf("sweep: wire job %s: %w", w.Name, err)
+	}
+	if id != w.ID {
+		return Job{}, fmt.Errorf("sweep: wire job %s claims ID %s but hashes to %s", w.Name, w.ID, id)
+	}
+	return j, nil
+}
+
+// RehashJob recomputes a job's content-hash ID from its fields.
+func RehashJob(j Job) (string, error) { return experiment.RehashJob(j) }
+
+// ResultParts is a JobResult's cross-process encoding: everything the
+// coordinator needs to reconstruct the result (and so the manifest
+// entry) bit-identically, without shipping internal ledger types.
+type ResultParts struct {
+	TotalSeconds float64            `json:"total_seconds"`
+	Components   map[string]float64 `json:"components"`
+	Points       []Point            `json:"points"`
+}
+
+// PartsOf flattens a completed job's result for the fleet wire.
+func PartsOf(res JobResult) ResultParts {
+	p := ResultParts{TotalSeconds: res.TotalSeconds, Components: map[string]float64{}}
+	for _, c := range simnet.Components() {
+		if v := res.Ledger.Get(c); v != 0 {
+			p.Components[c.String()] = v
+		}
+	}
+	if res.Curve != nil {
+		for _, pt := range res.Curve.Points {
+			p.Points = append(p.Points, Point{
+				Round: pt.Round, LatencySeconds: pt.LatencySeconds, Loss: pt.Loss, Accuracy: pt.Accuracy,
+			})
+		}
+	}
+	return p
+}
+
+// ResultFrom reconstructs a JobResult from its wire parts, paired with
+// the coordinator's own canonical Job — exactly the inverse of PartsOf,
+// mirroring how Store.Result rebuilds results from manifest entries.
+func ResultFrom(j Job, parts ResultParts) JobResult {
+	res := JobResult{Job: j, TotalSeconds: parts.TotalSeconds}
+	res.Curve = &metrics.Curve{Scheme: j.Scheme, Points: make([]metrics.Point, len(parts.Points))}
+	for i, p := range parts.Points {
+		res.Curve.Points[i] = metrics.Point{
+			Round: p.Round, LatencySeconds: p.LatencySeconds, Loss: p.Loss, Accuracy: p.Accuracy,
+		}
+	}
+	for _, c := range simnet.Components() {
+		if v, ok := parts.Components[c.String()]; ok {
+			res.Ledger.Add(c, v)
+		}
+	}
+	return res
+}
+
+// LeaseCheckpoint is the handoff state attached to a lease of a
+// partially-executed job: the progress sidecar plus the sim checkpoint
+// bytes a previous worker uploaded before dying.
+type LeaseCheckpoint struct {
+	Progress Progress
+	Ckpt     []byte
+}
+
+// LeaseCallbacks observe a leased job's execution. All callbacks are
+// invoked synchronously from the training goroutine, in round order.
+type LeaseCallbacks struct {
+	// OnRound fires after every completed round.
+	OnRound func(round, rounds int, hostSeconds float64)
+	// OnResumed fires once, before training, when the job continues from
+	// the handoff checkpoint rather than starting fresh.
+	OnResumed func(round int)
+	// OnCheckpoint fires at every checkpoint boundary with the progress
+	// sidecar and the checkpoint bytes just written. An error aborts the
+	// job (the worker lost its lease, or the coordinator is gone).
+	OnCheckpoint func(p Progress, ckpt []byte) error
+}
+
+// RunLeased executes one job on a fleet worker: the store-less mirror
+// of the Scheduler's per-job path. The sim checkpoint lives under
+// scratchDir; handoff, when valid (sim.PeekCheckpoint agrees with the
+// progress sidecar, same resume-soundness rule as the Scheduler's),
+// seeds a bit-identical mid-job resume, and is otherwise discarded —
+// never wrong, only slower. Checkpoint bytes stream back through
+// cb.OnCheckpoint for the coordinator to persist.
+func RunLeased(ctx context.Context, j Job, scratchDir string, checkpointEvery int, handoff *LeaseCheckpoint, cb LeaseCallbacks) (JobResult, error) {
+	ckptPath := filepath.Join(scratchDir, j.ID+".ckpt")
+	defer os.Remove(ckptPath)
+
+	// Validate the handoff before running (exactly runOne's rule): the
+	// checkpoint and the progress sidecar must describe the same round
+	// boundary of the same scheme, with rounds still to run.
+	var prior Progress
+	resume := false
+	if handoff != nil && len(handoff.Ckpt) > 0 {
+		if err := os.WriteFile(ckptPath, handoff.Ckpt, 0o644); err != nil {
+			return JobResult{}, fmt.Errorf("sweep: staging handoff checkpoint: %w", err)
+		}
+		scheme, ckptRound, peekErr := sim.PeekCheckpoint(ckptPath)
+		if peekErr == nil && scheme == j.Scheme && ckptRound == handoff.Progress.Round && ckptRound < j.Rounds {
+			prior = handoff.Progress
+			resume = true
+		} else {
+			os.Remove(ckptPath)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The accumulating observer, seeded like the Scheduler's so resumed
+	// floating-point summation order matches an uninterrupted run.
+	sum := simnet.Ledger{}
+	for _, c := range simnet.Components() {
+		if v, ok := prior.Components[c.String()]; ok {
+			sum.Add(c, v)
+		}
+	}
+	totalSec := prior.TotalSeconds
+	var cbErr error
+	observer := sim.WithObserver(sim.ObserverFunc(func(e sim.RoundEvent) {
+		sum.Merge(e.Ledger)
+		totalSec += e.RoundSeconds
+		if e.CheckpointPath != "" && cb.OnCheckpoint != nil && cbErr == nil {
+			comp := map[string]float64{}
+			for _, c := range simnet.Components() {
+				if v := sum.Get(c); v != 0 {
+					comp[c.String()] = v
+				}
+			}
+			data, err := os.ReadFile(e.CheckpointPath)
+			if err == nil {
+				err = cb.OnCheckpoint(Progress{Round: e.Round, Components: comp, TotalSeconds: totalSec}, data)
+			}
+			if err != nil {
+				// Losing the lease (or the coordinator) aborts the job; the
+				// context cancellation lands at the next round boundary.
+				cbErr = err
+				cancel()
+			}
+		}
+		if cb.OnRound != nil {
+			cb.OnRound(e.Round, e.Rounds, e.HostSeconds)
+		}
+	}))
+	opts := []sim.RunOption{observer}
+	if checkpointEvery > 0 {
+		opts = append(opts,
+			sim.WithCheckpointPath(ckptPath),
+			sim.WithCheckpointEvery(checkpointEvery),
+		)
+	}
+
+	var (
+		res JobResult
+		err error
+	)
+	if resume {
+		if cb.OnResumed != nil {
+			cb.OnResumed(prior.Round)
+		}
+		var startRound int
+		res, startRound, err = experiment.ResumeJob(ctx, j, ckptPath, priorLedger(prior), prior.TotalSeconds, opts...)
+		if err == nil && startRound != prior.Round {
+			err = fmt.Errorf("sweep: job %s: handoff checkpoint moved from round %d to %d during resume", j.Name, prior.Round, startRound)
+		}
+	} else {
+		res, err = experiment.RunJob(ctx, j, opts...)
+	}
+	if cbErr != nil {
+		return JobResult{}, cbErr
+	}
+	return res, err
+}

@@ -220,7 +220,11 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, store *Store) ([]JobRes
 func (s *Scheduler) runOne(ctx context.Context, j Job, idx, total int, store *Store, emit func(Event)) (JobResult, error) {
 	if store != nil {
 		if res, ok := store.Result(j); ok {
-			emit(Event{Kind: JobSkipped, Job: j, Index: idx, Total: total, Rounds: j.Rounds})
+			// The timings sidecar (when the recording run left one) carries
+			// the job's real host cost, so a resumed sweep's ETA starts from
+			// the completed work instead of zero.
+			hostSec, _ := store.HostSecondsOf(j.ID)
+			emit(Event{Kind: JobSkipped, Job: j, Index: idx, Total: total, Rounds: j.Rounds, HostSeconds: hostSec})
 			return res, nil
 		}
 	}
@@ -237,7 +241,7 @@ func (s *Scheduler) runOne(ctx context.Context, j Job, idx, total int, store *St
 	// observer. prior seeds the cumulative accumulators on resume.
 	var opts []sim.RunOption
 	checkpointing := store != nil && s.CheckpointEvery > 0
-	makeObserver := func(prior progress) sim.RunOption {
+	makeObserver := func(prior Progress) sim.RunOption {
 		sum := simnet.Ledger{}
 		for _, c := range simnet.Components() {
 			if v, ok := prior.Components[c.String()]; ok {
@@ -257,7 +261,7 @@ func (s *Scheduler) runOne(ctx context.Context, j Job, idx, total int, store *St
 				}
 				// A failed progress write only costs resume work for this
 				// job; the run itself is unaffected.
-				_ = store.SaveProgress(j, progress{Round: e.Round, Components: comp, TotalSeconds: totalSec})
+				_ = store.SaveProgress(j, Progress{Round: e.Round, Components: comp, TotalSeconds: totalSec})
 			}
 			if tk.On() {
 				d := time.Duration(e.HostSeconds * float64(time.Second))
@@ -316,7 +320,7 @@ func (s *Scheduler) runOne(ctx context.Context, j Job, idx, total int, store *St
 		}
 	}
 	if !resumed {
-		ropts := append([]sim.RunOption{makeObserver(progress{})}, opts...)
+		ropts := append([]sim.RunOption{makeObserver(Progress{})}, opts...)
 		emit(Event{Kind: JobStarted, Job: j, Index: idx, Total: total, Rounds: j.Rounds})
 		res, err = experiment.RunJob(ctx, j, ropts...)
 		if err != nil {
@@ -327,20 +331,23 @@ func (s *Scheduler) runOne(ctx context.Context, j Job, idx, total int, store *St
 		}
 	}
 
+	hostSec := time.Since(start).Seconds()
 	if store != nil {
 		if err := store.Record(res); err != nil {
 			return JobResult{}, err
 		}
+		// Advisory: feeds the resumed-sweep ETA, never the manifest.
+		_ = store.RecordTiming(j.ID, hostSec)
 	}
 	emit(Event{
 		Kind: JobDone, Job: j, Index: idx, Total: total,
-		Round: j.Rounds, Rounds: j.Rounds, HostSeconds: time.Since(start).Seconds(),
+		Round: j.Rounds, Rounds: j.Rounds, HostSeconds: hostSec,
 	})
 	return res, nil
 }
 
 // priorLedger reconstructs a progress sidecar's component sums.
-func priorLedger(p progress) simnet.Ledger {
+func priorLedger(p Progress) simnet.Ledger {
 	var l simnet.Ledger
 	for _, c := range simnet.Components() {
 		if v, ok := p.Components[c.String()]; ok {

@@ -3,11 +3,14 @@ package sweep
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
+	"time"
 
 	"gsfl/internal/metrics"
 	"gsfl/internal/simnet"
@@ -29,6 +32,15 @@ const (
 	manifestName = "manifest.jsonl"
 	curvesDir    = "curves"
 	ckptDir      = "ckpt"
+	// timingsName is a transient host wall-clock sidecar: one line per
+	// recorded job ({"id":…,"host_seconds":…}), appended on Record and
+	// deleted on Compact. It exists so a resumed sweep can seed its ETA
+	// from the completed jobs' real cost without host time ever reaching
+	// the manifest — a completed store stays byte-identical across
+	// machines and kill schedules.
+	timingsName = "timings.jsonl"
+	// lockName is the store's advisory-lock file.
+	lockName = ".lock"
 )
 
 // Point is one stored curve evaluation (a metrics.Point with fixed JSON
@@ -64,39 +76,56 @@ type Entry struct {
 	CurveFile string  `json:"curve_file"`
 }
 
-// progress is the transient sidecar persisted next to a job's sim
+// Progress is the transient sidecar persisted next to a job's sim
 // checkpoint: the sweep-level accumulators the checkpoint itself does
 // not carry. Round must match the checkpoint's completed rounds; a
 // mismatch (crash between the two writes) discards both and the job
 // restarts from scratch — determinism is never at risk, only work.
-type progress struct {
+// It is exported because the fleet coordinator ships it to workers as
+// part of a lease's checkpoint handoff.
+type Progress struct {
 	Round        int                `json:"round"`
 	Components   map[string]float64 `json:"components"`
 	TotalSeconds float64            `json:"total_seconds"`
 }
 
+// ErrStoreLocked reports a store directory already held open by another
+// process (a live coordinator or scheduler).
+var ErrStoreLocked = errors.New("sweep: store is locked by another process")
+
 // Store is the durable state of a sweep. It is safe for concurrent use
-// by one Scheduler.
+// by one Scheduler. An open Store holds an exclusive advisory lock on
+// its directory, so two processes (say, a fleet coordinator and a
+// stray single-process sweep) cannot interleave manifest appends.
 type Store struct {
 	dir string
 
 	mu      sync.Mutex
 	entries map[string]*Entry
-	f       *os.File // manifest append handle
+	timings map[string]float64 // job ID -> host seconds (transient sidecar)
+	f       *os.File           // manifest append handle
+	lock    *os.File           // flock handle on lockName
 }
 
 // OpenStore opens (creating if needed) a sweep results directory and
 // loads its manifest. A trailing partially-written manifest line (crash
-// mid-append) is dropped; complete entries before it stand.
+// mid-append) is dropped; complete entries before it stand. Opening a
+// store another process holds open fails with ErrStoreLocked; a
+// manifest momentarily absent because a compacting coordinator is
+// mid-rename is retried, not treated as empty.
 func OpenStore(dir string) (*Store, error) {
 	for _, d := range []string{dir, filepath.Join(dir, curvesDir), filepath.Join(dir, ckptDir)} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("sweep: creating store directory: %w", err)
 		}
 	}
-	s := &Store{dir: dir, entries: map[string]*Entry{}}
+	lock, err := lockStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, entries: map[string]*Entry{}, timings: map[string]float64{}, lock: lock}
 	path := filepath.Join(dir, manifestName)
-	if data, err := os.Open(path); err == nil {
+	if data, err := openManifest(dir); err == nil {
 		sc := bufio.NewScanner(data)
 		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
 		for sc.Scan() {
@@ -112,14 +141,53 @@ func OpenStore(dir string) (*Store, error) {
 		}
 		data.Close()
 	} else if !os.IsNotExist(err) {
+		lock.Close()
 		return nil, fmt.Errorf("sweep: opening manifest: %w", err)
 	}
+	s.loadTimings()
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		lock.Close()
 		return nil, fmt.Errorf("sweep: opening manifest for append: %w", err)
 	}
 	s.f = f
 	return s, nil
+}
+
+// lockStore takes the store's exclusive advisory lock. The lock is held
+// by the open file descriptor, so a crashed process releases it
+// automatically.
+func lockStore(dir string) (*os.File, error) {
+	lock, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: opening store lock: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("%w: %s", ErrStoreLocked, dir)
+	}
+	return lock, nil
+}
+
+// openManifest opens the manifest tolerating a concurrently-compacting
+// coordinator. Compact replaces the file atomically via rename, but a
+// reader that raced StoreExists can still observe ErrNotExist on
+// filesystems that surface the swap as unlink+link; the in-flight
+// rename is distinguishable from a genuinely fresh store by Compact's
+// temp file, so retry while one is visible.
+func openManifest(dir string) (*os.File, error) {
+	path := filepath.Join(dir, manifestName)
+	for attempt := 0; ; attempt++ {
+		f, err := os.Open(path)
+		if err == nil || !errors.Is(err, os.ErrNotExist) || attempt >= 100 {
+			return f, err
+		}
+		tmps, _ := filepath.Glob(filepath.Join(dir, ".manifest-*"))
+		if len(tmps) == 0 {
+			return nil, err // fresh store, not a rename in flight
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // Dir returns the store's root directory.
@@ -132,15 +200,19 @@ func StoreExists(dir string) bool {
 	return err == nil
 }
 
-// Close releases the manifest handle.
+// Close releases the manifest handle and the store lock.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
-		return nil
+	var err error
+	if s.f != nil {
+		err = s.f.Close()
+		s.f = nil
 	}
-	err := s.f.Close()
-	s.f = nil
+	if s.lock != nil {
+		s.lock.Close() // closing the fd drops the flock
+		s.lock = nil
+	}
 	return err
 }
 
@@ -254,7 +326,7 @@ func (s *Store) progressPath(id string) string {
 
 // SaveProgress atomically persists the sweep-side accumulators at a
 // checkpoint boundary.
-func (s *Store) SaveProgress(j Job, p progress) error {
+func (s *Store) SaveProgress(j Job, p Progress) error {
 	buf, err := json.Marshal(p)
 	if err != nil {
 		return fmt.Errorf("sweep: encoding progress: %w", err)
@@ -279,16 +351,47 @@ func (s *Store) SaveProgress(j Job, p progress) error {
 
 // LoadProgress reads the job's progress sidecar, reporting ok=false
 // when absent or unreadable.
-func (s *Store) LoadProgress(j Job) (progress, bool) {
+func (s *Store) LoadProgress(j Job) (Progress, bool) {
 	buf, err := os.ReadFile(s.progressPath(j.ID))
 	if err != nil {
-		return progress{}, false
+		return Progress{}, false
 	}
-	var p progress
+	var p Progress
 	if err := json.Unmarshal(buf, &p); err != nil {
-		return progress{}, false
+		return Progress{}, false
 	}
 	return p, true
+}
+
+// WriteCheckpoint atomically replaces the job's sim checkpoint with
+// bytes received from elsewhere (a fleet worker's progress upload).
+func (s *Store) WriteCheckpoint(j Job, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, ckptDir), ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("sweep: creating checkpoint file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: writing checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: writing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.CheckpointPath(j)); err != nil {
+		return fmt.Errorf("sweep: committing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint returns the job's sim checkpoint bytes (for handing a
+// partially-executed job to a fleet worker), or ok=false when absent.
+func (s *Store) ReadCheckpoint(j Job) ([]byte, bool) {
+	data, err := os.ReadFile(s.CheckpointPath(j))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
 }
 
 // HasCheckpoint reports whether an in-flight sim checkpoint exists for
@@ -309,6 +412,60 @@ func (s *Store) DropTransient(j Job) {
 func (s *Store) dropTransientLocked(id string) {
 	os.Remove(filepath.Join(s.dir, ckptDir, id+".ckpt"))
 	os.Remove(s.progressPath(id))
+}
+
+// timingEntry is one line of the transient timings sidecar.
+type timingEntry struct {
+	ID          string  `json:"id"`
+	HostSeconds float64 `json:"host_seconds"`
+}
+
+// loadTimings reads the transient timings sidecar (best-effort: a
+// corrupt or missing file just means no ETA seed).
+func (s *Store) loadTimings() {
+	data, err := os.Open(filepath.Join(s.dir, timingsName))
+	if err != nil {
+		return
+	}
+	defer data.Close()
+	sc := bufio.NewScanner(data)
+	for sc.Scan() {
+		var t timingEntry
+		if json.Unmarshal(sc.Bytes(), &t) == nil && t.ID != "" {
+			s.timings[t.ID] = t.HostSeconds
+		}
+	}
+}
+
+// RecordTiming appends a job's real host wall-clock cost to the
+// transient timings sidecar (see timingsName). Timing is advisory — a
+// write failure costs ETA accuracy on the next resume, nothing else.
+func (s *Store) RecordTiming(id string, hostSeconds float64) error {
+	line, err := json.Marshal(timingEntry{ID: id, HostSeconds: hostSeconds})
+	if err != nil {
+		return fmt.Errorf("sweep: encoding timing: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(filepath.Join(s.dir, timingsName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("sweep: opening timings: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("sweep: appending timing: %w", err)
+	}
+	s.timings[id] = hostSeconds
+	return nil
+}
+
+// HostSecondsOf returns a completed job's recorded host wall-clock
+// cost, when this store (or the killed run it resumes) measured one.
+func (s *Store) HostSecondsOf(id string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.timings[id]
+	return v, ok
 }
 
 // Compact rewrites the manifest with the given jobs' entries first, in
@@ -377,5 +534,9 @@ func (s *Store) Compact(jobs []Job) error {
 		return fmt.Errorf("sweep: reopening manifest: %w", err)
 	}
 	s.f = f
+	// A compacted store is a completed sweep: drop the transient host
+	// timings so the directory's bytes depend only on the grid.
+	os.Remove(filepath.Join(s.dir, timingsName))
+	s.timings = map[string]float64{}
 	return nil
 }
